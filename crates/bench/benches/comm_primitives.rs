@@ -1,0 +1,98 @@
+//! Microbenchmarks of the threaded message-passing runtime: point-to-point
+//! latency/bandwidth, ring shifts, and tree collectives — the α and β
+//! terms of the real (in-process) transport.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nbody_comm::{run_ranks, sum_combine, Communicator};
+
+fn bench_p2p_roundtrip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("p2p_roundtrip");
+    group.sample_size(20);
+    for bytes in [64usize, 4096, 65536] {
+        group.throughput(Throughput::Bytes(2 * bytes as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(bytes), &bytes, |bench, &sz| {
+            bench.iter(|| {
+                run_ranks(2, |comm| {
+                    let payload = vec![0u8; sz];
+                    if comm.rank() == 0 {
+                        comm.send(1, 1, &payload);
+                        let _ = comm.recv::<u8>(1, 2);
+                    } else {
+                        let got = comm.recv::<u8>(0, 1);
+                        comm.send(0, 2, &got);
+                    }
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_ring_shift(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ring_shift_16steps");
+    group.sample_size(15);
+    for p in [4usize, 8, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(p), &p, |bench, &p| {
+            bench.iter(|| {
+                run_ranks(p, |comm| {
+                    let mut buf = vec![comm.rank() as u64; 64];
+                    for s in 0..16u64 {
+                        buf = comm.sendrecv(
+                            (comm.rank() + 1) % p,
+                            (comm.rank() + p - 1) % p,
+                            s,
+                            &buf,
+                        );
+                    }
+                    buf[0]
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_collectives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("collectives_p8");
+    group.sample_size(15);
+    group.bench_function("bcast_4k", |bench| {
+        bench.iter(|| {
+            run_ranks(8, |comm| {
+                let mut buf = if comm.rank() == 0 {
+                    vec![7u8; 4096]
+                } else {
+                    Vec::new()
+                };
+                comm.bcast(0, &mut buf);
+                buf.len()
+            })
+        })
+    });
+    group.bench_function("reduce_4k", |bench| {
+        bench.iter(|| {
+            run_ranks(8, |comm| {
+                let mut buf = vec![comm.rank() as u64; 512];
+                comm.reduce(0, &mut buf, sum_combine);
+                buf[0]
+            })
+        })
+    });
+    group.bench_function("barrier_x8", |bench| {
+        bench.iter(|| {
+            run_ranks(8, |comm| {
+                for _ in 0..8 {
+                    comm.barrier();
+                }
+            })
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_p2p_roundtrip,
+    bench_ring_shift,
+    bench_collectives
+);
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! Microbenchmarks of the pairwise force kernels — the γ term of the cost
+//! model. The measured per-interaction cost on the host machine can be
+//! compared with the calibrated `gamma` of the Hopper/Intrepid models.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nbody_physics::{
+    init, Boundary, Counting, Cutoff, Domain, ForceLaw, Gravity, LennardJones,
+    RepulsiveInverseSquare,
+};
+
+fn bench_pair_kernels(c: &mut Criterion) {
+    let domain = Domain::unit();
+    let ps = init::uniform(2, &domain, 1);
+    let (a, b) = (ps[0], ps[1]);
+    let disp = b.pos - a.pos;
+
+    let mut group = c.benchmark_group("pair_force");
+    group.bench_function("repulsive_inverse_square", |bench| {
+        let law = RepulsiveInverseSquare::default();
+        bench.iter(|| law.force(black_box(&a), black_box(&b), black_box(disp)))
+    });
+    group.bench_function("gravity", |bench| {
+        let law = Gravity::default();
+        bench.iter(|| law.force(black_box(&a), black_box(&b), black_box(disp)))
+    });
+    group.bench_function("lennard_jones", |bench| {
+        let law = LennardJones::default();
+        bench.iter(|| law.force(black_box(&a), black_box(&b), black_box(disp)))
+    });
+    group.bench_function("cutoff_wrapped", |bench| {
+        let law = Cutoff::new(RepulsiveInverseSquare::default(), 0.5);
+        bench.iter(|| law.force(black_box(&a), black_box(&b), black_box(disp)))
+    });
+    group.bench_function("counting", |bench| {
+        bench.iter(|| Counting.force(black_box(&a), black_box(&b), black_box(disp)))
+    });
+    group.finish();
+}
+
+fn bench_block_kernel(c: &mut Criterion) {
+    let domain = Domain::unit();
+    let law = RepulsiveInverseSquare::default();
+    let mut group = c.benchmark_group("accumulate_block");
+    for size in [32usize, 128, 512] {
+        let sources = init::uniform(size, &domain, 7);
+        let mut targets = init::uniform(size, &domain, 8);
+        group.throughput(Throughput::Elements((size * size) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |bench, _| {
+            bench.iter(|| {
+                ca_nbody::kernel::accumulate_block(
+                    black_box(&mut targets),
+                    black_box(&sources),
+                    &law,
+                    &domain,
+                    Boundary::Open,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_serial_reference(c: &mut Criterion) {
+    let domain = Domain::unit();
+    let law = RepulsiveInverseSquare::default();
+    let mut ps = init::uniform(256, &domain, 3);
+    c.bench_function("serial_all_pairs_256", |bench| {
+        bench.iter(|| {
+            nbody_physics::particle::reset_forces(&mut ps);
+            nbody_physics::reference::accumulate_forces(
+                black_box(&mut ps),
+                &law,
+                &domain,
+                Boundary::Open,
+            )
+        })
+    });
+
+    let cutoff_law = Cutoff::new(RepulsiveInverseSquare::default(), 0.1);
+    let mut ps2 = init::uniform(2048, &domain, 4);
+    c.bench_function("cell_list_cutoff_2048", |bench| {
+        bench.iter(|| {
+            nbody_physics::particle::reset_forces(&mut ps2);
+            nbody_physics::cell_list::accumulate_forces_cell_list(
+                black_box(&mut ps2),
+                &cutoff_law,
+                &domain,
+                Boundary::Open,
+            )
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_pair_kernels,
+    bench_block_kernel,
+    bench_serial_reference
+);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Figure 3: strong-scaling parallel efficiency of the all-pairs algorithm
+//! on Hopper (196,608 particles, 1,536–24,576 cores) and Intrepid
+//! (262,144 particles, 2,048–32,768 cores), one curve per replication
+//! factor. The paper's claim: near-perfect strong scaling with the right
+//! choice of `c`, while `c = 1` collapses at scale.
+
+use nbody_bench::{emit_efficiency, run_all_pairs_point, Scale};
+use nbody_netsim::{hopper, intrepid, Machine};
+
+fn panel(name: &str, csv: &str, machine: &Machine, n: usize, ps: &[usize], cs: &[usize]) {
+    let cells: Vec<Vec<Option<f64>>> = ps
+        .iter()
+        .map(|&p| {
+            cs.iter()
+                .map(|&c| {
+                    if c * c <= p && p % (c * c) == 0 {
+                        Some(run_all_pairs_point(machine, p, n, c).efficiency(p))
+                    } else {
+                        None
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    emit_efficiency(
+        &format!("{name}: {} particles on {}", n, machine.name),
+        csv,
+        ps,
+        cs,
+        &cells,
+    );
+    // Headline: efficiency gain of the best c over c=1 at the largest size.
+    let last = cells.last().unwrap();
+    if let (Some(Some(e1)), Some(best)) = (
+        last.first(),
+        last.iter().flatten().cloned().reduce(f64::max),
+    ) {
+        println!(
+            "  headline: at {} cores, best-c efficiency {:.3} vs c=1 {:.3} ({:.2}x)",
+            ps.last().unwrap(),
+            best,
+            e1,
+            best / e1
+        );
+    }
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let t = scale.tag();
+    let cs = [1usize, 2, 4, 8, 16, 32, 64];
+
+    let hopper_ps: Vec<usize> = [1_536usize, 3_072, 6_144, 12_288, 24_576]
+        .iter()
+        .map(|&p| scale.p(p))
+        .collect();
+    panel(
+        &format!("Fig 3a{t}"),
+        "fig3a.csv",
+        &hopper(),
+        scale.n(196_608),
+        &hopper_ps,
+        &cs,
+    );
+
+    let intrepid_ps: Vec<usize> = [2_048usize, 4_096, 8_192, 16_384, 32_768]
+        .iter()
+        .map(|&p| scale.p(p))
+        .collect();
+    panel(
+        &format!("Fig 3b{t}"),
+        "fig3b.csv",
+        &intrepid(),
+        scale.n(262_144),
+        &intrepid_ps,
+        &cs,
+    );
+}

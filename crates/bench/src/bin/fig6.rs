@@ -1,0 +1,89 @@
+//! Figure 6: execution time per timestep vs. replication factor for the
+//! cutoff algorithms (1D and 2D, `r_c = l/4`), broken into computation /
+//! shift / reduce / re-assign, on Hopper (24,576 cores, 196,608 particles)
+//! and Intrepid (32,768 cores, 262,144 particles).
+//!
+//! Expected shapes (§IV.D): communication falls for small `c`; the reduce
+//! cost grows considerably at large `c` (collective saturation), so
+//! intermediate `c` wins; shift time stagnates instead of vanishing due to
+//! boundary load imbalance.
+
+use nbody_bench::{emit_breakdown, run_cutoff_point, FigRow, Scale};
+use nbody_netsim::{hopper, intrepid, Machine};
+
+/// The paper's cutoff: 1/4 of the simulation space (§IV.D).
+const RC_FRACTION: f64 = 0.25;
+
+fn panel(name: &str, csv: &str, machine: &Machine, dim: u32, p: usize, n: usize, cs: &[usize]) {
+    let rows: Vec<FigRow> = cs
+        .iter()
+        .filter_map(|&c| run_cutoff_point(machine, dim, p, n, c, RC_FRACTION))
+        .collect();
+    emit_breakdown(
+        &format!(
+            "{name}: {dim}D cutoff, {} cores, {} particles, rc=l/4 on {}",
+            p, n, machine.name
+        ),
+        csv,
+        &rows,
+    );
+    if let (Some(c1), Some(best)) = (
+        rows.first(),
+        rows.iter().min_by(|a, b| a.makespan.total_cmp(&b.makespan)),
+    ) {
+        println!(
+            "  headline: best {} ({:.6}s) vs c=1 ({:.6}s): speedup {:.2}x, comm reduction {:.1}%",
+            best.label,
+            best.makespan,
+            c1.makespan,
+            c1.makespan / best.makespan,
+            100.0 * (1.0 - best.comm() / c1.comm().max(1e-300))
+        );
+    }
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let t = scale.tag();
+    let h = hopper();
+    let i = intrepid();
+    let cs_64 = [1usize, 2, 4, 8, 16, 32, 64];
+    let cs_128 = [1usize, 2, 4, 8, 16, 32, 64, 128];
+
+    panel(
+        &format!("Fig 6a{t}"),
+        "fig6a.csv",
+        &h,
+        1,
+        scale.p(24_576),
+        scale.n(196_608),
+        &cs_64,
+    );
+    panel(
+        &format!("Fig 6b{t}"),
+        "fig6b.csv",
+        &h,
+        2,
+        scale.p(24_576),
+        scale.n(196_608),
+        &cs_128,
+    );
+    panel(
+        &format!("Fig 6c{t}"),
+        "fig6c.csv",
+        &i,
+        1,
+        scale.p(32_768),
+        scale.n(262_144),
+        &cs_64,
+    );
+    panel(
+        &format!("Fig 6d{t}"),
+        "fig6d.csv",
+        &i,
+        2,
+        scale.p(32_768),
+        scale.n(262_144),
+        &cs_64,
+    );
+}

@@ -1,0 +1,69 @@
+//! Supplementary study: sensitivity of the optimal replication factor to
+//! the machine balance. The paper observes that the best `c` "strikes a
+//! balance between the costs of collective and point-to-point
+//! communication" (§I) — this binary quantifies how that balance point
+//! moves as each machine parameter is scaled.
+
+use ca_nbody::autotune::autotune_all_pairs;
+use nbody_bench::write_csv;
+use nbody_netsim::{hopper, Machine};
+use std::fmt::Write as _;
+
+fn best_c(machine: &Machine, p: usize, n: usize) -> (usize, f64) {
+    let tune = autotune_all_pairs(machine, p, n);
+    (tune.best_c, tune.best_time())
+}
+
+fn main() {
+    let (p, n) = (1536usize, 12_288usize);
+    let base = hopper();
+    println!(
+        "Optimal replication factor vs machine balance (all-pairs, p={p}, n={n}, Hopper base)"
+    );
+    println!(
+        "{:<28} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "parameter scaled", "x1/4", "x1/2", "x1", "x2", "x4"
+    );
+
+    let mut csv = String::from("parameter,x0.25,x0.5,x1,x2,x4\n");
+    type Knob = (&'static str, fn(&mut Machine, f64));
+    let knobs: [Knob; 4] = [
+        ("alpha (p2p latency)", |m, s| m.alpha *= s),
+        ("beta (p2p bandwidth^-1)", |m, s| m.beta *= s),
+        ("gamma (compute)", |m, s| m.gamma *= s),
+        ("kappa (coll. saturation)", |m, s| m.coll_saturation *= s),
+    ];
+    for (name, apply) in knobs {
+        print!("{:<28}", name);
+        let _ = write!(csv, "{name}");
+        for scale in [0.25f64, 0.5, 1.0, 2.0, 4.0] {
+            let mut m = base.clone();
+            apply(&mut m, scale);
+            let (c, _) = best_c(&m, p, n);
+            print!(" {:>8}", format!("c={c}"));
+            let _ = write!(csv, ",{c}");
+        }
+        println!();
+        csv.push('\n');
+    }
+    write_csv("sensitivity.csv", &csv);
+
+    println!(
+        "\nReading the table: higher message latency (alpha) pushes the optimum toward\n\
+         more replication (fewer, larger messages); a harsher collective saturation\n\
+         (kappa) pulls it back toward small c — the balance the paper tunes at runtime."
+    );
+
+    // Sanity assertions mirrored in the shape tests.
+    let mut high_alpha = base.clone();
+    high_alpha.alpha *= 8.0;
+    let mut high_kappa = base.clone();
+    high_kappa.coll_saturation *= 8.0;
+    let (c_alpha, _) = best_c(&high_alpha, p, n);
+    let (c_kappa, _) = best_c(&high_kappa, p, n);
+    assert!(
+        c_alpha >= c_kappa,
+        "latency-heavy machines should prefer at least as much replication \
+         ({c_alpha} vs {c_kappa})"
+    );
+}

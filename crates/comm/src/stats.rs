@@ -1,0 +1,232 @@
+//! Per-phase communication statistics.
+//!
+//! The paper's figures break execution time into *computation*,
+//! *communication (shift)*, *communication (reduce)*, and — for the cutoff
+//! algorithms — *communication (re-assign)* (Figs. 2 and 6). Algorithms tag
+//! the current phase on their communicator; every message and collective is
+//! then attributed to that phase. The same buckets are used by the
+//! discrete-event simulator, so instrumented executions and simulated
+//! schedules can be compared phase-by-phase.
+
+use std::fmt;
+
+/// Execution phase of the current communication operation, mirroring the
+/// stacked-bar categories of the paper's figures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Phase {
+    /// Initial team broadcast of the local subset (Algorithm 1/2, line 2).
+    Broadcast,
+    /// Row-wise skew by the row index (line 4).
+    Skew,
+    /// The main shift-and-update loop (lines 5–8).
+    Shift,
+    /// Final sum-reduction of force updates within each team (line 9).
+    Reduce,
+    /// Spatial-decomposition maintenance between timesteps (§IV.D).
+    Reassign,
+    /// Anything else (setup, verification, ...).
+    Other,
+}
+
+/// All phases, in figure order.
+pub const ALL_PHASES: [Phase; 6] = [
+    Phase::Broadcast,
+    Phase::Skew,
+    Phase::Shift,
+    Phase::Reduce,
+    Phase::Reassign,
+    Phase::Other,
+];
+
+impl Phase {
+    /// Index into per-phase arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            Phase::Broadcast => 0,
+            Phase::Skew => 1,
+            Phase::Shift => 2,
+            Phase::Reduce => 3,
+            Phase::Reassign => 4,
+            Phase::Other => 5,
+        }
+    }
+
+    /// Human-readable label matching the paper's legends.
+    pub fn label(self) -> &'static str {
+        match self {
+            Phase::Broadcast => "broadcast",
+            Phase::Skew => "skew",
+            Phase::Shift => "shift",
+            Phase::Reduce => "reduce",
+            Phase::Reassign => "re-assign",
+            Phase::Other => "other",
+        }
+    }
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Counters for one phase.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PhaseCounters {
+    /// Point-to-point messages sent.
+    pub messages: u64,
+    /// Elements (e.g. particles) sent in point-to-point messages.
+    pub elements: u64,
+    /// Collective operations participated in.
+    pub collectives: u64,
+    /// Elements moved by collectives (per participant contribution).
+    pub collective_elements: u64,
+    /// Wall-clock seconds spent blocked waiting for data in this phase.
+    pub blocked_secs: f64,
+}
+
+impl PhaseCounters {
+    fn merge(&mut self, other: &PhaseCounters) {
+        self.messages += other.messages;
+        self.elements += other.elements;
+        self.collectives += other.collectives;
+        self.collective_elements += other.collective_elements;
+        self.blocked_secs += other.blocked_secs;
+    }
+}
+
+/// Per-rank communication statistics, bucketed by [`Phase`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CommStats {
+    phases: [PhaseCounters; 6],
+    current: usize,
+}
+
+impl CommStats {
+    /// Fresh, zeroed statistics starting in [`Phase::Other`].
+    pub fn new() -> Self {
+        CommStats {
+            phases: Default::default(),
+            current: Phase::Other.index(),
+        }
+    }
+
+    /// Set the phase that subsequent operations are attributed to.
+    pub fn set_phase(&mut self, phase: Phase) {
+        self.current = phase.index();
+    }
+
+    /// The phase currently being attributed.
+    pub fn current_phase(&self) -> Phase {
+        ALL_PHASES[self.current]
+    }
+
+    /// Record a point-to-point send of `elements` elements.
+    pub fn record_send(&mut self, elements: usize) {
+        let c = &mut self.phases[self.current];
+        c.messages += 1;
+        c.elements += elements as u64;
+    }
+
+    /// Record participation in a collective moving `elements` elements.
+    pub fn record_collective(&mut self, elements: usize) {
+        let c = &mut self.phases[self.current];
+        c.collectives += 1;
+        c.collective_elements += elements as u64;
+    }
+
+    /// Record `secs` seconds spent blocked waiting for data.
+    pub fn record_blocked(&mut self, secs: f64) {
+        self.phases[self.current].blocked_secs += secs;
+    }
+
+    /// Counters for one phase.
+    pub fn phase(&self, phase: Phase) -> &PhaseCounters {
+        &self.phases[phase.index()]
+    }
+
+    /// Total point-to-point messages across phases.
+    pub fn total_messages(&self) -> u64 {
+        self.phases.iter().map(|c| c.messages).sum()
+    }
+
+    /// Total point-to-point elements across phases.
+    pub fn total_elements(&self) -> u64 {
+        self.phases.iter().map(|c| c.elements).sum()
+    }
+
+    /// Total collectives across phases.
+    pub fn total_collectives(&self) -> u64 {
+        self.phases.iter().map(|c| c.collectives).sum()
+    }
+
+    /// Merge another rank's statistics into this one (for aggregation).
+    pub fn merge(&mut self, other: &CommStats) {
+        for (a, b) in self.phases.iter_mut().zip(&other.phases) {
+            a.merge(b);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phases_bucket_independently() {
+        let mut s = CommStats::new();
+        s.set_phase(Phase::Shift);
+        s.record_send(10);
+        s.record_send(5);
+        s.set_phase(Phase::Reduce);
+        s.record_collective(7);
+        s.record_blocked(0.5);
+
+        assert_eq!(s.phase(Phase::Shift).messages, 2);
+        assert_eq!(s.phase(Phase::Shift).elements, 15);
+        assert_eq!(s.phase(Phase::Reduce).collectives, 1);
+        assert_eq!(s.phase(Phase::Reduce).collective_elements, 7);
+        assert_eq!(s.phase(Phase::Reduce).blocked_secs, 0.5);
+        assert_eq!(s.phase(Phase::Broadcast).messages, 0);
+        assert_eq!(s.total_messages(), 2);
+        assert_eq!(s.total_elements(), 15);
+        assert_eq!(s.total_collectives(), 1);
+    }
+
+    #[test]
+    fn default_phase_is_other() {
+        let mut s = CommStats::new();
+        assert_eq!(s.current_phase(), Phase::Other);
+        s.record_send(3);
+        assert_eq!(s.phase(Phase::Other).messages, 1);
+    }
+
+    #[test]
+    fn merge_adds_counters() {
+        let mut a = CommStats::new();
+        a.set_phase(Phase::Shift);
+        a.record_send(4);
+        let mut b = CommStats::new();
+        b.set_phase(Phase::Shift);
+        b.record_send(6);
+        b.record_blocked(1.0);
+        a.merge(&b);
+        assert_eq!(a.phase(Phase::Shift).messages, 2);
+        assert_eq!(a.phase(Phase::Shift).elements, 10);
+        assert_eq!(a.phase(Phase::Shift).blocked_secs, 1.0);
+    }
+
+    #[test]
+    fn phase_labels_match_paper_legends() {
+        assert_eq!(Phase::Shift.label(), "shift");
+        assert_eq!(Phase::Reassign.label(), "re-assign");
+        assert_eq!(format!("{}", Phase::Reduce), "reduce");
+        // index() is a bijection onto 0..6
+        let mut seen = [false; 6];
+        for p in ALL_PHASES {
+            assert!(!seen[p.index()]);
+            seen[p.index()] = true;
+        }
+    }
+}

@@ -1,0 +1,708 @@
+//! A message-passing runtime whose ranks are OS threads.
+//!
+//! This is the reproduction's stand-in for MPI on a cluster: the algorithms
+//! in `ca-nbody` execute unmodified against [`ThreadComm`], exchanging the
+//! same messages they would exchange across nodes. Payloads move between
+//! threads by pointer (no serialization), so even modest laptops can run
+//! correctness sweeps over dozens of ranks.
+//!
+//! Design notes:
+//!
+//! * Every *global* rank owns one unbounded MPSC inbox; all communicators a
+//!   rank belongs to share it. Envelopes carry `(communicator id, source,
+//!   tag)` and receivers demultiplex into per-`(comm, source)` FIFO queues —
+//!   MPI-style matching specialized to our deterministic protocols.
+//! * Sends are buffered and never block, so ring shifts cannot deadlock.
+//! * `split` derives new communicators without global locks on the data
+//!   path; communicator identity is agreed through a registry keyed by
+//!   `(parent id, split sequence, color)`, which every member computes
+//!   identically.
+//! * Receives have a generous timeout; a deadlocked protocol panics with a
+//!   diagnostic instead of hanging the test suite.
+
+use std::any::Any;
+use std::cell::{Cell, RefCell};
+use std::collections::{HashMap, VecDeque};
+use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use crate::communicator::{CommData, Communicator};
+use crate::stats::{CommStats, Phase};
+
+/// How long a receive may block before the runtime declares a deadlock.
+const RECV_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Tag space reserved for internal collective plumbing.
+const INTERNAL_TAG_BASE: u64 = 1 << 48;
+
+struct Envelope {
+    comm: u64,
+    src_global: usize,
+    tag: u64,
+    payload: Box<dyn Any + Send>,
+}
+
+/// Shared transport state: one inbox sender per global rank plus the
+/// communicator-identity registry.
+pub(crate) struct Fabric {
+    senders: Vec<Sender<Envelope>>,
+    registry: Mutex<HashMap<(u64, u64, usize), u64>>,
+    next_comm: AtomicU64,
+}
+
+impl Fabric {
+    fn comm_id_for(&self, parent: u64, seq: u64, color: usize) -> u64 {
+        let mut reg = self.registry.lock();
+        *reg.entry((parent, seq, color))
+            .or_insert_with(|| self.next_comm.fetch_add(1, Ordering::Relaxed))
+    }
+}
+
+/// Per-thread receive state: the inbox plus reorder buffers.
+struct Endpoint {
+    global_rank: usize,
+    rx: Receiver<Envelope>,
+    pending: HashMap<(u64, usize), VecDeque<Envelope>>,
+}
+
+impl Endpoint {
+    /// Pull envelopes off the inbox until one matching `(comm, src)` is
+    /// available, buffering everything else.
+    fn recv_matching(&mut self, comm: u64, src_global: usize, stats: &mut CommStats) -> Envelope {
+        let key = (comm, src_global);
+        if let Some(queue) = self.pending.get_mut(&key) {
+            if let Some(env) = queue.pop_front() {
+                return env;
+            }
+        }
+        let start = Instant::now();
+        loop {
+            let env = match self.rx.recv_timeout(RECV_TIMEOUT) {
+                Ok(env) => env,
+                Err(_) => panic!(
+                    "rank {} (global): receive from global rank {} on communicator {} \
+                     timed out after {:?} — protocol deadlock?",
+                    self.global_rank, src_global, comm, RECV_TIMEOUT
+                ),
+            };
+            if env.comm == comm && env.src_global == src_global {
+                stats.record_blocked(start.elapsed().as_secs_f64());
+                return env;
+            }
+            self.pending
+                .entry((env.comm, env.src_global))
+                .or_default()
+                .push_back(env);
+        }
+    }
+}
+
+/// A communicator whose ranks are threads of the current process.
+///
+/// Construct the world communicator with [`run_ranks`]; derive grids with
+/// [`Communicator::split`]. The handle is deliberately `!Send`: it belongs
+/// to its rank's thread.
+pub struct ThreadComm {
+    fabric: Arc<Fabric>,
+    endpoint: Rc<RefCell<Endpoint>>,
+    stats: Rc<RefCell<CommStats>>,
+    comm_id: u64,
+    /// Global ranks of the members, indexed by local rank.
+    members: Rc<Vec<usize>>,
+    my_local: usize,
+    split_seq: Cell<u64>,
+    coll_seq: Cell<u64>,
+}
+
+impl ThreadComm {
+    fn global_of(&self, local: usize) -> usize {
+        self.members[local]
+    }
+
+    fn my_global(&self) -> usize {
+        self.members[self.my_local]
+    }
+
+    fn send_raw<T: CommData>(&self, dst_local: usize, tag: u64, data: Vec<T>, count_stats: bool) {
+        assert!(dst_local < self.size(), "send to invalid rank {dst_local}");
+        if count_stats {
+            self.stats.borrow_mut().record_send(data.len());
+        }
+        let env = Envelope {
+            comm: self.comm_id,
+            src_global: self.my_global(),
+            tag,
+            payload: Box::new(data),
+        };
+        self.fabric.senders[self.global_of(dst_local)]
+            .send(env)
+            .expect("fabric closed while sending");
+    }
+
+    fn recv_raw<T: CommData>(&self, src_local: usize, tag: u64) -> Vec<T> {
+        assert!(src_local < self.size(), "recv from invalid rank {src_local}");
+        let src_global = self.global_of(src_local);
+        let env = {
+            let mut stats = self.stats.borrow_mut();
+            self.endpoint
+                .borrow_mut()
+                .recv_matching(self.comm_id, src_global, &mut stats)
+        };
+        assert_eq!(
+            env.tag, tag,
+            "rank {} of comm {}: expected tag {tag} from local rank {src_local}, got {}",
+            self.my_local, self.comm_id, env.tag
+        );
+        *env.payload
+            .downcast::<Vec<T>>()
+            .unwrap_or_else(|_| {
+                panic!(
+                    "rank {} of comm {}: payload type mismatch from rank {src_local} (tag {tag})",
+                    self.my_local, self.comm_id
+                )
+            })
+    }
+
+    /// Reserve a fresh internal tag for one collective operation. All ranks
+    /// call collectives in identical order, so the sequence agrees globally.
+    fn next_internal_tag(&self) -> u64 {
+        let seq = self.coll_seq.get();
+        self.coll_seq.set(seq + 1);
+        INTERNAL_TAG_BASE + seq
+    }
+}
+
+impl Communicator for ThreadComm {
+    fn rank(&self) -> usize {
+        self.my_local
+    }
+
+    fn size(&self) -> usize {
+        self.members.len()
+    }
+
+    fn set_phase(&self, phase: Phase) {
+        self.stats.borrow_mut().set_phase(phase);
+    }
+
+    fn stats(&self) -> CommStats {
+        self.stats.borrow().clone()
+    }
+
+    fn send<T: CommData>(&self, dst: usize, tag: u64, data: &[T]) {
+        self.send_raw(dst, tag, data.to_vec(), true);
+    }
+
+    fn recv<T: CommData>(&self, src: usize, tag: u64) -> Vec<T> {
+        self.recv_raw(src, tag)
+    }
+
+    fn bcast<T: CommData>(&self, root: usize, buf: &mut Vec<T>) {
+        let size = self.size();
+        assert!(root < size, "bcast root {root} out of range");
+        if size == 1 {
+            return;
+        }
+        let tag = self.next_internal_tag();
+        // Binomial tree rooted at `root` (MPICH-style).
+        let vrank = (self.my_local + size - root) % size;
+        let mut mask = 1usize;
+        while mask < size {
+            if vrank & mask != 0 {
+                let src = (vrank - mask + root) % size;
+                *buf = self.recv_raw::<T>(src, tag);
+                break;
+            }
+            mask <<= 1;
+        }
+        mask >>= 1;
+        while mask > 0 {
+            if vrank + mask < size {
+                let dst = (vrank + mask + root) % size;
+                self.send_raw(dst, tag, buf.clone(), false);
+            }
+            mask >>= 1;
+        }
+        // Recorded after completion so every member logs the payload size
+        // (non-roots don't know it on entry).
+        self.stats.borrow_mut().record_collective(buf.len());
+    }
+
+    fn reduce<T: CommData>(&self, root: usize, buf: &mut Vec<T>, combine: fn(&mut T, &T)) {
+        let size = self.size();
+        assert!(root < size, "reduce root {root} out of range");
+        if size == 1 {
+            return;
+        }
+        self.stats.borrow_mut().record_collective(buf.len());
+        let tag = self.next_internal_tag();
+        // Binomial tree reduction mirroring the broadcast: contributions from
+        // higher virtual ranks are folded into lower ones, ending at vrank 0
+        // (= `root`). Combination order is deterministic.
+        let vrank = (self.my_local + size - root) % size;
+        let mut mask = 1usize;
+        while mask < size {
+            if vrank & mask == 0 {
+                let partner = vrank | mask;
+                if partner < size {
+                    let src = (partner + root) % size;
+                    let incoming = self.recv_raw::<T>(src, tag);
+                    assert_eq!(
+                        incoming.len(),
+                        buf.len(),
+                        "reduce buffers must agree in length"
+                    );
+                    for (acc, x) in buf.iter_mut().zip(&incoming) {
+                        combine(acc, x);
+                    }
+                }
+            } else {
+                let dst = (vrank - mask + root) % size;
+                self.send_raw(dst, tag, buf.clone(), false);
+                break;
+            }
+            mask <<= 1;
+        }
+    }
+
+    fn gather<T: CommData>(&self, root: usize, data: &[T]) -> Option<Vec<Vec<T>>> {
+        let size = self.size();
+        assert!(root < size, "gather root {root} out of range");
+        if size == 1 {
+            return Some(vec![data.to_vec()]);
+        }
+        self.stats.borrow_mut().record_collective(data.len());
+        let tag = self.next_internal_tag();
+        if self.my_local == root {
+            let mut out = Vec::with_capacity(size);
+            for r in 0..size {
+                if r == root {
+                    out.push(data.to_vec());
+                } else {
+                    out.push(self.recv_raw::<T>(r, tag));
+                }
+            }
+            Some(out)
+        } else {
+            self.send_raw(root, tag, data.to_vec(), false);
+            None
+        }
+    }
+
+    fn barrier(&self) {
+        let size = self.size();
+        if size == 1 {
+            return;
+        }
+        self.stats.borrow_mut().record_collective(0);
+        let tag = self.next_internal_tag();
+        // Dissemination barrier: log2(size) rounds of shifted token passing.
+        let mut step = 1usize;
+        while step < size {
+            let dst = (self.my_local + step) % size;
+            let src = (self.my_local + size - step) % size;
+            self.send_raw::<u8>(dst, tag + step as u64, Vec::new(), false);
+            let _ = self.recv_raw::<u8>(src, tag + step as u64);
+            step <<= 1;
+        }
+    }
+
+    fn split(&self, color: usize, key: usize) -> ThreadComm {
+        let seq = self.split_seq.get();
+        self.split_seq.set(seq + 1);
+        // Exchange (color, key, global rank) so every member can compute the
+        // membership of its new communicator.
+        let triples = self.allgather(&[(color, key, self.my_global())]);
+        let mut mine: Vec<(usize, usize, usize)> = triples
+            .into_iter()
+            .flatten()
+            .filter(|&(c, _, _)| c == color)
+            .collect();
+        mine.sort_by_key(|&(_, k, g)| (k, g));
+        let members: Vec<usize> = mine.iter().map(|&(_, _, g)| g).collect();
+        let my_local = members
+            .iter()
+            .position(|&g| g == self.my_global())
+            .expect("rank missing from its own split");
+        let comm_id = self.fabric.comm_id_for(self.comm_id, seq, color);
+        ThreadComm {
+            fabric: Arc::clone(&self.fabric),
+            endpoint: Rc::clone(&self.endpoint),
+            stats: Rc::clone(&self.stats),
+            comm_id,
+            members: Rc::new(members),
+            my_local,
+            split_seq: Cell::new(0),
+            coll_seq: Cell::new(0),
+        }
+    }
+}
+
+/// Spawn `p` rank threads, run `f` on each with its world communicator, and
+/// return the per-rank results in rank order.
+///
+/// This is the entry point of every distributed execution in the
+/// reproduction — the analogue of `mpirun -np p`.
+pub fn run_ranks<R, F>(p: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&mut ThreadComm) -> R + Sync,
+{
+    assert!(p > 0, "need at least one rank");
+    let mut senders = Vec::with_capacity(p);
+    let mut receivers = Vec::with_capacity(p);
+    for _ in 0..p {
+        let (tx, rx) = unbounded();
+        senders.push(tx);
+        receivers.push(rx);
+    }
+    let fabric = Arc::new(Fabric {
+        senders,
+        registry: Mutex::new(HashMap::new()),
+        next_comm: AtomicU64::new(1),
+    });
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(p);
+        for (rank, rx) in receivers.into_iter().enumerate() {
+            let fabric = Arc::clone(&fabric);
+            let f = &f;
+            let handle = std::thread::Builder::new()
+                .name(format!("rank-{rank}"))
+                .spawn_scoped(scope, move || {
+                    let endpoint = Endpoint {
+                        global_rank: rank,
+                        rx,
+                        pending: HashMap::new(),
+                    };
+                    let mut comm = ThreadComm {
+                        fabric,
+                        endpoint: Rc::new(RefCell::new(endpoint)),
+                        stats: Rc::new(RefCell::new(CommStats::new())),
+                        comm_id: 0,
+                        members: Rc::new((0..p).collect()),
+                        my_local: rank,
+                        split_seq: Cell::new(0),
+                        coll_seq: Cell::new(0),
+                    };
+                    f(&mut comm)
+                })
+                .expect("failed to spawn rank thread");
+            handles.push(handle);
+        }
+        handles
+            .into_iter()
+            .map(|h| {
+                // Propagate the original payload so callers (and tests) see
+                // the real panic message instead of "Any { .. }".
+                h.join()
+                    .unwrap_or_else(|payload| std::panic::resume_unwind(payload))
+            })
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::communicator::sum_combine;
+
+    #[test]
+    fn world_ranks_and_sizes() {
+        let out = run_ranks(4, |comm| (comm.rank(), comm.size()));
+        assert_eq!(out, vec![(0, 4), (1, 4), (2, 4), (3, 4)]);
+    }
+
+    #[test]
+    fn point_to_point_roundtrip() {
+        let out = run_ranks(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 7, &[10u64, 20, 30]);
+                comm.recv::<u64>(1, 8)
+            } else {
+                let got = comm.recv::<u64>(0, 7);
+                comm.send(0, 8, &[got.iter().sum::<u64>()]);
+                got
+            }
+        });
+        assert_eq!(out[0], vec![60]);
+        assert_eq!(out[1], vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn fifo_order_per_pair() {
+        let out = run_ranks(2, |comm| {
+            if comm.rank() == 0 {
+                for i in 0..50u64 {
+                    comm.send(1, i, &[i]);
+                }
+                Vec::new()
+            } else {
+                (0..50u64).map(|i| comm.recv::<u64>(0, i)[0]).collect()
+            }
+        });
+        assert_eq!(out[1], (0..50).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn ring_shift_does_not_deadlock() {
+        let p = 8;
+        let out = run_ranks(p, |comm| {
+            let right = (comm.rank() + 1) % p;
+            let left = (comm.rank() + p - 1) % p;
+            let mut token = vec![comm.rank() as u64];
+            for _ in 0..p {
+                token = comm.sendrecv(right, left, 1, &token);
+            }
+            token[0]
+        });
+        // After p shifts each token returns home.
+        assert_eq!(out, (0..p as u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn bcast_from_each_root() {
+        for root in 0..5 {
+            let out = run_ranks(5, move |comm| {
+                let mut buf = if comm.rank() == root {
+                    vec![42u32, 43, 44]
+                } else {
+                    Vec::new()
+                };
+                comm.bcast(root, &mut buf);
+                buf
+            });
+            for r in out {
+                assert_eq!(r, vec![42, 43, 44]);
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_sums_elementwise() {
+        let p = 6;
+        for root in [0, 3, 5] {
+            let out = run_ranks(p, move |comm| {
+                let mut buf = vec![comm.rank() as u64, 1];
+                comm.reduce(root, &mut buf, sum_combine);
+                (comm.rank(), buf)
+            });
+            let (_, buf) = &out[root];
+            assert_eq!(*buf, vec![15, 6], "root {root}");
+        }
+    }
+
+    #[test]
+    fn allreduce_everywhere() {
+        let out = run_ranks(4, |comm| {
+            let mut buf = vec![1u64 << comm.rank()];
+            comm.allreduce(&mut buf, sum_combine);
+            buf[0]
+        });
+        assert_eq!(out, vec![15, 15, 15, 15]);
+    }
+
+    #[test]
+    fn gather_in_rank_order() {
+        let out = run_ranks(4, |comm| {
+            comm.gather(2, &[comm.rank() as u8, 0xFF])
+        });
+        assert!(out[0].is_none() && out[1].is_none() && out[3].is_none());
+        assert_eq!(
+            out[2],
+            Some(vec![vec![0, 0xFF], vec![1, 0xFF], vec![2, 0xFF], vec![3, 0xFF]])
+        );
+    }
+
+    #[test]
+    fn allgather_everywhere() {
+        let out = run_ranks(3, |comm| comm.allgather(&[comm.rank() as u16 * 10]));
+        for r in out {
+            assert_eq!(r, vec![vec![0], vec![10], vec![20]]);
+        }
+    }
+
+    #[test]
+    fn barrier_completes() {
+        // Not a timing assertion — just that no rank hangs or panics.
+        let out = run_ranks(7, |comm| {
+            for _ in 0..10 {
+                comm.barrier();
+            }
+            true
+        });
+        assert!(out.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn split_forms_grid() {
+        // 6 ranks -> 3 teams of 2 (color = rank % 3), then rows (color = rank / 3).
+        let out = run_ranks(6, |comm| {
+            let col = comm.split(comm.rank() % 3, comm.rank());
+            let row = comm.split(comm.rank() / 3, comm.rank());
+            // Column collective: sum of global ranks in my column.
+            let mut csum = vec![comm.rank() as u64];
+            col.allreduce(&mut csum, sum_combine);
+            // Row collective: sum of global ranks in my row.
+            let mut rsum = vec![comm.rank() as u64];
+            row.allreduce(&mut rsum, sum_combine);
+            (col.rank(), col.size(), csum[0], row.rank(), row.size(), rsum[0])
+        });
+        for (g, &(crank, csize, csum, rrank, rsize, rsum)) in out.iter().enumerate() {
+            assert_eq!(csize, 2);
+            assert_eq!(rsize, 3);
+            assert_eq!(crank, g / 3);
+            assert_eq!(rrank, g % 3);
+            assert_eq!(csum as usize, (g % 3) + (g % 3 + 3));
+            let row_base = (g / 3) * 3;
+            assert_eq!(rsum as usize, row_base * 3 + 3);
+        }
+    }
+
+    #[test]
+    fn split_key_reorders_ranks() {
+        // Reverse ordering via key.
+        let out = run_ranks(4, |comm| {
+            let rev = comm.split(0, 100 - comm.rank());
+            rev.rank()
+        });
+        assert_eq!(out, vec![3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn nested_splits_are_isolated() {
+        // Messages on a child communicator don't leak into the parent.
+        let out = run_ranks(4, |comm| {
+            let pair = comm.split(comm.rank() / 2, comm.rank());
+            if pair.rank() == 0 {
+                pair.send(1, 5, &[comm.rank() as u64]);
+                0
+            } else {
+                pair.recv::<u64>(0, 5)[0]
+            }
+        });
+        assert_eq!(out, vec![0, 0, 0, 2]);
+    }
+
+    #[test]
+    fn stats_shared_across_split() {
+        let out = run_ranks(2, |comm| {
+            comm.set_phase(Phase::Shift);
+            let sub = comm.split(0, comm.rank());
+            if sub.rank() == 0 {
+                sub.send(1, 1, &[1u8, 2, 3]);
+            } else {
+                let _ = sub.recv::<u8>(0, 1);
+            }
+            comm.stats()
+        });
+        // Rank 0 sent one 3-element message, attributed to Shift even though
+        // it went through the sub-communicator.
+        assert_eq!(out[0].phase(Phase::Shift).messages, 1);
+        assert_eq!(out[0].phase(Phase::Shift).elements, 3);
+        assert_eq!(out[1].phase(Phase::Shift).messages, 0);
+    }
+
+    #[test]
+    fn single_rank_collectives_are_noops() {
+        let out = run_ranks(1, |comm| {
+            let mut buf = vec![9u8];
+            comm.bcast(0, &mut buf);
+            comm.reduce(0, &mut buf, sum_combine);
+            comm.allreduce(&mut buf, sum_combine);
+            comm.barrier();
+            let g = comm.gather(0, &buf);
+            let ag = comm.allgather(&buf);
+            (buf, g, ag)
+        });
+        assert_eq!(out[0].0, vec![9]);
+        assert_eq!(out[0].1, Some(vec![vec![9]]));
+        assert_eq!(out[0].2, vec![vec![9]]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn tag_mismatch_panics() {
+        run_ranks(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 1, &[0u8]);
+            } else {
+                let _ = comm.recv::<u8>(0, 2); // wrong tag
+            }
+        });
+    }
+
+    #[test]
+    fn large_rank_count_smoke() {
+        let p = 64;
+        let out = run_ranks(p, |comm| {
+            let mut buf = vec![1u64];
+            comm.allreduce(&mut buf, sum_combine);
+            buf[0]
+        });
+        assert!(out.iter().all(|&x| x == p as u64));
+    }
+}
+
+#[cfg(test)]
+mod alltoallv_tests {
+    use super::*;
+    use crate::communicator::Communicator;
+
+    #[test]
+    fn alltoallv_routes_buckets_by_rank() {
+        let p = 5;
+        let out = run_ranks(p, |comm| {
+            // Rank r sends [r*10 + dst; dst+1] to each dst.
+            let buckets: Vec<Vec<u64>> = (0..p)
+                .map(|dst| vec![(comm.rank() * 10 + dst) as u64; dst + 1])
+                .collect();
+            comm.alltoallv(buckets)
+        });
+        for (me, received) in out.iter().enumerate() {
+            assert_eq!(received.len(), p);
+            for (src, bucket) in received.iter().enumerate() {
+                assert_eq!(bucket.len(), me + 1, "me={me} src={src}");
+                assert!(bucket.iter().all(|&x| x == (src * 10 + me) as u64));
+            }
+        }
+    }
+
+    #[test]
+    fn alltoallv_empty_buckets_ok() {
+        let out = run_ranks(4, |comm| {
+            let buckets: Vec<Vec<u8>> = vec![Vec::new(); 4];
+            comm.alltoallv(buckets)
+        });
+        for received in out {
+            assert!(received.iter().all(Vec::is_empty));
+        }
+    }
+
+    #[test]
+    fn alltoallv_single_rank_is_identity() {
+        let out = run_ranks(1, |comm| comm.alltoallv(vec![vec![1u8, 2, 3]]));
+        assert_eq!(out[0], vec![vec![1, 2, 3]]);
+    }
+
+    #[test]
+    fn alltoallv_on_split_communicators() {
+        // Two independent pairs: traffic must not leak across colors.
+        let out = run_ranks(4, |comm| {
+            let pair = comm.split(comm.rank() / 2, comm.rank());
+            let buckets = vec![vec![comm.rank() as u64], vec![comm.rank() as u64 + 100]];
+            pair.alltoallv(buckets)
+        });
+        // Rank r's bucket[0] (its global rank) goes to the pair's local 0;
+        // bucket[1] (rank+100) to local 1.
+        assert_eq!(out[0], vec![vec![0], vec![1]]);
+        assert_eq!(out[1], vec![vec![100], vec![101]]);
+        assert_eq!(out[2], vec![vec![2], vec![3]]);
+        assert_eq!(out[3], vec![vec![102], vec![103]]);
+    }
+}

@@ -1,0 +1,132 @@
+//! Property-based tests of the threaded message-passing runtime: random
+//! payloads, random routings, and random grid splits must behave like MPI.
+
+use nbody_comm::{run_ranks, sum_combine, Communicator};
+use proptest::prelude::*;
+
+proptest! {
+    // Each case spawns threads; keep the count moderate.
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn bcast_delivers_arbitrary_payloads(
+        p in 1usize..10,
+        root_seed in any::<usize>(),
+        payload in proptest::collection::vec(any::<u64>(), 0..200),
+    ) {
+        let root = root_seed % p;
+        let expected = payload.clone();
+        let out = run_ranks(p, move |comm| {
+            let mut buf = if comm.rank() == root {
+                payload.clone()
+            } else {
+                Vec::new()
+            };
+            comm.bcast(root, &mut buf);
+            buf
+        });
+        for got in out {
+            prop_assert_eq!(&got, &expected);
+        }
+    }
+
+    #[test]
+    fn reduce_equals_serial_fold(
+        p in 1usize..10,
+        root_seed in any::<usize>(),
+        len in 0usize..50,
+        seed in any::<u64>(),
+    ) {
+        let root = root_seed % p;
+        // Deterministic per-rank data derived from (seed, rank, index).
+        let data = |rank: usize, i: usize| -> u64 {
+            seed.wrapping_mul(31)
+                .wrapping_add(rank as u64 * 1009)
+                .wrapping_add(i as u64 * 7)
+                % 1_000_000
+        };
+        let out = run_ranks(p, move |comm| {
+            let mut buf: Vec<u64> = (0..len).map(|i| data(comm.rank(), i)).collect();
+            comm.reduce(root, &mut buf, sum_combine);
+            (comm.rank(), buf)
+        });
+        let want: Vec<u64> = (0..len)
+            .map(|i| (0..p).map(|r| data(r, i)).sum())
+            .collect();
+        let (_, got) = &out[root];
+        prop_assert_eq!(got, &want);
+    }
+
+    #[test]
+    fn allgather_collects_everything_in_order(
+        p in 1usize..9,
+        lens in proptest::collection::vec(0usize..20, 1..9),
+    ) {
+        let out = run_ranks(p, |comm| {
+            let len = lens[comm.rank() % lens.len()];
+            let mine: Vec<u64> = (0..len).map(|i| (comm.rank() * 100 + i) as u64).collect();
+            comm.allgather(&mine)
+        });
+        for per_rank in out {
+            prop_assert_eq!(per_rank.len(), p);
+            for (src, block) in per_rank.iter().enumerate() {
+                let len = lens[src % lens.len()];
+                let want: Vec<u64> = (0..len).map(|i| (src * 100 + i) as u64).collect();
+                prop_assert_eq!(block, &want);
+            }
+        }
+    }
+
+    #[test]
+    fn alltoallv_is_a_global_permutation(
+        p in 1usize..9,
+        seed in any::<u64>(),
+    ) {
+        // Every rank distributes p tokens (one per destination, tagged with
+        // src*1000+dst); afterwards the global multiset must be intact.
+        let out = run_ranks(p, move |comm| {
+            let buckets: Vec<Vec<u64>> = (0..p)
+                .map(|dst| {
+                    // Pseudo-random count 0..4 per (src,dst).
+                    let k = (seed.wrapping_add((comm.rank() * p + dst) as u64 * 2654435761) >> 7) % 4;
+                    (0..k).map(|i| (comm.rank() * 1000 + dst) as u64 + i * 1_000_000).collect()
+                })
+                .collect();
+            comm.alltoallv(buckets)
+        });
+        // Every received token (on rank me, from src) must be tagged src*1000+me.
+        for (me, received) in out.iter().enumerate() {
+            for (src, bucket) in received.iter().enumerate() {
+                for &tok in bucket {
+                    prop_assert_eq!((tok % 1_000_000) as usize, src * 1000 + me);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn arbitrary_grid_splits_route_correctly(
+        cols in 1usize..5,
+        rows in 1usize..4,
+    ) {
+        let p = cols * rows;
+        let out = run_ranks(p, move |comm| {
+            let col = comm.split(comm.rank() % cols, comm.rank());
+            let row = comm.split(comm.rank() / cols, comm.rank());
+            // Sum world ranks along each axis.
+            let mut cs = vec![comm.rank() as u64];
+            col.allreduce(&mut cs, sum_combine);
+            let mut rs = vec![comm.rank() as u64];
+            row.allreduce(&mut rs, sum_combine);
+            (cs[0], rs[0])
+        });
+        for (r, &(csum, rsum)) in out.iter().enumerate() {
+            let col_id = r % cols;
+            let row_id = r / cols;
+            let want_c: u64 = (0..rows).map(|k| (k * cols + col_id) as u64).sum();
+            let want_r: u64 = (0..cols).map(|k| (row_id * cols + k) as u64).sum();
+            prop_assert_eq!(csum, want_c);
+            prop_assert_eq!(rsum, want_r);
+        }
+    }
+}

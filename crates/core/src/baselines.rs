@@ -1,0 +1,438 @@
+//! Baseline decompositions from §II of the paper.
+//!
+//! * [`particle_ring_forces`] — Plimpton's **particle decomposition**: each
+//!   of `p` ranks owns `n/p` particles and circulates a copy around a ring.
+//!   `S = O(p)`, `W = O(n)`.
+//! * [`naive_allgather_forces`] — the same decomposition implemented with a
+//!   single allgather collective. On Intrepid this is the "`c=1 (tree)`"
+//!   variant of Fig. 2c/2d, which exploits the BlueGene/P hardware
+//!   collective network.
+//! * [`force_decomposition_forces`] — Plimpton's **force decomposition** on
+//!   a `√p × √p` grid: broadcast target and source blocks from the diagonal,
+//!   one block-on-block update, reduce forces along rows.
+//!   `S = O(log p)`, `W = O(n/√p)`.
+//!
+//! The CA algorithm (Algorithm 1) interpolates between the first and last of
+//! these as `c` goes from `1` to `√p`.
+
+use nbody_comm::{Communicator, Phase};
+use nbody_physics::{Boundary, Domain, ForceLaw, Particle};
+
+use crate::kernel::{accumulate_block, combine_forces};
+
+/// Tag for ring-shift messages.
+const TAG_RING: u64 = 0x20;
+
+/// Particle decomposition: rank `r` owns `my` and accumulates forces from
+/// all `n` particles by passing source copies around the ring `p - 1` times.
+/// `my` must hold this rank's subset on entry; forces accumulate in place.
+pub fn particle_ring_forces<C: Communicator, F: ForceLaw>(
+    world: &C,
+    my: &mut [Particle],
+    law: &F,
+    domain: &Domain,
+    boundary: Boundary,
+) {
+    let p = world.size();
+    let rank = world.rank();
+
+    // Own block first (self-pairs are skipped inside the kernel).
+    world.set_phase(Phase::Other);
+    let mut exch = my.to_vec();
+    accumulate_block(my, &exch, law, domain, boundary);
+
+    // p - 1 ring shifts; after shift s, we hold the block of rank - s.
+    for s in 1..p {
+        world.set_phase(Phase::Shift);
+        let dst = (rank + 1) % p;
+        let src = (rank + p - 1) % p;
+        exch = world.sendrecv(dst, src, TAG_RING + s as u64, &exch);
+        world.set_phase(Phase::Other);
+        accumulate_block(my, &exch, law, domain, boundary);
+    }
+}
+
+/// Particle decomposition via one allgather: every rank obtains all `n`
+/// particles, then updates its own subset locally. The collective-network
+/// (`tree`) variant of the naive algorithm in Fig. 2c/2d.
+pub fn naive_allgather_forces<C: Communicator, F: ForceLaw>(
+    world: &C,
+    my: &mut [Particle],
+    law: &F,
+    domain: &Domain,
+    boundary: Boundary,
+) {
+    world.set_phase(Phase::Broadcast);
+    let blocks = world.allgather(my);
+    world.set_phase(Phase::Other);
+    for block in &blocks {
+        accumulate_block(my, block, law, domain, boundary);
+    }
+}
+
+/// Plimpton's force decomposition on a `q × q` grid (`p = q²`).
+///
+/// Particles live on the diagonal: rank `(i, i)` owns block `i` (`st` must
+/// be that block on diagonal ranks and empty elsewhere). Rank `(i, j)`
+/// receives target block `i` down its row and source block `j` down its
+/// column, computes the `(i, j)` interaction block, and row-reduces forces
+/// back to the diagonal.
+pub fn force_decomposition_forces<C: Communicator, F: ForceLaw>(
+    world: &C,
+    st: &mut Vec<Particle>,
+    law: &F,
+    domain: &Domain,
+    boundary: Boundary,
+) {
+    let p = world.size();
+    let q = (p as f64).sqrt().round() as usize;
+    assert_eq!(q * q, p, "force decomposition needs a square processor count, got {p}");
+    let rank = world.rank();
+    let (i, j) = (rank / q, rank % q);
+    debug_assert!(i == j || st.is_empty(), "particles live on the diagonal");
+
+    // Row communicator: fixed i, ranked by j. Column: fixed j, ranked by i.
+    let row = world.split(i, j);
+    let col = world.split(j, i);
+
+    // Targets: block i, broadcast along the row from the diagonal (j = i).
+    world.set_phase(Phase::Broadcast);
+    let mut targets = if i == j { st.clone() } else { Vec::new() };
+    row.bcast(i, &mut targets);
+
+    // Sources: block j, broadcast along the column from the diagonal (i = j).
+    let mut sources = if i == j { st.clone() } else { Vec::new() };
+    col.bcast(j, &mut sources);
+
+    world.set_phase(Phase::Other);
+    accumulate_block(&mut targets, &sources, law, domain, boundary);
+
+    // Sum the row's partial forces back onto the diagonal.
+    world.set_phase(Phase::Reduce);
+    row.reduce(i, &mut targets, combine_forces);
+    if i == j {
+        *st = targets;
+    } else {
+        st.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::id_block_subset;
+    use nbody_comm::run_ranks;
+    use nbody_physics::{init, reference, Counting, RepulsiveInverseSquare};
+
+    fn serial(n: usize, seed: u64, law: &impl ForceLaw) -> Vec<Particle> {
+        let domain = Domain::unit();
+        let mut all = init::uniform(n, &domain, seed);
+        reference::accumulate_forces(&mut all, law, &domain, Boundary::Open);
+        all
+    }
+
+    fn check_against_serial(got: &[Particle], want: &[Particle], tol: f64, label: &str) {
+        assert_eq!(got.len(), want.len(), "{label}");
+        for (g, w) in got.iter().zip(want) {
+            assert_eq!(g.id, w.id, "{label}");
+            let err = (g.force - w.force).norm();
+            assert!(
+                err <= tol * w.force.norm().max(1e-30),
+                "{label}: id={} err={err}",
+                g.id
+            );
+        }
+    }
+
+    #[test]
+    fn particle_ring_counting_exact() {
+        let domain = Domain::unit();
+        for p in [1, 2, 3, 5, 8] {
+            let n = 19;
+            let out = run_ranks(p, |world| {
+                let all = init::uniform(n, &domain, 11);
+                let mut my = id_block_subset(&all, p, world.rank());
+                particle_ring_forces(world, &mut my, &Counting, &domain, Boundary::Open);
+                my
+            });
+            let mut flat: Vec<Particle> = out.into_iter().flatten().collect();
+            flat.sort_by_key(|q| q.id);
+            for q in &flat {
+                assert_eq!(q.force.x, (n - 1) as f64, "p={p} id={}", q.id);
+            }
+        }
+    }
+
+    #[test]
+    fn particle_ring_sends_p_minus_1_messages() {
+        let domain = Domain::unit();
+        let p = 6;
+        let stats = run_ranks(p, |world| {
+            let all = init::uniform(12, &domain, 1);
+            let mut my = id_block_subset(&all, p, world.rank());
+            particle_ring_forces(world, &mut my, &Counting, &domain, Boundary::Open);
+            world.stats()
+        });
+        for s in &stats {
+            assert_eq!(s.phase(Phase::Shift).messages, (p - 1) as u64);
+        }
+    }
+
+    #[test]
+    fn naive_allgather_matches_serial() {
+        let domain = Domain::unit();
+        let law = RepulsiveInverseSquare::default();
+        let want = serial(20, 3, &law);
+        let p = 4;
+        let out = run_ranks(p, |world| {
+            let all = init::uniform(20, &domain, 3);
+            let mut my = id_block_subset(&all, p, world.rank());
+            naive_allgather_forces(world, &mut my, &law, &domain, Boundary::Open);
+            my
+        });
+        let mut flat: Vec<Particle> = out.into_iter().flatten().collect();
+        flat.sort_by_key(|q| q.id);
+        check_against_serial(&flat, &want, 1e-12, "allgather");
+    }
+
+    #[test]
+    fn force_decomposition_matches_serial() {
+        let domain = Domain::unit();
+        let law = RepulsiveInverseSquare::default();
+        for q in [1usize, 2, 3, 4] {
+            let p = q * q;
+            let n = 21;
+            let want = serial(n, 5, &law);
+            let out = run_ranks(p, |world| {
+                let all = init::uniform(n, &domain, 5);
+                let (i, j) = (world.rank() / q, world.rank() % q);
+                let mut st = if i == j {
+                    id_block_subset(&all, q, i)
+                } else {
+                    Vec::new()
+                };
+                force_decomposition_forces(world, &mut st, &law, &domain, Boundary::Open);
+                st
+            });
+            let mut flat: Vec<Particle> = out.into_iter().flatten().collect();
+            flat.sort_by_key(|p| p.id);
+            check_against_serial(&flat, &want, 1e-12, &format!("force-decomp q={q}"));
+        }
+    }
+
+    #[test]
+    fn force_decomposition_counting_exact() {
+        let domain = Domain::unit();
+        let q = 3;
+        let n = 17;
+        let out = run_ranks(q * q, |world| {
+            let all = init::uniform(n, &domain, 8);
+            let (i, j) = (world.rank() / q, world.rank() % q);
+            let mut st = if i == j {
+                id_block_subset(&all, q, i)
+            } else {
+                Vec::new()
+            };
+            force_decomposition_forces(world, &mut st, &Counting, &domain, Boundary::Open);
+            st
+        });
+        let flat: Vec<Particle> = out.into_iter().flatten().collect();
+        assert_eq!(flat.len(), n);
+        for p in &flat {
+            assert_eq!(p.force.x, (n - 1) as f64);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "square processor count")]
+    fn force_decomposition_rejects_nonsquare() {
+        run_ranks(6, |world| {
+            let domain = Domain::unit();
+            let mut st = Vec::new();
+            force_decomposition_forces(
+                world,
+                &mut st,
+                &Counting,
+                &domain,
+                Boundary::Open,
+            );
+        });
+    }
+}
+
+/// Tag for the returning force buffer of the symmetric ring.
+const TAG_RING_RETURN: u64 = 0x800;
+
+/// Particle decomposition exploiting Newton's third law — the optimization
+/// the paper explicitly does *not* apply ("we do not apply optimizations
+/// to exploit the symmetry", §III.C), included here as a contrast.
+///
+/// Plimpton's half-ring: blocks travel only `⌈(p−1)/2⌉` hops; at each hop
+/// the host computes the pair block once and accumulates **both** `f_ij`
+/// into its own particles and `−f_ji` into the travelling copy. One final
+/// message returns each travelling buffer's accumulated forces to its home
+/// rank. Compute halves; shift messages halve (plus one return); only
+/// valid for symmetric laws.
+pub fn particle_ring_symmetric_forces<C: Communicator, F: ForceLaw>(
+    world: &C,
+    my: &mut [Particle],
+    law: &F,
+    domain: &Domain,
+    boundary: Boundary,
+) {
+    assert!(
+        law.is_symmetric(),
+        "the half-ring optimization requires a symmetric force law"
+    );
+    let p = world.size();
+    let rank = world.rank();
+
+    // Own block.
+    world.set_phase(Phase::Other);
+    let own = my.to_vec();
+    accumulate_block(my, &own, law, domain, boundary);
+
+    if p == 1 {
+        return;
+    }
+
+    // Travel ⌈(p-1)/2⌉ hops. When p is even, the final hop is shared: the
+    // pair (r, r + p/2) would otherwise be computed from both sides, so
+    // only the lower rank of each antipodal pair computes it.
+    let hops = p / 2;
+    let mut exch = own.clone();
+    for s in 1..=hops {
+        world.set_phase(Phase::Shift);
+        let dst = (rank + 1) % p;
+        let src = (rank + p - 1) % p;
+        exch = world.sendrecv(dst, src, TAG_RING + s as u64, &exch);
+        let origin = (rank + p - s) % p; // home rank of the visiting block
+
+        let full_pair = !(p.is_multiple_of(2) && s == hops);
+        if full_pair || origin > rank {
+            world.set_phase(Phase::Other);
+            // Both directions from one evaluation: f_ij on my particles,
+            // the reaction −f_ij accumulated into the travelling copy.
+            for t in my.iter_mut() {
+                let mut acc = t.force;
+                for s_p in exch.iter_mut() {
+                    if t.id == s_p.id {
+                        continue;
+                    }
+                    let disp = boundary.displacement(domain, t.pos, s_p.pos);
+                    let f = law.force(t, s_p, disp);
+                    acc += f;
+                    s_p.force -= f;
+                }
+                t.force = acc;
+            }
+        }
+    }
+
+    // Return the travelling buffer's reaction forces to its home.
+    world.set_phase(Phase::Reduce);
+    let origin = (rank + p - hops) % p;
+    let returned: Vec<Particle> = {
+        let home_of_mine = (rank + hops) % p; // who holds my block now
+        world.send(origin, TAG_RING_RETURN, &exch);
+        world.recv(home_of_mine, TAG_RING_RETURN)
+    };
+    assert_eq!(returned.len(), my.len());
+    for (mine, ret) in my.iter_mut().zip(&returned) {
+        debug_assert_eq!(mine.id, ret.id);
+        mine.force += ret.force;
+    }
+}
+
+#[cfg(test)]
+mod symmetric_ring_tests {
+    use super::*;
+    use crate::dist::id_block_subset;
+    use nbody_comm::run_ranks;
+    use nbody_physics::{init, reference, Counting, Gravity, RepulsiveInverseSquare};
+
+    fn run_symmetric(p: usize, n: usize, seed: u64) -> Vec<Particle> {
+        let domain = Domain::unit();
+        let law = RepulsiveInverseSquare::default();
+        let out = run_ranks(p, |world| {
+            let all = init::uniform(n, &domain, seed);
+            let mut my = id_block_subset(&all, p, world.rank());
+            particle_ring_symmetric_forces(world, &mut my, &law, &domain, Boundary::Open);
+            my
+        });
+        let mut flat: Vec<Particle> = out.into_iter().flatten().collect();
+        flat.sort_by_key(|q| q.id);
+        flat
+    }
+
+    #[test]
+    fn symmetric_ring_matches_serial() {
+        let domain = Domain::unit();
+        let law = RepulsiveInverseSquare::default();
+        for (p, n) in [(2usize, 10usize), (3, 15), (4, 16), (5, 21), (8, 24), (7, 23)] {
+            let mut want = init::uniform(n, &domain, 77);
+            reference::accumulate_forces(&mut want, &law, &domain, Boundary::Open);
+            let got = run_symmetric(p, n, 77);
+            assert_eq!(got.len(), n, "p={p}");
+            for (g, w) in got.iter().zip(&want) {
+                let err = (g.force - w.force).norm();
+                assert!(
+                    err <= 1e-12 * w.force.norm().max(1e-30),
+                    "p={p} id={} err={err}",
+                    g.id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn symmetric_ring_halves_shift_messages() {
+        let domain = Domain::unit();
+        let law = Gravity::default();
+        let p = 8;
+        let stats = run_ranks(p, |world| {
+            let all = init::uniform(24, &domain, 5);
+            let mut my = id_block_subset(&all, p, world.rank());
+            particle_ring_symmetric_forces(world, &mut my, &law, &domain, Boundary::Open);
+            world.stats()
+        });
+        for s in &stats {
+            // p/2 = 4 shifts vs the full ring's p-1 = 7, plus 1 return.
+            assert_eq!(s.phase(Phase::Shift).messages, (p / 2) as u64);
+            assert_eq!(s.phase(Phase::Reduce).messages, 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "symmetric force law")]
+    fn symmetric_ring_rejects_asymmetric_law() {
+        let domain = Domain::unit();
+        run_ranks(2, |world| {
+            let all = init::uniform(4, &domain, 1);
+            let mut my = id_block_subset(&all, 2, world.rank());
+            particle_ring_symmetric_forces(
+                world,
+                &mut my,
+                &Counting,
+                &domain,
+                Boundary::Open,
+            );
+        });
+    }
+
+    #[test]
+    fn single_rank_symmetric_ring() {
+        let got = run_symmetric(1, 9, 3);
+        let domain = Domain::unit();
+        let mut want = init::uniform(9, &domain, 3);
+        reference::accumulate_forces(
+            &mut want,
+            &RepulsiveInverseSquare::default(),
+            &domain,
+            Boundary::Open,
+        );
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g.force - w.force).norm() < 1e-14);
+        }
+    }
+}

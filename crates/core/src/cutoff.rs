@@ -1,0 +1,515 @@
+//! Algorithm 2 and its multi-dimensional generalization: the
+//! communication-avoiding algorithm for distance-limited interactions.
+//!
+//! ```text
+//! S' = CA-1D-N-BODY(S, rc, c)
+//!   2 Broadcast St from team leader to team members.
+//!   3 Copy St to exchange buffer St' of size nc/p.
+//!   4 Given a k-th-row processor, shift St' by k along row modulo the
+//!     cutoff window.
+//!   5 for 2m/c steps do
+//!   6   Shift St' by c along row modulo the cutoff window.
+//!   7   Update particles in St based on effect of St'.
+//!   8 end for
+//!   9 Sum-reduce updates within team.
+//! ```
+//!
+//! Teams own *spatial* regions; a [`Window`] enumerates the `W` block
+//! offsets a team interacts with (`W = 2m+1` in 1D). Exchange buffers walk
+//! through window *positions*: after the skew plus `s` shifts, the row-`k`
+//! processor of team `t` holds the block at position `(k + s·c) mod W`,
+//! i.e. block `t − O[(k+s·c) mod W]`. Every position is updated exactly
+//! once: at step `s`, row `k` computes iff `k + s·c < W + c` (the
+//! first-wrap rule), which partitions positions across `(k, s)`.
+//!
+//! **Shifting modulo the window.** Between consecutive positions the buffer
+//! usually moves `c` teams east — a point-to-point shift exactly as in the
+//! all-pairs algorithm. When the traversal wraps from the `+m` end of the
+//! window to the `−m` end, the buffer instead jumps `W − c` teams west
+//! (Fig. 4's "wrap around at the cutoff radius"). Because the simulation
+//! space is not periodic, a buffer's path can leave the team grid at the
+//! domain boundary; exchange buffers are immutable during the force phase,
+//! so the block's *home team* re-injects the copy on the other side
+//! (`home-route` sends below). Boundary teams therefore hold empty buffers
+//! in some steps and idle — the load imbalance the paper reports in §IV.D.
+
+use nbody_comm::{Communicator, Phase};
+use nbody_physics::{Boundary, Domain, ForceLaw, Particle};
+
+use crate::grid::GridComms;
+use crate::kernel::{accumulate_block, combine_forces};
+use crate::window::Window;
+
+/// Tag for the skew message (line 4).
+pub const TAG_CSKEW: u64 = 0x30;
+/// Base tag for cutoff shift step `s` (line 6).
+pub const TAG_CSHIFT: u64 = 0x2000;
+
+/// Errors from invalid cutoff configurations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CutoffError {
+    /// The replication factor must fit inside the interaction window
+    /// (the paper's practicality constraint `c ≤ 2m`; here `c ≤ W = 2m+1`).
+    ReplicationExceedsWindow {
+        /// Replication factor.
+        c: usize,
+        /// Window size `W`.
+        window: usize,
+    },
+    /// Grid team count and window team count disagree.
+    TeamMismatch {
+        /// Teams in the processor grid.
+        grid_teams: usize,
+        /// Teams the window was built for.
+        window_teams: usize,
+    },
+}
+
+impl std::fmt::Display for CutoffError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CutoffError::ReplicationExceedsWindow { c, window } => write!(
+                f,
+                "replication factor c={c} must fit inside the cutoff window (W={window}); \
+                 the paper requires c <= 2m"
+            ),
+            CutoffError::TeamMismatch {
+                grid_teams,
+                window_teams,
+            } => write!(
+                f,
+                "grid has {grid_teams} teams but the window was built for {window_teams}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CutoffError {}
+
+/// Check that `window` is usable with a grid of `teams` teams and
+/// replication `c`.
+pub fn validate_cutoff<W: Window>(window: &W, teams: usize, c: usize) -> Result<(), CutoffError> {
+    if window.teams() != teams {
+        return Err(CutoffError::TeamMismatch {
+            grid_teams: teams,
+            window_teams: window.teams(),
+        });
+    }
+    if c > window.len() {
+        return Err(CutoffError::ReplicationExceedsWindow {
+            c,
+            window: window.len(),
+        });
+    }
+    Ok(())
+}
+
+/// Number of shift steps row `k` performs: the largest `s` with
+/// `k + s·c < W + c` (so `O(W/c) = O(2m/c)`, the paper's step count).
+pub fn row_steps(window_len: usize, c: usize, k: usize) -> usize {
+    debug_assert!(k < c);
+    (window_len + c - k - 1) / c
+}
+
+/// One force evaluation of the CA cutoff algorithm (Algorithm 2 when the
+/// window is [`Window1d`](crate::window::Window1d); its Fig. 5
+/// generalization when it is [`Window2d`](crate::window::Window2d)).
+///
+/// On entry, each team leader's `st` holds the particles of its *spatial*
+/// region with force accumulators cleared (empty on non-leaders). On exit
+/// the leader's `st` carries the accumulated forces from every particle
+/// within the window; non-leader contents are unspecified.
+pub fn ca_cutoff_forces<C: Communicator, W: Window, F: ForceLaw>(
+    gc: &GridComms<C>,
+    window: &W,
+    st: &mut Vec<Particle>,
+    law: &F,
+    domain: &Domain,
+    boundary: Boundary,
+) {
+    assert_eq!(
+        boundary == Boundary::Periodic,
+        window.is_periodic(),
+        "boundary and window periodicity must agree: clipped windows model \
+         the paper's non-periodic domain; periodic boundaries need the \
+         wrap-around windows from `window_periodic`"
+    );
+    let teams = gc.grid.teams();
+    let c = gc.grid.c();
+    validate_cutoff(window, teams, c).expect("invalid cutoff configuration");
+    let w = window.len();
+    let t = gc.team();
+    let k = gc.row_index();
+    debug_assert!(gc.is_leader() || st.is_empty());
+
+    // Line 2: broadcast the team subset down the column.
+    gc.col.set_phase(Phase::Broadcast);
+    gc.col.bcast(0, st);
+
+    // Line 3: the exchange buffer. `home` is the immutable copy used to
+    // re-inject this team's block when a traversal wraps across the domain
+    // boundary.
+    let home: Vec<Particle> = st.clone();
+    let mut exch: Vec<Particle> = st.clone();
+    // Window position and block currently held (None = fell off the edge).
+    let mut cur_block: Option<usize> = Some(t);
+
+    // Line 4: skew to position k. Own blocks move directly from their homes.
+    gc.col.set_phase(Phase::Skew);
+    if k > 0 {
+        if let Some(dst) = window.apply(t, k) {
+            gc.row.send(dst, TAG_CSKEW, &exch);
+        }
+        cur_block = window.apply_back(t, k);
+        exch = match cur_block {
+            Some(b) => gc.row.recv(b, TAG_CSKEW),
+            None => Vec::new(),
+        };
+    }
+
+    // Lines 5-8: shift modulo the window, then update. Row k stops after
+    // its last first-wrap position (row_steps), giving O(W/c) steps.
+    let steps = row_steps(w, c, k);
+    for s in 1..=steps {
+        gc.col.set_phase(Phase::Shift);
+        let tag = TAG_CSHIFT + s as u64;
+        let j_prev = (k + (s - 1) * c) % w;
+        let j_new = (k + s * c) % w;
+
+        // Outgoing regular shift: my buffer's block moves to the processor
+        // holding position j_new for it — but only while the *receiving*
+        // row is still active (same row k, same step bound, so if I run
+        // this step, so does it).
+        if let Some(b) = cur_block {
+            if let Some(holder) = window.apply(b, j_new) {
+                gc.row.send(holder, tag, &exch);
+            }
+        }
+        // Outgoing home-route: if the processor that needs *my team's*
+        // block next has no valid regular source (the buffer's path left
+        // the grid), its home — me — re-injects the copy.
+        if let Some(needy) = window.apply(t, j_new) {
+            if window.apply(t, j_prev).is_none() {
+                gc.row.send(needy, tag, &home);
+            }
+        }
+
+        // Incoming: the block at my new position, from its regular holder
+        // or from its home team.
+        cur_block = window.apply_back(t, j_new);
+        exch = match cur_block {
+            Some(b) => {
+                let src = window.apply(b, j_prev).unwrap_or(b);
+                gc.row.recv(src, tag)
+            }
+            None => Vec::new(),
+        };
+
+        // Line 7: update, once per window position (first-wrap rule).
+        if k + s * c < w + c && cur_block.is_some() {
+            gc.col.set_phase(Phase::Other);
+            accumulate_block(st, &exch, law, domain, boundary);
+        }
+    }
+
+    // Line 9: sum-reduce the partial forces onto the leader.
+    gc.col.set_phase(Phase::Reduce);
+    gc.col.reduce(0, st, combine_forces);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::{spatial_subset_1d, spatial_subset_2d, team_grid_dims};
+    use crate::grid::ProcGrid;
+    use crate::window::{Window1d, Window2d};
+    use nbody_comm::run_ranks;
+    use nbody_physics::{init, reference, Counting, Cutoff, Particle, RepulsiveInverseSquare};
+
+    fn serial_cutoff(n: usize, seed: u64, r_c: f64, one_d: bool) -> Vec<Particle> {
+        let domain = Domain::unit();
+        let law = Cutoff::new(Counting, r_c);
+        let mut all = if one_d {
+            init::uniform_1d(n, &domain, seed)
+        } else {
+            init::uniform(n, &domain, seed)
+        };
+        reference::accumulate_forces(&mut all, &law, &domain, Boundary::Open);
+        all
+    }
+
+    fn run_1d(p: usize, c: usize, n: usize, seed: u64, r_c: f64) -> Vec<Particle> {
+        let domain = Domain::unit();
+        let grid = ProcGrid::new(p, c).unwrap();
+        let window = Window1d::from_cutoff(&domain, grid.teams(), r_c);
+        let law = Cutoff::new(Counting, r_c);
+        let out = run_ranks(p, |world| {
+            let gc = GridComms::new(world, grid);
+            let all = init::uniform_1d(n, &domain, seed);
+            let mut st = if gc.is_leader() {
+                spatial_subset_1d(&all, &domain, grid.teams(), gc.team())
+            } else {
+                Vec::new()
+            };
+            ca_cutoff_forces(&gc, &window, &mut st, &law, &domain, Boundary::Open);
+            if gc.is_leader() {
+                st
+            } else {
+                Vec::new()
+            }
+        });
+        let mut flat: Vec<Particle> = out.into_iter().flatten().collect();
+        flat.sort_by_key(|p| p.id);
+        flat
+    }
+
+    #[test]
+    fn cutoff_1d_counting_matches_serial() {
+        let n = 60;
+        let r_c = 0.15;
+        let want = serial_cutoff(n, 21, r_c, true);
+        // Valid (p, c): the window must satisfy c <= W (teams shrink as c
+        // grows, and with them m and W).
+        for (p, c) in [(4, 1), (4, 2), (8, 2), (12, 3), (16, 2)] {
+            let got = run_1d(p, c, n, 21, r_c);
+            assert_eq!(got.len(), n, "p={p} c={c}");
+            for (g, w) in got.iter().zip(&want) {
+                assert_eq!(g.id, w.id);
+                assert_eq!(
+                    g.force.x, w.force.x,
+                    "p={p} c={c} id={} got {} want {}",
+                    g.id, g.force.x, w.force.x
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cutoff_1d_various_radii() {
+        // r_c = 1/4 of the domain, the paper's choice (§IV.D), plus extremes.
+        let n = 48;
+        for r_c in [0.05, 0.25, 0.6] {
+            let want = serial_cutoff(n, 5, r_c, true);
+            let got = run_1d(8, 2, n, 5, r_c);
+            for (g, w) in got.iter().zip(&want) {
+                assert_eq!(g.force.x, w.force.x, "r_c={r_c} id={}", g.id);
+            }
+        }
+    }
+
+    #[test]
+    fn cutoff_1d_physical_force_matches_serial() {
+        let domain = Domain::unit();
+        let n = 40;
+        let r_c = 0.2;
+        let law = Cutoff::new(RepulsiveInverseSquare::default(), r_c);
+        let mut want = init::uniform_1d(n, &domain, 9);
+        reference::accumulate_forces(&mut want, &law, &domain, Boundary::Open);
+
+        let grid = ProcGrid::new(8, 2).unwrap();
+        let window = Window1d::from_cutoff(&domain, grid.teams(), r_c);
+        let out = run_ranks(8, |world| {
+            let gc = GridComms::new(world, grid);
+            let all = init::uniform_1d(n, &domain, 9);
+            let mut st = if gc.is_leader() {
+                spatial_subset_1d(&all, &domain, grid.teams(), gc.team())
+            } else {
+                Vec::new()
+            };
+            ca_cutoff_forces(&gc, &window, &mut st, &law, &domain, Boundary::Open);
+            if gc.is_leader() {
+                st
+            } else {
+                Vec::new()
+            }
+        });
+        let mut got: Vec<Particle> = out.into_iter().flatten().collect();
+        got.sort_by_key(|p| p.id);
+        for (g, w) in got.iter().zip(&want) {
+            let err = (g.force - w.force).norm();
+            assert!(err <= 1e-12 * w.force.norm().max(1e-30), "id={}", g.id);
+        }
+    }
+
+    #[test]
+    fn cutoff_2d_counting_matches_serial() {
+        let domain = Domain::unit();
+        let n = 80;
+        let r_c = 0.3;
+        let want = serial_cutoff(n, 13, r_c, false);
+        for (p, c) in [(4, 1), (8, 2), (16, 4), (12, 2)] {
+            let grid = ProcGrid::new(p, c).unwrap();
+            let (tx, ty) = team_grid_dims(grid.teams());
+            let window = Window2d::from_cutoff(&domain, tx, ty, r_c);
+            let law = Cutoff::new(Counting, r_c);
+            let out = run_ranks(p, |world| {
+                let gc = GridComms::new(world, grid);
+                let all = init::uniform(n, &domain, 13);
+                let mut st = if gc.is_leader() {
+                    spatial_subset_2d(&all, &domain, tx, ty, gc.team())
+                } else {
+                    Vec::new()
+                };
+                ca_cutoff_forces(&gc, &window, &mut st, &law, &domain, Boundary::Open);
+                if gc.is_leader() {
+                    st
+                } else {
+                    Vec::new()
+                }
+            });
+            let mut got: Vec<Particle> = out.into_iter().flatten().collect();
+            got.sort_by_key(|p| p.id);
+            assert_eq!(got.len(), n, "p={p} c={c}");
+            for (g, w) in got.iter().zip(&want) {
+                assert_eq!(
+                    g.force.x, w.force.x,
+                    "p={p} c={c} (tx={tx},ty={ty}) id={}",
+                    g.id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn clustered_distribution_still_exact() {
+        // Load imbalance must not affect correctness.
+        let domain = Domain::unit();
+        let n = 64;
+        let r_c = 0.2;
+        let law = Cutoff::new(Counting, r_c);
+        let mut want = init::gaussian_clusters(n, &domain, 2, 0.05, 3);
+        reference::accumulate_forces(&mut want, &law, &domain, Boundary::Open);
+
+        let grid = ProcGrid::new(8, 2).unwrap();
+        let window = Window1d::from_cutoff(&domain, grid.teams(), r_c);
+        let out = run_ranks(8, |world| {
+            let gc = GridComms::new(world, grid);
+            let all = init::gaussian_clusters(n, &domain, 2, 0.05, 3);
+            let mut st = if gc.is_leader() {
+                spatial_subset_1d(&all, &domain, grid.teams(), gc.team())
+            } else {
+                Vec::new()
+            };
+            ca_cutoff_forces(&gc, &window, &mut st, &law, &domain, Boundary::Open);
+            if gc.is_leader() {
+                st
+            } else {
+                Vec::new()
+            }
+        });
+        let mut got: Vec<Particle> = out.into_iter().flatten().collect();
+        got.sort_by_key(|p| p.id);
+        for (g, w) in got.iter().zip(&want) {
+            assert_eq!(g.force.x, w.force.x, "id={}", g.id);
+        }
+    }
+
+    #[test]
+    fn row_steps_bounds() {
+        // W=5, c=2: k=0 -> ceil((5+2-1)/2)=3, k=1 -> (5+2-2)/2 = 2 (ceil 5/2).
+        assert_eq!(row_steps(5, 2, 0), 3);
+        assert_eq!(row_steps(5, 2, 1), 2);
+        // c=1: exactly W steps.
+        assert_eq!(row_steps(7, 1, 0), 7);
+        // W=1 (no cutoff neighbors): one step for row 0.
+        assert_eq!(row_steps(1, 1, 0), 1);
+    }
+
+    #[test]
+    fn validation_rejects_bad_configs() {
+        let w = Window1d::new(8, 1); // W = 3
+        assert_eq!(
+            validate_cutoff(&w, 8, 4),
+            Err(CutoffError::ReplicationExceedsWindow { c: 4, window: 3 })
+        );
+        assert_eq!(
+            validate_cutoff(&w, 6, 1),
+            Err(CutoffError::TeamMismatch {
+                grid_teams: 6,
+                window_teams: 8
+            })
+        );
+        assert!(validate_cutoff(&w, 8, 3).is_ok());
+        let e = validate_cutoff(&w, 8, 4).unwrap_err();
+        assert!(e.to_string().contains("c <= 2m"));
+    }
+
+    #[test]
+    fn shift_messages_scale_as_window_over_c() {
+        // S_1D = O(m/c): doubling c should roughly halve shift messages.
+        let domain = Domain::unit();
+        let n = 64;
+        let r_c = 0.25;
+        let mut msgs = Vec::new();
+        for c in [1usize, 2, 4] {
+            let p = 16;
+            let grid = ProcGrid::new(p, c).unwrap();
+            let window = Window1d::from_cutoff(&domain, grid.teams(), r_c);
+            let law = Cutoff::new(Counting, r_c);
+            let stats = run_ranks(p, |world| {
+                let gc = GridComms::new(world, grid);
+                let all = init::uniform_1d(n, &domain, 2);
+                let mut st = if gc.is_leader() {
+                    spatial_subset_1d(&all, &domain, grid.teams(), gc.team())
+                } else {
+                    Vec::new()
+                };
+                ca_cutoff_forces(&gc, &window, &mut st, &law, &domain, Boundary::Open);
+                world.stats()
+            });
+            let max_shift = stats
+                .iter()
+                .map(|s| s.phase(Phase::Shift).messages)
+                .max()
+                .unwrap();
+            msgs.push((c, window.len(), max_shift));
+        }
+        // Window shrinks with teams: compare steps bound W/c + 1 per row.
+        for &(c, w, max_shift) in &msgs {
+            let bound = 2 * (w / c + 2) as u64; // regular + home-route per step
+            assert!(
+                max_shift <= bound,
+                "c={c}: {max_shift} shift msgs > bound {bound}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_teams_are_harmless() {
+        // All particles in the left half: right-half teams own nothing.
+        let domain = Domain::unit();
+        let n = 30;
+        let r_c = 0.1;
+        let law = Cutoff::new(Counting, r_c);
+        let mut all = init::uniform_1d(n, &domain, 7);
+        for p in all.iter_mut() {
+            p.pos.x *= 0.4; // squeeze into [0, 0.4)
+        }
+        let mut want = all.clone();
+        reference::accumulate_forces(&mut want, &law, &domain, Boundary::Open);
+
+        let grid = ProcGrid::new(8, 2).unwrap();
+        let window = Window1d::from_cutoff(&domain, grid.teams(), r_c);
+        let all_ref = &all;
+        let out = run_ranks(8, |world| {
+            let gc = GridComms::new(world, grid);
+            let mut st = if gc.is_leader() {
+                spatial_subset_1d(all_ref, &domain, grid.teams(), gc.team())
+            } else {
+                Vec::new()
+            };
+            ca_cutoff_forces(&gc, &window, &mut st, &law, &domain, Boundary::Open);
+            if gc.is_leader() {
+                st
+            } else {
+                Vec::new()
+            }
+        });
+        let mut got: Vec<Particle> = out.into_iter().flatten().collect();
+        got.sort_by_key(|p| p.id);
+        assert_eq!(got.len(), n);
+        for (g, w) in got.iter().zip(&want) {
+            assert_eq!(g.force.x, w.force.x, "id={}", g.id);
+        }
+    }
+}

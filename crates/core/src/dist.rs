@@ -1,0 +1,211 @@
+//! Particle-to-team distribution helpers.
+//!
+//! The all-pairs algorithm divides particles "evenly among team leaders"
+//! (Algorithm 1) — an id-based block distribution. The cutoff algorithms
+//! divide them *spatially* (Algorithm 2): each team owns the particles in a
+//! slab (1D) or rectangle (2D) of the simulation domain.
+
+use nbody_physics::{Domain, Particle};
+
+/// Index range of team `b`'s block in an id-ordered distribution of `n`
+/// particles over `teams` blocks: balanced contiguous blocks whose sizes
+/// differ by at most one.
+pub fn block_range(n: usize, teams: usize, b: usize) -> std::ops::Range<usize> {
+    assert!(b < teams, "block {b} out of {teams}");
+    let base = n / teams;
+    let extra = n % teams;
+    let start = b * base + b.min(extra);
+    let len = base + usize::from(b < extra);
+    start..start + len
+}
+
+/// The team owning particle id `id` under the id-block distribution.
+pub fn team_of_id(n: usize, teams: usize, id: u64) -> usize {
+    debug_assert!((id as usize) < n);
+    // Invert block_range: the first `extra` blocks have base+1 elements.
+    let base = n / teams;
+    let extra = n % teams;
+    let id = id as usize;
+    let boundary = extra * (base + 1);
+    if id < boundary {
+        id / (base + 1)
+    } else {
+        extra + (id - boundary) / base.max(1)
+    }
+}
+
+/// The team owning position `x` under a 1D spatial decomposition of the
+/// domain's x-axis into `teams` equal slabs. Positions outside the domain
+/// clamp to the nearest slab.
+pub fn team_of_x(domain: &Domain, teams: usize, x: f64) -> usize {
+    let t = ((x - domain.min.x) / domain.length_x() * teams as f64).floor() as isize;
+    t.clamp(0, teams as isize - 1) as usize
+}
+
+/// The 2D team grid: `tx * ty == teams`, chosen as close to square as the
+/// factorization of `teams` allows (`tx >= ty`, maximizing `ty`).
+pub fn team_grid_dims(teams: usize) -> (usize, usize) {
+    assert!(teams > 0);
+    let mut ty = (teams as f64).sqrt() as usize;
+    while ty > 1 && !teams.is_multiple_of(ty) {
+        ty -= 1;
+    }
+    (teams / ty.max(1), ty.max(1))
+}
+
+/// The team owning position `(x, y)` under a 2D spatial decomposition into a
+/// `tx x ty` grid of rectangles, linearized row-major (`t = cy * tx + cx`).
+pub fn team_of_xy(domain: &Domain, tx: usize, ty: usize, x: f64, y: f64) -> usize {
+    let cx = (((x - domain.min.x) / domain.length_x() * tx as f64).floor() as isize)
+        .clamp(0, tx as isize - 1) as usize;
+    let cy = (((y - domain.min.y) / domain.length_y() * ty as f64).floor() as isize)
+        .clamp(0, ty as isize - 1) as usize;
+    cy * tx + cx
+}
+
+/// Select (by clone) the particles of team `b` under the id-block
+/// distribution. Assumes `particles` is the full id-ordered population —
+/// the deterministic-generation convention used by the drivers.
+pub fn id_block_subset(particles: &[Particle], teams: usize, b: usize) -> Vec<Particle> {
+    particles[block_range(particles.len(), teams, b)].to_vec()
+}
+
+/// Select the particles of team `b` under the 1D spatial decomposition.
+pub fn spatial_subset_1d(
+    particles: &[Particle],
+    domain: &Domain,
+    teams: usize,
+    b: usize,
+) -> Vec<Particle> {
+    particles
+        .iter()
+        .filter(|p| team_of_x(domain, teams, p.pos.x) == b)
+        .copied()
+        .collect()
+}
+
+/// Select the particles of team `b` under the 2D spatial decomposition.
+pub fn spatial_subset_2d(
+    particles: &[Particle],
+    domain: &Domain,
+    tx: usize,
+    ty: usize,
+    b: usize,
+) -> Vec<Particle> {
+    particles
+        .iter()
+        .filter(|p| team_of_xy(domain, tx, ty, p.pos.x, p.pos.y) == b)
+        .copied()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nbody_physics::{init, Vec2};
+
+    #[test]
+    fn block_ranges_partition() {
+        for (n, teams) in [(10, 3), (12, 4), (7, 7), (5, 8), (100, 1)] {
+            let mut covered = 0;
+            let mut sizes = Vec::new();
+            for b in 0..teams {
+                let r = block_range(n, teams, b);
+                assert_eq!(r.start, covered, "contiguous");
+                covered = r.end;
+                sizes.push(r.len());
+            }
+            assert_eq!(covered, n, "n={n} teams={teams}");
+            let (lo, hi) = (
+                sizes.iter().min().unwrap(),
+                sizes.iter().max().unwrap(),
+            );
+            assert!(hi - lo <= 1, "balanced: {sizes:?}");
+        }
+    }
+
+    #[test]
+    fn team_of_id_inverts_block_range() {
+        for (n, teams) in [(10, 3), (12, 4), (7, 7), (64, 8), (9, 2)] {
+            for b in 0..teams {
+                for id in block_range(n, teams, b) {
+                    assert_eq!(
+                        team_of_id(n, teams, id as u64),
+                        b,
+                        "n={n} teams={teams} id={id}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn team_of_x_covers_slabs() {
+        let d = Domain::square(8.0);
+        assert_eq!(team_of_x(&d, 4, 0.0), 0);
+        assert_eq!(team_of_x(&d, 4, 1.99), 0);
+        assert_eq!(team_of_x(&d, 4, 2.0), 1);
+        assert_eq!(team_of_x(&d, 4, 7.99), 3);
+        // Clamping outside the domain.
+        assert_eq!(team_of_x(&d, 4, -1.0), 0);
+        assert_eq!(team_of_x(&d, 4, 9.0), 3);
+    }
+
+    #[test]
+    fn team_grid_dims_factor() {
+        assert_eq!(team_grid_dims(16), (4, 4));
+        assert_eq!(team_grid_dims(8), (4, 2));
+        assert_eq!(team_grid_dims(12), (4, 3));
+        assert_eq!(team_grid_dims(7), (7, 1));
+        assert_eq!(team_grid_dims(1), (1, 1));
+        for t in 1..=64 {
+            let (tx, ty) = team_grid_dims(t);
+            assert_eq!(tx * ty, t);
+            assert!(tx >= ty);
+        }
+    }
+
+    #[test]
+    fn team_of_xy_row_major() {
+        let d = Domain::square(4.0);
+        // 2x2 grid on [0,4)^2: quadrant checks.
+        assert_eq!(team_of_xy(&d, 2, 2, 1.0, 1.0), 0);
+        assert_eq!(team_of_xy(&d, 2, 2, 3.0, 1.0), 1);
+        assert_eq!(team_of_xy(&d, 2, 2, 1.0, 3.0), 2);
+        assert_eq!(team_of_xy(&d, 2, 2, 3.0, 3.0), 3);
+    }
+
+    #[test]
+    fn spatial_subsets_partition_particles() {
+        let d = Domain::square(1.0);
+        let ps = init::uniform(200, &d, 1);
+        let teams = 5;
+        let total: usize = (0..teams)
+            .map(|b| spatial_subset_1d(&ps, &d, teams, b).len())
+            .sum();
+        assert_eq!(total, 200);
+
+        let (tx, ty) = team_grid_dims(6);
+        let total2: usize = (0..6)
+            .map(|b| spatial_subset_2d(&ps, &d, tx, ty, b).len())
+            .sum();
+        assert_eq!(total2, 200);
+    }
+
+    #[test]
+    fn id_block_subset_matches_range() {
+        let d = Domain::square(1.0);
+        let ps = init::uniform(10, &d, 2);
+        let sub = id_block_subset(&ps, 3, 1);
+        assert_eq!(sub.len(), 3); // 10 = 4+3+3
+        assert_eq!(sub[0].id, 4);
+    }
+
+    #[test]
+    fn boundary_positions_stay_in_range() {
+        let d = Domain::new(Vec2::new(-1.0, -1.0), Vec2::new(1.0, 1.0));
+        // Exactly on the max edge clamps into the last team.
+        assert_eq!(team_of_x(&d, 8, 1.0), 7);
+        assert_eq!(team_of_xy(&d, 4, 4, 1.0, 1.0), 15);
+    }
+}

@@ -1,0 +1,311 @@
+//! The midpoint method (Bowers, Dror, Shaw 2006) — the paper's §II.D
+//! representative of *neutral territory* methods: the processor that owns
+//! the **midpoint** of an interacting pair computes it, even when it owns
+//! neither particle.
+//!
+//! Compared with the plain spatial decomposition, each processor imports
+//! only particles within `r_c / 2` of its region (half the import span),
+//! at the cost of a second communication round returning force
+//! contributions to the particles' owners. The method inherently evaluates
+//! both directions of a pair where it is computed, so it also serves as an
+//! in-repo contrast to the paper's no-symmetry policy.
+//!
+//! Works in 1D and 2D via the same [`Window`] halo abstraction as the
+//! spatial baseline; the window's span must cover `r_c / 2` (checked).
+
+use std::collections::HashMap;
+
+use nbody_comm::{Communicator, Phase};
+use nbody_physics::{Boundary, Domain, ForceLaw, Particle, Vec2};
+
+use crate::kernel::block_interactions;
+use crate::window::Window;
+
+/// Tag base for halo imports.
+const TAG_IMPORT: u64 = 0x4000;
+/// Tag base for force returns.
+const TAG_RETURN: u64 = 0x5000;
+
+/// Midpoint-method force evaluation: one team per rank (`c = 1`), spatial
+/// regions assigned by `owner_of` (position → rank), halo neighbors
+/// enumerated by `window` (which must span at least `r_c / 2`).
+///
+/// `my` holds this rank's particles with cleared accumulators; on return
+/// it carries the total force from every pair within the cutoff.
+pub fn midpoint_forces<C: Communicator, W: Window, F: ForceLaw>(
+    world: &C,
+    window: &W,
+    my: &mut [Particle],
+    law: &F,
+    domain: &Domain,
+    boundary: Boundary,
+    owner_of: impl Fn(Vec2) -> usize,
+) {
+    assert_eq!(
+        boundary == Boundary::Periodic,
+        window.is_periodic(),
+        "boundary and window periodicity must agree"
+    );
+    assert_eq!(window.teams(), world.size(), "one region per rank");
+    let me = world.rank();
+    let r_c = law
+        .cutoff()
+        .expect("the midpoint method requires a cutoff force law");
+
+    // Round 1: import the halo (blocks within the window).
+    world.set_phase(Phase::Shift);
+    let own: Vec<Particle> = my.to_vec();
+    for j in 1..window.len() {
+        if let Some(dst) = window.apply(me, j) {
+            world.send(dst, TAG_IMPORT + j as u64, &own);
+        }
+    }
+    let mut pool: Vec<Particle> = own.clone();
+    for j in 1..window.len() {
+        if let Some(src) = window.apply_back(me, j) {
+            pool.extend(world.recv::<Particle>(src, TAG_IMPORT + j as u64));
+        }
+    }
+
+    // Compute every pair whose midpoint lies in my region. Both directions
+    // are evaluated here (the pair is computed nowhere else).
+    world.set_phase(Phase::Other);
+    let r_c2 = r_c * r_c;
+    let mut acc: HashMap<u64, Vec2> = HashMap::with_capacity(pool.len());
+    for i in 0..pool.len() {
+        for j in (i + 1)..pool.len() {
+            let (a, b) = (pool[i], pool[j]);
+            let disp = boundary.displacement(domain, a.pos, b.pos);
+            if disp.norm_sq() > r_c2 {
+                continue;
+            }
+            // Midpoint along the minimum-image segment, wrapped home.
+            let mid_raw = a.pos + disp * 0.5;
+            let (mid, _) = boundary.apply(domain, mid_raw, Vec2::zero());
+            if owner_of(mid) != me {
+                continue;
+            }
+            let f_on_a = law.force(&a, &b, disp);
+            let f_on_b = law.force(&b, &a, -disp);
+            *acc.entry(a.id).or_insert(Vec2::zero()) += f_on_a;
+            *acc.entry(b.id).or_insert(Vec2::zero()) += f_on_b;
+        }
+    }
+
+    // Round 2: return contributions to the owners.
+    world.set_phase(Phase::Reduce);
+    let mut returns: Vec<Vec<(u64, Vec2)>> = vec![Vec::new(); window.len()];
+    for q in &pool[own.len()..] {
+        // Imported particle: its contribution (if any) goes home.
+        if let Some(f) = acc.get(&q.id) {
+            let home = owner_of(q.pos);
+            // Which window position reaches `home`? Find the j whose
+            // apply_back equals it (the reverse of the import).
+            let j = (1..window.len())
+                .find(|&j| window.apply_back(me, j) == Some(home))
+                .expect("imported particle's home must be a halo neighbor");
+            returns[j].push((q.id, *f));
+        }
+    }
+    for (j, bucket) in returns.iter().enumerate().skip(1) {
+        if let Some(dst) = window.apply_back(me, j) {
+            world.send(dst, TAG_RETURN + j as u64, bucket);
+        }
+    }
+    // Fold local contributions, then remote ones.
+    for q in my.iter_mut() {
+        if let Some(f) = acc.get(&q.id) {
+            q.force += *f;
+        }
+    }
+    let mut by_id: HashMap<u64, usize> =
+        my.iter().enumerate().map(|(i, q)| (q.id, i)).collect();
+    for j in 1..window.len() {
+        if let Some(src) = window.apply(me, j) {
+            for (id, f) in world.recv::<(u64, Vec2)>(src, TAG_RETURN + j as u64) {
+                let idx = *by_id
+                    .get_mut(&id)
+                    .expect("force returned for a particle we do not own");
+                my[idx].force += f;
+            }
+        }
+    }
+}
+
+/// Interaction work the midpoint method performs on one rank given its
+/// pool size (for schedule/cost comparisons): all pool pairs are examined.
+pub fn midpoint_pool_interactions(pool: usize) -> u64 {
+    block_interactions(pool, pool, true) / 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::{spatial_subset_1d, spatial_subset_2d, team_grid_dims, team_of_x, team_of_xy};
+    use crate::window::{Window1d, Window2d};
+    use crate::window_periodic::Window1dPeriodic;
+    use nbody_comm::run_ranks;
+    use nbody_physics::{init, reference, Counting, Cutoff};
+
+    /// Halo span for the midpoint method: r_c/2 coverage.
+    fn half_window_1d(domain: &Domain, teams: usize, r_c: f64) -> Window1d {
+        Window1d::from_cutoff(domain, teams, r_c / 2.0)
+    }
+
+    #[test]
+    fn midpoint_1d_counting_matches_serial() {
+        let domain = Domain::unit();
+        let n = 60;
+        let r_c = 0.2;
+        let law = Cutoff::new(Counting, r_c);
+        let mut want = init::uniform_1d(n, &domain, 15);
+        reference::accumulate_forces(&mut want, &law, &domain, Boundary::Open);
+
+        for p in [2usize, 4, 8] {
+            let window = half_window_1d(&domain, p, r_c);
+            let out = run_ranks(p, |world| {
+                let all = init::uniform_1d(n, &domain, 15);
+                let mut mine = spatial_subset_1d(&all, &domain, p, world.rank());
+                midpoint_forces(
+                    world,
+                    &window,
+                    &mut mine,
+                    &law,
+                    &domain,
+                    Boundary::Open,
+                    |pos| team_of_x(&domain, p, pos.x),
+                );
+                mine
+            });
+            let mut got: Vec<Particle> = out.into_iter().flatten().collect();
+            got.sort_by_key(|q| q.id);
+            assert_eq!(got.len(), n);
+            for (g, w) in got.iter().zip(&want) {
+                assert_eq!(g.force.x, w.force.x, "p={p} id={}", g.id);
+            }
+        }
+    }
+
+    #[test]
+    fn midpoint_2d_counting_matches_serial() {
+        let domain = Domain::unit();
+        let n = 80;
+        let r_c = 0.25;
+        let law = Cutoff::new(Counting, r_c);
+        let mut want = init::uniform(n, &domain, 4);
+        reference::accumulate_forces(&mut want, &law, &domain, Boundary::Open);
+
+        let p = 8;
+        let (tx, ty) = team_grid_dims(p);
+        let window = Window2d::from_cutoff(&domain, tx, ty, r_c / 2.0);
+        let out = run_ranks(p, |world| {
+            let all = init::uniform(n, &domain, 4);
+            let mut mine = spatial_subset_2d(&all, &domain, tx, ty, world.rank());
+            midpoint_forces(
+                world,
+                &window,
+                &mut mine,
+                &law,
+                &domain,
+                Boundary::Open,
+                |pos| team_of_xy(&domain, tx, ty, pos.x, pos.y),
+            );
+            mine
+        });
+        let mut got: Vec<Particle> = out.into_iter().flatten().collect();
+        got.sort_by_key(|q| q.id);
+        for (g, w) in got.iter().zip(&want) {
+            assert_eq!(g.force.x, w.force.x, "id={}", g.id);
+        }
+    }
+
+    #[test]
+    fn midpoint_periodic_matches_serial() {
+        let domain = Domain::unit();
+        let n = 50;
+        let r_c = 0.2;
+        let law = Cutoff::new(Counting, r_c);
+        let mut want = init::uniform_1d(n, &domain, 8);
+        reference::accumulate_forces(&mut want, &law, &domain, Boundary::Periodic);
+
+        let p = 8;
+        let window = Window1dPeriodic::from_cutoff(&domain, p, r_c / 2.0);
+        let out = run_ranks(p, |world| {
+            let all = init::uniform_1d(n, &domain, 8);
+            let mut mine = spatial_subset_1d(&all, &domain, p, world.rank());
+            midpoint_forces(
+                world,
+                &window,
+                &mut mine,
+                &law,
+                &domain,
+                Boundary::Periodic,
+                |pos| team_of_x(&domain, p, pos.x),
+            );
+            mine
+        });
+        let mut got: Vec<Particle> = out.into_iter().flatten().collect();
+        got.sort_by_key(|q| q.id);
+        for (g, w) in got.iter().zip(&want) {
+            assert_eq!(g.force.x, w.force.x, "id={}", g.id);
+        }
+    }
+
+    #[test]
+    fn midpoint_physical_force_matches_serial() {
+        use nbody_physics::RepulsiveInverseSquare;
+        let domain = Domain::unit();
+        let n = 40;
+        let r_c = 0.3;
+        let law = Cutoff::new(RepulsiveInverseSquare::default(), r_c);
+        let mut want = init::uniform_1d(n, &domain, 2);
+        reference::accumulate_forces(&mut want, &law, &domain, Boundary::Open);
+
+        let p = 4;
+        let window = half_window_1d(&domain, p, r_c);
+        let out = run_ranks(p, |world| {
+            let all = init::uniform_1d(n, &domain, 2);
+            let mut mine = spatial_subset_1d(&all, &domain, p, world.rank());
+            midpoint_forces(
+                world,
+                &window,
+                &mut mine,
+                &law,
+                &domain,
+                Boundary::Open,
+                |pos| team_of_x(&domain, p, pos.x),
+            );
+            mine
+        });
+        let mut got: Vec<Particle> = out.into_iter().flatten().collect();
+        got.sort_by_key(|q| q.id);
+        for (g, w) in got.iter().zip(&want) {
+            let err = (g.force - w.force).norm();
+            assert!(err <= 1e-12 * w.force.norm().max(1e-30), "id={}", g.id);
+        }
+    }
+
+    #[test]
+    fn midpoint_import_region_is_half_of_spatial() {
+        // §II.D: the midpoint method's import span covers r_c/2, the plain
+        // spatial decomposition needs r_c.
+        let domain = Domain::unit();
+        let p = 32;
+        let r_c = 0.25;
+        let full = Window1d::from_cutoff(&domain, p, r_c);
+        let half = half_window_1d(&domain, p, r_c);
+        assert!(
+            half.m() < full.m(),
+            "midpoint halo {} vs spatial halo {}",
+            half.m(),
+            full.m()
+        );
+    }
+
+    #[test]
+    fn pool_interaction_count() {
+        assert_eq!(midpoint_pool_interactions(4), 6);
+        assert_eq!(midpoint_pool_interactions(0), 0);
+        assert_eq!(midpoint_pool_interactions(1), 0);
+    }
+}

@@ -1,0 +1,782 @@
+//! Communication-schedule generators.
+//!
+//! Every distributed algorithm in this crate has a twin here that emits its
+//! exact per-rank operation stream ([`Op`]) — same messages, same sizes
+//! (using the paper's 52-byte wire particles), same collectives, same
+//! compute volume. The discrete-event simulator in `nbody-netsim` replays
+//! these schedules at full paper scale (tens of thousands of ranks); the
+//! integration tests verify schedule-vs-execution equivalence by comparing
+//! per-phase message and byte counts against instrumented `ThreadComm` runs.
+
+use nbody_comm::Phase;
+use nbody_netsim::{CollNet, Op, TeamSpec};
+use nbody_physics::particle::PARTICLE_WIRE_BYTES;
+
+use crate::dist::block_range;
+use crate::grid::ProcGrid;
+use crate::kernel::block_interactions;
+use crate::window::Window;
+
+/// Wire bytes of a block of `len` particles.
+#[inline]
+fn bytes_of(len: usize) -> u64 {
+    (len * PARTICLE_WIRE_BYTES) as u64
+}
+
+/// Parameters of the CA all-pairs schedule (Algorithm 1) under the
+/// id-block distribution of `n` particles.
+#[derive(Debug, Clone)]
+pub struct AllPairsParams {
+    /// Processor grid (validated for all-pairs).
+    pub grid: ProcGrid,
+    /// Total particles.
+    pub n: usize,
+    /// Network used by the team collectives.
+    pub coll_net: CollNet,
+}
+
+impl AllPairsParams {
+    /// Uniform all-pairs schedule on `p` ranks with replication `c`.
+    pub fn new(p: usize, c: usize, n: usize) -> Self {
+        AllPairsParams {
+            grid: ProcGrid::new_all_pairs(p, c).expect("invalid all-pairs grid"),
+            n,
+            coll_net: CollNet::Torus,
+        }
+    }
+
+    fn block_len(&self, b: usize) -> usize {
+        block_range(self.n, self.grid.teams(), b).len()
+    }
+
+    /// The op stream of `rank`.
+    pub fn program(&self, rank: usize) -> Box<dyn Iterator<Item = Op> + '_> {
+        let grid = self.grid;
+        let teams = grid.teams();
+        let c = grid.c();
+        let steps = grid.all_pairs_steps();
+        let t = grid.team_of(rank);
+        let k = grid.row_of(rank);
+        let col_team = TeamSpec::new(t, teams, c);
+        let my_bytes = bytes_of(self.block_len(t));
+        let net = self.coll_net;
+
+        let mut prologue: Vec<Op> = Vec::new();
+        if c > 1 {
+            prologue.push(Op::Bcast {
+                team: col_team,
+                bytes: my_bytes,
+                phase: Phase::Broadcast,
+                net,
+            });
+        }
+        if k > 0 {
+            prologue.push(Op::Send {
+                to: grid.rank_at((t + k) % teams, k),
+                bytes: my_bytes,
+                phase: Phase::Skew,
+            });
+            prologue.push(Op::Recv {
+                from: grid.rank_at((t + teams - k) % teams, k),
+                phase: Phase::Skew,
+            });
+        }
+
+        let body = (1..=steps).flat_map(move |s| {
+            // Block held before the s-th shift: t - k - (s-1)c; after: - sc.
+            let cur = (t + 2 * teams - (k + (s - 1) * c) % teams) % teams;
+            let incoming = (t + 2 * teams - (k + s * c) % teams) % teams;
+            [
+                Op::Send {
+                    to: grid.rank_at((t + c) % teams, k),
+                    bytes: bytes_of(self.block_len(cur)),
+                    phase: Phase::Shift,
+                },
+                Op::Recv {
+                    from: grid.rank_at((t + teams - c) % teams, k),
+                    phase: Phase::Shift,
+                },
+                Op::Compute {
+                    interactions: block_interactions(
+                        self.block_len(t),
+                        self.block_len(incoming),
+                        incoming == t,
+                    ),
+                },
+            ]
+        });
+
+        let mut epilogue: Vec<Op> = Vec::new();
+        if c > 1 {
+            epilogue.push(Op::Reduce {
+                team: col_team,
+                bytes: my_bytes,
+                phase: Phase::Reduce,
+                net,
+            });
+        }
+
+        Box::new(prologue.into_iter().chain(body).chain(epilogue))
+    }
+}
+
+/// A crude model of per-step spatial re-assignment traffic for the cutoff
+/// figures: each team leader exchanges `bytes` with both slab neighbors
+/// (the realized traffic of near-uniform flows; see DESIGN.md).
+#[derive(Debug, Clone, Copy)]
+pub struct ReassignModel {
+    /// Migrating payload per neighbor, in bytes.
+    pub bytes: u64,
+}
+
+/// Parameters of the CA cutoff schedule (Algorithm 2 and its 2D
+/// generalization) under a spatial distribution with per-team block sizes.
+#[derive(Debug, Clone)]
+pub struct CutoffParams<W: Window> {
+    /// Processor grid (cutoff grids only need `c | p`).
+    pub grid: ProcGrid,
+    /// The interaction window.
+    pub window: W,
+    /// Particles owned by each team (load imbalance flows from here).
+    pub block_sizes: Vec<usize>,
+    /// Network used by the team collectives.
+    pub coll_net: CollNet,
+    /// Optional re-assignment traffic appended after the force phase.
+    pub reassign: Option<ReassignModel>,
+}
+
+impl<W: Window> CutoffParams<W> {
+    /// Build a cutoff schedule; `block_sizes.len()` must equal the team
+    /// count and the window must validate against the grid.
+    pub fn new(grid: ProcGrid, window: W, block_sizes: Vec<usize>) -> Self {
+        assert_eq!(block_sizes.len(), grid.teams(), "one block size per team");
+        crate::cutoff::validate_cutoff(&window, grid.teams(), grid.c())
+            .expect("invalid cutoff configuration");
+        CutoffParams {
+            grid,
+            window,
+            block_sizes,
+            coll_net: CollNet::Torus,
+            reassign: None,
+        }
+    }
+
+    /// Attach a re-assignment traffic model.
+    pub fn with_reassign(mut self, model: ReassignModel) -> Self {
+        self.reassign = Some(model);
+        self
+    }
+
+    /// The op stream of `rank`, mirroring
+    /// [`ca_cutoff_forces`](crate::cutoff::ca_cutoff_forces) exactly.
+    pub fn program(&self, rank: usize) -> Box<dyn Iterator<Item = Op> + '_> {
+        let grid = self.grid;
+        let teams = grid.teams();
+        let c = grid.c();
+        let w = self.window.len();
+        let t = grid.team_of(rank);
+        let k = grid.row_of(rank);
+        let col_team = TeamSpec::new(t, teams, c);
+        let my_bytes = bytes_of(self.block_sizes[t]);
+        let net = self.coll_net;
+        let window = &self.window;
+
+        let mut prologue: Vec<Op> = Vec::new();
+        if c > 1 {
+            prologue.push(Op::Bcast {
+                team: col_team,
+                bytes: my_bytes,
+                phase: Phase::Broadcast,
+                net,
+            });
+        }
+        if k > 0 {
+            if let Some(dst) = window.apply(t, k) {
+                prologue.push(Op::Send {
+                    to: grid.rank_at(dst, k),
+                    bytes: my_bytes,
+                    phase: Phase::Skew,
+                });
+            }
+            if let Some(b) = window.apply_back(t, k) {
+                prologue.push(Op::Recv {
+                    from: grid.rank_at(b, k),
+                    phase: Phase::Skew,
+                });
+            }
+        }
+
+        let steps = crate::cutoff::row_steps(w, c, k);
+        let body = (1..=steps).flat_map(move |s| {
+            let mut ops: Vec<Op> = Vec::with_capacity(4);
+            let j_prev = (k + (s - 1) * c) % w;
+            let j_new = (k + s * c) % w;
+            let cur = window.apply_back(t, j_prev);
+
+            if let Some(b) = cur {
+                if let Some(holder) = window.apply(b, j_new) {
+                    ops.push(Op::Send {
+                        to: grid.rank_at(holder, k),
+                        bytes: bytes_of(self.block_sizes[b]),
+                        phase: Phase::Shift,
+                    });
+                }
+            }
+            if let Some(needy) = window.apply(t, j_new) {
+                if window.apply(t, j_prev).is_none() {
+                    ops.push(Op::Send {
+                        to: grid.rank_at(needy, k),
+                        bytes: my_bytes,
+                        phase: Phase::Shift,
+                    });
+                }
+            }
+            let new_block = window.apply_back(t, j_new);
+            if let Some(b) = new_block {
+                let src = window.apply(b, j_prev).unwrap_or(b);
+                ops.push(Op::Recv {
+                    from: grid.rank_at(src, k),
+                    phase: Phase::Shift,
+                });
+                if k + s * c < w + c {
+                    ops.push(Op::Compute {
+                        interactions: block_interactions(
+                            self.block_sizes[t],
+                            self.block_sizes[b],
+                            b == t,
+                        ),
+                    });
+                }
+            }
+            ops
+        });
+
+        let mut epilogue: Vec<Op> = Vec::new();
+        if c > 1 {
+            epilogue.push(Op::Reduce {
+                team: col_team,
+                bytes: my_bytes,
+                phase: Phase::Reduce,
+                net,
+            });
+        }
+        // Re-assignment: leaders trade migrants with both slab neighbors.
+        if let Some(model) = self.reassign {
+            if k == 0 {
+                for dir in [1i64, -1] {
+                    let nb = t as i64 + dir;
+                    if nb >= 0 && nb < teams as i64 {
+                        epilogue.push(Op::Send {
+                            to: grid.rank_at(nb as usize, 0),
+                            bytes: model.bytes,
+                            phase: Phase::Reassign,
+                        });
+                    }
+                }
+                for dir in [1i64, -1] {
+                    let nb = t as i64 + dir;
+                    if nb >= 0 && nb < teams as i64 {
+                        epilogue.push(Op::Recv {
+                            from: grid.rank_at(nb as usize, 0),
+                            phase: Phase::Reassign,
+                        });
+                    }
+                }
+            }
+        }
+
+        Box::new(prologue.into_iter().chain(body).chain(epilogue))
+    }
+}
+
+/// Parameters of the particle-decomposition ring baseline.
+#[derive(Debug, Clone)]
+pub struct ParticleRingParams {
+    /// Ranks.
+    pub p: usize,
+    /// Total particles.
+    pub n: usize,
+}
+
+impl ParticleRingParams {
+    fn block_len(&self, b: usize) -> usize {
+        block_range(self.n, self.p, b).len()
+    }
+
+    /// The op stream of `rank`.
+    pub fn program(&self, rank: usize) -> Box<dyn Iterator<Item = Op> + '_> {
+        let p = self.p;
+        let me = self.block_len(rank);
+        let own = std::iter::once(Op::Compute {
+            interactions: block_interactions(me, me, true),
+        });
+        let body = (1..p).flat_map(move |s| {
+            let cur = (rank + p - (s - 1)) % p; // block held before shift s
+            let incoming = (rank + p - s) % p;
+            [
+                Op::Send {
+                    to: (rank + 1) % p,
+                    bytes: bytes_of(self.block_len(cur)),
+                    phase: Phase::Shift,
+                },
+                Op::Recv {
+                    from: (rank + p - 1) % p,
+                    phase: Phase::Shift,
+                },
+                Op::Compute {
+                    interactions: block_interactions(me, self.block_len(incoming), false),
+                },
+            ]
+        });
+        Box::new(own.chain(body))
+    }
+}
+
+/// Parameters of the allgather (naive / `tree`) baseline.
+#[derive(Debug, Clone)]
+pub struct AllgatherParams {
+    /// Ranks.
+    pub p: usize,
+    /// Total particles.
+    pub n: usize,
+    /// Network for the allgather (HwTree = the Fig. 2c/2d `tree` bars).
+    pub net: CollNet,
+}
+
+impl AllgatherParams {
+    /// The op stream of `rank`.
+    pub fn program(&self, rank: usize) -> Box<dyn Iterator<Item = Op> + '_> {
+        let me = block_range(self.n, self.p, rank).len();
+        let per_member = bytes_of(self.n.div_ceil(self.p));
+        Box::new(
+            [
+                Op::Allgather {
+                    team: TeamSpec::new(0, 1, self.p),
+                    bytes_per_member: per_member,
+                    phase: Phase::Broadcast,
+                    net: self.net,
+                },
+                Op::Compute {
+                    interactions: block_interactions(me, self.n, true),
+                },
+            ]
+            .into_iter(),
+        )
+    }
+}
+
+/// Parameters of Plimpton's force-decomposition baseline (`p = q²`).
+#[derive(Debug, Clone)]
+pub struct ForceDecompParams {
+    /// Ranks (must be a perfect square).
+    pub p: usize,
+    /// Total particles.
+    pub n: usize,
+}
+
+impl ForceDecompParams {
+    /// The op stream of `rank`.
+    pub fn program(&self, rank: usize) -> Box<dyn Iterator<Item = Op> + '_> {
+        let q = (self.p as f64).sqrt().round() as usize;
+        assert_eq!(q * q, self.p, "force decomposition needs square p");
+        let (i, j) = (rank / q, rank % q);
+        let len = |b: usize| block_range(self.n, q, b).len();
+        let row = TeamSpec::new(i * q, 1, q);
+        let col = TeamSpec::new(j, q, q);
+        let mut ops = vec![
+            Op::Bcast {
+                team: row,
+                bytes: bytes_of(len(i)),
+                phase: Phase::Broadcast,
+                net: CollNet::Torus,
+            },
+            Op::Bcast {
+                team: col,
+                bytes: bytes_of(len(j)),
+                phase: Phase::Broadcast,
+                net: CollNet::Torus,
+            },
+            Op::Compute {
+                interactions: block_interactions(len(i), len(j), i == j),
+            },
+            Op::Reduce {
+                team: row,
+                bytes: bytes_of(len(i)),
+                phase: Phase::Reduce,
+                net: CollNet::Torus,
+            },
+        ];
+        if q == 1 {
+            // Single rank: collectives are no-ops; keep only compute to
+            // match the executable's stats.
+            ops.retain(|op| matches!(op, Op::Compute { .. }));
+        }
+        Box::new(ops.into_iter())
+    }
+}
+
+/// Parameters of the spatial halo-exchange baseline (one team per rank).
+#[derive(Debug, Clone)]
+pub struct SpatialHaloParams<W: Window> {
+    /// The interaction window (`window.teams()` ranks).
+    pub window: W,
+    /// Particles per rank region.
+    pub block_sizes: Vec<usize>,
+}
+
+impl<W: Window> SpatialHaloParams<W> {
+    /// The op stream of `rank`.
+    pub fn program(&self, rank: usize) -> Box<dyn Iterator<Item = Op> + '_> {
+        let window = &self.window;
+        let me = self.block_sizes[rank];
+        let own = std::iter::once(Op::Compute {
+            interactions: block_interactions(me, me, true),
+        });
+        let sends = (1..window.len()).filter_map(move |j| {
+            window.apply(rank, j).map(|dst| Op::Send {
+                to: dst,
+                bytes: bytes_of(me),
+                phase: Phase::Shift,
+            })
+        });
+        let recvs = (1..window.len()).flat_map(move |j| {
+            let mut ops = Vec::with_capacity(2);
+            if let Some(src) = window.apply_back(rank, j) {
+                ops.push(Op::Recv {
+                    from: src,
+                    phase: Phase::Shift,
+                });
+                ops.push(Op::Compute {
+                    interactions: block_interactions(me, self.block_sizes[src], false),
+                });
+            }
+            ops
+        });
+        Box::new(own.chain(sends).chain(recvs))
+    }
+}
+
+/// Aggregate op counts of a schedule, for schedule-vs-execution checks.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpCounts {
+    /// Point-to-point sends per phase index.
+    pub sends: [u64; 6],
+    /// Bytes sent point-to-point per phase index.
+    pub send_bytes: [u64; 6],
+    /// Collectives per phase index.
+    pub collectives: [u64; 6],
+    /// Total force evaluations.
+    pub interactions: u64,
+}
+
+/// Count the operations of one program.
+pub fn count_ops(program: impl Iterator<Item = Op>) -> OpCounts {
+    let mut c = OpCounts::default();
+    for op in program {
+        match op {
+            Op::Compute { interactions } => c.interactions += interactions,
+            Op::Send { bytes, phase, .. } => {
+                c.sends[phase.index()] += 1;
+                c.send_bytes[phase.index()] += bytes;
+            }
+            Op::Recv { .. } => {}
+            Op::Bcast { phase, .. } | Op::Reduce { phase, .. } | Op::Allgather { phase, .. } => {
+                c.collectives[phase.index()] += 1;
+            }
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::window::{Window1d, Window2d};
+
+    #[test]
+    fn all_pairs_schedule_shape() {
+        let params = AllPairsParams::new(16, 2, 64);
+        for rank in 0..16 {
+            let counts = count_ops(params.program(rank));
+            // p/c^2 = 4 shift sends per rank.
+            assert_eq!(counts.sends[Phase::Shift.index()], 4);
+            // One bcast, one reduce.
+            assert_eq!(counts.collectives[Phase::Broadcast.index()], 1);
+            assert_eq!(counts.collectives[Phase::Reduce.index()], 1);
+            // Rows > 0 skew once.
+            let k = rank / 8;
+            assert_eq!(counts.sends[Phase::Skew.index()], u64::from(k > 0));
+        }
+    }
+
+    #[test]
+    fn all_pairs_total_interactions_cover_n_squared() {
+        // Summed over all ranks, compute ops must equal n(n-1) ordered pairs.
+        for (p, c, n) in [(4, 1, 20), (8, 2, 24), (16, 4, 32), (9, 3, 17)] {
+            let params = AllPairsParams::new(p, c, n);
+            let total: u64 = (0..p)
+                .map(|r| count_ops(params.program(r)).interactions)
+                .sum();
+            assert_eq!(total, (n * (n - 1)) as u64, "p={p} c={c} n={n}");
+        }
+    }
+
+    #[test]
+    fn all_pairs_shift_bytes_scale_inversely_with_c() {
+        // W_ca = O(n/c): per-rank shift bytes with c=4 should be ~1/4 of c=1.
+        let n = 256;
+        let b1 = count_ops(AllPairsParams::new(16, 1, n).program(0)).send_bytes
+            [Phase::Shift.index()];
+        let b4 = count_ops(AllPairsParams::new(16, 4, n).program(0)).send_bytes
+            [Phase::Shift.index()];
+        assert_eq!(b1, 4 * b4);
+    }
+
+    #[test]
+    fn ring_schedule_counts() {
+        let params = ParticleRingParams { p: 6, n: 30 };
+        let total: u64 = (0..6)
+            .map(|r| count_ops(params.program(r)).interactions)
+            .sum();
+        assert_eq!(total, (30 * 29) as u64);
+        let c0 = count_ops(params.program(0));
+        assert_eq!(c0.sends[Phase::Shift.index()], 5);
+    }
+
+    #[test]
+    fn cutoff_schedule_interactions_match_window() {
+        // Uniform blocks: total interactions = sum over team pairs within
+        // the window of len_t * len_b (minus self pairs).
+        let grid = ProcGrid::new(16, 2).unwrap();
+        let window = Window1d::new(8, 2);
+        let sizes = vec![5usize; 8];
+        let params = CutoffParams::new(grid, window, sizes.clone());
+        let total: u64 = (0..16)
+            .map(|r| count_ops(params.program(r)).interactions)
+            .sum();
+        let mut want = 0u64;
+        for t in 0..8usize {
+            for b in 0..8usize {
+                if (t as i64 - b as i64).abs() <= 2 {
+                    want += block_interactions(sizes[t], sizes[b], t == b);
+                }
+            }
+        }
+        assert_eq!(total, want);
+    }
+
+    #[test]
+    fn cutoff_2d_schedule_interactions_match_window() {
+        let grid = ProcGrid::new(18, 2).unwrap();
+        let window = Window2d::new(3, 3, 1, 1);
+        let sizes: Vec<usize> = (0..9).map(|i| 3 + i % 4).collect();
+        let params = CutoffParams::new(grid, window, sizes.clone());
+        let total: u64 = (0..18)
+            .map(|r| count_ops(params.program(r)).interactions)
+            .sum();
+        let mut want = 0u64;
+        for t in 0..9usize {
+            let (tx, ty) = (t % 3, t / 3);
+            for b in 0..9usize {
+                let (bx, by) = (b % 3, b / 3);
+                if tx.abs_diff(bx) <= 1 && ty.abs_diff(by) <= 1 {
+                    want += block_interactions(sizes[t], sizes[b], t == b);
+                }
+            }
+        }
+        assert_eq!(total, want);
+    }
+
+    #[test]
+    fn reassign_ops_only_on_leaders() {
+        let grid = ProcGrid::new(8, 2).unwrap();
+        let window = Window1d::new(4, 1);
+        let params = CutoffParams::new(grid, window, vec![4; 4])
+            .with_reassign(ReassignModel { bytes: 100 });
+        for rank in 0..8 {
+            let counts = count_ops(params.program(rank));
+            let expect: u64 = if grid.row_of(rank) == 0 {
+                // Interior leaders: 2 neighbors; edge leaders: 1.
+                let t = grid.team_of(rank);
+                if t == 0 || t == 3 {
+                    1
+                } else {
+                    2
+                }
+            } else {
+                0
+            };
+            assert_eq!(
+                counts.sends[Phase::Reassign.index()],
+                expect,
+                "rank {rank}"
+            );
+        }
+    }
+
+    #[test]
+    fn allgather_schedule() {
+        let params = AllgatherParams {
+            p: 4,
+            n: 40,
+            net: CollNet::HwTree,
+        };
+        let counts = count_ops(params.program(2));
+        assert_eq!(counts.collectives[Phase::Broadcast.index()], 1);
+        assert_eq!(counts.interactions, 10 * 40 - 10);
+    }
+
+    #[test]
+    fn force_decomp_schedule_totals() {
+        let params = ForceDecompParams { p: 9, n: 21 };
+        let total: u64 = (0..9)
+            .map(|r| count_ops(params.program(r)).interactions)
+            .sum();
+        assert_eq!(total, (21 * 20) as u64);
+        let c = count_ops(params.program(4));
+        assert_eq!(c.collectives[Phase::Broadcast.index()], 2);
+        assert_eq!(c.collectives[Phase::Reduce.index()], 1);
+    }
+
+    #[test]
+    fn spatial_halo_schedule_totals() {
+        let window = Window1d::new(6, 2);
+        let sizes = vec![7usize; 6];
+        let params = SpatialHaloParams {
+            window,
+            block_sizes: sizes.clone(),
+        };
+        let total: u64 = (0..6)
+            .map(|r| count_ops(params.program(r)).interactions)
+            .sum();
+        let mut want = 0u64;
+        for t in 0..6usize {
+            for b in 0..6usize {
+                if (t as i64 - b as i64).abs() <= 2 {
+                    want += block_interactions(sizes[t], sizes[b], t == b);
+                }
+            }
+        }
+        assert_eq!(total, want);
+    }
+}
+
+/// Parameters of the midpoint-method schedule (§II.D neutral-territory
+/// family): import halo of span `r_c/2`, the midpoint-owned force
+/// evaluations, and a force-return round. Compute is costed as a
+/// cell-list implementation would pay — only the in-range force
+/// evaluations this rank owns (`me · k̄`), not the naive O(pool²) scan of
+/// the executable reference (`midpoint_forces`), which favors simplicity.
+/// Return payloads are modeled as one force record (24 bytes) per
+/// imported particle — an upper bound.
+#[derive(Debug, Clone)]
+pub struct MidpointParams<W: Window> {
+    /// The halo window (must span `r_c / 2`; one rank per team).
+    pub window: W,
+    /// Particles per rank region.
+    pub block_sizes: Vec<usize>,
+}
+
+/// Bytes per returned force contribution (id + 2 components).
+pub const FORCE_RECORD_BYTES: u64 = 24;
+
+impl<W: Window> MidpointParams<W> {
+    /// The op stream of `rank`.
+    pub fn program(&self, rank: usize) -> Box<dyn Iterator<Item = Op> + '_> {
+        let window = &self.window;
+        let me = self.block_sizes[rank];
+
+        let import_sends = (1..window.len()).filter_map(move |j| {
+            window.apply(rank, j).map(|dst| Op::Send {
+                to: dst,
+                bytes: bytes_of(me),
+                phase: Phase::Shift,
+            })
+        });
+        let import_recvs = (1..window.len()).filter_map(move |j| {
+            window.apply_back(rank, j).map(|src| Op::Recv {
+                from: src,
+                phase: Phase::Shift,
+            })
+        });
+        // Owned force evaluations: for uniform density, a rank's share is
+        // me x (neighbors within the full r_c reach) — the half-span halo
+        // holds half of them, so double the imported count.
+        let halo: usize = (1..window.len())
+            .filter_map(|j| window.apply_back(rank, j))
+            .map(|src| self.block_sizes[src])
+            .sum();
+        let scan = std::iter::once(Op::Compute {
+            interactions: block_interactions(me, 2 * halo + me, false),
+        });
+        // Force return: one record per imported particle, per neighbor.
+        let return_sends = (1..window.len()).filter_map(move |j| {
+            window.apply_back(rank, j).map(|dst| Op::Send {
+                to: dst,
+                bytes: self.block_sizes[dst] as u64 * FORCE_RECORD_BYTES,
+                phase: Phase::Reduce,
+            })
+        });
+        let return_recvs = (1..window.len()).filter_map(move |j| {
+            window.apply(rank, j).map(|src| Op::Recv {
+                from: src,
+                phase: Phase::Reduce,
+            })
+        });
+        Box::new(
+            import_sends
+                .chain(import_recvs)
+                .chain(scan)
+                .chain(return_sends)
+                .chain(return_recvs),
+        )
+    }
+}
+
+#[cfg(test)]
+mod midpoint_schedule_tests {
+    use super::*;
+    use crate::window::Window1d;
+
+    #[test]
+    fn midpoint_message_counts_match_halo_structure() {
+        let window = Window1d::new(8, 1); // span 1 each side
+        let params = MidpointParams {
+            window,
+            block_sizes: vec![5; 8],
+        };
+        // Interior rank: 2 import sends + 2 return sends.
+        let counts = count_ops(params.program(4));
+        assert_eq!(counts.sends[Phase::Shift.index()], 2);
+        assert_eq!(counts.sends[Phase::Reduce.index()], 2);
+        // Edge rank: 1 each.
+        let counts = count_ops(params.program(0));
+        assert_eq!(counts.sends[Phase::Shift.index()], 1);
+        assert_eq!(counts.sends[Phase::Reduce.index()], 1);
+    }
+
+    #[test]
+    fn midpoint_import_bytes_are_half_spans() {
+        // The midpoint halo (span r_c/2) moves fewer bytes than the full
+        // spatial halo (span r_c) on the same decomposition.
+        let domain = nbody_physics::Domain::unit();
+        let r_c = 0.25;
+        let teams = 16;
+        let sizes = vec![8usize; teams];
+        let full = SpatialHaloParams {
+            window: Window1d::from_cutoff(&domain, teams, r_c),
+            block_sizes: sizes.clone(),
+        };
+        let half = MidpointParams {
+            window: Window1d::from_cutoff(&domain, teams, r_c / 2.0),
+            block_sizes: sizes,
+        };
+        let rank = teams / 2;
+        let full_bytes = count_ops(full.program(rank)).send_bytes[Phase::Shift.index()];
+        let half_bytes = count_ops(half.program(rank)).send_bytes[Phase::Shift.index()];
+        assert!(
+            half_bytes < full_bytes,
+            "midpoint import {half_bytes} vs spatial {full_bytes}"
+        );
+    }
+}

@@ -1,0 +1,694 @@
+//! The end-to-end simulation driver.
+//!
+//! Runs multi-timestep N-body simulations with any of the paper's
+//! decompositions on the threaded message-passing runtime, handling the
+//! integrator split, force evaluation, boundary conditions, and (for the
+//! cutoff methods) per-step spatial re-assignment. The serial path uses the
+//! identical integrator/force code, so distributed trajectories can be
+//! validated against it step-for-step.
+
+use nbody_comm::{run_ranks, CommStats, Communicator, Phase};
+use nbody_physics::particle::reset_forces;
+use nbody_physics::{Boundary, Domain, ForceLaw, Integrator, Particle};
+
+use crate::baselines::{
+    force_decomposition_forces, naive_allgather_forces, particle_ring_forces,
+};
+use crate::cutoff::ca_cutoff_forces;
+use crate::dist::{
+    id_block_subset, spatial_subset_1d, spatial_subset_2d, team_grid_dims, team_of_x, team_of_xy,
+};
+use crate::grid::{GridComms, ProcGrid};
+use crate::midpoint::midpoint_forces;
+use crate::reassign::reassign_particles;
+use crate::spatial::spatial_halo_forces;
+use crate::window::{Window1d, Window2d};
+use crate::window_periodic::{Window1dPeriodic, Window2dPeriodic};
+use crate::{allpairs::ca_all_pairs_forces, cutoff::validate_cutoff};
+
+/// Which parallel decomposition evaluates forces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// Algorithm 1 with replication factor `c` (id-block distribution).
+    CaAllPairs {
+        /// Replication factor.
+        c: usize,
+    },
+    /// Plimpton's particle decomposition (ring pipeline).
+    ParticleRing,
+    /// Half-ring particle decomposition exploiting Newton's third law —
+    /// the symmetry optimization the paper declines (§III.C); requires a
+    /// symmetric force law.
+    ParticleRingSymmetric,
+    /// The allgather-based naive variant (`tree` bars of Fig. 2c/2d).
+    NaiveAllgather,
+    /// Plimpton's force decomposition (`p` must be a perfect square).
+    ForceDecomposition,
+    /// Algorithm 2 with replication factor `c` (1D spatial decomposition;
+    /// the force law must have a cutoff).
+    Ca1dCutoff {
+        /// Replication factor.
+        c: usize,
+    },
+    /// The Fig. 5 2D generalization (2D spatial decomposition; cutoff law).
+    Ca2dCutoff {
+        /// Replication factor.
+        c: usize,
+    },
+    /// Halo-exchange spatial baseline on 1D slabs (cutoff law, `c = 1`).
+    SpatialHalo1d,
+    /// Halo-exchange spatial baseline on a 2D grid (cutoff law, `c = 1`).
+    SpatialHalo2d,
+    /// The midpoint method (§II.D neutral-territory family) on 1D slabs
+    /// (cutoff law, `c = 1`, half-span import region).
+    Midpoint1d,
+    /// The midpoint method on a 2D grid.
+    Midpoint2d,
+}
+
+impl Method {
+    /// The replication factor the method uses (1 for non-replicating ones).
+    pub fn replication(&self) -> usize {
+        match *self {
+            Method::CaAllPairs { c } | Method::Ca1dCutoff { c } | Method::Ca2dCutoff { c } => c,
+            _ => 1,
+        }
+    }
+
+    /// Whether the method needs a force law with a finite cutoff.
+    pub fn needs_cutoff(&self) -> bool {
+        matches!(
+            self,
+            Method::Ca1dCutoff { .. }
+                | Method::Ca2dCutoff { .. }
+                | Method::SpatialHalo1d
+                | Method::SpatialHalo2d
+                | Method::Midpoint1d
+                | Method::Midpoint2d
+        )
+    }
+}
+
+/// Simulation parameters shared by serial and distributed runs.
+#[derive(Debug, Clone)]
+pub struct SimConfig<F, I> {
+    /// Pairwise force law.
+    pub law: F,
+    /// Time integrator.
+    pub integrator: I,
+    /// Simulation domain.
+    pub domain: Domain,
+    /// Boundary condition.
+    pub boundary: Boundary,
+    /// Timestep.
+    pub dt: f64,
+    /// Number of timesteps.
+    pub steps: usize,
+}
+
+/// Result of a distributed run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Final particles, gathered from all owners and sorted by id.
+    pub particles: Vec<Particle>,
+    /// Per-world-rank communication statistics.
+    pub stats: Vec<CommStats>,
+}
+
+/// Run the serial reference simulation on a copy of `initial`.
+pub fn run_serial<F: ForceLaw, I: Integrator>(
+    cfg: &SimConfig<F, I>,
+    initial: &[Particle],
+) -> Vec<Particle> {
+    let mut particles = initial.to_vec();
+    for _ in 0..cfg.steps {
+        nbody_physics::reference::step(
+            &mut particles,
+            &cfg.law,
+            &cfg.integrator,
+            cfg.dt,
+            &cfg.domain,
+            cfg.boundary,
+        );
+    }
+    particles
+}
+
+/// Run a distributed simulation of `initial` on `p` rank threads with the
+/// given method, returning the gathered final state and per-rank stats.
+///
+/// Panics on invalid configurations (replication not dividing `p`, cutoff
+/// methods without a cutoff law, `c` exceeding the interaction window).
+pub fn run_distributed<F, I>(
+    cfg: &SimConfig<F, I>,
+    method: Method,
+    p: usize,
+    initial: &[Particle],
+) -> RunResult
+where
+    F: ForceLaw + Sync,
+    I: Integrator + Sync,
+{
+    if method.needs_cutoff() {
+        assert!(
+            cfg.law.cutoff().is_some(),
+            "{method:?} requires a force law with a cutoff radius"
+        );
+    }
+    let out = run_ranks(p, |world| run_rank(cfg, method, world, initial));
+    let mut particles = Vec::with_capacity(initial.len());
+    let mut stats = Vec::with_capacity(p);
+    for (mut ps, st) in out {
+        particles.append(&mut ps);
+        stats.push(st);
+    }
+    particles.sort_by_key(|q| q.id);
+    assert_eq!(
+        particles.len(),
+        initial.len(),
+        "particles lost or duplicated in distributed run"
+    );
+    RunResult { particles, stats }
+}
+
+/// Per-rank body of a distributed run.
+fn run_rank<F, I, C>(
+    cfg: &SimConfig<F, I>,
+    method: Method,
+    world: &mut C,
+    initial: &[Particle],
+) -> (Vec<Particle>, CommStats)
+where
+    F: ForceLaw,
+    I: Integrator,
+    C: Communicator,
+{
+    let p = world.size();
+    let domain = &cfg.domain;
+    match method {
+        Method::CaAllPairs { c } => {
+            let grid = ProcGrid::new_all_pairs(p, c).expect("invalid all-pairs grid");
+            let gc = GridComms::new(world, grid);
+            let mut st = if gc.is_leader() {
+                id_block_subset(initial, grid.teams(), gc.team())
+            } else {
+                Vec::new()
+            };
+            for _ in 0..cfg.steps {
+                if gc.is_leader() {
+                    cfg.integrator.pre_force(&mut st, cfg.dt);
+                    reset_forces(&mut st);
+                }
+                ca_all_pairs_forces(&gc, &mut st, &cfg.law, domain, cfg.boundary);
+                if gc.is_leader() {
+                    cfg.integrator
+                        .post_force(&mut st, cfg.dt, domain, cfg.boundary);
+                } else {
+                    st.clear();
+                }
+            }
+            let owned = if gc.is_leader() { st } else { Vec::new() };
+            (owned, world.stats())
+        }
+        Method::ParticleRing | Method::ParticleRingSymmetric | Method::NaiveAllgather => {
+            let mut my = id_block_subset(initial, p, world.rank());
+            for _ in 0..cfg.steps {
+                cfg.integrator.pre_force(&mut my, cfg.dt);
+                reset_forces(&mut my);
+                match method {
+                    Method::ParticleRing => {
+                        particle_ring_forces(world, &mut my, &cfg.law, domain, cfg.boundary)
+                    }
+                    Method::ParticleRingSymmetric => {
+                        crate::baselines::particle_ring_symmetric_forces(
+                            world, &mut my, &cfg.law, domain, cfg.boundary,
+                        )
+                    }
+                    _ => naive_allgather_forces(world, &mut my, &cfg.law, domain, cfg.boundary),
+                }
+                cfg.integrator
+                    .post_force(&mut my, cfg.dt, domain, cfg.boundary);
+            }
+            (my, world.stats())
+        }
+        Method::ForceDecomposition => {
+            let q = (p as f64).sqrt().round() as usize;
+            assert_eq!(q * q, p, "force decomposition needs square p");
+            let (i, j) = (world.rank() / q, world.rank() % q);
+            let mut st = if i == j {
+                id_block_subset(initial, q, i)
+            } else {
+                Vec::new()
+            };
+            for _ in 0..cfg.steps {
+                if i == j {
+                    cfg.integrator.pre_force(&mut st, cfg.dt);
+                    reset_forces(&mut st);
+                }
+                force_decomposition_forces(world, &mut st, &cfg.law, domain, cfg.boundary);
+                if i == j {
+                    cfg.integrator
+                        .post_force(&mut st, cfg.dt, domain, cfg.boundary);
+                }
+            }
+            (st, world.stats())
+        }
+        Method::Ca1dCutoff { c } | Method::Ca2dCutoff { c } => {
+            let two_d = matches!(method, Method::Ca2dCutoff { .. });
+            let grid = ProcGrid::new(p, c).expect("invalid cutoff grid");
+            let gc = GridComms::new(world, grid);
+            let teams = grid.teams();
+            let r_c = cfg.law.cutoff().unwrap();
+            let (tx, ty) = if two_d {
+                team_grid_dims(teams)
+            } else {
+                (teams, 1)
+            };
+            let mut st = if gc.is_leader() {
+                if two_d {
+                    spatial_subset_2d(initial, domain, tx, ty, gc.team())
+                } else {
+                    spatial_subset_1d(initial, domain, teams, gc.team())
+                }
+            } else {
+                Vec::new()
+            };
+            let periodic = cfg.boundary == Boundary::Periodic;
+            for _ in 0..cfg.steps {
+                if gc.is_leader() {
+                    cfg.integrator.pre_force(&mut st, cfg.dt);
+                    reset_forces(&mut st);
+                }
+                // Periodic boundaries take the wrap-around windows; the
+                // paper's non-periodic setting takes the clipped ones.
+                match (two_d, periodic) {
+                    (true, false) => {
+                        let window = Window2d::from_cutoff(domain, tx, ty, r_c);
+                        validate_cutoff(&window, teams, c).expect("invalid 2D cutoff config");
+                        ca_cutoff_forces(&gc, &window, &mut st, &cfg.law, domain, cfg.boundary);
+                    }
+                    (true, true) => {
+                        let window = Window2dPeriodic::from_cutoff(domain, tx, ty, r_c);
+                        validate_cutoff(&window, teams, c).expect("invalid 2D cutoff config");
+                        ca_cutoff_forces(&gc, &window, &mut st, &cfg.law, domain, cfg.boundary);
+                    }
+                    (false, false) => {
+                        let window = Window1d::from_cutoff(domain, teams, r_c);
+                        validate_cutoff(&window, teams, c).expect("invalid 1D cutoff config");
+                        ca_cutoff_forces(&gc, &window, &mut st, &cfg.law, domain, cfg.boundary);
+                    }
+                    (false, true) => {
+                        let window = Window1dPeriodic::from_cutoff(domain, teams, r_c);
+                        validate_cutoff(&window, teams, c).expect("invalid 1D cutoff config");
+                        ca_cutoff_forces(&gc, &window, &mut st, &cfg.law, domain, cfg.boundary);
+                    }
+                }
+                if gc.is_leader() {
+                    cfg.integrator
+                        .post_force(&mut st, cfg.dt, domain, cfg.boundary);
+                    // Keep the spatial decomposition valid for the next step.
+                    if two_d {
+                        reassign_particles(&gc.row, &mut st, |q| {
+                            team_of_xy(domain, tx, ty, q.pos.x, q.pos.y)
+                        });
+                    } else {
+                        reassign_particles(&gc.row, &mut st, |q| {
+                            team_of_x(domain, teams, q.pos.x)
+                        });
+                    }
+                } else {
+                    st.clear();
+                }
+            }
+            world.set_phase(Phase::Other);
+            let owned = if gc.is_leader() { st } else { Vec::new() };
+            (owned, world.stats())
+        }
+        Method::Midpoint1d | Method::Midpoint2d => {
+            let two_d = matches!(method, Method::Midpoint2d);
+            let r_c = cfg.law.cutoff().unwrap();
+            let (tx, ty) = if two_d { team_grid_dims(p) } else { (p, 1) };
+            let mut my = if two_d {
+                spatial_subset_2d(initial, domain, tx, ty, world.rank())
+            } else {
+                spatial_subset_1d(initial, domain, p, world.rank())
+            };
+            let periodic = cfg.boundary == Boundary::Periodic;
+            for _ in 0..cfg.steps {
+                cfg.integrator.pre_force(&mut my, cfg.dt);
+                reset_forces(&mut my);
+                match (two_d, periodic) {
+                    (true, false) => {
+                        let window = Window2d::from_cutoff(domain, tx, ty, r_c / 2.0);
+                        midpoint_forces(world, &window, &mut my, &cfg.law, domain, cfg.boundary,
+                            |pos| team_of_xy(domain, tx, ty, pos.x, pos.y));
+                    }
+                    (true, true) => {
+                        let window = Window2dPeriodic::from_cutoff(domain, tx, ty, r_c / 2.0);
+                        midpoint_forces(world, &window, &mut my, &cfg.law, domain, cfg.boundary,
+                            |pos| team_of_xy(domain, tx, ty, pos.x, pos.y));
+                    }
+                    (false, false) => {
+                        let window = Window1d::from_cutoff(domain, p, r_c / 2.0);
+                        midpoint_forces(world, &window, &mut my, &cfg.law, domain, cfg.boundary,
+                            |pos| team_of_x(domain, p, pos.x));
+                    }
+                    (false, true) => {
+                        let window = Window1dPeriodic::from_cutoff(domain, p, r_c / 2.0);
+                        midpoint_forces(world, &window, &mut my, &cfg.law, domain, cfg.boundary,
+                            |pos| team_of_x(domain, p, pos.x));
+                    }
+                }
+                cfg.integrator
+                    .post_force(&mut my, cfg.dt, domain, cfg.boundary);
+                if two_d {
+                    reassign_particles(world, &mut my, |q| {
+                        team_of_xy(domain, tx, ty, q.pos.x, q.pos.y)
+                    });
+                } else {
+                    reassign_particles(world, &mut my, |q| team_of_x(domain, p, q.pos.x));
+                }
+            }
+            (my, world.stats())
+        }
+        Method::SpatialHalo1d | Method::SpatialHalo2d => {
+            let two_d = matches!(method, Method::SpatialHalo2d);
+            let r_c = cfg.law.cutoff().unwrap();
+            let (tx, ty) = if two_d { team_grid_dims(p) } else { (p, 1) };
+            let mut my = if two_d {
+                spatial_subset_2d(initial, domain, tx, ty, world.rank())
+            } else {
+                spatial_subset_1d(initial, domain, p, world.rank())
+            };
+            let periodic = cfg.boundary == Boundary::Periodic;
+            for _ in 0..cfg.steps {
+                cfg.integrator.pre_force(&mut my, cfg.dt);
+                reset_forces(&mut my);
+                match (two_d, periodic) {
+                    (true, false) => {
+                        let window = Window2d::from_cutoff(domain, tx, ty, r_c);
+                        spatial_halo_forces(world, &window, &mut my, &cfg.law, domain, cfg.boundary);
+                    }
+                    (true, true) => {
+                        let window = Window2dPeriodic::from_cutoff(domain, tx, ty, r_c);
+                        spatial_halo_forces(world, &window, &mut my, &cfg.law, domain, cfg.boundary);
+                    }
+                    (false, false) => {
+                        let window = Window1d::from_cutoff(domain, p, r_c);
+                        spatial_halo_forces(world, &window, &mut my, &cfg.law, domain, cfg.boundary);
+                    }
+                    (false, true) => {
+                        let window = Window1dPeriodic::from_cutoff(domain, p, r_c);
+                        spatial_halo_forces(world, &window, &mut my, &cfg.law, domain, cfg.boundary);
+                    }
+                }
+                cfg.integrator
+                    .post_force(&mut my, cfg.dt, domain, cfg.boundary);
+                if two_d {
+                    reassign_particles(world, &mut my, |q| {
+                        team_of_xy(domain, tx, ty, q.pos.x, q.pos.y)
+                    });
+                } else {
+                    reassign_particles(world, &mut my, |q| team_of_x(domain, p, q.pos.x));
+                }
+            }
+            (my, world.stats())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nbody_physics::{init, Cutoff, RepulsiveInverseSquare, SemiImplicitEuler, Vec2};
+
+    fn assert_trajectories_match(got: &[Particle], want: &[Particle], tol: f64, label: &str) {
+        assert_eq!(got.len(), want.len(), "{label}");
+        for (g, w) in got.iter().zip(want) {
+            assert_eq!(g.id, w.id, "{label}");
+            let dp = (g.pos - w.pos).norm();
+            let dv = (g.vel - w.vel).norm();
+            assert!(
+                dp <= tol && dv <= tol,
+                "{label}: id={} dp={dp} dv={dv}\n got {:?}\nwant {:?}",
+                g.id,
+                g,
+                w
+            );
+        }
+    }
+
+    fn all_pairs_cfg(steps: usize) -> SimConfig<RepulsiveInverseSquare, SemiImplicitEuler> {
+        SimConfig {
+            law: RepulsiveInverseSquare {
+                strength: 1e-3,
+                softening: 1e-3,
+            },
+            integrator: SemiImplicitEuler,
+            domain: Domain::unit(),
+            boundary: Boundary::Reflective,
+            dt: 0.01,
+            steps,
+        }
+    }
+
+    #[test]
+    fn multi_step_trajectory_matches_serial_all_methods() {
+        let cfg = all_pairs_cfg(5);
+        let initial = init::uniform(24, &cfg.domain, 42);
+        let want = run_serial(&cfg, &initial);
+        for (method, p) in [
+            (Method::CaAllPairs { c: 1 }, 4),
+            (Method::CaAllPairs { c: 2 }, 8),
+            (Method::CaAllPairs { c: 2 }, 16),
+            (Method::ParticleRing, 6),
+            (Method::NaiveAllgather, 4),
+            (Method::ForceDecomposition, 9),
+        ] {
+            let got = run_distributed(&cfg, method, p, &initial);
+            assert_trajectories_match(
+                &got.particles,
+                &want,
+                1e-9,
+                &format!("{method:?} p={p}"),
+            );
+        }
+    }
+
+    #[test]
+    fn multi_step_cutoff_trajectories_match_serial() {
+        let law = Cutoff::new(
+            RepulsiveInverseSquare {
+                strength: 1e-3,
+                softening: 1e-3,
+            },
+            0.25,
+        );
+        let cfg = SimConfig {
+            law,
+            integrator: SemiImplicitEuler,
+            domain: Domain::unit(),
+            boundary: Boundary::Reflective,
+            dt: 0.01,
+            steps: 4,
+        };
+        let initial = init::uniform(40, &cfg.domain, 7);
+        let want = run_serial(&cfg, &initial);
+        for (method, p) in [
+            (Method::Ca1dCutoff { c: 1 }, 4),
+            (Method::Ca1dCutoff { c: 2 }, 8),
+            (Method::Ca2dCutoff { c: 1 }, 4),
+            (Method::Ca2dCutoff { c: 2 }, 8),
+            (Method::SpatialHalo1d, 4),
+            (Method::SpatialHalo2d, 4),
+        ] {
+            let got = run_distributed(&cfg, method, p, &initial);
+            assert_trajectories_match(
+                &got.particles,
+                &want,
+                1e-9,
+                &format!("{method:?} p={p}"),
+            );
+        }
+    }
+
+    #[test]
+    fn verlet_trajectories_match_serial() {
+        use nbody_physics::VelocityVerlet;
+        let cfg = SimConfig {
+            law: RepulsiveInverseSquare {
+                strength: 1e-3,
+                softening: 1e-3,
+            },
+            integrator: VelocityVerlet,
+            domain: Domain::unit(),
+            boundary: Boundary::Reflective,
+            dt: 0.01,
+            steps: 6,
+        };
+        let initial = init::uniform(20, &cfg.domain, 11);
+        let want = run_serial(&cfg, &initial);
+        let got = run_distributed(&cfg, Method::CaAllPairs { c: 2 }, 8, &initial);
+        assert_trajectories_match(&got.particles, &want, 1e-9, "verlet ca");
+    }
+
+    #[test]
+    fn momentum_conserved_in_distributed_run() {
+        let cfg = all_pairs_cfg(10);
+        let mut initial = init::uniform(16, &cfg.domain, 5);
+        init::thermalize(&mut initial, 0.01, 6);
+        let got = run_distributed(&cfg, Method::CaAllPairs { c: 2 }, 4, &initial);
+        // Reflective walls flip momentum, so only check finiteness + bounds.
+        for q in &got.particles {
+            assert!(q.pos.is_finite() && q.vel.is_finite());
+            assert!(cfg.domain.contains(q.pos) || q.pos.x <= 1.0);
+        }
+    }
+
+    #[test]
+    fn reassignment_preserves_particle_count_over_long_run() {
+        let law = Cutoff::new(
+            RepulsiveInverseSquare {
+                strength: 5e-3,
+                softening: 1e-3,
+            },
+            0.3,
+        );
+        let cfg = SimConfig {
+            law,
+            integrator: SemiImplicitEuler,
+            domain: Domain::unit(),
+            boundary: Boundary::Reflective,
+            dt: 0.02,
+            steps: 15,
+        };
+        let mut initial = init::uniform(32, &cfg.domain, 9);
+        init::thermalize(&mut initial, 0.05, 10);
+        let got = run_distributed(&cfg, Method::Ca1dCutoff { c: 2 }, 8, &initial);
+        assert_eq!(got.particles.len(), 32);
+        let want = run_serial(&cfg, &initial);
+        assert_trajectories_match(&got.particles, &want, 1e-8, "long cutoff run");
+    }
+
+    #[test]
+    fn stats_capture_reassign_phase() {
+        let law = Cutoff::new(RepulsiveInverseSquare::default(), 0.3);
+        let cfg = SimConfig {
+            law,
+            integrator: SemiImplicitEuler,
+            domain: Domain::unit(),
+            boundary: Boundary::Reflective,
+            dt: 0.01,
+            steps: 2,
+        };
+        let initial = init::uniform(24, &cfg.domain, 3);
+        let got = run_distributed(&cfg, Method::Ca1dCutoff { c: 2 }, 8, &initial);
+        let leaders_with_reassign = got
+            .stats
+            .iter()
+            .filter(|s| s.phase(Phase::Reassign).messages > 0)
+            .count();
+        assert_eq!(leaders_with_reassign, 4, "only the 4 leaders re-assign");
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a force law with a cutoff")]
+    fn cutoff_method_rejects_all_pairs_law() {
+        let cfg = all_pairs_cfg(1);
+        let initial = vec![Particle::at(0, Vec2::new(0.5, 0.5))];
+        run_distributed(&cfg, Method::Ca1dCutoff { c: 1 }, 2, &initial);
+    }
+}
+
+/// Run a distributed simulation while sampling intermediate states: the
+/// trajectory is executed in chunks of `every` steps and the gathered
+/// state after each chunk is recorded (including the final state).
+///
+/// Implemented as repeated [`run_distributed`] calls, so it adds no
+/// protocol complexity; note that [`VelocityVerlet`] carries the previous
+/// step's forces across steps, which resets at chunk boundaries — use a
+/// single-phase integrator (e.g. [`SemiImplicitEuler`]) when exact
+/// equivalence to an unsampled run matters.
+///
+/// [`VelocityVerlet`]: nbody_physics::VelocityVerlet
+/// [`SemiImplicitEuler`]: nbody_physics::SemiImplicitEuler
+pub fn run_distributed_sampled<F, I>(
+    cfg: &SimConfig<F, I>,
+    method: Method,
+    p: usize,
+    initial: &[Particle],
+    every: usize,
+) -> Vec<Vec<Particle>>
+where
+    F: ForceLaw + Sync + Clone,
+    I: Integrator + Sync + Clone,
+{
+    assert!(every > 0, "sampling interval must be positive");
+    let mut snapshots = Vec::new();
+    let mut state: Vec<Particle> = initial.to_vec();
+    let mut remaining = cfg.steps;
+    while remaining > 0 {
+        let chunk = remaining.min(every);
+        let chunk_cfg = SimConfig {
+            law: cfg.law.clone(),
+            integrator: cfg.integrator.clone(),
+            domain: cfg.domain,
+            boundary: cfg.boundary,
+            dt: cfg.dt,
+            steps: chunk,
+        };
+        state = run_distributed(&chunk_cfg, method, p, &state).particles;
+        snapshots.push(state.clone());
+        remaining -= chunk;
+    }
+    snapshots
+}
+
+#[cfg(test)]
+mod sampled_tests {
+    use super::*;
+    use nbody_physics::{init, RepulsiveInverseSquare, SemiImplicitEuler};
+
+    #[test]
+    fn sampled_run_matches_unsampled_for_single_phase_integrators() {
+        let cfg = SimConfig {
+            law: RepulsiveInverseSquare {
+                strength: 1e-3,
+                softening: 1e-3,
+            },
+            integrator: SemiImplicitEuler,
+            domain: Domain::unit(),
+            boundary: Boundary::Reflective,
+            dt: 0.01,
+            steps: 9,
+        };
+        let initial = init::uniform(20, &cfg.domain, 4);
+        let full = run_distributed(&cfg, Method::CaAllPairs { c: 2 }, 8, &initial).particles;
+        let snaps = run_distributed_sampled(&cfg, Method::CaAllPairs { c: 2 }, 8, &initial, 4);
+        // Chunks of 4, 4, 1.
+        assert_eq!(snaps.len(), 3);
+        assert_eq!(snaps.last().unwrap(), &full);
+    }
+
+    #[test]
+    fn sampled_snapshots_evolve() {
+        let cfg = SimConfig {
+            law: RepulsiveInverseSquare {
+                strength: 5e-3,
+                softening: 1e-3,
+            },
+            integrator: SemiImplicitEuler,
+            domain: Domain::unit(),
+            boundary: Boundary::Reflective,
+            dt: 0.02,
+            steps: 6,
+        };
+        let initial = init::uniform(16, &cfg.domain, 7);
+        let snaps = run_distributed_sampled(&cfg, Method::ParticleRing, 4, &initial, 2);
+        assert_eq!(snaps.len(), 3);
+        assert_ne!(snaps[0], snaps[2], "state must change over time");
+        for s in &snaps {
+            assert_eq!(s.len(), 16);
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! Schedule ≡ execution: the op streams fed to the discrete-event simulator
+//! must match what the executable algorithms actually do on the threaded
+//! runtime — same per-phase message counts, same bytes (52 B/particle),
+//! same collective counts, same total interactions. This is the link that
+//! makes simulated figures trustworthy.
+
+use ca_nbody::dist::{id_block_subset, spatial_subset_1d, spatial_subset_2d, team_grid_dims};
+use ca_nbody::schedule::{count_ops, AllPairsParams, CutoffParams, OpCounts, ParticleRingParams};
+use ca_nbody::{ca_all_pairs_forces, ca_cutoff_forces, GridComms, ProcGrid, Window1d, Window2d};
+use nbody_comm::{run_ranks, CommStats, Communicator, Phase, ALL_PHASES};
+use nbody_physics::particle::PARTICLE_WIRE_BYTES;
+use nbody_physics::{init, Boundary, Counting, Cutoff, Domain};
+
+/// Compare one rank's executed stats against its schedule's op counts for
+/// the force phases (Broadcast, Skew, Shift, Reduce).
+fn assert_counts_match(rank: usize, stats: &CommStats, sched: &OpCounts, label: &str) {
+    for phase in [Phase::Broadcast, Phase::Skew, Phase::Shift, Phase::Reduce] {
+        let got = stats.phase(phase);
+        let idx = phase.index();
+        assert_eq!(
+            got.messages, sched.sends[idx],
+            "{label}: rank {rank} phase {phase}: executed {} msgs, schedule {}",
+            got.messages, sched.sends[idx]
+        );
+        assert_eq!(
+            got.elements * PARTICLE_WIRE_BYTES as u64,
+            sched.send_bytes[idx],
+            "{label}: rank {rank} phase {phase}: bytes mismatch"
+        );
+        assert_eq!(
+            got.collectives, sched.collectives[idx],
+            "{label}: rank {rank} phase {phase}: collective count mismatch"
+        );
+    }
+}
+
+#[test]
+fn all_pairs_schedule_matches_execution() {
+    let domain = Domain::unit();
+    for (p, c, n) in [(4, 1, 16), (4, 2, 16), (8, 2, 24), (16, 4, 33), (9, 3, 21)] {
+        let grid = ProcGrid::new_all_pairs(p, c).unwrap();
+        let stats = run_ranks(p, |world| {
+            let gc = GridComms::new(world, grid);
+            let all = init::uniform(n, &domain, 31);
+            let mut st = if gc.is_leader() {
+                id_block_subset(&all, grid.teams(), gc.team())
+            } else {
+                Vec::new()
+            };
+            ca_all_pairs_forces(&gc, &mut st, &Counting, &domain, Boundary::Open);
+            world.stats()
+        });
+        let params = AllPairsParams::new(p, c, n);
+        for (rank, s) in stats.iter().enumerate() {
+            let sched = count_ops(params.program(rank));
+            assert_counts_match(rank, s, &sched, &format!("all-pairs p={p} c={c} n={n}"));
+        }
+    }
+}
+
+#[test]
+fn cutoff_1d_schedule_matches_execution() {
+    let domain = Domain::unit();
+    let n = 64;
+    for (p, c, r_c) in [(4, 1, 0.2), (8, 2, 0.2), (12, 3, 0.3), (16, 2, 0.15)] {
+        let grid = ProcGrid::new(p, c).unwrap();
+        let window = Window1d::from_cutoff(&domain, grid.teams(), r_c);
+        let law = Cutoff::new(Counting, r_c);
+        let all = init::uniform_1d(n, &domain, 77);
+        let block_sizes: Vec<usize> = (0..grid.teams())
+            .map(|t| spatial_subset_1d(&all, &domain, grid.teams(), t).len())
+            .collect();
+
+        let all_ref = &all;
+        let stats = run_ranks(p, |world| {
+            let gc = GridComms::new(world, grid);
+            let mut st = if gc.is_leader() {
+                spatial_subset_1d(all_ref, &domain, grid.teams(), gc.team())
+            } else {
+                Vec::new()
+            };
+            ca_cutoff_forces(&gc, &window, &mut st, &law, &domain, Boundary::Open);
+            world.stats()
+        });
+        let params = CutoffParams::new(grid, window, block_sizes);
+        for (rank, s) in stats.iter().enumerate() {
+            let sched = count_ops(params.program(rank));
+            assert_counts_match(rank, s, &sched, &format!("cutoff1d p={p} c={c} rc={r_c}"));
+        }
+    }
+}
+
+#[test]
+fn cutoff_2d_schedule_matches_execution() {
+    let domain = Domain::unit();
+    let n = 90;
+    for (p, c, r_c) in [(4, 1, 0.3), (8, 2, 0.3), (18, 2, 0.25)] {
+        let grid = ProcGrid::new(p, c).unwrap();
+        let (tx, ty) = team_grid_dims(grid.teams());
+        let window = Window2d::from_cutoff(&domain, tx, ty, r_c);
+        if ca_nbody::cutoff::validate_cutoff(&window, grid.teams(), c).is_err() {
+            continue;
+        }
+        let law = Cutoff::new(Counting, r_c);
+        let all = init::uniform(n, &domain, 13);
+        let block_sizes: Vec<usize> = (0..grid.teams())
+            .map(|t| spatial_subset_2d(&all, &domain, tx, ty, t).len())
+            .collect();
+
+        let all_ref = &all;
+        let stats = run_ranks(p, |world| {
+            let gc = GridComms::new(world, grid);
+            let mut st = if gc.is_leader() {
+                spatial_subset_2d(all_ref, &domain, tx, ty, gc.team())
+            } else {
+                Vec::new()
+            };
+            ca_cutoff_forces(&gc, &window, &mut st, &law, &domain, Boundary::Open);
+            world.stats()
+        });
+        let params = CutoffParams::new(grid, window, block_sizes);
+        for (rank, s) in stats.iter().enumerate() {
+            let sched = count_ops(params.program(rank));
+            assert_counts_match(rank, s, &sched, &format!("cutoff2d p={p} c={c} rc={r_c}"));
+        }
+    }
+}
+
+#[test]
+fn ring_schedule_matches_execution() {
+    let domain = Domain::unit();
+    let (p, n) = (6, 25);
+    let stats = run_ranks(p, |world| {
+        let all = init::uniform(n, &domain, 3);
+        let mut my = id_block_subset(&all, p, world.rank());
+        ca_nbody::baselines::particle_ring_forces(world, &mut my, &Counting, &domain, Boundary::Open);
+        world.stats()
+    });
+    let params = ParticleRingParams { p, n };
+    for (rank, s) in stats.iter().enumerate() {
+        let sched = count_ops(params.program(rank));
+        assert_counts_match(rank, s, &sched, "ring");
+    }
+}
+
+#[test]
+fn schedules_simulate_without_deadlock() {
+    // End-to-end: feed every schedule through the DES on both machine
+    // models and check basic sanity of the reports.
+    use nbody_netsim::{hopper, intrepid, simulate};
+    for machine in [hopper(), intrepid()] {
+        let params = AllPairsParams::new(16, 2, 128);
+        let rep = simulate(&machine, 16, |r| params.program(r));
+        assert!(rep.makespan > 0.0);
+        assert!(rep.mean().compute > 0.0);
+        assert!(rep.mean().phase(Phase::Shift) > 0.0);
+
+        let grid = ProcGrid::new(16, 2).unwrap();
+        let window = Window1d::new(8, 2);
+        let cp = CutoffParams::new(grid, window, vec![8; 8])
+            .with_reassign(ca_nbody::schedule::ReassignModel { bytes: 52 });
+        let rep = simulate(&machine, 16, |r| cp.program(r));
+        assert!(rep.makespan > 0.0);
+        assert!(rep.mean().phase(Phase::Reassign) > 0.0, "{}", machine.name);
+    }
+}
+
+#[test]
+fn executed_phase_totals_cover_all_phases_sanely() {
+    // No phantom phases: executions must not record anything under Reassign
+    // during a pure force evaluation.
+    let domain = Domain::unit();
+    let grid = ProcGrid::new_all_pairs(8, 2).unwrap();
+    let stats = run_ranks(8, |world| {
+        let gc = GridComms::new(world, grid);
+        let all = init::uniform(16, &domain, 1);
+        let mut st = if gc.is_leader() {
+            id_block_subset(&all, grid.teams(), gc.team())
+        } else {
+            Vec::new()
+        };
+        ca_all_pairs_forces(&gc, &mut st, &Counting, &domain, Boundary::Open);
+        world.stats()
+    });
+    for s in &stats {
+        assert_eq!(s.phase(Phase::Reassign).messages, 0);
+        let total: u64 = ALL_PHASES.iter().map(|&p| s.phase(p).messages).sum();
+        assert_eq!(total, s.total_messages());
+    }
+}

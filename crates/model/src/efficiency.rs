@@ -1,0 +1,118 @@
+//! Closed-form execution-time and parallel-efficiency predictions.
+//!
+//! A lightweight alpha-beta-gamma evaluation of the cost expressions in
+//! [`costs`](crate::costs), used to sanity-check the discrete-event
+//! simulator and to show the strong-scaling trends of Figs. 3 and 7
+//! analytically. Words are particles; `beta` is seconds per particle.
+
+use crate::costs::{ca_all_pairs, ca_cutoff_1d, CommCost};
+
+/// Per-machine scalar parameters for the closed-form model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModelParams {
+    /// Seconds per message.
+    pub alpha: f64,
+    /// Seconds per particle-word moved.
+    pub beta: f64,
+    /// Seconds per force evaluation.
+    pub gamma: f64,
+}
+
+impl ModelParams {
+    /// Time of a communication cost under this parameterization.
+    pub fn comm_time(&self, cost: CommCost) -> f64 {
+        self.alpha * cost.messages + self.beta * cost.words
+    }
+}
+
+/// Predicted time per all-pairs timestep: `γ·n²/p` compute plus Eq. 5
+/// communication.
+pub fn time_all_pairs(mp: ModelParams, n: u64, p: u64, c: u64) -> f64 {
+    let compute = mp.gamma * (n as f64) * (n as f64) / p as f64;
+    compute + mp.comm_time(ca_all_pairs(n, p, c))
+}
+
+/// Predicted time per 1D-cutoff timestep with span `m` (teams).
+pub fn time_cutoff_1d(mp: ModelParams, n: u64, p: u64, c: u64, m: u64) -> f64 {
+    let teams = p / c;
+    let k = 2.0 * (m as f64 / teams as f64) * n as f64;
+    let compute = mp.gamma * n as f64 * k / p as f64;
+    compute + mp.comm_time(ca_cutoff_1d(n, p, c, m))
+}
+
+/// Parallel efficiency vs. one core: `T₁ / (p · T_p)` with
+/// `T₁ = γ·F` (no communication on one core).
+pub fn efficiency(serial_time: f64, p: u64, parallel_time: f64) -> f64 {
+    serial_time / (p as f64 * parallel_time)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MP: ModelParams = ModelParams {
+        alpha: 1e-6,
+        beta: 5e-8,
+        gamma: 4e-8,
+    };
+
+    #[test]
+    fn replication_helps_in_comm_dominated_regime() {
+        // Small n, large p: communication dominates; Eq. 5 predicts
+        // monotone improvement with c (the ideal-collectives regime of
+        // Fig. 2a).
+        let (n, p) = (24_576, 6_144);
+        let t1 = time_all_pairs(MP, n, p, 1);
+        let t4 = time_all_pairs(MP, n, p, 4);
+        let t16 = time_all_pairs(MP, n, p, 16);
+        assert!(t4 < t1 && t16 < t4, "{t1} {t4} {t16}");
+    }
+
+    #[test]
+    fn strong_scaling_efficiency_improves_with_c() {
+        // Fig. 3's message: at large machine sizes, higher replication
+        // keeps efficiency near 1 while c=1 collapses.
+        let n = 196_608u64;
+        let serial = MP.gamma * (n as f64) * (n as f64);
+        let p = 24_576u64;
+        let e1 = efficiency(serial, p, time_all_pairs(MP, n, p, 1));
+        let e16 = efficiency(serial, p, time_all_pairs(MP, n, p, 16));
+        assert!(e16 > e1, "e16={e16} e1={e1}");
+        assert!(e16 > 0.8, "near-perfect scaling with the right c: {e16}");
+        assert!(e1 < 0.7, "c=1 suffers at scale: {e1}");
+    }
+
+    #[test]
+    fn efficiency_degrades_with_machine_size_for_fixed_c() {
+        let n = 196_608u64;
+        let serial = MP.gamma * (n as f64) * (n as f64);
+        let e_small = efficiency(serial, 1536, time_all_pairs(MP, n, 1536, 1));
+        let e_large = efficiency(serial, 24_576, time_all_pairs(MP, n, 24_576, 1));
+        assert!(e_small > e_large);
+    }
+
+    #[test]
+    fn cutoff_time_positive_and_improves_with_c() {
+        let (n, p, m_frac) = (196_608u64, 24_576u64, 4u64);
+        let t1 = {
+            let teams = p;
+            time_cutoff_1d(MP, n, p, 1, teams / m_frac)
+        };
+        let t4 = {
+            let teams = p / 4;
+            time_cutoff_1d(MP, n, p, 4, teams / m_frac)
+        };
+        assert!(t1 > 0.0 && t4 > 0.0);
+        assert!(t4 < t1, "replication helps the cutoff algorithm too");
+    }
+
+    #[test]
+    fn comm_time_is_linear_in_costs() {
+        let c = CommCost {
+            messages: 10.0,
+            words: 1000.0,
+        };
+        let t = MP.comm_time(c);
+        assert!((t - (10.0 * 1e-6 + 1000.0 * 5e-8)).abs() < 1e-18);
+    }
+}

@@ -1,0 +1,175 @@
+//! Closed-form analysis of the replication optimum and the machine-size
+//! crossover — the quantitative version of the paper's §V observation that
+//! `c` "should be treated as a tuning parameter".
+//!
+//! The all-pairs communication time under a saturating-collective machine
+//! model is
+//!
+//! ```text
+//! T(c) = α·p/c² + β·n/c + κ·(c·n/p)·√c
+//!        shifts    shift    reduce (saturation)
+//!        (latency) (words)
+//! ```
+//!
+//! The first two terms fall with `c` (the paper's `c²`/`c` gains); the
+//! saturation term grows as `c^{3/2}`, producing the interior optimum of
+//! Fig. 2.
+
+/// Machine scalars for the closed-form optimum (seconds; words are
+/// particles).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CommModel {
+    /// Seconds per point-to-point message.
+    pub alpha: f64,
+    /// Seconds per particle-word moved point-to-point.
+    pub beta: f64,
+    /// Reduce saturation: seconds per particle-word per √(team size).
+    pub kappa: f64,
+}
+
+impl CommModel {
+    /// All-pairs communication time at replication `c` (continuous).
+    pub fn comm_time_all_pairs(&self, n: f64, p: f64, c: f64) -> f64 {
+        assert!(c >= 1.0);
+        self.alpha * p / (c * c) + self.beta * n / c + self.kappa * (c * n / p) * c.sqrt()
+    }
+
+    /// The continuous minimizer of [`Self::comm_time_all_pairs`] over
+    /// `c ∈ [1, √p]`, found by golden-section search (the objective is
+    /// unimodal: a sum of decreasing and increasing power laws).
+    pub fn optimal_c_all_pairs(&self, n: f64, p: f64) -> f64 {
+        let f = |c: f64| self.comm_time_all_pairs(n, p, c);
+        golden_min(f, 1.0, p.sqrt())
+    }
+
+    /// The smallest power-of-two machine size at which replication `c = 2`
+    /// beats `c = 1` for the given problem size; `None` if it never does
+    /// below `p_max`. Locates the Fig. 3 crossover.
+    pub fn replication_crossover(&self, n: f64, p_max: u64) -> Option<u64> {
+        let mut p = 4u64;
+        while p <= p_max {
+            let pf = p as f64;
+            if self.comm_time_all_pairs(n, pf, 2.0) < self.comm_time_all_pairs(n, pf, 1.0) {
+                return Some(p);
+            }
+            p *= 2;
+        }
+        None
+    }
+}
+
+/// Golden-section minimization of a unimodal function on `[lo, hi]`.
+fn golden_min(f: impl Fn(f64) -> f64, lo: f64, hi: f64) -> f64 {
+    assert!(hi >= lo);
+    const INV_PHI: f64 = 0.618_033_988_749_894_8;
+    let (mut a, mut b) = (lo, hi);
+    let mut c = b - INV_PHI * (b - a);
+    let mut d = a + INV_PHI * (b - a);
+    let (mut fc, mut fd) = (f(c), f(d));
+    for _ in 0..200 {
+        if (b - a).abs() < 1e-10 * hi.max(1.0) {
+            break;
+        }
+        if fc < fd {
+            b = d;
+            d = c;
+            fd = fc;
+            c = b - INV_PHI * (b - a);
+            fc = f(c);
+        } else {
+            a = c;
+            c = d;
+            fc = fd;
+            d = a + INV_PHI * (b - a);
+            fd = f(d);
+        }
+    }
+    (a + b) / 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const M: CommModel = CommModel {
+        alpha: 1.5e-6,
+        beta: 52.0 * 3.0e-10,
+        kappa: 52.0 * 5.0e-8,
+    };
+
+    #[test]
+    fn golden_min_finds_parabola_vertex() {
+        let x = golden_min(|x| (x - 3.7) * (x - 3.7), 0.0, 10.0);
+        assert!((x - 3.7).abs() < 1e-6);
+    }
+
+    #[test]
+    fn continuous_optimum_matches_discrete_sweep() {
+        let (n, p) = (196_608.0, 24_576.0);
+        let c_star = M.optimal_c_all_pairs(n, p);
+        assert!(c_star > 1.0 && c_star < p.sqrt());
+        // The discrete best power of two brackets the continuous optimum.
+        let mut best = (1.0, f64::INFINITY);
+        let mut c = 1.0;
+        while c * c <= p {
+            let t = M.comm_time_all_pairs(n, p, c);
+            if t < best.1 {
+                best = (c, t);
+            }
+            c *= 2.0;
+        }
+        assert!(
+            best.0 / 2.0 <= c_star && c_star <= best.0 * 2.0,
+            "continuous {c_star} vs discrete {}",
+            best.0
+        );
+        // The optimum really is interior (the paper's tuning message).
+        assert!(
+            M.comm_time_all_pairs(n, p, c_star)
+                < M.comm_time_all_pairs(n, p, 1.0).min(M.comm_time_all_pairs(n, p, p.sqrt()))
+        );
+    }
+
+    #[test]
+    fn optimum_grows_with_machine_size() {
+        // Bigger machines shift more: the optimal replication rises.
+        let n = 196_608.0;
+        let c_small = M.optimal_c_all_pairs(n, 1_536.0);
+        let c_large = M.optimal_c_all_pairs(n, 24_576.0);
+        assert!(c_large > c_small, "{c_large} vs {c_small}");
+    }
+
+    #[test]
+    fn no_saturation_pushes_optimum_to_max() {
+        let ideal = CommModel { kappa: 0.0, ..M };
+        let (n, p) = (196_608.0, 24_576.0);
+        let c_star = ideal.optimal_c_all_pairs(n, p);
+        assert!(
+            c_star > 0.9 * p.sqrt(),
+            "without saturation, maximize replication: c* = {c_star}, sqrt(p) = {}",
+            p.sqrt()
+        );
+    }
+
+    #[test]
+    fn crossover_exists_and_moves_with_n() {
+        // Larger problems are compute/bandwidth heavy: replication pays off
+        // at larger machines only (latency term needs to dominate).
+        let small = M.replication_crossover(16_384.0, 1 << 22).unwrap();
+        let large = M.replication_crossover(1_048_576.0, 1 << 22).unwrap();
+        assert!(small <= large, "{small} vs {large}");
+        // And at the crossover, c=2 really wins.
+        let pf = large as f64;
+        assert!(M.comm_time_all_pairs(1_048_576.0, pf, 2.0) < M.comm_time_all_pairs(1_048_576.0, pf, 1.0));
+    }
+
+    #[test]
+    fn comm_time_components_have_expected_monotonicity() {
+        let (n, p) = (65_536.0, 4_096.0);
+        // Doubling c: shift latency /4, shift words /2, reduce x ~2.8.
+        let t1 = M.comm_time_all_pairs(n, p, 4.0);
+        let t2 = M.comm_time_all_pairs(n, p, 8.0);
+        // Sanity only: both positive, finite.
+        assert!(t1 > 0.0 && t2 > 0.0 && t1.is_finite() && t2.is_finite());
+    }
+}

@@ -1,0 +1,150 @@
+//! Machine-model calibration.
+//!
+//! The Hopper/Intrepid parameter sets ship with published-spec values; this
+//! module provides the procedure a user would run to calibrate the model
+//! to *their* machine: measure point-to-point latency/bandwidth and
+//! compute speed, then least-squares-fit the α/β/γ scalars. Applied here
+//! to the in-process `ThreadComm` transport (the only "network" this
+//! reproduction has), but the fitting math is transport-agnostic.
+
+use nbody_comm::{run_ranks, Communicator};
+
+use crate::machine::Machine;
+
+/// Least-squares fit of `t = alpha + beta * x` to `(x, t)` samples.
+/// Returns `(alpha, beta)`; degenerate inputs (fewer than two distinct
+/// `x`) fit a flat line through the mean.
+pub fn fit_affine(samples: &[(f64, f64)]) -> (f64, f64) {
+    assert!(!samples.is_empty(), "no samples to fit");
+    let n = samples.len() as f64;
+    let mean_x: f64 = samples.iter().map(|s| s.0).sum::<f64>() / n;
+    let mean_t: f64 = samples.iter().map(|s| s.1).sum::<f64>() / n;
+    let var_x: f64 = samples.iter().map(|s| (s.0 - mean_x).powi(2)).sum();
+    if var_x == 0.0 {
+        return (mean_t, 0.0);
+    }
+    let cov: f64 = samples
+        .iter()
+        .map(|s| (s.0 - mean_x) * (s.1 - mean_t))
+        .sum();
+    let beta = cov / var_x;
+    let alpha = mean_t - beta * mean_x;
+    (alpha, beta)
+}
+
+/// Least-squares fit of `t = gamma * x` (line through the origin).
+pub fn fit_linear(samples: &[(f64, f64)]) -> f64 {
+    assert!(!samples.is_empty(), "no samples to fit");
+    let num: f64 = samples.iter().map(|s| s.0 * s.1).sum();
+    let den: f64 = samples.iter().map(|s| s.0 * s.0).sum();
+    if den == 0.0 {
+        0.0
+    } else {
+        num / den
+    }
+}
+
+/// Measure ping-pong halves on the threaded transport: one `(bytes, secs)`
+/// sample per message size, each averaged over `reps` round trips.
+pub fn measure_p2p(sizes: &[usize], reps: usize) -> Vec<(f64, f64)> {
+    assert!(reps > 0);
+    sizes
+        .iter()
+        .map(|&bytes| {
+            let secs = run_ranks(2, |comm| {
+                let payload = vec![0u8; bytes];
+                // Warm-up round.
+                if comm.rank() == 0 {
+                    comm.send(1, 0, &payload);
+                    let _ = comm.recv::<u8>(1, 0);
+                } else {
+                    let got = comm.recv::<u8>(0, 0);
+                    comm.send(0, 0, &got);
+                }
+                let start = std::time::Instant::now();
+                for tag in 1..=reps as u64 {
+                    if comm.rank() == 0 {
+                        comm.send(1, tag, &payload);
+                        let _ = comm.recv::<u8>(1, tag);
+                    } else {
+                        let got = comm.recv::<u8>(0, tag);
+                        comm.send(0, tag, &got);
+                    }
+                }
+                // Half the round trip = one direction.
+                start.elapsed().as_secs_f64() / (2 * reps) as f64
+            })[0];
+            (bytes as f64, secs)
+        })
+        .collect()
+}
+
+/// Calibrate a machine model to the current host: α/β from ping-pong
+/// samples, γ from `(interactions, secs)` kernel samples supplied by the
+/// caller (the physics crate owns the kernel; pass its timings in). All
+/// other knobs are copied from `template`.
+pub fn calibrate_host(template: &Machine, gamma_samples: &[(f64, f64)]) -> Machine {
+    let p2p = measure_p2p(&[64, 1024, 16 * 1024, 256 * 1024], 50);
+    let (alpha, beta) = fit_affine(&p2p);
+    let mut m = template.clone();
+    m.name = "calibrated host";
+    m.alpha = alpha.max(1e-9);
+    m.beta = beta.max(0.0);
+    if !gamma_samples.is_empty() {
+        m.gamma = fit_linear(gamma_samples).max(1e-12);
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::hopper;
+
+    #[test]
+    fn affine_fit_recovers_exact_line() {
+        let samples: Vec<(f64, f64)> = (0..20)
+            .map(|i| {
+                let x = i as f64 * 1000.0;
+                (x, 3e-6 + 2.5e-9 * x)
+            })
+            .collect();
+        let (a, b) = fit_affine(&samples);
+        assert!((a - 3e-6).abs() < 1e-12, "alpha {a}");
+        assert!((b - 2.5e-9).abs() < 1e-15, "beta {b}");
+    }
+
+    #[test]
+    fn affine_fit_handles_degenerate_input() {
+        let (a, b) = fit_affine(&[(5.0, 2.0), (5.0, 4.0)]);
+        assert_eq!(a, 3.0);
+        assert_eq!(b, 0.0);
+    }
+
+    #[test]
+    fn linear_fit_recovers_slope() {
+        let samples: Vec<(f64, f64)> = (1..10).map(|i| (i as f64, 4e-8 * i as f64)).collect();
+        assert!((fit_linear(&samples) - 4e-8).abs() < 1e-20);
+        assert_eq!(fit_linear(&[(0.0, 0.0)]), 0.0);
+    }
+
+    #[test]
+    fn p2p_measurement_scales_with_size() {
+        let samples = measure_p2p(&[64, 1 << 20], 10);
+        assert_eq!(samples.len(), 2);
+        assert!(samples.iter().all(|&(_, t)| t > 0.0));
+        // A 1 MiB copy through a channel must cost more than 64 B.
+        assert!(samples[1].1 > samples[0].1, "{samples:?}");
+    }
+
+    #[test]
+    fn host_calibration_produces_usable_machine() {
+        let gamma_samples = vec![(1e6, 0.02), (2e6, 0.04)];
+        let m = calibrate_host(&hopper(), &gamma_samples);
+        assert!(m.alpha > 0.0 && m.alpha < 1e-2, "alpha {}", m.alpha);
+        assert!(m.beta >= 0.0);
+        assert!((m.gamma - 2e-8).abs() < 1e-12);
+        // Template knobs preserved.
+        assert_eq!(m.cores_per_node, hopper().cores_per_node);
+    }
+}

@@ -1,0 +1,93 @@
+//! A minimal multiplicative hasher for the simulator's hot maps.
+//!
+//! The DES performs one or two hash-map operations per simulated message;
+//! at paper scale (10⁹ ops) SipHash dominates the profile. Keys here are
+//! small integers under our control (rank pairs, team specs), so a
+//! Fibonacci-style multiply-xor hash is collision-adequate and several
+//! times faster. Not DoS-resistant — never use for untrusted keys.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiply-xor hasher over the written bytes/ints.
+#[derive(Default)]
+pub struct FastHasher {
+    state: u64,
+}
+
+const K: u64 = 0x9E37_79B9_7F4A_7C15; // 2^64 / phi
+
+impl Hasher for FastHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        // Final avalanche (from splitmix64).
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state = (self.state ^ u64::from(b)).wrapping_mul(K);
+        }
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.state = (self.state ^ u64::from(i)).wrapping_mul(K);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.state = (self.state ^ i).wrapping_mul(K);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.write_u64(i as u64);
+    }
+}
+
+/// `BuildHasher` for [`FastHasher`].
+pub type FastBuild = BuildHasherDefault<FastHasher>;
+
+/// A `HashMap` keyed with the fast hasher.
+pub type FastMap<K, V> = std::collections::HashMap<K, V, FastBuild>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash>(v: T) -> u64 {
+        FastBuild::default().hash_one(v)
+    }
+
+    #[test]
+    fn distinct_small_keys_rarely_collide() {
+        let mut seen = std::collections::HashSet::new();
+        for a in 0u32..100 {
+            for b in 0u32..100 {
+                seen.insert(hash_of((a, b)));
+            }
+        }
+        assert_eq!(seen.len(), 10_000, "no collisions on a 100x100 grid");
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(hash_of((3u32, 4u32)), hash_of((3u32, 4u32)));
+        assert_ne!(hash_of((3u32, 4u32)), hash_of((4u32, 3u32)));
+    }
+
+    #[test]
+    fn map_works() {
+        let mut m: FastMap<(u32, u32), u64> = FastMap::default();
+        for i in 0..1000u32 {
+            m.insert((i, i + 1), u64::from(i));
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m[&(10, 11)], 10);
+    }
+}

@@ -1,0 +1,271 @@
+//! Simulation domain geometry and boundary conditions.
+//!
+//! The paper's code "simulates particles moving in a two-dimensional space
+//! with reflective boundary conditions" (§III.C). We support both reflective
+//! and periodic boundaries; periodic boundaries use minimum-image
+//! displacements in force evaluation, matching common MD practice.
+
+use crate::vec2::Vec2;
+
+/// An axis-aligned rectangular simulation domain.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Domain {
+    /// Lower-left corner.
+    pub min: Vec2,
+    /// Upper-right corner.
+    pub max: Vec2,
+}
+
+impl Domain {
+    /// Build a domain from corner points. Panics if degenerate.
+    pub fn new(min: Vec2, max: Vec2) -> Self {
+        assert!(
+            max.x > min.x && max.y > min.y,
+            "degenerate domain: min {min:?}, max {max:?}"
+        );
+        Domain { min, max }
+    }
+
+    /// A square domain `[0, side] x [0, side]`.
+    pub fn square(side: f64) -> Self {
+        Domain::new(Vec2::zero(), Vec2::new(side, side))
+    }
+
+    /// The unit square.
+    pub fn unit() -> Self {
+        Domain::square(1.0)
+    }
+
+    /// Side lengths.
+    #[inline]
+    pub fn extent(&self) -> Vec2 {
+        self.max - self.min
+    }
+
+    /// Length along x — the decomposed axis for 1D spatial decompositions
+    /// (the paper's simulation space length `l` in Eq. 6).
+    #[inline]
+    pub fn length_x(&self) -> f64 {
+        self.max.x - self.min.x
+    }
+
+    /// Length along y.
+    #[inline]
+    pub fn length_y(&self) -> f64 {
+        self.max.y - self.min.y
+    }
+
+    /// Whether `p` lies inside the half-open box `[min, max)`.
+    #[inline]
+    pub fn contains(&self, p: Vec2) -> bool {
+        p.x >= self.min.x && p.x < self.max.x && p.y >= self.min.y && p.y < self.max.y
+    }
+
+    /// Center of the domain.
+    #[inline]
+    pub fn center(&self) -> Vec2 {
+        (self.min + self.max) * 0.5
+    }
+}
+
+/// Boundary condition applied after integration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Boundary {
+    /// Particles bounce off walls elastically (position mirrored, velocity
+    /// component negated). This is the paper's setting.
+    Reflective,
+    /// Particles wrap around; force evaluation uses minimum-image
+    /// displacements.
+    Periodic,
+    /// No boundary handling (free space); useful for gravity examples.
+    Open,
+}
+
+/// Reflect `x` into `[lo, hi]`, flipping `v`'s sign once per bounce.
+/// Handles multiple bounces for particles that overshoot by more than one
+/// domain length in a single step.
+fn reflect_axis(x: f64, v: f64, lo: f64, hi: f64) -> (f64, f64) {
+    let len = hi - lo;
+    debug_assert!(len > 0.0);
+    let mut x = x;
+    let mut v = v;
+    // Each loop iteration handles one wall crossing. The iteration count is
+    // bounded because every reflection strictly reduces the overshoot.
+    loop {
+        if x < lo {
+            x = lo + (lo - x);
+            v = -v;
+        } else if x > hi {
+            x = hi - (x - hi);
+            v = -v;
+        } else {
+            return (x, v);
+        }
+        // Guard against pathological velocities producing huge overshoots:
+        // fold the overshoot into a single period first.
+        if x < lo - 2.0 * len || x > hi + 2.0 * len {
+            let span = 2.0 * len;
+            let mut t = (x - lo).rem_euclid(span);
+            if t > len {
+                t = span - t;
+                v = -v;
+            }
+            x = lo + t;
+        }
+    }
+}
+
+/// Wrap `x` into `[lo, hi)` periodically.
+#[inline]
+fn wrap_axis(x: f64, lo: f64, hi: f64) -> f64 {
+    let len = hi - lo;
+    let w = lo + (x - lo).rem_euclid(len);
+    // rem_euclid can return exactly `len` due to rounding; fold it back.
+    if w >= hi {
+        lo
+    } else {
+        w
+    }
+}
+
+impl Boundary {
+    /// Apply the boundary condition to a position/velocity pair, returning
+    /// the corrected pair.
+    pub fn apply(&self, domain: &Domain, pos: Vec2, vel: Vec2) -> (Vec2, Vec2) {
+        match self {
+            Boundary::Reflective => {
+                let (x, vx) = reflect_axis(pos.x, vel.x, domain.min.x, domain.max.x);
+                let (y, vy) = reflect_axis(pos.y, vel.y, domain.min.y, domain.max.y);
+                (Vec2::new(x, y), Vec2::new(vx, vy))
+            }
+            Boundary::Periodic => (
+                Vec2::new(
+                    wrap_axis(pos.x, domain.min.x, domain.max.x),
+                    wrap_axis(pos.y, domain.min.y, domain.max.y),
+                ),
+                vel,
+            ),
+            Boundary::Open => (pos, vel),
+        }
+    }
+
+    /// Displacement `to - from` under this boundary condition. For periodic
+    /// boundaries this is the minimum-image displacement.
+    pub fn displacement(&self, domain: &Domain, from: Vec2, to: Vec2) -> Vec2 {
+        let d = to - from;
+        match self {
+            Boundary::Periodic => {
+                let ext = domain.extent();
+                let mut dx = d.x;
+                let mut dy = d.y;
+                if dx > 0.5 * ext.x {
+                    dx -= ext.x;
+                } else if dx < -0.5 * ext.x {
+                    dx += ext.x;
+                }
+                if dy > 0.5 * ext.y {
+                    dy -= ext.y;
+                } else if dy < -0.5 * ext.y {
+                    dy += ext.y;
+                }
+                Vec2::new(dx, dy)
+            }
+            _ => d,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn domain_basics() {
+        let d = Domain::square(4.0);
+        assert_eq!(d.extent(), Vec2::new(4.0, 4.0));
+        assert_eq!(d.length_x(), 4.0);
+        assert_eq!(d.center(), Vec2::new(2.0, 2.0));
+        assert!(d.contains(Vec2::new(0.0, 3.9)));
+        assert!(!d.contains(Vec2::new(4.0, 2.0)));
+        assert!(!d.contains(Vec2::new(-0.1, 2.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn degenerate_domain_rejected() {
+        let _ = Domain::new(Vec2::new(1.0, 0.0), Vec2::new(1.0, 2.0));
+    }
+
+    #[test]
+    fn reflective_bounce_flips_velocity() {
+        let d = Domain::unit();
+        let (pos, vel) =
+            Boundary::Reflective.apply(&d, Vec2::new(1.2, 0.5), Vec2::new(1.0, 0.0));
+        assert!((pos.x - 0.8).abs() < 1e-12);
+        assert_eq!(vel, Vec2::new(-1.0, 0.0));
+        assert_eq!(pos.y, 0.5);
+    }
+
+    #[test]
+    fn reflective_double_bounce() {
+        let d = Domain::unit();
+        // Overshoot past the far wall and back: 1.0 -> reflect at 1 -> 0.8? no:
+        // x = -0.3 reflects to 0.3 with flipped velocity.
+        let (pos, vel) =
+            Boundary::Reflective.apply(&d, Vec2::new(-0.3, 0.5), Vec2::new(-2.0, 0.0));
+        assert!((pos.x - 0.3).abs() < 1e-12);
+        assert_eq!(vel.x, 2.0);
+    }
+
+    #[test]
+    fn reflective_handles_large_overshoot() {
+        let d = Domain::unit();
+        let (pos, _vel) =
+            Boundary::Reflective.apply(&d, Vec2::new(7.3, 0.5), Vec2::new(10.0, 0.0));
+        assert!((0.0..=1.0).contains(&pos.x), "pos.x = {}", pos.x);
+    }
+
+    #[test]
+    fn periodic_wrap() {
+        let d = Domain::unit();
+        let (pos, vel) = Boundary::Periodic.apply(&d, Vec2::new(1.25, -0.5), Vec2::new(1.0, 1.0));
+        assert!((pos.x - 0.25).abs() < 1e-12);
+        assert!((pos.y - 0.5).abs() < 1e-12);
+        assert_eq!(vel, Vec2::new(1.0, 1.0)); // periodic wrap preserves velocity
+    }
+
+    #[test]
+    fn periodic_minimum_image() {
+        let d = Domain::unit();
+        let disp =
+            Boundary::Periodic.displacement(&d, Vec2::new(0.05, 0.5), Vec2::new(0.95, 0.5));
+        assert!((disp.x - -0.1).abs() < 1e-12, "wrapped displacement, got {disp:?}");
+    }
+
+    #[test]
+    fn open_boundary_is_identity() {
+        let d = Domain::unit();
+        let p = Vec2::new(5.0, -3.0);
+        let v = Vec2::new(1.0, 2.0);
+        assert_eq!(Boundary::Open.apply(&d, p, v), (p, v));
+        assert_eq!(
+            Boundary::Open.displacement(&d, Vec2::zero(), p),
+            p
+        );
+    }
+
+    #[test]
+    fn reflective_displacement_is_euclidean() {
+        let d = Domain::unit();
+        let disp =
+            Boundary::Reflective.displacement(&d, Vec2::new(0.05, 0.5), Vec2::new(0.95, 0.5));
+        assert!((disp.x - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wrap_axis_edge_cases() {
+        assert_eq!(wrap_axis(1.0, 0.0, 1.0), 0.0);
+        assert_eq!(wrap_axis(0.0, 0.0, 1.0), 0.0);
+        assert!((wrap_axis(-0.25, 0.0, 1.0) - 0.75).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,35 @@
+//! # nbody-physics
+//!
+//! Physics substrate for the reproduction of *“A Communication-Optimal
+//! N-Body Algorithm for Direct Interactions”* (Driscoll, Georganas,
+//! Koanantakool, Solomonik, Yelick — IPDPS 2013).
+//!
+//! This crate contains everything the distributed algorithms treat as a
+//! black box: particle representation (the paper's particles are 52 bytes on
+//! the wire — see [`particle::PARTICLE_WIRE_BYTES`]), pairwise force laws
+//! including the paper's inverse-square repulsion and finite-cutoff wrappers,
+//! time integrators, boundary conditions (the paper uses reflective walls),
+//! deterministic initial-condition generators, cell lists, and — crucially —
+//! the serial O(n²) reference engines that every distributed algorithm is
+//! validated against.
+
+#![warn(missing_docs)]
+
+pub mod cell_list;
+pub mod diagnostics;
+pub mod domain;
+pub mod force;
+pub mod force_ext;
+pub mod init;
+pub mod integrator;
+pub mod neighbor;
+pub mod particle;
+pub mod reference;
+pub mod vec2;
+
+pub use domain::{Boundary, Domain};
+pub use force::{Counting, Cutoff, ForceLaw, Gravity, LennardJones, RepulsiveInverseSquare};
+pub use force_ext::{ShiftedForce, Yukawa};
+pub use integrator::{ExplicitEuler, Integrator, SemiImplicitEuler, VelocityVerlet};
+pub use particle::{Particle, PARTICLE_WIRE_BYTES};
+pub use vec2::Vec2;

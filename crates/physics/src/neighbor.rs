@@ -1,0 +1,268 @@
+//! Verlet neighbor lists.
+//!
+//! The standard MD acceleration for cutoff interactions: build the pair
+//! list once with an enlarged radius `r_c + skin` (via the cell list), and
+//! reuse it across timesteps until some particle has moved farther than
+//! `skin / 2` — at which point pairs could have crossed the true cutoff
+//! undetected and the list must be rebuilt. Complements the cell list as
+//! the serial engine's fast path for the paper's cutoff workloads.
+
+use crate::cell_list::CellList;
+use crate::domain::{Boundary, Domain};
+use crate::force::ForceLaw;
+use crate::particle::Particle;
+use crate::vec2::Vec2;
+
+/// A reusable pair list with a skin margin.
+#[derive(Debug)]
+pub struct NeighborList {
+    /// Candidate pairs `(i, j)` with `i < j`, within `r_c + skin` at build
+    /// time (indices into the particle slice the list was built from).
+    pairs: Vec<(u32, u32)>,
+    /// Positions at build time, for displacement tracking.
+    reference_pos: Vec<Vec2>,
+    /// True interaction cutoff.
+    r_c: f64,
+    /// Skin margin.
+    skin: f64,
+    periodic: bool,
+}
+
+impl NeighborList {
+    /// Build a list for `particles` with cutoff `r_c` and margin `skin`.
+    pub fn build(
+        particles: &[Particle],
+        domain: &Domain,
+        boundary: Boundary,
+        r_c: f64,
+        skin: f64,
+    ) -> Self {
+        assert!(r_c > 0.0 && skin >= 0.0);
+        let periodic = boundary == Boundary::Periodic;
+        let reach = r_c + skin;
+        let cl = CellList::build(particles, domain, reach, periodic);
+        let reach2 = reach * reach;
+        let mut pairs = Vec::new();
+        for (i, p) in particles.iter().enumerate() {
+            for j in cl.neighborhood(p.pos.x, p.pos.y) {
+                if j <= i {
+                    continue;
+                }
+                let disp = boundary.displacement(domain, p.pos, particles[j].pos);
+                if disp.norm_sq() <= reach2 {
+                    pairs.push((i as u32, j as u32));
+                }
+            }
+        }
+        NeighborList {
+            pairs,
+            reference_pos: particles.iter().map(|p| p.pos).collect(),
+            r_c,
+            skin,
+            periodic,
+        }
+    }
+
+    /// Number of candidate pairs.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether the list holds no pairs.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Whether the list is still guaranteed valid: no particle has moved
+    /// more than `skin / 2` since the build (the classic conservative
+    /// criterion — two particles approaching each other can close at most
+    /// `skin` together).
+    pub fn is_valid(&self, particles: &[Particle], domain: &Domain, boundary: Boundary) -> bool {
+        if particles.len() != self.reference_pos.len() {
+            return false;
+        }
+        let limit2 = (self.skin / 2.0) * (self.skin / 2.0);
+        particles.iter().zip(&self.reference_pos).all(|(p, &r)| {
+            boundary.displacement(domain, r, p.pos).norm_sq() <= limit2
+        })
+    }
+
+    /// Accumulate forces over the candidate pairs (both directions, no
+    /// symmetry exploited — matching the paper's policy). The law's own
+    /// cutoff filters pairs that drifted outside `r_c` but are still on
+    /// the list. Panics if the list was built for a different boundary.
+    pub fn accumulate_forces<F: ForceLaw>(
+        &self,
+        particles: &mut [Particle],
+        law: &F,
+        domain: &Domain,
+        boundary: Boundary,
+    ) {
+        assert_eq!(
+            boundary == Boundary::Periodic,
+            self.periodic,
+            "list built under a different boundary condition"
+        );
+        debug_assert!(
+            law.cutoff().is_some_and(|rc| rc <= self.r_c + 1e-12),
+            "force law cutoff exceeds the list's build cutoff"
+        );
+        for &(i, j) in &self.pairs {
+            let (i, j) = (i as usize, j as usize);
+            let (a, b) = (particles[i], particles[j]);
+            let disp = boundary.displacement(domain, a.pos, b.pos);
+            let f_on_a = law.force(&a, &b, disp);
+            let f_on_b = law.force(&b, &a, -disp);
+            particles[i].force += f_on_a;
+            particles[j].force += f_on_b;
+        }
+    }
+}
+
+/// A self-managing wrapper: rebuilds the list when the validity criterion
+/// fails, otherwise reuses it. Returns rebuild statistics for tuning.
+#[derive(Debug)]
+pub struct AutoNeighborList {
+    list: NeighborList,
+    /// Times the list was rebuilt (including the initial build).
+    pub rebuilds: usize,
+    /// Force evaluations served since construction.
+    pub reuses: usize,
+}
+
+impl AutoNeighborList {
+    /// Build the initial list.
+    pub fn new(
+        particles: &[Particle],
+        domain: &Domain,
+        boundary: Boundary,
+        r_c: f64,
+        skin: f64,
+    ) -> Self {
+        AutoNeighborList {
+            list: NeighborList::build(particles, domain, boundary, r_c, skin),
+            rebuilds: 1,
+            reuses: 0,
+        }
+    }
+
+    /// Accumulate forces, rebuilding first if required.
+    pub fn accumulate_forces<F: ForceLaw>(
+        &mut self,
+        particles: &mut [Particle],
+        law: &F,
+        domain: &Domain,
+        boundary: Boundary,
+    ) {
+        if !self.list.is_valid(particles, domain, boundary) {
+            let (r_c, skin) = (self.list.r_c, self.list.skin);
+            self.list = NeighborList::build(particles, domain, boundary, r_c, skin);
+            self.rebuilds += 1;
+        } else {
+            self.reuses += 1;
+        }
+        self.list.accumulate_forces(particles, law, domain, boundary);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::force::{Counting, Cutoff, RepulsiveInverseSquare};
+    use crate::init;
+    use crate::particle::reset_forces;
+    use crate::reference;
+
+    #[test]
+    fn fresh_list_matches_reference_exactly() {
+        let domain = Domain::unit();
+        let r_c = 0.2;
+        let law = Cutoff::new(Counting, r_c);
+        for (boundary, seed) in [(Boundary::Open, 3u64), (Boundary::Periodic, 4)] {
+            let mut a = init::uniform(80, &domain, seed);
+            let mut b = a.clone();
+            reference::accumulate_forces(&mut a, &law, &domain, boundary);
+            let list = NeighborList::build(&b, &domain, boundary, r_c, 0.05);
+            list.accumulate_forces(&mut b, &law, &domain, boundary);
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.force, y.force, "{boundary:?} id={}", x.id);
+            }
+        }
+    }
+
+    #[test]
+    fn validity_tracks_displacement() {
+        let domain = Domain::unit();
+        let mut ps = init::uniform(30, &domain, 7);
+        let list = NeighborList::build(&ps, &domain, Boundary::Open, 0.2, 0.1);
+        assert!(list.is_valid(&ps, &domain, Boundary::Open));
+        // Move one particle by less than skin/2: still valid.
+        ps[3].pos.x = (ps[3].pos.x + 0.04).min(0.999);
+        assert!(list.is_valid(&ps, &domain, Boundary::Open));
+        // Beyond skin/2: invalid.
+        ps[3].pos.y = (ps[3].pos.y + 0.06).min(0.999);
+        assert!(!list.is_valid(&ps, &domain, Boundary::Open));
+    }
+
+    #[test]
+    fn stale_but_valid_list_is_still_exact() {
+        // Particles drift within skin/2; the enlarged list plus the law's
+        // own cutoff must reproduce the reference on the *moved* positions.
+        let domain = Domain::unit();
+        let r_c = 0.2;
+        let skin = 0.08;
+        let law = Cutoff::new(Counting, r_c);
+        let mut ps = init::uniform(60, &domain, 11);
+        let list = NeighborList::build(&ps, &domain, Boundary::Open, r_c, skin);
+        // Drift everyone by up to skin/2 (deterministically).
+        for (k, p) in ps.iter_mut().enumerate() {
+            let d = 0.9 * skin / 2.0;
+            p.pos.x = (p.pos.x + if k % 2 == 0 { d } else { -d }).clamp(0.0, 0.999);
+        }
+        assert!(list.is_valid(&ps, &domain, Boundary::Open));
+        let mut want = ps.clone();
+        reference::accumulate_forces(&mut want, &law, &domain, Boundary::Open);
+        list.accumulate_forces(&mut ps, &law, &domain, Boundary::Open);
+        for (x, y) in want.iter().zip(&ps) {
+            assert_eq!(x.force, y.force, "id={}", x.id);
+        }
+    }
+
+    #[test]
+    fn auto_list_rebuilds_only_when_needed() {
+        let domain = Domain::unit();
+        let r_c = 0.15;
+        let law = Cutoff::new(
+            RepulsiveInverseSquare {
+                strength: 1e-6,
+                softening: 1e-3,
+            },
+            r_c,
+        );
+        let mut ps = init::uniform(50, &domain, 5);
+        let mut auto = AutoNeighborList::new(&ps, &domain, Boundary::Open, r_c, 0.1);
+        // Static particles: many reuses, one build.
+        for _ in 0..5 {
+            reset_forces(&mut ps);
+            auto.accumulate_forces(&mut ps, &law, &domain, Boundary::Open);
+        }
+        assert_eq!(auto.rebuilds, 1);
+        assert_eq!(auto.reuses, 5);
+        // Teleport a particle: next call must rebuild.
+        ps[0].pos = crate::vec2::Vec2::new(0.9, 0.9);
+        reset_forces(&mut ps);
+        auto.accumulate_forces(&mut ps, &law, &domain, Boundary::Open);
+        assert_eq!(auto.rebuilds, 2);
+    }
+
+    #[test]
+    fn empty_and_single_particle_lists() {
+        let domain = Domain::unit();
+        let empty: Vec<Particle> = Vec::new();
+        let list = NeighborList::build(&empty, &domain, Boundary::Open, 0.1, 0.0);
+        assert!(list.is_empty());
+        let one = init::uniform(1, &domain, 0);
+        let list = NeighborList::build(&one, &domain, Boundary::Open, 0.1, 0.0);
+        assert_eq!(list.len(), 0);
+    }
+}

@@ -1,0 +1,146 @@
+//! The particle representation.
+//!
+//! The paper's experiments use a 52-byte particle record (§III.C: "The
+//! particles are 52 bytes in size"). Our in-memory representation keeps
+//! `f64` components for numerical quality, so it is larger than 52 bytes;
+//! all *communication-cost accounting* (the netsim machine model and the
+//! analytic cost model) instead uses [`PARTICLE_WIRE_BYTES`] so bandwidth
+//! terms match the paper's exactly.
+
+use crate::vec2::Vec2;
+
+/// Bytes per particle on the wire, matching the paper's 52-byte particles.
+/// Used by the cost model and the discrete-event network simulator.
+pub const PARTICLE_WIRE_BYTES: usize = 52;
+
+/// A simulated particle.
+///
+/// `force` is the force *accumulator* for the current timestep: distributed
+/// algorithms add partial contributions into it (possibly on several
+/// processors, later combined by a sum-reduction) and the integrator consumes
+/// and resets it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[repr(C)]
+pub struct Particle {
+    /// Position in simulation space.
+    pub pos: Vec2,
+    /// Velocity.
+    pub vel: Vec2,
+    /// Force accumulator for the current timestep.
+    pub force: Vec2,
+    /// Particle mass (must be positive).
+    pub mass: f64,
+    /// Stable global identifier; used to skip self-interactions and to
+    /// compare distributed results against the serial reference.
+    pub id: u64,
+}
+
+impl Particle {
+    /// A unit-mass particle at rest at `pos`.
+    pub fn at(id: u64, pos: Vec2) -> Self {
+        Particle {
+            pos,
+            vel: Vec2::zero(),
+            force: Vec2::zero(),
+            mass: 1.0,
+            id,
+        }
+    }
+
+    /// A particle with explicit position and velocity, unit mass.
+    pub fn moving(id: u64, pos: Vec2, vel: Vec2) -> Self {
+        Particle {
+            pos,
+            vel,
+            force: Vec2::zero(),
+            mass: 1.0,
+            id,
+        }
+    }
+
+    /// Builder-style mass override.
+    pub fn with_mass(mut self, mass: f64) -> Self {
+        assert!(mass > 0.0, "particle mass must be positive, got {mass}");
+        self.mass = mass;
+        self
+    }
+
+    /// Clear the force accumulator (start of a timestep).
+    #[inline]
+    pub fn reset_force(&mut self) {
+        self.force = Vec2::zero();
+    }
+
+    /// Kinetic energy `m |v|^2 / 2`.
+    #[inline]
+    pub fn kinetic_energy(&self) -> f64 {
+        0.5 * self.mass * self.vel.norm_sq()
+    }
+
+    /// Momentum `m v`.
+    #[inline]
+    pub fn momentum(&self) -> Vec2 {
+        self.vel * self.mass
+    }
+}
+
+/// Clear every force accumulator in a slice.
+pub fn reset_forces(particles: &mut [Particle]) {
+    for p in particles {
+        p.reset_force();
+    }
+}
+
+/// Total wire bytes for a message of `n` particles, using the paper's
+/// 52-byte particle size.
+#[inline]
+pub const fn wire_bytes(n: usize) -> usize {
+    n * PARTICLE_WIRE_BYTES
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_size_matches_paper() {
+        assert_eq!(PARTICLE_WIRE_BYTES, 52);
+        assert_eq!(wire_bytes(196_608), 196_608 * 52);
+    }
+
+    #[test]
+    fn constructors() {
+        let p = Particle::at(3, Vec2::new(1.0, 2.0));
+        assert_eq!(p.id, 3);
+        assert_eq!(p.mass, 1.0);
+        assert_eq!(p.vel, Vec2::zero());
+        assert_eq!(p.force, Vec2::zero());
+
+        let q = Particle::moving(4, Vec2::zero(), Vec2::new(1.0, -1.0)).with_mass(2.5);
+        assert_eq!(q.mass, 2.5);
+        assert_eq!(q.vel, Vec2::new(1.0, -1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "mass must be positive")]
+    fn zero_mass_rejected() {
+        let _ = Particle::at(0, Vec2::zero()).with_mass(0.0);
+    }
+
+    #[test]
+    fn energy_and_momentum() {
+        let p = Particle::moving(0, Vec2::zero(), Vec2::new(3.0, 4.0)).with_mass(2.0);
+        assert_eq!(p.kinetic_energy(), 25.0);
+        assert_eq!(p.momentum(), Vec2::new(6.0, 8.0));
+    }
+
+    #[test]
+    fn reset_forces_clears_all() {
+        let mut ps = vec![Particle::at(0, Vec2::zero()); 4];
+        for p in &mut ps {
+            p.force = Vec2::new(1.0, 1.0);
+        }
+        reset_forces(&mut ps);
+        assert!(ps.iter().all(|p| p.force == Vec2::zero()));
+    }
+}

@@ -1,0 +1,270 @@
+//! Fixed-size 2D vector used for positions, velocities, and forces.
+//!
+//! The paper's experiments simulate particles "moving in a two-dimensional
+//! space" (§III.C), so 2D is the native geometry of this reproduction. The
+//! 1D-cutoff experiments embed a 1D simulation by ignoring the `y` component
+//! (see [`Vec2::from_x`]).
+
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A 2D vector of `f64` components.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[repr(C)]
+pub struct Vec2 {
+    /// x component.
+    pub x: f64,
+    /// y component.
+    pub y: f64,
+}
+
+/// The zero vector.
+pub const ZERO: Vec2 = Vec2 { x: 0.0, y: 0.0 };
+
+impl Vec2 {
+    /// Create a vector from its components.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Vec2 { x, y }
+    }
+
+    /// A vector along the x axis only; used to embed 1D simulations.
+    #[inline]
+    pub const fn from_x(x: f64) -> Self {
+        Vec2 { x, y: 0.0 }
+    }
+
+    /// The zero vector.
+    #[inline]
+    pub const fn zero() -> Self {
+        ZERO
+    }
+
+    /// Dot product.
+    #[inline]
+    pub fn dot(self, other: Vec2) -> f64 {
+        self.x * other.x + self.y * other.y
+    }
+
+    /// Squared Euclidean norm. Prefer this over `norm()` in cutoff tests to
+    /// avoid the square root on the hot path.
+    #[inline]
+    pub fn norm_sq(self) -> f64 {
+        self.dot(self)
+    }
+
+    /// Euclidean norm.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.norm_sq().sqrt()
+    }
+
+    /// Unit vector in the direction of `self`; returns zero for the zero
+    /// vector (a deliberate choice so coincident particles exert no force
+    /// rather than NaN-poisoning the simulation).
+    #[inline]
+    pub fn normalized(self) -> Vec2 {
+        let n = self.norm();
+        if n == 0.0 {
+            ZERO
+        } else {
+            self / n
+        }
+    }
+
+    /// Component-wise minimum.
+    #[inline]
+    pub fn min(self, other: Vec2) -> Vec2 {
+        Vec2::new(self.x.min(other.x), self.y.min(other.y))
+    }
+
+    /// Component-wise maximum.
+    #[inline]
+    pub fn max(self, other: Vec2) -> Vec2 {
+        Vec2::new(self.x.max(other.x), self.y.max(other.y))
+    }
+
+    /// True if both components are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+
+    /// Distance to another point.
+    #[inline]
+    pub fn distance(self, other: Vec2) -> f64 {
+        (self - other).norm()
+    }
+
+    /// Squared distance to another point.
+    #[inline]
+    pub fn distance_sq(self, other: Vec2) -> f64 {
+        (self - other).norm_sq()
+    }
+}
+
+impl Add for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn add(self, rhs: Vec2) -> Vec2 {
+        Vec2::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl AddAssign for Vec2 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Vec2) {
+        self.x += rhs.x;
+        self.y += rhs.y;
+    }
+}
+
+impl Sub for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn sub(self, rhs: Vec2) -> Vec2 {
+        Vec2::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl SubAssign for Vec2 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Vec2) {
+        self.x -= rhs.x;
+        self.y -= rhs.y;
+    }
+}
+
+impl Mul<f64> for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn mul(self, s: f64) -> Vec2 {
+        Vec2::new(self.x * s, self.y * s)
+    }
+}
+
+impl Mul<Vec2> for f64 {
+    type Output = Vec2;
+    #[inline]
+    fn mul(self, v: Vec2) -> Vec2 {
+        v * self
+    }
+}
+
+impl MulAssign<f64> for Vec2 {
+    #[inline]
+    fn mul_assign(&mut self, s: f64) {
+        self.x *= s;
+        self.y *= s;
+    }
+}
+
+impl Div<f64> for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn div(self, s: f64) -> Vec2 {
+        Vec2::new(self.x / s, self.y / s)
+    }
+}
+
+impl DivAssign<f64> for Vec2 {
+    #[inline]
+    fn div_assign(&mut self, s: f64) {
+        self.x /= s;
+        self.y /= s;
+    }
+}
+
+impl Neg for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn neg(self) -> Vec2 {
+        Vec2::new(-self.x, -self.y)
+    }
+}
+
+impl Sum for Vec2 {
+    fn sum<I: Iterator<Item = Vec2>>(iter: I) -> Vec2 {
+        iter.fold(ZERO, |a, b| a + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_basics() {
+        let a = Vec2::new(1.0, 2.0);
+        let b = Vec2::new(3.0, -4.0);
+        assert_eq!(a + b, Vec2::new(4.0, -2.0));
+        assert_eq!(a - b, Vec2::new(-2.0, 6.0));
+        assert_eq!(a * 2.0, Vec2::new(2.0, 4.0));
+        assert_eq!(2.0 * a, Vec2::new(2.0, 4.0));
+        assert_eq!(b / 2.0, Vec2::new(1.5, -2.0));
+        assert_eq!(-a, Vec2::new(-1.0, -2.0));
+    }
+
+    #[test]
+    fn compound_assignment() {
+        let mut v = Vec2::new(1.0, 1.0);
+        v += Vec2::new(2.0, 3.0);
+        assert_eq!(v, Vec2::new(3.0, 4.0));
+        v -= Vec2::new(1.0, 1.0);
+        assert_eq!(v, Vec2::new(2.0, 3.0));
+        v *= 2.0;
+        assert_eq!(v, Vec2::new(4.0, 6.0));
+        v /= 4.0;
+        assert_eq!(v, Vec2::new(1.0, 1.5));
+    }
+
+    #[test]
+    fn norms_and_dot() {
+        let v = Vec2::new(3.0, 4.0);
+        assert_eq!(v.norm_sq(), 25.0);
+        assert_eq!(v.norm(), 5.0);
+        assert_eq!(v.dot(Vec2::new(1.0, 1.0)), 7.0);
+        assert_eq!(v.normalized(), Vec2::new(0.6, 0.8));
+    }
+
+    #[test]
+    fn normalized_zero_is_zero() {
+        assert_eq!(Vec2::zero().normalized(), Vec2::zero());
+    }
+
+    #[test]
+    fn distance() {
+        let a = Vec2::new(1.0, 1.0);
+        let b = Vec2::new(4.0, 5.0);
+        assert_eq!(a.distance(b), 5.0);
+        assert_eq!(a.distance_sq(b), 25.0);
+    }
+
+    #[test]
+    fn min_max_components() {
+        let a = Vec2::new(1.0, 5.0);
+        let b = Vec2::new(2.0, 3.0);
+        assert_eq!(a.min(b), Vec2::new(1.0, 3.0));
+        assert_eq!(a.max(b), Vec2::new(2.0, 5.0));
+    }
+
+    #[test]
+    fn sum_iterator() {
+        let total: Vec2 = (0..4).map(|i| Vec2::new(i as f64, 1.0)).sum();
+        assert_eq!(total, Vec2::new(6.0, 4.0));
+    }
+
+    #[test]
+    fn from_x_is_one_dimensional() {
+        let v = Vec2::from_x(7.5);
+        assert_eq!(v.y, 0.0);
+        assert_eq!(v.x, 7.5);
+    }
+
+    #[test]
+    fn finite_detection() {
+        assert!(Vec2::new(1.0, 2.0).is_finite());
+        assert!(!Vec2::new(f64::NAN, 0.0).is_finite());
+        assert!(!Vec2::new(0.0, f64::INFINITY).is_finite());
+    }
+}

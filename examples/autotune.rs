@@ -1,0 +1,59 @@
+//! Autotuning the replication factor — the paper's §V future-work
+//! suggestion, both ways:
+//!
+//! 1. model-guided: sweep candidate `c` through the simulated machine and
+//!    pick the predicted-fastest;
+//! 2. measurement-guided: time a few real steps per candidate on the
+//!    threaded runtime and keep the winner.
+//!
+//! Run with: `cargo run --release --example autotune`
+
+use ca_nbody::autotune::{autotune_all_pairs, autotune_cutoff_1d, pick_fastest};
+use ca_nbody::{run_distributed, Method, SimConfig};
+use nbody_netsim::{hopper, intrepid};
+use nbody_physics::{init, Boundary, Domain, RepulsiveInverseSquare, SemiImplicitEuler};
+
+fn main() {
+    // --- Model-guided tuning at cluster scale -------------------------
+    println!("model-guided tuning (simulated machines):");
+    for (machine, p, n) in [
+        (hopper(), 1536usize, 12_288usize),
+        (hopper(), 6144, 24_576),
+        (intrepid(), 2048, 16_384),
+    ] {
+        let tune = autotune_all_pairs(&machine, p, n);
+        print!("  all-pairs {} p={p} n={n}:", machine.name);
+        for k in &tune.candidates {
+            print!(" c={}:{:.1}ms", k.c, k.predicted_secs * 1e3);
+        }
+        println!("  -> best c = {}", tune.best_c);
+    }
+    let tune = autotune_cutoff_1d(&hopper(), 1536, 12_288, 0.25);
+    println!(
+        "  1D-cutoff Hopper p=1536 n=12288 rc=l/4 -> best c = {} ({:.1} ms)",
+        tune.best_c,
+        tune.best_time() * 1e3
+    );
+
+    // --- Measurement-guided tuning on the real threaded runtime -------
+    println!("\nmeasurement-guided tuning (threaded runtime, p = 16):");
+    let cfg = SimConfig {
+        law: RepulsiveInverseSquare::default(),
+        integrator: SemiImplicitEuler,
+        domain: Domain::unit(),
+        boundary: Boundary::Reflective,
+        dt: 0.01,
+        steps: 2,
+    };
+    let initial = init::uniform(1024, &cfg.domain, 4);
+    let candidates = [1usize, 2, 4];
+    let best = pick_fastest(&candidates, 2, |c| {
+        let _ = run_distributed(&cfg, Method::CaAllPairs { c }, 16, &initial);
+    });
+    println!("  candidates {candidates:?} -> measured best c = {best}");
+    println!(
+        "  (in-process ranks share memory bandwidth, so the measured optimum \
+         reflects this host, not a cluster — exactly why the paper suggests \
+         tuning at runtime)"
+    );
+}

@@ -1,0 +1,45 @@
+//! Strong-scaling study on the simulated machines: a miniature Fig. 3,
+//! driven entirely through the public schedule + netsim APIs — how a user
+//! would explore "what happens to my workload at 24K cores" without a
+//! cluster allocation.
+//!
+//! Run with: `cargo run --release --example strong_scaling`
+
+use ca_nbody::schedule::AllPairsParams;
+use nbody_netsim::{hopper, intrepid, simulate, Machine};
+
+fn study(machine: &Machine, n: usize, ps: &[usize], cs: &[usize]) {
+    println!("\nstrong scaling of {} particles on {}", n, machine.name);
+    print!("{:>8}", "cores");
+    for c in cs {
+        print!(" {:>9}", format!("c={c}"));
+    }
+    println!("   (parallel efficiency vs one core)");
+    for &p in ps {
+        print!("{:>8}", p);
+        for &c in cs {
+            if c * c <= p && p % (c * c) == 0 {
+                let params = AllPairsParams::new(p, c, n);
+                let rep = simulate(machine, p, |r| params.program(r));
+                let compute: f64 = rep.per_rank.iter().map(|b| b.compute).sum();
+                let eff = compute / (p as f64 * rep.makespan);
+                print!(" {:>9.3}", eff);
+            } else {
+                print!(" {:>9}", "-");
+            }
+        }
+        println!();
+    }
+}
+
+fn main() {
+    let ps = [256usize, 512, 1024, 2048, 4096];
+    let cs = [1usize, 2, 4, 8, 16];
+    study(&hopper(), 32_768, &ps, &cs);
+    study(&intrepid(), 32_768, &ps, &cs);
+    println!(
+        "\nReading the table: with c = 1 efficiency collapses as the machine grows \
+         (communication dominates); a moderate replication factor keeps it near 1 — \
+         the paper's Fig. 3 in miniature."
+    );
+}

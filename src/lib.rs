@@ -1,0 +1,1 @@
+//! Reproduction workspace root; see README.

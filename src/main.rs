@@ -1,0 +1,269 @@
+//! `ca-nbody` — command-line front end of the reproduction.
+//!
+//! ```text
+//! ca-nbody run      [n=1024] [p=8] [c=2] [steps=20] [dt=0.005] [method=ca]
+//!                   [law=repulsive|gravity|lj] [cutoff=0.25] [boundary=reflective]
+//! ca-nbody verify   [same options]            distributed-vs-serial check
+//! ca-nbody scale    [machine=hopper] [n=32768] strong-scaling table (simulated)
+//! ca-nbody autotune [machine=hopper] [p=1536] [n=12288] [cutoff=0]
+//! ```
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use ca_nbody::autotune::{autotune_all_pairs, autotune_cutoff_1d};
+use ca_nbody::schedule::AllPairsParams;
+use ca_nbody::{run_distributed, run_serial, Method, SimConfig};
+use nbody_netsim::{hopper, intrepid, simulate, Machine};
+use nbody_physics::{
+    diagnostics, init, Boundary, Cutoff, Domain, ForceLaw, Gravity, LennardJones, Particle,
+    RepulsiveInverseSquare, SemiImplicitEuler, Vec2,
+};
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(cmd) = args.next() else {
+        usage();
+        return ExitCode::FAILURE;
+    };
+    let opts: HashMap<String, String> = args
+        .filter_map(|a| {
+            a.split_once('=')
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+        })
+        .collect();
+
+    match cmd.as_str() {
+        "run" => run_cmd(&opts, false),
+        "verify" => run_cmd(&opts, true),
+        "scale" => scale_cmd(&opts),
+        "autotune" => autotune_cmd(&opts),
+        _ => {
+            usage();
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "usage: ca-nbody <run|verify|scale|autotune> [key=value ...]\n\
+         see `src/main.rs` header or README.md for the option list"
+    );
+}
+
+fn get<T: std::str::FromStr>(opts: &HashMap<String, String>, key: &str, default: T) -> T {
+    opts.get(key)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// A force law selected at runtime; delegates to the concrete laws.
+enum AnyLaw {
+    Repulsive(RepulsiveInverseSquare),
+    Gravity(Gravity),
+    Lj(Cutoff<LennardJones>),
+    RepulsiveCutoff(Cutoff<RepulsiveInverseSquare>),
+}
+
+impl ForceLaw for AnyLaw {
+    fn force(&self, target: &Particle, source: &Particle, disp: Vec2) -> Vec2 {
+        match self {
+            AnyLaw::Repulsive(l) => l.force(target, source, disp),
+            AnyLaw::Gravity(l) => l.force(target, source, disp),
+            AnyLaw::Lj(l) => l.force(target, source, disp),
+            AnyLaw::RepulsiveCutoff(l) => l.force(target, source, disp),
+        }
+    }
+
+    fn potential(&self, target: &Particle, source: &Particle, disp: Vec2) -> f64 {
+        match self {
+            AnyLaw::Repulsive(l) => l.potential(target, source, disp),
+            AnyLaw::Gravity(l) => l.potential(target, source, disp),
+            AnyLaw::Lj(l) => l.potential(target, source, disp),
+            AnyLaw::RepulsiveCutoff(l) => l.potential(target, source, disp),
+        }
+    }
+
+    fn cutoff(&self) -> Option<f64> {
+        match self {
+            AnyLaw::Repulsive(_) | AnyLaw::Gravity(_) => None,
+            AnyLaw::Lj(l) => l.cutoff(),
+            AnyLaw::RepulsiveCutoff(l) => l.cutoff(),
+        }
+    }
+
+    fn is_symmetric(&self) -> bool {
+        true
+    }
+}
+
+fn run_cmd(opts: &HashMap<String, String>, verify: bool) -> ExitCode {
+    let n: usize = get(opts, "n", 1024);
+    let p: usize = get(opts, "p", 8);
+    let c: usize = get(opts, "c", 2);
+    let steps: usize = get(opts, "steps", 20);
+    let dt: f64 = get(opts, "dt", 0.005);
+    let default_cutoff = if opts.get("law").map(String::as_str) == Some("lj") {
+        2.5
+    } else {
+        0.25
+    };
+    let cutoff: f64 = get(opts, "cutoff", default_cutoff);
+    let method_name = opts.get("method").map(String::as_str).unwrap_or("ca");
+    let law_name = opts.get("law").map(String::as_str).unwrap_or("repulsive");
+    let boundary = match opts.get("boundary").map(String::as_str) {
+        Some("periodic") => Boundary::Periodic,
+        Some("open") => Boundary::Open,
+        _ => Boundary::Reflective,
+    };
+
+    let method = match method_name {
+        "ca" => Method::CaAllPairs { c },
+        "ring" => Method::ParticleRing,
+        "ring-symmetric" => Method::ParticleRingSymmetric,
+        "allgather" => Method::NaiveAllgather,
+        "force-decomp" => Method::ForceDecomposition,
+        "ca-cutoff-1d" => Method::Ca1dCutoff { c },
+        "ca-cutoff-2d" => Method::Ca2dCutoff { c },
+        "halo-1d" => Method::SpatialHalo1d,
+        "halo-2d" => Method::SpatialHalo2d,
+        "midpoint-1d" => Method::Midpoint1d,
+        "midpoint-2d" => Method::Midpoint2d,
+        other => {
+            eprintln!("unknown method '{other}'");
+            return ExitCode::FAILURE;
+        }
+    };
+    let law = match (law_name, method.needs_cutoff()) {
+        ("repulsive", false) => AnyLaw::Repulsive(RepulsiveInverseSquare {
+            strength: 1e-3,
+            softening: 1e-3,
+        }),
+        ("repulsive", true) => AnyLaw::RepulsiveCutoff(Cutoff::new(
+            RepulsiveInverseSquare {
+                strength: 1e-3,
+                softening: 1e-3,
+            },
+            cutoff,
+        )),
+        ("gravity", _) => AnyLaw::Gravity(Gravity {
+            g: 1e-3,
+            softening: 0.02,
+        }),
+        ("lj", _) => AnyLaw::Lj(Cutoff::new(LennardJones::default(), cutoff)),
+        (other, _) => {
+            eprintln!("unknown law '{other}'");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // LJ needs a domain scaled to sigma (lattice spacing ~1.2 sigma) and a
+    // lattice start; the other laws use the paper's unit box.
+    let domain = if law_name == "lj" {
+        Domain::square((n as f64).sqrt() * 1.2)
+    } else {
+        Domain::unit()
+    };
+    let cfg = SimConfig {
+        law,
+        integrator: SemiImplicitEuler,
+        domain,
+        boundary,
+        dt,
+        steps,
+    };
+    let mut initial = if law_name == "lj" {
+        init::lattice(n, &cfg.domain)
+    } else {
+        init::uniform(n, &cfg.domain, get(opts, "seed", 42))
+    };
+    init::thermalize(&mut initial, get(opts, "temperature", 1e-4), 7);
+
+    println!("{method:?} on {p} ranks: n={n}, steps={steps}, dt={dt}, law={law_name}");
+    let start = std::time::Instant::now();
+    let result = run_distributed(&cfg, method, p, &initial);
+    println!(
+        "  done in {:.2?}; kinetic energy {:.4e}; rank-0 messages {}",
+        start.elapsed(),
+        diagnostics::total_kinetic_energy(&result.particles),
+        result.stats[0].total_messages()
+    );
+
+    if verify {
+        let serial = run_serial(&cfg, &initial);
+        let max_err = result
+            .particles
+            .iter()
+            .zip(&serial)
+            .map(|(a, b)| (a.pos - b.pos).norm())
+            .fold(0.0, f64::max);
+        println!("  max deviation vs serial: {max_err:.3e}");
+        if max_err > 1e-9 {
+            eprintln!("VERIFY FAILED");
+            return ExitCode::FAILURE;
+        }
+        println!("  VERIFY OK");
+    }
+    ExitCode::SUCCESS
+}
+
+fn machine_by_name(opts: &HashMap<String, String>) -> Machine {
+    match opts.get("machine").map(String::as_str) {
+        Some("intrepid") => intrepid(),
+        _ => hopper(),
+    }
+}
+
+fn scale_cmd(opts: &HashMap<String, String>) -> ExitCode {
+    let machine = machine_by_name(opts);
+    let n: usize = get(opts, "n", 32_768);
+    println!("strong scaling of {n} particles on {} (simulated)", machine.name);
+    let cs = [1usize, 2, 4, 8, 16];
+    print!("{:>8}", "cores");
+    for c in cs {
+        print!(" {:>9}", format!("c={c}"));
+    }
+    println!();
+    for p in [256usize, 512, 1024, 2048, 4096] {
+        print!("{:>8}", p);
+        for c in cs {
+            if c * c <= p && p % (c * c) == 0 {
+                let params = AllPairsParams::new(p, c, n);
+                let rep = simulate(&machine, p, |r| params.program(r));
+                let compute: f64 = rep.per_rank.iter().map(|b| b.compute).sum();
+                print!(" {:>9.3}", compute / (p as f64 * rep.makespan));
+            } else {
+                print!(" {:>9}", "-");
+            }
+        }
+        println!();
+    }
+    ExitCode::SUCCESS
+}
+
+fn autotune_cmd(opts: &HashMap<String, String>) -> ExitCode {
+    let machine = machine_by_name(opts);
+    let p: usize = get(opts, "p", 1536);
+    let n: usize = get(opts, "n", 12_288);
+    let cutoff: f64 = get(opts, "cutoff", 0.0);
+    let tune = if cutoff > 0.0 {
+        autotune_cutoff_1d(&machine, p, n, cutoff)
+    } else {
+        autotune_all_pairs(&machine, p, n)
+    };
+    println!(
+        "autotune on {} (p={p}, n={n}{}):",
+        machine.name,
+        if cutoff > 0.0 {
+            format!(", rc={cutoff}l")
+        } else {
+            String::new()
+        }
+    );
+    for k in &tune.candidates {
+        let marker = if k.c == tune.best_c { "  <-- best" } else { "" };
+        println!("  c={:<4} {:.3} ms{marker}", k.c, k.predicted_secs * 1e3);
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,88 @@
+//! End-to-end tests of the `ca-nbody-repro` command-line interface.
+
+use std::process::Command;
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_ca-nbody-repro"))
+}
+
+#[test]
+fn verify_subcommand_passes_for_default_config() {
+    let out = cli()
+        .args(["verify", "n=128", "p=4", "c=2", "steps=5"])
+        .output()
+        .expect("failed to launch CLI");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "stdout: {stdout}");
+    assert!(stdout.contains("VERIFY OK"), "{stdout}");
+}
+
+#[test]
+fn verify_covers_every_method() {
+    for method in [
+        "ca",
+        "ring",
+        "ring-symmetric",
+        "allgather",
+        "ca-cutoff-1d",
+        "ca-cutoff-2d",
+        "halo-1d",
+        "halo-2d",
+        "midpoint-1d",
+        "midpoint-2d",
+    ] {
+        let out = cli()
+            .args([
+                "verify",
+                &format!("method={method}"),
+                "n=64",
+                "p=4",
+                "c=2",
+                "steps=3",
+            ])
+            .output()
+            .expect("failed to launch CLI");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(
+            out.status.success() && stdout.contains("VERIFY OK"),
+            "method {method}: {stdout}\n{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+}
+
+#[test]
+fn force_decomp_requires_square_p() {
+    let out = cli()
+        .args(["verify", "method=force-decomp", "n=32", "p=9", "steps=2"])
+        .output()
+        .expect("failed to launch CLI");
+    assert!(out.status.success());
+}
+
+#[test]
+fn autotune_subcommand_reports_best_c() {
+    let out = cli()
+        .args(["autotune", "p=256", "n=2048"])
+        .output()
+        .expect("failed to launch CLI");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success());
+    assert!(stdout.contains("<-- best"), "{stdout}");
+}
+
+#[test]
+fn unknown_subcommand_fails_with_usage() {
+    let out = cli().arg("frobnicate").output().expect("launch");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}
+
+#[test]
+fn unknown_method_fails() {
+    let out = cli()
+        .args(["run", "method=quantum"])
+        .output()
+        .expect("launch");
+    assert!(!out.status.success());
+}

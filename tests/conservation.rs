@@ -1,0 +1,112 @@
+//! Physics invariants of distributed runs: the parallel decomposition must
+//! not break conservation laws the serial integrator provides.
+
+use ca_nbody::{run_distributed, Method, SimConfig};
+use nbody_physics::{
+    diagnostics, init, Boundary, Cutoff, Domain, Gravity, LennardJones, RepulsiveInverseSquare,
+    SemiImplicitEuler, VelocityVerlet,
+};
+
+#[test]
+fn momentum_conserved_open_boundary_symmetric_law() {
+    let cfg = SimConfig {
+        law: Gravity {
+            g: 1e-3,
+            softening: 0.05,
+        },
+        integrator: VelocityVerlet,
+        domain: Domain::square(8.0),
+        boundary: Boundary::Open,
+        dt: 0.01,
+        steps: 20,
+    };
+    let mut initial = init::uniform(48, &cfg.domain, 6);
+    init::thermalize(&mut initial, 0.01, 7);
+    assert!(diagnostics::total_momentum(&initial).norm() < 1e-12);
+
+    for (method, p) in [
+        (Method::CaAllPairs { c: 2 }, 8),
+        (Method::ForceDecomposition, 9),
+        (Method::ParticleRing, 6),
+    ] {
+        let result = run_distributed(&cfg, method, p, &initial);
+        let mom = diagnostics::total_momentum(&result.particles).norm();
+        assert!(mom < 1e-10, "{method:?}: momentum drift {mom:.3e}");
+    }
+}
+
+#[test]
+fn energy_stable_with_verlet_all_pairs() {
+    let cfg = SimConfig {
+        law: RepulsiveInverseSquare {
+            strength: 1e-4,
+            softening: 0.02,
+        },
+        integrator: VelocityVerlet,
+        domain: Domain::unit(),
+        boundary: Boundary::Reflective,
+        dt: 0.002,
+        steps: 100,
+    };
+    let mut initial = init::uniform(40, &cfg.domain, 9);
+    init::thermalize(&mut initial, 1e-4, 10);
+    let e0 = diagnostics::total_energy(&initial, &cfg.law, &cfg.domain, cfg.boundary);
+
+    let result = run_distributed(&cfg, Method::CaAllPairs { c: 2 }, 8, &initial);
+    let e1 = diagnostics::total_energy(&result.particles, &cfg.law, &cfg.domain, cfg.boundary);
+    let rel = (e1 - e0).abs() / e0.abs().max(1e-12);
+    assert!(rel < 0.05, "energy drift {rel:.3}: {e0} -> {e1}");
+}
+
+#[test]
+fn energy_stable_with_verlet_lj_cutoff() {
+    let domain = Domain::square(20.0);
+    let cfg = SimConfig {
+        law: Cutoff::new(LennardJones::default(), 2.5),
+        integrator: VelocityVerlet,
+        domain,
+        boundary: Boundary::Reflective,
+        dt: 0.002,
+        steps: 50,
+    };
+    let mut initial = init::lattice(144, &domain);
+    init::thermalize(&mut initial, 0.1, 3);
+    let e0 = diagnostics::total_energy(&initial, &cfg.law, &domain, cfg.boundary);
+
+    let result = run_distributed(&cfg, Method::Ca2dCutoff { c: 2 }, 8, &initial);
+    let e1 = diagnostics::total_energy(&result.particles, &cfg.law, &domain, cfg.boundary);
+    // Cutoff truncation makes energy only approximately conserved; the
+    // check is against blow-up, not machine precision.
+    let rel = (e1 - e0).abs() / e0.abs().max(1e-12);
+    assert!(rel < 0.05, "LJ energy drift {rel:.3}: {e0} -> {e1}");
+    assert!(result
+        .particles
+        .iter()
+        .all(|p| p.pos.is_finite() && p.vel.is_finite()));
+}
+
+#[test]
+fn particles_stay_inside_reflective_walls() {
+    let cfg = SimConfig {
+        law: RepulsiveInverseSquare {
+            strength: 5e-3,
+            softening: 1e-3,
+        },
+        integrator: SemiImplicitEuler,
+        domain: Domain::unit(),
+        boundary: Boundary::Reflective,
+        dt: 0.02,
+        steps: 60,
+    };
+    let mut initial = init::uniform(32, &cfg.domain, 4);
+    init::thermalize(&mut initial, 0.05, 5);
+    let result = run_distributed(&cfg, Method::CaAllPairs { c: 2 }, 8, &initial);
+    for p in &result.particles {
+        assert!(
+            (0.0..=1.0).contains(&p.pos.x) && (0.0..=1.0).contains(&p.pos.y),
+            "escaped: {:?}",
+            p.pos
+        );
+        assert!(p.pos.is_finite() && p.vel.is_finite());
+    }
+}

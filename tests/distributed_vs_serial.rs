@@ -1,0 +1,300 @@
+//! Cross-crate integration: every distributed method must reproduce the
+//! serial reference trajectory across decompositions, replication factors,
+//! force laws, integrators, and boundary conditions.
+
+use ca_nbody::{run_distributed, run_serial, Method, SimConfig};
+use nbody_physics::{
+    init, Boundary, Cutoff, Domain, ExplicitEuler, ForceLaw, Gravity, Integrator, Particle,
+    RepulsiveInverseSquare, SemiImplicitEuler, VelocityVerlet,
+};
+
+fn max_deviation(a: &[Particle], b: &[Particle]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| {
+            assert_eq!(x.id, y.id);
+            (x.pos - y.pos).norm().max((x.vel - y.vel).norm())
+        })
+        .fold(0.0, f64::max)
+}
+
+fn check<F, I>(cfg: &SimConfig<F, I>, initial: &[Particle], method: Method, p: usize, tol: f64)
+where
+    F: ForceLaw + Sync,
+    I: Integrator + Sync,
+{
+    let want = run_serial(cfg, initial);
+    let got = run_distributed(cfg, method, p, initial);
+    let dev = max_deviation(&got.particles, &want);
+    assert!(
+        dev <= tol,
+        "{method:?} on p={p}: deviation {dev:.3e} > {tol:.0e}"
+    );
+}
+
+#[test]
+fn all_pairs_methods_match_serial_reflective() {
+    let cfg = SimConfig {
+        law: RepulsiveInverseSquare {
+            strength: 2e-3,
+            softening: 1e-3,
+        },
+        integrator: SemiImplicitEuler,
+        domain: Domain::unit(),
+        boundary: Boundary::Reflective,
+        dt: 0.01,
+        steps: 8,
+    };
+    let initial = init::uniform(36, &cfg.domain, 1);
+    for (method, p) in [
+        (Method::CaAllPairs { c: 1 }, 6),
+        (Method::CaAllPairs { c: 2 }, 4),
+        (Method::CaAllPairs { c: 2 }, 16),
+        (Method::CaAllPairs { c: 3 }, 9),
+        (Method::ParticleRing, 5),
+        (Method::NaiveAllgather, 7),
+        (Method::ForceDecomposition, 4),
+        (Method::ForceDecomposition, 16),
+    ] {
+        check(&cfg, &initial, method, p, 1e-9);
+    }
+}
+
+#[test]
+fn all_pairs_periodic_boundary_minimum_image() {
+    let cfg = SimConfig {
+        law: RepulsiveInverseSquare {
+            strength: 1e-3,
+            softening: 1e-3,
+        },
+        integrator: SemiImplicitEuler,
+        domain: Domain::unit(),
+        boundary: Boundary::Periodic,
+        dt: 0.01,
+        steps: 6,
+    };
+    let initial = init::uniform(30, &cfg.domain, 8);
+    for (method, p) in [
+        (Method::CaAllPairs { c: 2 }, 8),
+        (Method::ParticleRing, 6),
+        (Method::NaiveAllgather, 4),
+    ] {
+        check(&cfg, &initial, method, p, 1e-9);
+    }
+}
+
+#[test]
+fn cutoff_methods_match_serial() {
+    let cfg = SimConfig {
+        law: Cutoff::new(
+            RepulsiveInverseSquare {
+                strength: 2e-3,
+                softening: 1e-3,
+            },
+            0.25,
+        ),
+        integrator: SemiImplicitEuler,
+        domain: Domain::unit(),
+        boundary: Boundary::Reflective,
+        dt: 0.01,
+        steps: 6,
+    };
+    let initial = init::uniform(48, &cfg.domain, 5);
+    for (method, p) in [
+        (Method::Ca1dCutoff { c: 1 }, 6),
+        (Method::Ca1dCutoff { c: 2 }, 12),
+        (Method::Ca1dCutoff { c: 3 }, 9),
+        (Method::Ca2dCutoff { c: 1 }, 6),
+        (Method::Ca2dCutoff { c: 2 }, 12),
+        (Method::SpatialHalo1d, 8),
+        (Method::SpatialHalo2d, 6),
+    ] {
+        check(&cfg, &initial, method, p, 1e-9);
+    }
+}
+
+#[test]
+fn gravity_open_boundary_matches_serial() {
+    let cfg = SimConfig {
+        law: Gravity {
+            g: 1e-3,
+            softening: 0.05,
+        },
+        integrator: VelocityVerlet,
+        domain: Domain::square(4.0),
+        boundary: Boundary::Open,
+        dt: 0.005,
+        steps: 10,
+    };
+    let initial = init::gaussian_clusters(32, &cfg.domain, 2, 0.3, 11);
+    check(&cfg, &initial, Method::CaAllPairs { c: 2 }, 8, 1e-9);
+    check(&cfg, &initial, Method::ForceDecomposition, 9, 1e-9);
+}
+
+#[test]
+fn integrators_agree_across_decompositions() {
+    // Each integrator must produce the same trajectory distributed as
+    // serially, independently of the decomposition's reduction order.
+    let initial = init::uniform(24, &Domain::unit(), 21);
+    macro_rules! run_with {
+        ($integ:expr) => {{
+            let cfg = SimConfig {
+                law: RepulsiveInverseSquare {
+                    strength: 1e-3,
+                    softening: 1e-3,
+                },
+                integrator: $integ,
+                domain: Domain::unit(),
+                boundary: Boundary::Reflective,
+                dt: 0.01,
+                steps: 5,
+            };
+            check(&cfg, &initial, Method::CaAllPairs { c: 2 }, 8, 1e-9);
+        }};
+    }
+    run_with!(ExplicitEuler);
+    run_with!(SemiImplicitEuler);
+    run_with!(VelocityVerlet);
+}
+
+#[test]
+fn single_rank_degenerate_cases() {
+    let cfg = SimConfig {
+        law: RepulsiveInverseSquare::default(),
+        integrator: SemiImplicitEuler,
+        domain: Domain::unit(),
+        boundary: Boundary::Reflective,
+        dt: 0.01,
+        steps: 3,
+    };
+    let initial = init::uniform(10, &cfg.domain, 2);
+    check(&cfg, &initial, Method::CaAllPairs { c: 1 }, 1, 0.0);
+    check(&cfg, &initial, Method::ParticleRing, 1, 0.0);
+    check(&cfg, &initial, Method::ForceDecomposition, 1, 0.0);
+}
+
+#[test]
+fn more_ranks_than_particles() {
+    // Empty blocks everywhere: the protocols must still complete.
+    let cfg = SimConfig {
+        law: RepulsiveInverseSquare::default(),
+        integrator: SemiImplicitEuler,
+        domain: Domain::unit(),
+        boundary: Boundary::Reflective,
+        dt: 0.01,
+        steps: 2,
+    };
+    let initial = init::uniform(5, &cfg.domain, 3);
+    check(&cfg, &initial, Method::CaAllPairs { c: 2 }, 16, 1e-12);
+    let cutoff_cfg = SimConfig {
+        law: Cutoff::new(RepulsiveInverseSquare::default(), 0.3),
+        integrator: SemiImplicitEuler,
+        domain: Domain::unit(),
+        boundary: Boundary::Reflective,
+        dt: 0.01,
+        steps: 2,
+    };
+    check(&cutoff_cfg, &initial, Method::Ca1dCutoff { c: 2 }, 8, 1e-12);
+}
+
+#[test]
+fn cutoff_methods_match_serial_periodic() {
+    // Extension beyond the paper: periodic boundaries with wrap-around
+    // windows. The serial reference uses minimum-image displacements, so
+    // any missed or doubled wrap pair shows up immediately.
+    let cfg = SimConfig {
+        law: Cutoff::new(
+            RepulsiveInverseSquare {
+                strength: 2e-3,
+                softening: 1e-3,
+            },
+            0.2,
+        ),
+        integrator: SemiImplicitEuler,
+        domain: Domain::unit(),
+        boundary: Boundary::Periodic,
+        dt: 0.01,
+        steps: 5,
+    };
+    let initial = init::uniform(48, &cfg.domain, 33);
+    for (method, p) in [
+        (Method::Ca1dCutoff { c: 1 }, 6),
+        (Method::Ca1dCutoff { c: 2 }, 12),
+        (Method::Ca2dCutoff { c: 1 }, 9),
+        (Method::Ca2dCutoff { c: 2 }, 8),
+        (Method::SpatialHalo1d, 8),
+        (Method::SpatialHalo2d, 9),
+    ] {
+        check(&cfg, &initial, method, p, 1e-9);
+    }
+}
+
+#[test]
+fn periodic_cutoff_counts_wrap_pairs_exactly() {
+    use nbody_physics::Counting;
+    // A large cutoff so wrap interactions matter everywhere.
+    let cfg = SimConfig {
+        law: Cutoff::new(Counting, 0.4),
+        integrator: SemiImplicitEuler,
+        domain: Domain::unit(),
+        boundary: Boundary::Periodic,
+        dt: 0.0, // counting "forces" should not move particles far
+        steps: 1,
+    };
+    let initial = init::uniform(40, &cfg.domain, 12);
+    let want = run_serial(&cfg, &initial);
+    for p in [4usize, 8, 12] {
+        let got = run_distributed(&cfg, Method::Ca1dCutoff { c: 2 }, p, &initial);
+        let dev = max_deviation(&got.particles, &want);
+        assert!(dev == 0.0, "p={p}: deviation {dev}");
+    }
+}
+
+#[test]
+fn midpoint_method_matches_serial_both_boundaries() {
+    for boundary in [Boundary::Reflective, Boundary::Periodic] {
+        let cfg = SimConfig {
+            law: Cutoff::new(
+                RepulsiveInverseSquare {
+                    strength: 2e-3,
+                    softening: 1e-3,
+                },
+                0.25,
+            ),
+            integrator: SemiImplicitEuler,
+            domain: Domain::unit(),
+            boundary,
+            dt: 0.01,
+            steps: 5,
+        };
+        let initial = init::uniform(44, &cfg.domain, 19);
+        for (method, p) in [
+            (Method::Midpoint1d, 6),
+            (Method::Midpoint1d, 8),
+            (Method::Midpoint2d, 8),
+            (Method::Midpoint2d, 9),
+        ] {
+            check(&cfg, &initial, method, p, 1e-9);
+        }
+    }
+}
+
+#[test]
+fn symmetric_half_ring_matches_serial_trajectories() {
+    let cfg = SimConfig {
+        law: RepulsiveInverseSquare {
+            strength: 2e-3,
+            softening: 1e-3,
+        },
+        integrator: SemiImplicitEuler,
+        domain: Domain::unit(),
+        boundary: Boundary::Reflective,
+        dt: 0.01,
+        steps: 8,
+    };
+    let initial = init::uniform(30, &cfg.domain, 44);
+    for p in [2usize, 4, 5, 8] {
+        check(&cfg, &initial, Method::ParticleRingSymmetric, p, 1e-9);
+    }
+}

@@ -1,0 +1,259 @@
+//! Property-based integration tests: randomized configurations of the
+//! distributed algorithms must always agree with the serial reference
+//! (pair coverage is exact under the Counting law regardless of reduction
+//! order), and the schedule generators must always conserve the global
+//! interaction count.
+
+use ca_nbody::dist::{id_block_subset, spatial_subset_1d};
+use ca_nbody::schedule::{count_ops, AllPairsParams, CutoffParams};
+use ca_nbody::{ca_all_pairs_forces, ca_cutoff_forces, GridComms, ProcGrid, Window, Window1d};
+use nbody_comm::run_ranks;
+use nbody_physics::{init, Boundary, Counting, Cutoff, Domain, Particle};
+use proptest::prelude::*;
+
+/// Valid (p, c) pairs for the all-pairs grid, kept small enough that each
+/// proptest case spawns at most 18 threads.
+fn all_pairs_grid() -> impl Strategy<Value = (usize, usize)> {
+    prop_oneof![
+        Just((1usize, 1usize)),
+        Just((2, 1)),
+        Just((4, 1)),
+        Just((4, 2)),
+        Just((8, 2)),
+        Just((9, 3)),
+        Just((12, 2)),
+        Just((16, 2)),
+        Just((16, 4)),
+        Just((18, 3)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn ca_all_pairs_counts_every_pair((p, c) in all_pairs_grid(),
+                                      n in 1usize..40,
+                                      seed in 0u64..1000) {
+        let domain = Domain::unit();
+        let grid = ProcGrid::new_all_pairs(p, c).unwrap();
+        let out = run_ranks(p, |world| {
+            let gc = GridComms::new(world, grid);
+            let all = init::uniform(n, &domain, seed);
+            let mut st = if gc.is_leader() {
+                id_block_subset(&all, grid.teams(), gc.team())
+            } else {
+                Vec::new()
+            };
+            ca_all_pairs_forces(&gc, &mut st, &Counting, &domain, Boundary::Open);
+            if gc.is_leader() { st } else { Vec::new() }
+        });
+        let flat: Vec<Particle> = out.into_iter().flatten().collect();
+        prop_assert_eq!(flat.len(), n);
+        for q in &flat {
+            prop_assert_eq!(q.force.x, (n - 1) as f64);
+        }
+    }
+
+    #[test]
+    fn ca_cutoff_counts_exact_neighbors(pc in prop_oneof![
+                                            Just((4usize, 1usize)),
+                                            Just((8, 2)),
+                                            Just((12, 2)),
+                                            Just((16, 2)),
+                                        ],
+                                        n in 2usize..50,
+                                        rc_percent in 5u32..60,
+                                        seed in 0u64..1000) {
+        let (p, c) = pc;
+        let domain = Domain::unit();
+        let r_c = rc_percent as f64 / 100.0;
+        let grid = ProcGrid::new(p, c).unwrap();
+        let window = Window1d::from_cutoff(&domain, grid.teams(), r_c);
+        prop_assume!(ca_nbody::cutoff::validate_cutoff(&window, grid.teams(), c).is_ok());
+        let law = Cutoff::new(Counting, r_c);
+
+        let all = init::uniform_1d(n, &domain, seed);
+        let all_ref = &all;
+        let out = run_ranks(p, |world| {
+            let gc = GridComms::new(world, grid);
+            let mut st = if gc.is_leader() {
+                spatial_subset_1d(all_ref, &domain, grid.teams(), gc.team())
+            } else {
+                Vec::new()
+            };
+            ca_cutoff_forces(&gc, &window, &mut st, &law, &domain, Boundary::Open);
+            if gc.is_leader() { st } else { Vec::new() }
+        });
+        let mut flat: Vec<Particle> = out.into_iter().flatten().collect();
+        flat.sort_by_key(|q| q.id);
+        prop_assert_eq!(flat.len(), n);
+        // Exact neighbor counts from first principles.
+        for q in &flat {
+            let expected = all
+                .iter()
+                .filter(|o| o.id != q.id && (o.pos.x - q.pos.x).abs() <= r_c)
+                .count();
+            prop_assert_eq!(q.force.x as usize, expected, "id={}", q.id);
+        }
+    }
+
+    #[test]
+    fn all_pairs_schedule_conserves_interactions((p, c) in all_pairs_grid(),
+                                                 n in 1usize..300) {
+        let params = AllPairsParams::new(p, c, n);
+        let total: u64 = (0..p).map(|r| count_ops(params.program(r)).interactions).sum();
+        prop_assert_eq!(total, (n as u64) * (n as u64 - 1));
+    }
+
+    #[test]
+    fn cutoff_schedule_counts_each_window_pair_once(teams in 1usize..12,
+                                                    c in 1usize..5,
+                                                    m in 0usize..6,
+                                                    sizes_seed in 0u64..100) {
+        let p = teams * c;
+        let grid = ProcGrid::new(p, c).unwrap();
+        let window = Window1d::new(teams, m);
+        prop_assume!(c <= window.len());
+        // Irregular block sizes.
+        let sizes: Vec<usize> = (0..teams)
+            .map(|t| ((sizes_seed + t as u64 * 7) % 9) as usize)
+            .collect();
+        let params = CutoffParams::new(grid, window, sizes.clone());
+        let total: u64 = (0..p).map(|r| count_ops(params.program(r)).interactions).sum();
+        let m_eff = window.len() / 2;
+        let mut want = 0u64;
+        for t in 0..teams {
+            for b in 0..teams {
+                if (t as i64 - b as i64).unsigned_abs() as usize <= m_eff {
+                    let cross = (sizes[t] * sizes[b]) as u64;
+                    want += if t == b { cross - sizes[t] as u64 } else { cross };
+                }
+            }
+        }
+        prop_assert_eq!(total, want);
+    }
+
+    #[test]
+    fn window_traversal_covers_offsets_exactly_once(teams in 1usize..15,
+                                                    m in 0usize..7,
+                                                    c in 1usize..6) {
+        let window = Window1d::new(teams, m);
+        prop_assume!(c <= window.len());
+        let w = window.len();
+        // Union over rows of first-wrap positions must cover 0..w once.
+        let mut seen = vec![0usize; w];
+        for k in 0..c {
+            let steps = ca_nbody::cutoff::row_steps(w, c, k);
+            for s in 1..=steps {
+                if k + s * c < w + c {
+                    seen[(k + s * c) % w] += 1;
+                }
+            }
+        }
+        prop_assert!(seen.iter().all(|&x| x == 1), "coverage {:?}", seen);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn window2d_covers_exactly_the_chebyshev_ball(
+        tx in 1usize..8,
+        ty in 1usize..8,
+        mx in 0usize..4,
+        my in 0usize..4,
+    ) {
+        use ca_nbody::Window2d;
+        let w = Window2d::new(tx, ty, mx, my);
+        let (mx, my) = w.spans();
+        for t in 0..w.teams() {
+            let (cx, cy) = (t % tx, t / tx);
+            let mut hits = std::collections::HashSet::new();
+            for j in 0..w.len() {
+                if let Some(u) = w.apply_back(t, j) {
+                    prop_assert!(hits.insert(u), "duplicate neighbor {u} for team {t}");
+                }
+            }
+            for b in 0..w.teams() {
+                let (bx, by) = (b % tx, b / tx);
+                let inside = cx.abs_diff(bx) <= mx && cy.abs_diff(by) <= my;
+                prop_assert_eq!(hits.contains(&b), inside, "t={} b={}", t, b);
+            }
+        }
+    }
+
+    #[test]
+    fn window3d_neighbor_sets_are_consistent(
+        dims in (1usize..5, 1usize..5, 1usize..5),
+        spans in (0usize..3, 0usize..3, 0usize..3),
+    ) {
+        use ca_nbody::{Window, Window3d};
+        let w = Window3d::new([dims.0, dims.1, dims.2], [spans.0, spans.1, spans.2]);
+        for t in 0..w.teams() {
+            for j in 0..w.len() {
+                // apply and apply_back are mutually inverse where defined.
+                if let Some(u) = w.apply(t, j) {
+                    prop_assert_eq!(w.apply_back(u, j), Some(t));
+                }
+                if let Some(u) = w.apply_back(t, j) {
+                    prop_assert_eq!(w.apply(u, j), Some(t));
+                }
+            }
+            prop_assert_eq!(w.apply(t, 0), Some(t), "position 0 is self");
+        }
+    }
+
+    #[test]
+    fn periodic_window_traversal_counts_each_wrap_pair_once(
+        teams in 1usize..10,
+        c in 1usize..4,
+        m in 0usize..5,
+        base_size in 1usize..6,
+    ) {
+        use ca_nbody::schedule::{count_ops, CutoffParams};
+        use ca_nbody::{Window, Window1dPeriodic};
+        let p = teams * c;
+        let grid = ProcGrid::new(p, c).unwrap();
+        let window = Window1dPeriodic::new(teams, m);
+        prop_assume!(c <= window.len());
+        let sizes: Vec<usize> = (0..teams).map(|t| base_size + t % 3).collect();
+        let params = CutoffParams::new(grid, window, sizes.clone());
+        let total: u64 = (0..p).map(|r| count_ops(params.program(r)).interactions).sum();
+        // Each team interacts with exactly window.len() teams (wrapped),
+        // counted once each.
+        let mut want = 0u64;
+        for t in 0..teams {
+            let mut seen = std::collections::HashSet::new();
+            for j in 0..window.len() {
+                let b = window.apply_back(t, j).unwrap();
+                prop_assert!(seen.insert(b));
+                let cross = (sizes[t] * sizes[b]) as u64;
+                want += if b == t { cross - sizes[t] as u64 } else { cross };
+            }
+        }
+        prop_assert_eq!(total, want);
+    }
+
+    #[test]
+    fn block_distribution_roundtrip_under_reassignment(
+        n in 1usize..60,
+        teams in 1usize..8,
+        seed in 0u64..200,
+    ) {
+        // Assign ids to arbitrary teams, reassign by the id rule, and
+        // verify the id-block invariant holds globally.
+        use ca_nbody::dist::{block_range, team_of_id};
+        let _ = seed;
+        let mut total = 0;
+        for b in 0..teams {
+            let r = block_range(n, teams, b);
+            for id in r.clone() {
+                prop_assert_eq!(team_of_id(n, teams, id as u64), b);
+            }
+            total += r.len();
+        }
+        prop_assert_eq!(total, n);
+    }
+}
