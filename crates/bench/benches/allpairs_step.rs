@@ -7,7 +7,7 @@
 use ca_nbody::dist::id_block_subset;
 use ca_nbody::{ca_all_pairs_forces, GridComms, ProcGrid};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use nbody_comm::run_ranks;
+use nbody_comm::{run_ranks, run_ranks_traced};
 use nbody_physics::{init, Boundary, Domain, RepulsiveInverseSquare};
 
 fn bench_ca_all_pairs(crit: &mut Criterion) {
@@ -42,6 +42,38 @@ fn bench_ca_all_pairs(crit: &mut Criterion) {
     group.finish();
 }
 
+/// Tracing overhead check: the same step with the tracer disabled (the
+/// default `run_ranks` path, which threads a no-op handle everywhere) vs
+/// enabled. The disabled variant is the regression guard — it must stay
+/// within noise of the seed's pre-tracing numbers.
+fn bench_tracing_overhead(crit: &mut Criterion) {
+    let domain = Domain::unit();
+    let law = RepulsiveInverseSquare::default();
+    let n = 1024;
+    let (p, c) = (4usize, 2usize);
+    let grid = ProcGrid::new_all_pairs(p, c).unwrap();
+
+    let step = |world: &mut nbody_comm::ThreadComm| {
+        let gc = GridComms::new(world, grid);
+        let all = init::uniform(n, &domain, 5);
+        let mut st = if gc.is_leader() {
+            id_block_subset(&all, grid.teams(), gc.team())
+        } else {
+            Vec::new()
+        };
+        ca_all_pairs_forces(&gc, &mut st, &law, &domain, Boundary::Open);
+        st.len()
+    };
+
+    let mut group = crit.benchmark_group("tracing_overhead_p4_c2_n1024");
+    group.sample_size(10);
+    group.bench_function("disabled", |bench| bench.iter(|| run_ranks(p, step)));
+    group.bench_function("enabled", |bench| {
+        bench.iter(|| run_ranks_traced(p, step).1.spans.len())
+    });
+    group.finish();
+}
+
 fn bench_serial_baseline(crit: &mut Criterion) {
     let domain = Domain::unit();
     let law = RepulsiveInverseSquare::default();
@@ -54,5 +86,10 @@ fn bench_serial_baseline(crit: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_ca_all_pairs, bench_serial_baseline);
+criterion_group!(
+    benches,
+    bench_ca_all_pairs,
+    bench_tracing_overhead,
+    bench_serial_baseline
+);
 criterion_main!(benches);

@@ -18,6 +18,7 @@ use ca_nbody::schedule::{AllPairsParams, AllgatherParams, CutoffParams, Reassign
 use ca_nbody::{ProcGrid, Window1d, Window2d};
 use nbody_comm::Phase;
 use nbody_netsim::{simulate, CollNet, Machine, SimReport};
+use nbody_trace::schema::{breakdown_csv, breakdown_json, BreakdownRow};
 use nbody_physics::particle::PARTICLE_WIRE_BYTES;
 use nbody_physics::{init, Domain};
 
@@ -70,6 +71,20 @@ impl FigRow {
     /// core, no communication).
     pub fn efficiency(&self, p: usize) -> f64 {
         self.total_compute_secs / (p as f64 * self.makespan)
+    }
+
+    /// This point in the shared breakdown schema (the format measured
+    /// executions also export to).
+    pub fn to_breakdown_row(&self) -> BreakdownRow {
+        BreakdownRow {
+            label: self.label.clone(),
+            compute: self.compute,
+            shift: self.shift,
+            reduce: self.reduce,
+            reassign: self.reassign,
+            broadcast: self.broadcast,
+            makespan: self.makespan,
+        }
     }
 }
 
@@ -186,26 +201,27 @@ pub fn valid_all_pairs_cs(p: usize, candidates: &[usize]) -> Vec<usize> {
         .collect()
 }
 
-/// Print a paper-style breakdown table and write it as CSV.
+/// Print a paper-style breakdown table and write it as CSV (shared
+/// breakdown schema) plus a structured JSON sidecar (same rows, `.json`
+/// next to the `.csv`).
 pub fn emit_breakdown(title: &str, csv_name: &str, rows: &[FigRow]) {
     println!("\n=== {title} ===");
     println!(
         "{:<14} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12}",
         "series", "compute(s)", "shift(s)", "reduce(s)", "re-assign(s)", "bcast(s)", "total(s)"
     );
-    let mut csv = String::from("label,compute,shift,reduce,reassign,broadcast,makespan\n");
     for r in rows {
         println!(
             "{:<14} {:>12.6} {:>12.6} {:>12.6} {:>12.6} {:>12.6} {:>12.6}",
             r.label, r.compute, r.shift, r.reduce, r.reassign, r.broadcast, r.makespan
         );
-        let _ = writeln!(
-            csv,
-            "{},{},{},{},{},{},{}",
-            r.label, r.compute, r.shift, r.reduce, r.reassign, r.broadcast, r.makespan
-        );
     }
-    write_csv(csv_name, &csv);
+    let schema_rows: Vec<BreakdownRow> = rows.iter().map(FigRow::to_breakdown_row).collect();
+    write_csv(csv_name, &breakdown_csv(&schema_rows));
+    let json_name = csv_name
+        .strip_suffix(".csv")
+        .map_or_else(|| format!("{csv_name}.json"), |stem| format!("{stem}.json"));
+    write_csv(&json_name, &breakdown_json(&schema_rows));
 }
 
 /// Print a strong-scaling efficiency table (rows = machine sizes, columns =
@@ -345,6 +361,20 @@ mod tests {
         assert_eq!(sizes.iter().sum::<usize>(), 10_000);
         let sizes2 = sampled_block_sizes_2d(10_000, 4, 4);
         assert_eq!(sizes2.iter().sum::<usize>(), 10_000);
+    }
+
+    #[test]
+    fn fig_rows_export_in_the_shared_breakdown_schema() {
+        let row = run_all_pairs_point(&hopper(), 64, 512, 2).to_breakdown_row();
+        assert_eq!(row.label, "c=2");
+        let csv = breakdown_csv(std::slice::from_ref(&row));
+        assert!(csv.starts_with(nbody_trace::schema::BREAKDOWN_CSV_HEADER));
+        let json = breakdown_json(&[row]);
+        let doc = nbody_trace::Json::parse(&json).unwrap();
+        let rows = doc.get("rows").unwrap().as_array().unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].get("label").unwrap().as_str(), Some("c=2"));
+        assert!(rows[0].get("makespan").unwrap().as_f64().unwrap() > 0.0);
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! [`ThreadComm`]: crate::thread_comm::ThreadComm
 
 use crate::stats::{CommStats, Phase};
+use nbody_trace::Tracer;
 
 /// Marker for data that can travel between ranks. Blanket-implemented for
 /// every cloneable `Send` type; messages are moved between threads without
@@ -45,6 +46,14 @@ pub trait Communicator: Sized {
     /// across communicators derived from the same rank (phase attribution
     /// follows the rank, not the communicator).
     fn stats(&self) -> CommStats;
+
+    /// This rank's wall-clock span recorder. Like [`stats`]
+    /// (`Communicator::stats`), the tracer follows the rank: communicators
+    /// derived by `split` share it. Disabled (a no-op handle) unless the
+    /// execution was started with tracing on.
+    fn tracer(&self) -> Tracer {
+        Tracer::disabled()
+    }
 
     /// Buffered send of `data` to local rank `dst`.
     fn send<T: CommData>(&self, dst: usize, tag: u64, data: &[T]);

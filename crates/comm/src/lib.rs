@@ -23,4 +23,5 @@ pub mod thread_comm;
 pub use communicator::{sum_combine, CommData, Communicator};
 pub use stats::{CommStats, Phase, PhaseCounters, ALL_PHASES};
 pub use self_comm::SelfComm;
-pub use thread_comm::{run_ranks, ThreadComm};
+pub use thread_comm::{run_ranks, run_ranks_traced, ThreadComm};
+pub use nbody_trace::{ExecutionTrace, Tracer};

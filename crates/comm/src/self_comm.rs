@@ -14,12 +14,15 @@ use std::rc::Rc;
 use crate::communicator::{CommData, Communicator};
 use crate::stats::{CommStats, Phase};
 
+/// Queued loopback messages: `(tag, type-erased payload)`.
+type Mailbox = VecDeque<(u64, Box<dyn std::any::Any>)>;
+
 /// The one-rank communicator.
 #[derive(Default)]
 pub struct SelfComm {
     stats: Rc<RefCell<CommStats>>,
     /// Loopback mailbox: sends to rank 0 are queued here for recv.
-    mailbox: Rc<RefCell<VecDeque<(u64, Box<dyn std::any::Any>)>>>,
+    mailbox: Rc<RefCell<Mailbox>>,
 }
 
 impl SelfComm {

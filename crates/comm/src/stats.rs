@@ -8,68 +8,10 @@
 //! discrete-event simulator, so instrumented executions and simulated
 //! schedules can be compared phase-by-phase.
 
-use std::fmt;
-
-/// Execution phase of the current communication operation, mirroring the
-/// stacked-bar categories of the paper's figures.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub enum Phase {
-    /// Initial team broadcast of the local subset (Algorithm 1/2, line 2).
-    Broadcast,
-    /// Row-wise skew by the row index (line 4).
-    Skew,
-    /// The main shift-and-update loop (lines 5–8).
-    Shift,
-    /// Final sum-reduction of force updates within each team (line 9).
-    Reduce,
-    /// Spatial-decomposition maintenance between timesteps (§IV.D).
-    Reassign,
-    /// Anything else (setup, verification, ...).
-    Other,
-}
-
-/// All phases, in figure order.
-pub const ALL_PHASES: [Phase; 6] = [
-    Phase::Broadcast,
-    Phase::Skew,
-    Phase::Shift,
-    Phase::Reduce,
-    Phase::Reassign,
-    Phase::Other,
-];
-
-impl Phase {
-    /// Index into per-phase arrays.
-    #[inline]
-    pub fn index(self) -> usize {
-        match self {
-            Phase::Broadcast => 0,
-            Phase::Skew => 1,
-            Phase::Shift => 2,
-            Phase::Reduce => 3,
-            Phase::Reassign => 4,
-            Phase::Other => 5,
-        }
-    }
-
-    /// Human-readable label matching the paper's legends.
-    pub fn label(self) -> &'static str {
-        match self {
-            Phase::Broadcast => "broadcast",
-            Phase::Skew => "skew",
-            Phase::Shift => "shift",
-            Phase::Reduce => "reduce",
-            Phase::Reassign => "re-assign",
-            Phase::Other => "other",
-        }
-    }
-}
-
-impl fmt::Display for Phase {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(self.label())
-    }
-}
+// The phase vocabulary lives in `nbody-trace` (the root of the
+// observability stack) and is re-exported here so existing callers keep
+// importing it from `nbody_comm`.
+pub use nbody_trace::{Phase, ALL_PHASES};
 
 /// Counters for one phase.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -218,15 +160,11 @@ mod tests {
     }
 
     #[test]
-    fn phase_labels_match_paper_legends() {
-        assert_eq!(Phase::Shift.label(), "shift");
-        assert_eq!(Phase::Reassign.label(), "re-assign");
-        assert_eq!(format!("{}", Phase::Reduce), "reduce");
-        // index() is a bijection onto 0..6
-        let mut seen = [false; 6];
-        for p in ALL_PHASES {
-            assert!(!seen[p.index()]);
-            seen[p.index()] = true;
-        }
+    fn reexported_phase_is_the_trace_crate_phase() {
+        // One Phase type across the workspace: attribution set through the
+        // comm crate is directly usable by the trace exporters.
+        let p: nbody_trace::Phase = Phase::Shift;
+        assert_eq!(p.label(), "shift");
+        assert_eq!(ALL_PHASES.len(), 6);
     }
 }

@@ -33,6 +33,7 @@ use parking_lot::Mutex;
 
 use crate::communicator::{CommData, Communicator};
 use crate::stats::{CommStats, Phase};
+use nbody_trace::{ExecutionTrace, Span, Tracer};
 
 /// How long a receive may block before the runtime declares a deadlock.
 const RECV_TIMEOUT: Duration = Duration::from_secs(60);
@@ -73,7 +74,13 @@ struct Endpoint {
 impl Endpoint {
     /// Pull envelopes off the inbox until one matching `(comm, src)` is
     /// available, buffering everything else.
-    fn recv_matching(&mut self, comm: u64, src_global: usize, stats: &mut CommStats) -> Envelope {
+    fn recv_matching(
+        &mut self,
+        comm: u64,
+        src_global: usize,
+        stats: &mut CommStats,
+        tracer: &Tracer,
+    ) -> Envelope {
         let key = (comm, src_global);
         if let Some(queue) = self.pending.get_mut(&key) {
             if let Some(env) = queue.pop_front() {
@@ -92,6 +99,7 @@ impl Endpoint {
             };
             if env.comm == comm && env.src_global == src_global {
                 stats.record_blocked(start.elapsed().as_secs_f64());
+                tracer.record_blocked(start);
                 return env;
             }
             self.pending
@@ -111,6 +119,7 @@ pub struct ThreadComm {
     fabric: Arc<Fabric>,
     endpoint: Rc<RefCell<Endpoint>>,
     stats: Rc<RefCell<CommStats>>,
+    tracer: Tracer,
     comm_id: u64,
     /// Global ranks of the members, indexed by local rank.
     members: Rc<Vec<usize>>,
@@ -151,7 +160,7 @@ impl ThreadComm {
             let mut stats = self.stats.borrow_mut();
             self.endpoint
                 .borrow_mut()
-                .recv_matching(self.comm_id, src_global, &mut stats)
+                .recv_matching(self.comm_id, src_global, &mut stats, &self.tracer)
         };
         assert_eq!(
             env.tag, tag,
@@ -188,10 +197,15 @@ impl Communicator for ThreadComm {
 
     fn set_phase(&self, phase: Phase) {
         self.stats.borrow_mut().set_phase(phase);
+        self.tracer.phase_change(phase);
     }
 
     fn stats(&self) -> CommStats {
         self.stats.borrow().clone()
+    }
+
+    fn tracer(&self) -> Tracer {
+        self.tracer.clone()
     }
 
     fn send<T: CommData>(&self, dst: usize, tag: u64, data: &[T]) {
@@ -334,6 +348,7 @@ impl Communicator for ThreadComm {
             fabric: Arc::clone(&self.fabric),
             endpoint: Rc::clone(&self.endpoint),
             stats: Rc::clone(&self.stats),
+            tracer: self.tracer.clone(),
             comm_id,
             members: Rc::new(members),
             my_local,
@@ -347,8 +362,38 @@ impl Communicator for ThreadComm {
 /// return the per-rank results in rank order.
 ///
 /// This is the entry point of every distributed execution in the
-/// reproduction — the analogue of `mpirun -np p`.
+/// reproduction — the analogue of `mpirun -np p`. Span recording is off
+/// (every rank's tracer is the no-op handle); use [`run_ranks_traced`] to
+/// capture wall-clock timelines.
 pub fn run_ranks<R, F>(p: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&mut ThreadComm) -> R + Sync,
+{
+    run_ranks_impl(p, None, f).into_iter().map(|(r, _)| r).collect()
+}
+
+/// [`run_ranks`] with per-rank wall-clock span recording: every rank's
+/// communicator carries an enabled [`Tracer`] measuring against a shared
+/// epoch taken just before the threads spawn, and the per-rank buffers are
+/// merged into an [`ExecutionTrace`] at join.
+pub fn run_ranks_traced<R, F>(p: usize, f: F) -> (Vec<R>, ExecutionTrace)
+where
+    R: Send,
+    F: Fn(&mut ThreadComm) -> R + Sync,
+{
+    let epoch = Instant::now();
+    let out = run_ranks_impl(p, Some(epoch), f);
+    let mut results = Vec::with_capacity(p);
+    let mut buffers = Vec::with_capacity(p);
+    for (r, spans) in out {
+        results.push(r);
+        buffers.push(spans);
+    }
+    (results, ExecutionTrace::from_rank_buffers(buffers))
+}
+
+fn run_ranks_impl<R, F>(p: usize, epoch: Option<Instant>, f: F) -> Vec<(R, Vec<Span>)>
 where
     R: Send,
     F: Fn(&mut ThreadComm) -> R + Sync,
@@ -380,17 +425,23 @@ where
                         rx,
                         pending: HashMap::new(),
                     };
+                    let tracer = match epoch {
+                        Some(epoch) => Tracer::for_rank(rank, epoch),
+                        None => Tracer::disabled(),
+                    };
                     let mut comm = ThreadComm {
                         fabric,
                         endpoint: Rc::new(RefCell::new(endpoint)),
                         stats: Rc::new(RefCell::new(CommStats::new())),
+                        tracer: tracer.clone(),
                         comm_id: 0,
                         members: Rc::new((0..p).collect()),
                         my_local: rank,
                         split_seq: Cell::new(0),
                         coll_seq: Cell::new(0),
                     };
-                    f(&mut comm)
+                    let result = f(&mut comm);
+                    (result, tracer.finish())
                 })
                 .expect("failed to spawn rank thread");
             handles.push(handle);
@@ -623,6 +674,94 @@ mod tests {
         assert_eq!(out[0].0, vec![9]);
         assert_eq!(out[0].1, Some(vec![vec![9]]));
         assert_eq!(out[0].2, vec![vec![9]]);
+    }
+
+    #[test]
+    fn blocked_time_is_recorded_on_real_waits() {
+        // Receiver posts its recv ~50 ms before the sender sends: both the
+        // stats counter and the trace must capture the wait.
+        let (out, trace) = run_ranks_traced(2, |comm| {
+            comm.set_phase(Phase::Shift);
+            if comm.rank() == 0 {
+                std::thread::sleep(Duration::from_millis(50));
+                comm.send(1, 1, &[1u8]);
+                0.0
+            } else {
+                let _ = comm.recv::<u8>(0, 1);
+                comm.stats().phase(Phase::Shift).blocked_secs
+            }
+        });
+        assert!(
+            out[1] > 0.04,
+            "receiver should have blocked ~50 ms, stats say {}s",
+            out[1]
+        );
+        let blocked: Vec<_> = trace
+            .spans
+            .iter()
+            .filter(|s| {
+                s.rank == 1 && s.kind == nbody_trace::SpanKind::Blocked(Phase::Shift)
+            })
+            .collect();
+        assert_eq!(blocked.len(), 1, "one blocked interval: {blocked:?}");
+        assert!(blocked[0].secs() > 0.04);
+    }
+
+    #[test]
+    fn traced_run_returns_same_results_as_untraced() {
+        let body = |comm: &mut ThreadComm| {
+            let mut buf = vec![1u64 << comm.rank()];
+            comm.allreduce(&mut buf, sum_combine);
+            buf[0]
+        };
+        let plain = run_ranks(4, body);
+        let (traced, trace) = run_ranks_traced(4, body);
+        assert_eq!(plain, traced);
+        assert_eq!(trace.ranks, 4);
+        assert!(!trace.spans.is_empty());
+    }
+
+    #[test]
+    fn phase_windows_follow_split_communicators() {
+        // set_phase on a *derived* communicator must land on the rank's one
+        // timeline — the converse of `stats_shared_across_split`.
+        let (_, trace) = run_ranks_traced(4, |comm| {
+            let sub = comm.split(comm.rank() % 2, comm.rank());
+            sub.set_phase(Phase::Reduce);
+            let mut buf = vec![comm.rank() as u64];
+            // Operate on the WORLD communicator while the phase was set via
+            // the sub-communicator.
+            comm.allreduce(&mut buf, sum_combine);
+            sub.set_phase(Phase::Other);
+            buf[0]
+        });
+        for rank in 0..4u32 {
+            assert!(
+                trace.spans.iter().any(|s| {
+                    s.rank == rank && s.kind == nbody_trace::SpanKind::Phase(Phase::Reduce)
+                }),
+                "rank {rank} has no Reduce window despite set_phase via split"
+            );
+        }
+        // Per-rank phase windows tile the timeline: sums equal each rank's
+        // traced extent.
+        for rank in 0..4u32 {
+            let windows: Vec<_> = trace
+                .spans
+                .iter()
+                .filter(|s| {
+                    s.rank == rank && matches!(s.kind, nbody_trace::SpanKind::Phase(_))
+                })
+                .collect();
+            let sum: f64 = windows.iter().map(|s| s.secs()).sum();
+            let lo = windows.iter().map(|s| s.start).fold(f64::MAX, f64::min);
+            let hi = windows.iter().map(|s| s.end).fold(0.0, f64::max);
+            assert!(
+                (sum - (hi - lo)).abs() < 1e-9,
+                "rank {rank}: windows sum {sum} != extent {}",
+                hi - lo
+            );
+        }
     }
 
     #[test]

@@ -35,6 +35,9 @@ pub mod window_periodic;
 pub use cutoff::{ca_cutoff_forces, CutoffError};
 pub use allpairs::ca_all_pairs_forces;
 pub use grid::{GridComms, GridError, ProcGrid};
-pub use sim::{run_distributed, run_distributed_sampled, run_serial, Method, RunResult, SimConfig};
+pub use sim::{
+    run_distributed, run_distributed_sampled, run_distributed_traced, run_serial, Method,
+    RunResult, SimConfig,
+};
 pub use window::{Window, Window1d, Window2d, Window3d};
 pub use window_periodic::{Window1dPeriodic, Window2dPeriodic};

@@ -7,7 +7,7 @@
 //! identical integrator/force code, so distributed trajectories can be
 //! validated against it step-for-step.
 
-use nbody_comm::{run_ranks, CommStats, Communicator, Phase};
+use nbody_comm::{run_ranks, run_ranks_traced, CommStats, Communicator, ExecutionTrace, Phase};
 use nbody_physics::particle::reset_forces;
 use nbody_physics::{Boundary, Domain, ForceLaw, Integrator, Particle};
 
@@ -149,15 +149,42 @@ where
     F: ForceLaw + Sync,
     I: Integrator + Sync,
 {
+    validate_run(cfg, method);
+    let out = run_ranks(p, |world| run_rank(cfg, method, world, initial));
+    gather_results(out, initial.len())
+}
+
+/// [`run_distributed`] with per-rank wall-clock tracing enabled: every
+/// communication phase window, blocked wait, and driver section
+/// (`step` / `integrate` / `force` / `reassign`, per timestep) is recorded
+/// against a shared epoch and returned merged across ranks.
+pub fn run_distributed_traced<F, I>(
+    cfg: &SimConfig<F, I>,
+    method: Method,
+    p: usize,
+    initial: &[Particle],
+) -> (RunResult, ExecutionTrace)
+where
+    F: ForceLaw + Sync,
+    I: Integrator + Sync,
+{
+    validate_run(cfg, method);
+    let (out, trace) = run_ranks_traced(p, |world| run_rank(cfg, method, world, initial));
+    (gather_results(out, initial.len()), trace)
+}
+
+fn validate_run<F: ForceLaw, I>(cfg: &SimConfig<F, I>, method: Method) {
     if method.needs_cutoff() {
         assert!(
             cfg.law.cutoff().is_some(),
             "{method:?} requires a force law with a cutoff radius"
         );
     }
-    let out = run_ranks(p, |world| run_rank(cfg, method, world, initial));
-    let mut particles = Vec::with_capacity(initial.len());
-    let mut stats = Vec::with_capacity(p);
+}
+
+fn gather_results(out: Vec<(Vec<Particle>, CommStats)>, n: usize) -> RunResult {
+    let mut particles = Vec::with_capacity(n);
+    let mut stats = Vec::with_capacity(out.len());
     for (mut ps, st) in out {
         particles.append(&mut ps);
         stats.push(st);
@@ -165,7 +192,7 @@ where
     particles.sort_by_key(|q| q.id);
     assert_eq!(
         particles.len(),
-        initial.len(),
+        n,
         "particles lost or duplicated in distributed run"
     );
     RunResult { particles, stats }
@@ -185,6 +212,7 @@ where
 {
     let p = world.size();
     let domain = &cfg.domain;
+    let tr = world.tracer();
     match method {
         Method::CaAllPairs { c } => {
             let grid = ProcGrid::new_all_pairs(p, c).expect("invalid all-pairs grid");
@@ -194,13 +222,19 @@ where
             } else {
                 Vec::new()
             };
-            for _ in 0..cfg.steps {
+            for step in 0..cfg.steps {
+                let _step_g = tr.driver_span("step", step);
                 if gc.is_leader() {
+                    let _g = tr.driver_span("integrate", step);
                     cfg.integrator.pre_force(&mut st, cfg.dt);
                     reset_forces(&mut st);
                 }
-                ca_all_pairs_forces(&gc, &mut st, &cfg.law, domain, cfg.boundary);
+                {
+                    let _g = tr.driver_span("force", step);
+                    ca_all_pairs_forces(&gc, &mut st, &cfg.law, domain, cfg.boundary);
+                }
                 if gc.is_leader() {
+                    let _g = tr.driver_span("integrate", step);
                     cfg.integrator
                         .post_force(&mut st, cfg.dt, domain, cfg.boundary);
                 } else {
@@ -212,20 +246,30 @@ where
         }
         Method::ParticleRing | Method::ParticleRingSymmetric | Method::NaiveAllgather => {
             let mut my = id_block_subset(initial, p, world.rank());
-            for _ in 0..cfg.steps {
-                cfg.integrator.pre_force(&mut my, cfg.dt);
-                reset_forces(&mut my);
-                match method {
-                    Method::ParticleRing => {
-                        particle_ring_forces(world, &mut my, &cfg.law, domain, cfg.boundary)
-                    }
-                    Method::ParticleRingSymmetric => {
-                        crate::baselines::particle_ring_symmetric_forces(
-                            world, &mut my, &cfg.law, domain, cfg.boundary,
-                        )
-                    }
-                    _ => naive_allgather_forces(world, &mut my, &cfg.law, domain, cfg.boundary),
+            for step in 0..cfg.steps {
+                let _step_g = tr.driver_span("step", step);
+                {
+                    let _g = tr.driver_span("integrate", step);
+                    cfg.integrator.pre_force(&mut my, cfg.dt);
+                    reset_forces(&mut my);
                 }
+                {
+                    let _g = tr.driver_span("force", step);
+                    match method {
+                        Method::ParticleRing => {
+                            particle_ring_forces(world, &mut my, &cfg.law, domain, cfg.boundary)
+                        }
+                        Method::ParticleRingSymmetric => {
+                            crate::baselines::particle_ring_symmetric_forces(
+                                world, &mut my, &cfg.law, domain, cfg.boundary,
+                            )
+                        }
+                        _ => {
+                            naive_allgather_forces(world, &mut my, &cfg.law, domain, cfg.boundary)
+                        }
+                    }
+                }
+                let _g = tr.driver_span("integrate", step);
                 cfg.integrator
                     .post_force(&mut my, cfg.dt, domain, cfg.boundary);
             }
@@ -240,13 +284,19 @@ where
             } else {
                 Vec::new()
             };
-            for _ in 0..cfg.steps {
+            for step in 0..cfg.steps {
+                let _step_g = tr.driver_span("step", step);
                 if i == j {
+                    let _g = tr.driver_span("integrate", step);
                     cfg.integrator.pre_force(&mut st, cfg.dt);
                     reset_forces(&mut st);
                 }
-                force_decomposition_forces(world, &mut st, &cfg.law, domain, cfg.boundary);
+                {
+                    let _g = tr.driver_span("force", step);
+                    force_decomposition_forces(world, &mut st, &cfg.law, domain, cfg.boundary);
+                }
                 if i == j {
+                    let _g = tr.driver_span("integrate", step);
                     cfg.integrator
                         .post_force(&mut st, cfg.dt, domain, cfg.boundary);
                 }
@@ -274,39 +324,48 @@ where
                 Vec::new()
             };
             let periodic = cfg.boundary == Boundary::Periodic;
-            for _ in 0..cfg.steps {
+            for step in 0..cfg.steps {
+                let _step_g = tr.driver_span("step", step);
                 if gc.is_leader() {
+                    let _g = tr.driver_span("integrate", step);
                     cfg.integrator.pre_force(&mut st, cfg.dt);
                     reset_forces(&mut st);
                 }
                 // Periodic boundaries take the wrap-around windows; the
                 // paper's non-periodic setting takes the clipped ones.
-                match (two_d, periodic) {
-                    (true, false) => {
-                        let window = Window2d::from_cutoff(domain, tx, ty, r_c);
-                        validate_cutoff(&window, teams, c).expect("invalid 2D cutoff config");
-                        ca_cutoff_forces(&gc, &window, &mut st, &cfg.law, domain, cfg.boundary);
-                    }
-                    (true, true) => {
-                        let window = Window2dPeriodic::from_cutoff(domain, tx, ty, r_c);
-                        validate_cutoff(&window, teams, c).expect("invalid 2D cutoff config");
-                        ca_cutoff_forces(&gc, &window, &mut st, &cfg.law, domain, cfg.boundary);
-                    }
-                    (false, false) => {
-                        let window = Window1d::from_cutoff(domain, teams, r_c);
-                        validate_cutoff(&window, teams, c).expect("invalid 1D cutoff config");
-                        ca_cutoff_forces(&gc, &window, &mut st, &cfg.law, domain, cfg.boundary);
-                    }
-                    (false, true) => {
-                        let window = Window1dPeriodic::from_cutoff(domain, teams, r_c);
-                        validate_cutoff(&window, teams, c).expect("invalid 1D cutoff config");
-                        ca_cutoff_forces(&gc, &window, &mut st, &cfg.law, domain, cfg.boundary);
+                {
+                    let _g = tr.driver_span("force", step);
+                    match (two_d, periodic) {
+                        (true, false) => {
+                            let window = Window2d::from_cutoff(domain, tx, ty, r_c);
+                            validate_cutoff(&window, teams, c).expect("invalid 2D cutoff config");
+                            ca_cutoff_forces(&gc, &window, &mut st, &cfg.law, domain, cfg.boundary);
+                        }
+                        (true, true) => {
+                            let window = Window2dPeriodic::from_cutoff(domain, tx, ty, r_c);
+                            validate_cutoff(&window, teams, c).expect("invalid 2D cutoff config");
+                            ca_cutoff_forces(&gc, &window, &mut st, &cfg.law, domain, cfg.boundary);
+                        }
+                        (false, false) => {
+                            let window = Window1d::from_cutoff(domain, teams, r_c);
+                            validate_cutoff(&window, teams, c).expect("invalid 1D cutoff config");
+                            ca_cutoff_forces(&gc, &window, &mut st, &cfg.law, domain, cfg.boundary);
+                        }
+                        (false, true) => {
+                            let window = Window1dPeriodic::from_cutoff(domain, teams, r_c);
+                            validate_cutoff(&window, teams, c).expect("invalid 1D cutoff config");
+                            ca_cutoff_forces(&gc, &window, &mut st, &cfg.law, domain, cfg.boundary);
+                        }
                     }
                 }
                 if gc.is_leader() {
-                    cfg.integrator
-                        .post_force(&mut st, cfg.dt, domain, cfg.boundary);
+                    {
+                        let _g = tr.driver_span("integrate", step);
+                        cfg.integrator
+                            .post_force(&mut st, cfg.dt, domain, cfg.boundary);
+                    }
                     // Keep the spatial decomposition valid for the next step.
+                    let _g = tr.driver_span("reassign", step);
                     if two_d {
                         reassign_particles(&gc.row, &mut st, |q| {
                             team_of_xy(domain, tx, ty, q.pos.x, q.pos.y)
@@ -334,33 +393,44 @@ where
                 spatial_subset_1d(initial, domain, p, world.rank())
             };
             let periodic = cfg.boundary == Boundary::Periodic;
-            for _ in 0..cfg.steps {
-                cfg.integrator.pre_force(&mut my, cfg.dt);
-                reset_forces(&mut my);
-                match (two_d, periodic) {
-                    (true, false) => {
-                        let window = Window2d::from_cutoff(domain, tx, ty, r_c / 2.0);
-                        midpoint_forces(world, &window, &mut my, &cfg.law, domain, cfg.boundary,
-                            |pos| team_of_xy(domain, tx, ty, pos.x, pos.y));
-                    }
-                    (true, true) => {
-                        let window = Window2dPeriodic::from_cutoff(domain, tx, ty, r_c / 2.0);
-                        midpoint_forces(world, &window, &mut my, &cfg.law, domain, cfg.boundary,
-                            |pos| team_of_xy(domain, tx, ty, pos.x, pos.y));
-                    }
-                    (false, false) => {
-                        let window = Window1d::from_cutoff(domain, p, r_c / 2.0);
-                        midpoint_forces(world, &window, &mut my, &cfg.law, domain, cfg.boundary,
-                            |pos| team_of_x(domain, p, pos.x));
-                    }
-                    (false, true) => {
-                        let window = Window1dPeriodic::from_cutoff(domain, p, r_c / 2.0);
-                        midpoint_forces(world, &window, &mut my, &cfg.law, domain, cfg.boundary,
-                            |pos| team_of_x(domain, p, pos.x));
+            for step in 0..cfg.steps {
+                let _step_g = tr.driver_span("step", step);
+                {
+                    let _g = tr.driver_span("integrate", step);
+                    cfg.integrator.pre_force(&mut my, cfg.dt);
+                    reset_forces(&mut my);
+                }
+                {
+                    let _g = tr.driver_span("force", step);
+                    match (two_d, periodic) {
+                        (true, false) => {
+                            let window = Window2d::from_cutoff(domain, tx, ty, r_c / 2.0);
+                            midpoint_forces(world, &window, &mut my, &cfg.law, domain, cfg.boundary,
+                                |pos| team_of_xy(domain, tx, ty, pos.x, pos.y));
+                        }
+                        (true, true) => {
+                            let window = Window2dPeriodic::from_cutoff(domain, tx, ty, r_c / 2.0);
+                            midpoint_forces(world, &window, &mut my, &cfg.law, domain, cfg.boundary,
+                                |pos| team_of_xy(domain, tx, ty, pos.x, pos.y));
+                        }
+                        (false, false) => {
+                            let window = Window1d::from_cutoff(domain, p, r_c / 2.0);
+                            midpoint_forces(world, &window, &mut my, &cfg.law, domain, cfg.boundary,
+                                |pos| team_of_x(domain, p, pos.x));
+                        }
+                        (false, true) => {
+                            let window = Window1dPeriodic::from_cutoff(domain, p, r_c / 2.0);
+                            midpoint_forces(world, &window, &mut my, &cfg.law, domain, cfg.boundary,
+                                |pos| team_of_x(domain, p, pos.x));
+                        }
                     }
                 }
-                cfg.integrator
-                    .post_force(&mut my, cfg.dt, domain, cfg.boundary);
+                {
+                    let _g = tr.driver_span("integrate", step);
+                    cfg.integrator
+                        .post_force(&mut my, cfg.dt, domain, cfg.boundary);
+                }
+                let _g = tr.driver_span("reassign", step);
                 if two_d {
                     reassign_particles(world, &mut my, |q| {
                         team_of_xy(domain, tx, ty, q.pos.x, q.pos.y)
@@ -381,29 +451,48 @@ where
                 spatial_subset_1d(initial, domain, p, world.rank())
             };
             let periodic = cfg.boundary == Boundary::Periodic;
-            for _ in 0..cfg.steps {
-                cfg.integrator.pre_force(&mut my, cfg.dt);
-                reset_forces(&mut my);
-                match (two_d, periodic) {
-                    (true, false) => {
-                        let window = Window2d::from_cutoff(domain, tx, ty, r_c);
-                        spatial_halo_forces(world, &window, &mut my, &cfg.law, domain, cfg.boundary);
-                    }
-                    (true, true) => {
-                        let window = Window2dPeriodic::from_cutoff(domain, tx, ty, r_c);
-                        spatial_halo_forces(world, &window, &mut my, &cfg.law, domain, cfg.boundary);
-                    }
-                    (false, false) => {
-                        let window = Window1d::from_cutoff(domain, p, r_c);
-                        spatial_halo_forces(world, &window, &mut my, &cfg.law, domain, cfg.boundary);
-                    }
-                    (false, true) => {
-                        let window = Window1dPeriodic::from_cutoff(domain, p, r_c);
-                        spatial_halo_forces(world, &window, &mut my, &cfg.law, domain, cfg.boundary);
+            for step in 0..cfg.steps {
+                let _step_g = tr.driver_span("step", step);
+                {
+                    let _g = tr.driver_span("integrate", step);
+                    cfg.integrator.pre_force(&mut my, cfg.dt);
+                    reset_forces(&mut my);
+                }
+                {
+                    let _g = tr.driver_span("force", step);
+                    match (two_d, periodic) {
+                        (true, false) => {
+                            let window = Window2d::from_cutoff(domain, tx, ty, r_c);
+                            spatial_halo_forces(
+                                world, &window, &mut my, &cfg.law, domain, cfg.boundary,
+                            );
+                        }
+                        (true, true) => {
+                            let window = Window2dPeriodic::from_cutoff(domain, tx, ty, r_c);
+                            spatial_halo_forces(
+                                world, &window, &mut my, &cfg.law, domain, cfg.boundary,
+                            );
+                        }
+                        (false, false) => {
+                            let window = Window1d::from_cutoff(domain, p, r_c);
+                            spatial_halo_forces(
+                                world, &window, &mut my, &cfg.law, domain, cfg.boundary,
+                            );
+                        }
+                        (false, true) => {
+                            let window = Window1dPeriodic::from_cutoff(domain, p, r_c);
+                            spatial_halo_forces(
+                                world, &window, &mut my, &cfg.law, domain, cfg.boundary,
+                            );
+                        }
                     }
                 }
-                cfg.integrator
-                    .post_force(&mut my, cfg.dt, domain, cfg.boundary);
+                {
+                    let _g = tr.driver_span("integrate", step);
+                    cfg.integrator
+                        .post_force(&mut my, cfg.dt, domain, cfg.boundary);
+                }
+                let _g = tr.driver_span("reassign", step);
                 if two_d {
                     reassign_particles(world, &mut my, |q| {
                         team_of_xy(domain, tx, ty, q.pos.x, q.pos.y)
@@ -597,6 +686,70 @@ mod tests {
         let cfg = all_pairs_cfg(1);
         let initial = vec![Particle::at(0, Vec2::new(0.5, 0.5))];
         run_distributed(&cfg, Method::Ca1dCutoff { c: 1 }, 2, &initial);
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_phase_sums_tile_wall() {
+        let law = Cutoff::new(
+            RepulsiveInverseSquare {
+                strength: 1e-3,
+                softening: 1e-3,
+            },
+            0.25,
+        );
+        let cfg = SimConfig {
+            law,
+            integrator: SemiImplicitEuler,
+            domain: Domain::unit(),
+            boundary: Boundary::Reflective,
+            dt: 0.01,
+            steps: 3,
+        };
+        // Big enough that thread-spawn slack (ranks open their timelines
+        // slightly after the shared epoch) is well under the 10% margin.
+        let initial = init::uniform(600, &cfg.domain, 13);
+        let plain = run_distributed(&cfg, Method::Ca1dCutoff { c: 2 }, 8, &initial);
+        let (traced, trace) = run_distributed_traced(&cfg, Method::Ca1dCutoff { c: 2 }, 8, &initial);
+        assert_eq!(plain.particles, traced.particles, "tracing must not perturb physics");
+
+        assert_eq!(trace.ranks, 8);
+        // Phase windows tile each rank's timeline, so the mean per-phase
+        // seconds sum to the wall time (up to merge/collection slack at the
+        // very end of each rank's run).
+        let b = trace.phase_breakdown();
+        assert!(b.wall_secs > 0.0);
+        let sum = b.phase_sum_secs();
+        assert!(
+            (sum - b.wall_secs).abs() <= 0.10 * b.wall_secs,
+            "phase sum {sum} vs wall {}",
+            b.wall_secs
+        );
+        // The cutoff method exercises shift, reduce, broadcast, and
+        // reassign windows.
+        let present = trace.phases_present();
+        for want in [Phase::Shift, Phase::Reduce, Phase::Broadcast, Phase::Reassign] {
+            assert!(present.contains(&want), "missing {want:?} in {present:?}");
+        }
+    }
+
+    #[test]
+    fn traced_run_reports_driver_sections_per_step() {
+        let cfg = all_pairs_cfg(4);
+        let initial = init::uniform(24, &cfg.domain, 42);
+        let (_, trace) = run_distributed_traced(&cfg, Method::CaAllPairs { c: 2 }, 8, &initial);
+        let reports = trace.step_reports();
+        assert_eq!(reports.len(), 4, "one report per timestep");
+        for (i, r) in reports.iter().enumerate() {
+            assert_eq!(r.step as usize, i);
+            let names: Vec<&str> = r.parts.iter().map(|(n, _)| n.as_str()).collect();
+            assert!(names.contains(&"step"), "{names:?}");
+            assert!(names.contains(&"force"), "{names:?}");
+            assert!(names.contains(&"integrate"), "{names:?}");
+            // The step section dominates its parts on every rank.
+            let step_max = r.parts.iter().find(|(n, _)| n == "step").unwrap().1.max;
+            let force_max = r.parts.iter().find(|(n, _)| n == "force").unwrap().1.max;
+            assert!(step_max >= force_max);
+        }
     }
 }
 

@@ -5,9 +5,8 @@
 //! when a collective released) and for visualizing pipelines. Traces can
 //! be rendered as CSV for external plotting.
 
-use std::fmt::Write as _;
-
 use nbody_comm::Phase;
+use nbody_trace::schema::{push_event_row, EVENT_CSV_HEADER};
 
 use crate::des::simulate_with_observer;
 use crate::machine::Machine;
@@ -89,9 +88,11 @@ impl Trace {
         evs
     }
 
-    /// Render as CSV (`rank,kind,start,end,peer,phase`).
+    /// Render as CSV in the workspace-wide event schema
+    /// ([`EVENT_CSV_HEADER`]), the same one measured executions export to.
     pub fn to_csv(&self) -> String {
-        let mut s = String::from("rank,kind,start,end,peer,phase\n");
+        let mut s = String::from(EVENT_CSV_HEADER);
+        s.push('\n');
         for e in &self.events {
             let (peer, phase) = match e.kind {
                 TraceKind::Compute => (String::new(), String::new()),
@@ -101,16 +102,7 @@ impl Trace {
                     (members.to_string(), phase.label().into())
                 }
             };
-            let _ = writeln!(
-                s,
-                "{},{},{},{},{},{}",
-                e.rank,
-                e.kind.label(),
-                e.start,
-                e.end,
-                peer,
-                phase
-            );
+            push_event_row(&mut s, e.rank, e.kind.label(), e.start, e.end, &peer, &phase);
         }
         s
     }

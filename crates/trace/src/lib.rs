@@ -1,0 +1,53 @@
+//! # nbody-trace
+//!
+//! Per-rank wall-clock tracing for *real* (threaded) executions of the
+//! reproduction of *“A Communication-Optimal N-Body Algorithm for Direct
+//! Interactions”* (IPDPS 2013).
+//!
+//! The discrete-event simulator (`nbody-netsim`) has always produced
+//! per-phase virtual timelines; this crate provides the measured
+//! counterpart. Each rank thread records [`Span`]s against a shared
+//! monotonic epoch:
+//!
+//! * **phase windows** — contiguous intervals tiling the rank's timeline,
+//!   one per [`Phase`] transition (driven by `Communicator::set_phase`),
+//!   so per-phase wall times sum to the rank's total wall time;
+//! * **blocked intervals** — time spent waiting inside a receive,
+//!   attributed to the phase in effect;
+//! * **driver spans** — per-timestep `integrate` / `force` / `reassign`
+//!   sections emitted by the simulation driver, tagged with the step index.
+//!
+//! Recording is *zero-cost when disabled*: a [`Tracer`] is an `Option`
+//! internally, and every recording method is a no-op branch on the
+//! disabled handle (verified by the `allpairs_step` bench).
+//!
+//! Per-rank buffers are merged at join into an [`ExecutionTrace`], which
+//! exports three formats:
+//!
+//! * Chrome `trace_event` JSON ([`ExecutionTrace::to_chrome_json`]) —
+//!   loadable in Perfetto / `chrome://tracing`;
+//! * JSON-lines ([`ExecutionTrace::to_jsonl`]) — one span per line for
+//!   ad-hoc scripting;
+//! * the event CSV schema shared with `nbody-netsim`
+//!   ([`ExecutionTrace::to_events_csv`]) and the stacked-bar breakdown CSV
+//!   schema used by `bench_results/fig*.csv`
+//!   ([`ExecutionTrace::to_breakdown_csv`]).
+//!
+//! The [`schema`] module is the single definition of both CSV schemas, and
+//! [`json`] is a dependency-free JSON parser/printer used by the exporters
+//! and the `ca-nbody report` subcommand.
+
+#![warn(missing_docs)]
+
+pub mod exec;
+pub mod json;
+pub mod phase;
+pub mod schema;
+pub mod span;
+pub mod tracer;
+
+pub use exec::{DistStat, ExecutionTrace, PhaseBreakdown, StepReport};
+pub use json::Json;
+pub use phase::{Phase, ALL_PHASES};
+pub use span::{Span, SpanKind};
+pub use tracer::{SpanGuard, Tracer};

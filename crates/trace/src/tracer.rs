@@ -1,0 +1,259 @@
+//! The per-rank recording handle.
+//!
+//! A [`Tracer`] is either *enabled* (owns a span buffer and the shared
+//! epoch) or *disabled* (`None` inside), in which case every method is a
+//! single-branch no-op — the handle can be threaded through the
+//! communicator and driver unconditionally without measurable overhead.
+//!
+//! Handles are `Rc`-shared: cloning a tracer (e.g. when a communicator is
+//! `split`) yields another handle onto the *same* rank buffer, so phase
+//! changes made through a sub-communicator land on the one true timeline
+//! of the rank.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::time::Instant;
+
+use crate::phase::Phase;
+use crate::span::{Span, SpanKind};
+
+struct Inner {
+    rank: u32,
+    epoch: Instant,
+    spans: Vec<Span>,
+    cur_phase: Phase,
+    phase_start: f64,
+}
+
+impl Inner {
+    fn now(&self) -> f64 {
+        self.epoch.elapsed().as_secs_f64()
+    }
+
+    fn close_phase_window(&mut self, now: f64) {
+        if now > self.phase_start {
+            let span = Span {
+                rank: self.rank,
+                kind: SpanKind::Phase(self.cur_phase),
+                start: self.phase_start,
+                end: now,
+            };
+            self.spans.push(span);
+        }
+        self.phase_start = now;
+    }
+}
+
+/// A cloneable per-rank span recorder. See the module docs.
+#[derive(Clone)]
+pub struct Tracer {
+    inner: Option<Rc<RefCell<Inner>>>,
+}
+
+impl Tracer {
+    /// The no-op handle used when tracing is off. All recording methods
+    /// return immediately.
+    pub fn disabled() -> Tracer {
+        Tracer { inner: None }
+    }
+
+    /// An enabled handle for `rank`, measuring against `epoch` (the same
+    /// `Instant` for every rank of the execution). The initial phase
+    /// window ([`Phase::Other`]) opens immediately.
+    pub fn for_rank(rank: usize, epoch: Instant) -> Tracer {
+        let phase_start = epoch.elapsed().as_secs_f64();
+        Tracer {
+            inner: Some(Rc::new(RefCell::new(Inner {
+                rank: rank as u32,
+                epoch,
+                spans: Vec::new(),
+                cur_phase: Phase::Other,
+                phase_start,
+            }))),
+        }
+    }
+
+    /// Whether spans are being recorded.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Close the current phase window and open one for `phase`. No-op if
+    /// the phase is unchanged (the window stays open) or tracing is off.
+    pub fn phase_change(&self, phase: Phase) {
+        let Some(inner) = &self.inner else { return };
+        let mut t = inner.borrow_mut();
+        if phase == t.cur_phase {
+            return;
+        }
+        let now = t.now();
+        t.close_phase_window(now);
+        t.cur_phase = phase;
+    }
+
+    /// Record a blocked interval that began at `wait_started` and ends
+    /// now, attributed to the current phase. Called by the transport right
+    /// after a receive that had to wait.
+    pub fn record_blocked(&self, wait_started: Instant) {
+        let Some(inner) = &self.inner else { return };
+        let mut t = inner.borrow_mut();
+        let start = wait_started.duration_since(t.epoch).as_secs_f64();
+        let end = t.now();
+        let span = Span {
+            rank: t.rank,
+            kind: SpanKind::Blocked(t.cur_phase),
+            start,
+            end,
+        };
+        t.spans.push(span);
+    }
+
+    /// Open a driver section (`integrate`, `force`, `reassign`, `step`)
+    /// for timestep `step`; the span is recorded when the guard drops.
+    pub fn driver_span(&self, name: &'static str, step: usize) -> SpanGuard {
+        let start = match &self.inner {
+            Some(inner) => inner.borrow().now(),
+            None => 0.0,
+        };
+        SpanGuard {
+            tracer: self.clone(),
+            name,
+            step: step as u32,
+            start,
+        }
+    }
+
+    /// Close the open phase window and drain the recorded spans. The
+    /// tracer stays usable (a fresh window opens at the current time), but
+    /// this is normally the rank's last act before its thread joins.
+    pub fn finish(&self) -> Vec<Span> {
+        let Some(inner) = &self.inner else {
+            return Vec::new();
+        };
+        let mut t = inner.borrow_mut();
+        let now = t.now();
+        t.close_phase_window(now);
+        std::mem::take(&mut t.spans)
+    }
+}
+
+/// Guard for an open driver section; records the span on drop.
+pub struct SpanGuard {
+    tracer: Tracer,
+    name: &'static str,
+    step: u32,
+    start: f64,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(inner) = &self.tracer.inner else {
+            return;
+        };
+        let mut t = inner.borrow_mut();
+        let end = t.now();
+        let span = Span {
+            rank: t.rank,
+            kind: SpanKind::Driver {
+                name: self.name.to_string(),
+                step: self.step,
+            },
+            start: self.start,
+            end,
+        };
+        t.spans.push(span);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let t = Tracer::disabled();
+        assert!(!t.is_enabled());
+        t.phase_change(Phase::Shift);
+        t.record_blocked(Instant::now());
+        drop(t.driver_span("force", 0));
+        assert!(t.finish().is_empty());
+    }
+
+    #[test]
+    fn phase_windows_tile_the_timeline() {
+        let t = Tracer::for_rank(3, Instant::now());
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        t.phase_change(Phase::Shift);
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        t.phase_change(Phase::Shift); // same phase: window stays open
+        t.phase_change(Phase::Reduce);
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let spans = t.finish();
+        let windows: Vec<&Span> = spans
+            .iter()
+            .filter(|s| matches!(s.kind, SpanKind::Phase(_)))
+            .collect();
+        assert_eq!(windows.len(), 3, "{windows:?}");
+        assert_eq!(windows[0].kind, SpanKind::Phase(Phase::Other));
+        assert_eq!(windows[1].kind, SpanKind::Phase(Phase::Shift));
+        assert_eq!(windows[2].kind, SpanKind::Phase(Phase::Reduce));
+        // Contiguous tiling: each window starts where the previous ended.
+        for w in windows.windows(2) {
+            assert_eq!(w[0].end, w[1].start);
+        }
+        assert!(spans.iter().all(|s| s.rank == 3));
+    }
+
+    #[test]
+    fn driver_guard_records_on_drop() {
+        let t = Tracer::for_rank(0, Instant::now());
+        {
+            let _g = t.driver_span("integrate", 7);
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let spans = t.finish();
+        let drv: Vec<&Span> = spans
+            .iter()
+            .filter(|s| matches!(s.kind, SpanKind::Driver { .. }))
+            .collect();
+        assert_eq!(drv.len(), 1);
+        match &drv[0].kind {
+            SpanKind::Driver { name, step } => {
+                assert_eq!(name, "integrate");
+                assert_eq!(*step, 7);
+            }
+            other => panic!("unexpected kind {other:?}"),
+        }
+        assert!(drv[0].secs() >= 0.001);
+    }
+
+    #[test]
+    fn blocked_is_attributed_to_current_phase() {
+        let t = Tracer::for_rank(1, Instant::now());
+        t.phase_change(Phase::Shift);
+        let wait = Instant::now();
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        t.record_blocked(wait);
+        let spans = t.finish();
+        let blocked: Vec<&Span> = spans
+            .iter()
+            .filter(|s| matches!(s.kind, SpanKind::Blocked(_)))
+            .collect();
+        assert_eq!(blocked.len(), 1);
+        assert_eq!(blocked[0].kind, SpanKind::Blocked(Phase::Shift));
+        assert!(blocked[0].secs() >= 0.001);
+    }
+
+    #[test]
+    fn clones_share_the_buffer() {
+        let t = Tracer::for_rank(0, Instant::now());
+        let sub = t.clone();
+        sub.phase_change(Phase::Reassign);
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        let spans = t.finish();
+        assert!(spans
+            .iter()
+            .any(|s| s.kind == SpanKind::Phase(Phase::Reassign)));
+    }
+}

@@ -3,22 +3,32 @@
 //! ```text
 //! ca-nbody run      [n=1024] [p=8] [c=2] [steps=20] [dt=0.005] [method=ca]
 //!                   [law=repulsive|gravity|lj] [cutoff=0.25] [boundary=reflective]
+//!                   [--trace=out.json] [--profile]
 //! ca-nbody verify   [same options]            distributed-vs-serial check
+//! ca-nbody report   <trace-file>              per-phase/per-step breakdown tables
 //! ca-nbody scale    [machine=hopper] [n=32768] strong-scaling table (simulated)
 //! ca-nbody autotune [machine=hopper] [p=1536] [n=12288] [cutoff=0]
 //! ```
+//!
+//! `--trace` records per-rank wall-clock spans and writes them in a format
+//! chosen by extension: `.json` Chrome `trace_event` (open in Perfetto or
+//! `chrome://tracing`), `.jsonl` JSON-lines, `.csv` the shared event
+//! schema. `--profile` prints the per-phase breakdown after the run.
+//! `run` and `scale` end with a single-line JSON summary on stdout for
+//! scripted consumption.
 
 use std::collections::HashMap;
 use std::process::ExitCode;
 
 use ca_nbody::autotune::{autotune_all_pairs, autotune_cutoff_1d};
 use ca_nbody::schedule::AllPairsParams;
-use ca_nbody::{run_distributed, run_serial, Method, SimConfig};
+use ca_nbody::{run_distributed, run_distributed_traced, run_serial, Method, SimConfig};
 use nbody_netsim::{hopper, intrepid, simulate, Machine};
 use nbody_physics::{
     diagnostics, init, Boundary, Cutoff, Domain, ForceLaw, Gravity, LennardJones, Particle,
     RepulsiveInverseSquare, SemiImplicitEuler, Vec2,
 };
+use nbody_trace::{ExecutionTrace, Json};
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
@@ -26,16 +36,25 @@ fn main() -> ExitCode {
         usage();
         return ExitCode::FAILURE;
     };
-    let opts: HashMap<String, String> = args
-        .filter_map(|a| {
-            a.split_once('=')
-                .map(|(k, v)| (k.to_string(), v.to_string()))
-        })
-        .collect();
+    // `key=value` and `--key=value` populate the option map; a bare
+    // `--flag` is a boolean switch; anything else is positional.
+    let mut opts: HashMap<String, String> = HashMap::new();
+    let mut positional: Vec<String> = Vec::new();
+    for a in args {
+        let body = a.strip_prefix("--").unwrap_or(&a);
+        if let Some((k, v)) = body.split_once('=') {
+            opts.insert(k.to_string(), v.to_string());
+        } else if a.starts_with("--") {
+            opts.insert(body.to_string(), "true".to_string());
+        } else {
+            positional.push(a);
+        }
+    }
 
     match cmd.as_str() {
         "run" => run_cmd(&opts, false),
         "verify" => run_cmd(&opts, true),
+        "report" => report_cmd(&positional),
         "scale" => scale_cmd(&opts),
         "autotune" => autotune_cmd(&opts),
         _ => {
@@ -47,7 +66,7 @@ fn main() -> ExitCode {
 
 fn usage() {
     eprintln!(
-        "usage: ca-nbody <run|verify|scale|autotune> [key=value ...]\n\
+        "usage: ca-nbody <run|verify|report|scale|autotune> [key=value ...] [--trace=F] [--profile]\n\
          see `src/main.rs` header or README.md for the option list"
     );
 }
@@ -180,31 +199,176 @@ fn run_cmd(opts: &HashMap<String, String>, verify: bool) -> ExitCode {
     };
     init::thermalize(&mut initial, get(opts, "temperature", 1e-4), 7);
 
+    let trace_path = opts.get("trace").cloned();
+    let profile = opts.get("profile").is_some_and(|v| v != "false");
+    let tracing = trace_path.is_some() || profile;
+
     println!("{method:?} on {p} ranks: n={n}, steps={steps}, dt={dt}, law={law_name}");
     let start = std::time::Instant::now();
-    let result = run_distributed(&cfg, method, p, &initial);
+    let (result, trace) = if tracing {
+        let (result, trace) = run_distributed_traced(&cfg, method, p, &initial);
+        (result, Some(trace))
+    } else {
+        (run_distributed(&cfg, method, p, &initial), None)
+    };
+    let elapsed = start.elapsed();
+    let kinetic = diagnostics::total_kinetic_energy(&result.particles);
     println!(
-        "  done in {:.2?}; kinetic energy {:.4e}; rank-0 messages {}",
-        start.elapsed(),
-        diagnostics::total_kinetic_energy(&result.particles),
+        "  done in {elapsed:.2?}; kinetic energy {kinetic:.4e}; rank-0 messages {}",
         result.stats[0].total_messages()
     );
 
+    if let (Some(path), Some(trace)) = (&trace_path, &trace) {
+        let body = if path.ends_with(".jsonl") {
+            trace.to_jsonl()
+        } else if path.ends_with(".csv") {
+            trace.to_events_csv()
+        } else {
+            trace.to_chrome_json()
+        };
+        if let Err(e) = std::fs::write(path, body) {
+            eprintln!("cannot write trace to {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("  trace written to {path} ({} spans)", trace.spans.len());
+    }
+    if profile {
+        if let Some(trace) = &trace {
+            print_breakdown(trace);
+        }
+    }
+
+    let mut max_err = None;
     if verify {
         let serial = run_serial(&cfg, &initial);
-        let max_err = result
+        let err = result
             .particles
             .iter()
             .zip(&serial)
             .map(|(a, b)| (a.pos - b.pos).norm())
             .fold(0.0, f64::max);
-        println!("  max deviation vs serial: {max_err:.3e}");
-        if max_err > 1e-9 {
+        max_err = Some(err);
+        println!("  max deviation vs serial: {err:.3e}");
+        if err > 1e-9 {
             eprintln!("VERIFY FAILED");
             return ExitCode::FAILURE;
         }
         println!("  VERIFY OK");
     }
+
+    // Machine-readable one-line summary, always the last stdout line.
+    let mut summary = vec![
+        ("cmd".to_string(), Json::Str(if verify { "verify" } else { "run" }.into())),
+        ("method".to_string(), Json::Str(method_name.into())),
+        ("law".to_string(), Json::Str(law_name.into())),
+        ("n".to_string(), Json::Num(n as f64)),
+        ("p".to_string(), Json::Num(p as f64)),
+        ("c".to_string(), Json::Num(method.replication() as f64)),
+        ("steps".to_string(), Json::Num(steps as f64)),
+        ("elapsed_secs".to_string(), Json::Num(elapsed.as_secs_f64())),
+        ("kinetic_energy".to_string(), Json::Num(kinetic)),
+        (
+            "rank0_messages".to_string(),
+            Json::Num(result.stats[0].total_messages() as f64),
+        ),
+    ];
+    if let Some(trace) = &trace {
+        summary.push(("trace_spans".to_string(), Json::Num(trace.spans.len() as f64)));
+        summary.push((
+            "trace_wall_secs".to_string(),
+            Json::Num(trace.wall_secs()),
+        ));
+    }
+    if let Some(path) = &trace_path {
+        summary.push(("trace_path".to_string(), Json::Str(path.clone())));
+    }
+    if let Some(err) = max_err {
+        summary.push(("max_deviation".to_string(), Json::Num(err)));
+        summary.push(("verify_ok".to_string(), Json::Bool(true)));
+    }
+    println!("{}", Json::Obj(summary));
+    ExitCode::SUCCESS
+}
+
+/// Print the paper-style per-phase table and the per-step driver-section
+/// table of a trace (`--profile` and the `report` subcommand).
+fn print_breakdown(trace: &ExecutionTrace) {
+    let b = trace.phase_breakdown();
+    println!(
+        "per-phase wall-clock across {} ranks (seconds per rank):",
+        b.ranks
+    );
+    println!(
+        "  {:<10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>7}",
+        "phase", "mean", "p50", "p95", "max", "blocked", "share"
+    );
+    for (phase, d) in &b.phases {
+        if d.max == 0.0 {
+            continue;
+        }
+        let blocked = b
+            .blocked
+            .iter()
+            .find(|(p, _)| p == phase)
+            .map_or(0.0, |(_, s)| *s);
+        println!(
+            "  {:<10} {:>10.6} {:>10.6} {:>10.6} {:>10.6} {:>10.6} {:>6.1}%",
+            phase.label(),
+            d.mean,
+            d.p50,
+            d.p95,
+            d.max,
+            blocked,
+            100.0 * d.mean / b.wall_secs.max(f64::MIN_POSITIVE),
+        );
+    }
+    println!(
+        "  phase sum {:.6} s of {:.6} s wall ({:.1}%)",
+        b.phase_sum_secs(),
+        b.wall_secs,
+        100.0 * b.phase_sum_secs() / b.wall_secs.max(f64::MIN_POSITIVE),
+    );
+
+    let reports = trace.step_reports();
+    if reports.is_empty() {
+        return;
+    }
+    println!("per-step driver sections (seconds, mean / max across ranks):");
+    for r in &reports {
+        print!("  step {:>3}:", r.step);
+        for (name, d) in &r.parts {
+            print!(" {name} {:.6}/{:.6}", d.mean, d.max);
+        }
+        println!();
+    }
+}
+
+fn report_cmd(positional: &[String]) -> ExitCode {
+    let Some(path) = positional.first() else {
+        eprintln!("usage: ca-nbody report <trace.json|trace.jsonl>");
+        return ExitCode::FAILURE;
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let trace = match ExecutionTrace::parse(&text) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot parse {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "{path}: {} spans over {} ranks, {:.6} s wall",
+        trace.spans.len(),
+        trace.ranks,
+        trace.wall_secs()
+    );
+    print_breakdown(&trace);
     ExitCode::SUCCESS
 }
 
@@ -225,20 +389,40 @@ fn scale_cmd(opts: &HashMap<String, String>) -> ExitCode {
         print!(" {:>9}", format!("c={c}"));
     }
     println!();
+    let mut rows = Vec::new();
     for p in [256usize, 512, 1024, 2048, 4096] {
         print!("{:>8}", p);
+        let mut effs = Vec::new();
         for c in cs {
             if c * c <= p && p % (c * c) == 0 {
                 let params = AllPairsParams::new(p, c, n);
                 let rep = simulate(&machine, p, |r| params.program(r));
                 let compute: f64 = rep.per_rank.iter().map(|b| b.compute).sum();
-                print!(" {:>9.3}", compute / (p as f64 * rep.makespan));
+                let eff = compute / (p as f64 * rep.makespan);
+                print!(" {:>9.3}", eff);
+                effs.push(Json::Num(eff));
             } else {
                 print!(" {:>9}", "-");
+                effs.push(Json::Null);
             }
         }
         println!();
+        rows.push(Json::Obj(vec![
+            ("p".to_string(), Json::Num(p as f64)),
+            ("efficiency".to_string(), Json::Arr(effs)),
+        ]));
     }
+    let summary = Json::Obj(vec![
+        ("cmd".to_string(), Json::Str("scale".into())),
+        ("machine".to_string(), Json::Str(machine.name.to_string())),
+        ("n".to_string(), Json::Num(n as f64)),
+        (
+            "c_values".to_string(),
+            Json::Arr(cs.iter().map(|&c| Json::Num(c as f64)).collect()),
+        ),
+        ("rows".to_string(), Json::Arr(rows)),
+    ]);
+    println!("{summary}");
     ExitCode::SUCCESS
 }
 

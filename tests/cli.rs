@@ -86,3 +86,135 @@ fn unknown_method_fails() {
         .expect("launch");
     assert!(!out.status.success());
 }
+
+#[test]
+fn run_emits_single_line_json_summary() {
+    let out = cli()
+        .args(["run", "n=64", "p=4", "c=2", "steps=2"])
+        .output()
+        .expect("launch");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let last = stdout.lines().last().expect("no output");
+    let doc = nbody_trace::Json::parse(last).expect("last line is not JSON");
+    assert_eq!(doc.get("cmd").unwrap().as_str(), Some("run"));
+    assert_eq!(doc.get("n").unwrap().as_f64(), Some(64.0));
+    assert_eq!(doc.get("p").unwrap().as_f64(), Some(4.0));
+    assert!(doc.get("elapsed_secs").unwrap().as_f64().unwrap() > 0.0);
+}
+
+#[test]
+fn scale_emits_single_line_json_summary() {
+    let out = cli()
+        .args(["scale", "n=4096"])
+        .output()
+        .expect("launch");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let last = stdout.lines().last().expect("no output");
+    let doc = nbody_trace::Json::parse(last).expect("last line is not JSON");
+    assert_eq!(doc.get("cmd").unwrap().as_str(), Some("scale"));
+    assert_eq!(doc.get("rows").unwrap().as_array().unwrap().len(), 5);
+}
+
+#[test]
+fn trace_flag_writes_valid_chrome_trace() {
+    let dir = std::env::temp_dir().join("ca_nbody_cli_trace_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("trace.json");
+    let out = cli()
+        .args([
+            "run",
+            "method=ca-cutoff-1d",
+            "n=256",
+            "p=8",
+            "c=2",
+            "steps=3",
+            &format!("--trace={}", path.display()),
+        ])
+        .output()
+        .expect("launch");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&path).expect("trace file not written");
+    let trace = nbody_trace::ExecutionTrace::parse(&text).expect("invalid trace");
+    assert_eq!(trace.ranks, 8);
+    // The cutoff method must leave a window for each phase it drives.
+    use nbody_trace::Phase;
+    let present = trace.phases_present();
+    for want in [
+        Phase::Broadcast,
+        Phase::Shift,
+        Phase::Reduce,
+        Phase::Reassign,
+        Phase::Other,
+    ] {
+        assert!(present.contains(&want), "missing {want:?} in {present:?}");
+    }
+    // Driver sections carry per-step spans.
+    assert_eq!(trace.step_reports().len(), 3);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn report_subcommand_prints_breakdown_table() {
+    let dir = std::env::temp_dir().join("ca_nbody_cli_report_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("trace.jsonl");
+    let run = cli()
+        .args([
+            "run",
+            "n=128",
+            "p=4",
+            "c=2",
+            "steps=2",
+            &format!("--trace={}", path.display()),
+        ])
+        .output()
+        .expect("launch");
+    assert!(run.status.success());
+    let out = cli()
+        .args(["report", path.to_str().unwrap()])
+        .output()
+        .expect("launch");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}");
+    assert!(stdout.contains("per-phase wall-clock"), "{stdout}");
+    assert!(stdout.contains("shift"), "{stdout}");
+    assert!(stdout.contains("phase sum"), "{stdout}");
+    assert!(stdout.contains("per-step driver sections"), "{stdout}");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn report_rejects_garbage_input() {
+    let dir = std::env::temp_dir().join("ca_nbody_cli_badreport_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("not_a_trace.json");
+    std::fs::write(&path, "hello, world").unwrap();
+    let out = cli()
+        .args(["report", path.to_str().unwrap()])
+        .output()
+        .expect("launch");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot parse"));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn profile_flag_prints_breakdown_after_run() {
+    let out = cli()
+        .args(["run", "n=128", "p=4", "c=2", "steps=2", "--profile"])
+        .output()
+        .expect("launch");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}");
+    assert!(stdout.contains("per-phase wall-clock"), "{stdout}");
+    // The summary line carries the trace metadata too.
+    let last = stdout.lines().last().unwrap();
+    let doc = nbody_trace::Json::parse(last).unwrap();
+    assert!(doc.get("trace_spans").unwrap().as_f64().unwrap() > 0.0);
+}

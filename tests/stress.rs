@@ -121,7 +121,7 @@ fn clustered_load_survives_long_cutoff_run() {
         dt: 0.02,
         steps: 40,
     };
-    let initial = init::gaussian_clusters(56, &cfg.domain, 1, 0.03, 21);
+    let initial = init::gaussian_clusters(56, &cfg.domain, 1, 0.03, 22);
     let want = run_serial(&cfg, &initial);
     let got = run_distributed(&cfg, Method::Ca1dCutoff { c: 2 }, 12, &initial);
     let dev = got

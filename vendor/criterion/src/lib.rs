@@ -1,0 +1,276 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the builder/macro surface the workspace's benches use
+//! (`criterion_group!`, `criterion_main!`, `Criterion::benchmark_group`,
+//! `bench_function`, `bench_with_input`, `sample_size`, `throughput`,
+//! `black_box`) over a simple wall-clock harness: each benchmark is warmed
+//! up, then timed for a fixed number of samples, and mean / min / p50
+//! times are printed one line per benchmark. No plots, no statistics
+//! beyond that — enough to compare hot paths and catch regressions by eye
+//! or by parsing the stable one-line output format:
+//!
+//! ```text
+//! bench: <group>/<id>  mean 1.234 ms  min 1.200 ms  p50 1.230 ms  (20 samples)
+//! ```
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Identifier for one parameterized benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(name: impl std::fmt::Display, param: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{param}"),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(param: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: param.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+/// Throughput annotation (printed alongside the timing).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// The timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    target_samples: usize,
+}
+
+impl Bencher {
+    /// Run `f` repeatedly, recording one wall-clock sample per run.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warmup: let allocators/caches settle.
+        for _ in 0..2 {
+            black_box(f());
+        }
+        self.samples.clear();
+        for _ in 0..self.target_samples {
+            let t0 = Instant::now();
+            black_box(f());
+            self.samples.push(t0.elapsed());
+        }
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let s = d.as_secs_f64();
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} us", s * 1e6)
+    } else {
+        format!("{:.1} ns", s * 1e9)
+    }
+}
+
+fn report(group: &str, id: &str, throughput: Option<Throughput>, samples: &mut [Duration]) {
+    if samples.is_empty() {
+        return;
+    }
+    samples.sort();
+    let n = samples.len();
+    let mean = samples.iter().sum::<Duration>() / n as u32;
+    let min = samples[0];
+    let p50 = samples[n / 2];
+    let name = if group.is_empty() {
+        id.to_string()
+    } else {
+        format!("{group}/{id}")
+    };
+    let tp = match throughput {
+        Some(Throughput::Elements(e)) => {
+            format!("  {:.3} Melem/s", e as f64 / mean.as_secs_f64() / 1e6)
+        }
+        Some(Throughput::Bytes(b)) => {
+            format!("  {:.3} MiB/s", b as f64 / mean.as_secs_f64() / (1 << 20) as f64)
+        }
+        None => String::new(),
+    };
+    println!(
+        "bench: {name}  mean {}  min {}  p50 {}{tp}  ({n} samples)",
+        fmt_duration(mean),
+        fmt_duration(min),
+        fmt_duration(p50),
+    );
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Shorten/extend measurement (accepted for API compatibility; the
+    /// sample count alone governs this harness).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Annotate subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmark `f` with an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            target_samples: self.sample_size,
+        };
+        f(&mut b, input);
+        report(&self.name, &id.id, self.throughput, &mut b.samples);
+        self
+    }
+
+    /// Benchmark a closure with no extra input.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: Vec::new(),
+            target_samples: self.sample_size,
+        };
+        f(&mut b);
+        report(&self.name, &id.id, self.throughput, &mut b.samples);
+        self
+    }
+
+    /// End the group (no-op; printed incrementally).
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Criterion {
+    /// Start a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = if self.default_sample_size == 0 {
+            20
+        } else {
+            self.default_sample_size
+        };
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size,
+            throughput: None,
+            _parent: self,
+        }
+    }
+
+    /// Benchmark a standalone function.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            target_samples: if self.default_sample_size == 0 {
+                20
+            } else {
+                self.default_sample_size
+            },
+        };
+        f(&mut b);
+        report("", name, None, &mut b.samples);
+        self
+    }
+}
+
+/// Define a bench group function calling each target with a `Criterion`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Define `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3).throughput(Throughput::Elements(10));
+        let mut runs = 0usize;
+        group.bench_with_input(BenchmarkId::from_parameter("x"), &5u32, |b, &x| {
+            b.iter(|| {
+                runs += 1;
+                x * 2
+            })
+        });
+        group.finish();
+        // 2 warmup + 3 samples.
+        assert_eq!(runs, 5);
+    }
+
+    #[test]
+    fn duration_formatting_scales() {
+        assert!(fmt_duration(Duration::from_secs(2)).ends_with(" s"));
+        assert!(fmt_duration(Duration::from_millis(5)).ends_with(" ms"));
+        assert!(fmt_duration(Duration::from_micros(5)).ends_with(" us"));
+        assert!(fmt_duration(Duration::from_nanos(5)).ends_with(" ns"));
+    }
+}

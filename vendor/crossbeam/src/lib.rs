@@ -1,0 +1,79 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Provides `crossbeam::channel::{unbounded, Sender, Receiver}` with the
+//! semantics the message-passing runtime relies on: unbounded MPSC queues,
+//! cloneable `Sync` senders, and `recv_timeout`. Backed by
+//! `std::sync::mpsc`, whose `Sender` has been `Sync` since Rust 1.72.
+
+pub mod channel {
+    use std::sync::mpsc;
+    pub use std::sync::mpsc::{RecvTimeoutError, SendError};
+    use std::time::Duration;
+
+    /// Unbounded sending half; clone freely across threads.
+    pub struct Sender<T>(mpsc::Sender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueue without blocking (the queue is unbounded).
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0.send(value)
+        }
+    }
+
+    /// Receiving half, owned by one consumer.
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> Receiver<T> {
+        /// Block until a value arrives or every sender is dropped.
+        pub fn recv(&self) -> Result<T, mpsc::RecvError> {
+            self.0.recv()
+        }
+
+        /// Block up to `timeout` for the next value.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.0.recv_timeout(timeout)
+        }
+
+        /// Non-blocking poll.
+        pub fn try_recv(&self) -> Result<T, mpsc::TryRecvError> {
+            self.0.try_recv()
+        }
+    }
+
+    /// Create an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(tx), Receiver(rx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::unbounded;
+    use std::time::Duration;
+
+    #[test]
+    fn cross_thread_roundtrip() {
+        let (tx, rx) = unbounded::<u32>();
+        let tx2 = tx.clone();
+        let h = std::thread::spawn(move || {
+            tx2.send(7).unwrap();
+        });
+        assert_eq!(rx.recv_timeout(Duration::from_secs(5)).unwrap(), 7);
+        h.join().unwrap();
+        tx.send(8).unwrap();
+        assert_eq!(rx.recv().unwrap(), 8);
+    }
+
+    #[test]
+    fn timeout_elapses_when_empty() {
+        let (_tx, rx) = unbounded::<u32>();
+        assert!(rx.recv_timeout(Duration::from_millis(10)).is_err());
+    }
+}

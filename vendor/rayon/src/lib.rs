@@ -1,0 +1,95 @@
+//! Offline stand-in for `rayon`.
+//!
+//! Implements the one pattern the workspace uses — `par_iter_mut()` on a
+//! mutable slice followed by `for_each` — with real data parallelism:
+//! the slice is split into contiguous chunks, one per available core, each
+//! processed by a scoped thread. Order within a chunk is preserved, which
+//! is all the physics kernel needs for its bitwise-reproducibility claim
+//! (each element is processed independently).
+
+/// Parallel iterator over `&mut` slice elements.
+pub struct ParIterMut<'a, T> {
+    slice: &'a mut [T],
+}
+
+impl<'a, T: Send> ParIterMut<'a, T> {
+    /// Apply `f` to every element, fanning chunks out across threads.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut T) + Send + Sync,
+    {
+        let len = self.slice.len();
+        if len == 0 {
+            return;
+        }
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(len);
+        if workers <= 1 {
+            for item in self.slice.iter_mut() {
+                f(item);
+            }
+            return;
+        }
+        let chunk = len.div_ceil(workers);
+        let f = &f;
+        std::thread::scope(|scope| {
+            for part in self.slice.chunks_mut(chunk) {
+                scope.spawn(move || {
+                    for item in part.iter_mut() {
+                        f(item);
+                    }
+                });
+            }
+        });
+    }
+}
+
+/// The traits rayon puts in scope via `use rayon::prelude::*`.
+pub mod prelude {
+    use super::ParIterMut;
+
+    /// Conversion of `&mut` collections into parallel iterators.
+    pub trait IntoParallelRefMutIterator<'a> {
+        /// The parallel iterator type.
+        type Iter;
+        /// Create a parallel iterator over mutable references.
+        fn par_iter_mut(&'a mut self) -> Self::Iter;
+    }
+
+    impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
+        type Iter = ParIterMut<'a, T>;
+        fn par_iter_mut(&'a mut self) -> ParIterMut<'a, T> {
+            ParIterMut { slice: self }
+        }
+    }
+
+    impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+        type Iter = ParIterMut<'a, T>;
+        fn par_iter_mut(&'a mut self) -> ParIterMut<'a, T> {
+            ParIterMut { slice: self }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn for_each_touches_every_element_once() {
+        let mut v: Vec<u64> = (0..10_000).collect();
+        v.par_iter_mut().for_each(|x| *x += 1);
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i as u64 + 1));
+    }
+
+    #[test]
+    fn empty_and_tiny_slices() {
+        let mut v: Vec<u32> = Vec::new();
+        v.par_iter_mut().for_each(|x| *x += 1);
+        let mut one = vec![5u32];
+        one.par_iter_mut().for_each(|x| *x *= 2);
+        assert_eq!(one, vec![10]);
+    }
+}
