@@ -1,0 +1,46 @@
+//! Overhead of the metrics registry on the communication hot path.
+//!
+//! The registry claims to be zero-cost when disabled and a plain `Cell`
+//! bump when enabled; this bench keeps that claim honest, mirroring the
+//! tracing-overhead bench.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use nbody_metrics::MetricsRecorder;
+use nbody_trace::Phase;
+
+fn bench_disabled(c: &mut Criterion) {
+    let rec = MetricsRecorder::disabled();
+    let msgs = rec.counter("comm_send_messages", Some(Phase::Shift));
+    let sizes = rec.histogram("comm_message_size_bytes", Some(Phase::Shift));
+    c.bench_function("metrics_disabled_send_path", |b| {
+        b.iter(|| {
+            msgs.add(black_box(1));
+            sizes.observe(black_box(5200));
+        })
+    });
+}
+
+fn bench_enabled(c: &mut Criterion) {
+    let rec = MetricsRecorder::for_rank(0);
+    let msgs = rec.counter("comm_send_messages", Some(Phase::Shift));
+    let sizes = rec.histogram("comm_message_size_bytes", Some(Phase::Shift));
+    c.bench_function("metrics_enabled_send_path", |b| {
+        b.iter(|| {
+            msgs.add(black_box(1));
+            sizes.observe(black_box(5200));
+        })
+    });
+}
+
+fn bench_registration(c: &mut Criterion) {
+    c.bench_function("metrics_find_or_register", |b| {
+        let rec = MetricsRecorder::for_rank(0);
+        b.iter(|| {
+            let h = rec.counter(black_box("comm_send_bytes"), Some(Phase::Reduce));
+            h.add(1);
+        })
+    });
+}
+
+criterion_group!(benches, bench_disabled, bench_enabled, bench_registration);
+criterion_main!(benches);

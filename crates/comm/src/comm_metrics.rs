@@ -1,0 +1,114 @@
+//! Pre-registered metric handles for the communication hot path.
+//!
+//! Registered once per communicator construction (world creation or
+//! `split`), so recording a message is handle lookups by array index —
+//! the registry itself is never touched while the algorithm runs. All
+//! handles alias the rank's one [`MetricsRecorder`] shard, so traffic on
+//! derived communicators lands in the same per-rank metrics.
+//!
+//! Metric vocabulary (all phase-labelled):
+//!
+//! | name                      | type      | meaning                          |
+//! |---------------------------|-----------|----------------------------------|
+//! | `comm_send_messages`      | counter   | point-to-point messages sent     |
+//! | `comm_send_elements`      | counter   | elements in those messages       |
+//! | `comm_send_bytes`         | counter   | bytes in those messages          |
+//! | `comm_collective_messages`| counter   | tree messages inside collectives |
+//! | `comm_collective_elements`| counter   | collective payload elements      |
+//! | `comm_collective_bytes`   | counter   | collective payload bytes         |
+//! | `comm_message_size_bytes` | histogram | size of every message on the wire|
+
+use nbody_metrics::{Counter, HistogramHandle, MetricsRecorder};
+use nbody_trace::{Phase, ALL_PHASES};
+
+/// Cached per-phase handles; see the module docs.
+pub(crate) struct CommMetrics {
+    send_messages: [Counter; 6],
+    send_elements: [Counter; 6],
+    send_bytes: [Counter; 6],
+    coll_messages: [Counter; 6],
+    coll_elements: [Counter; 6],
+    coll_bytes: [Counter; 6],
+    message_size: [HistogramHandle; 6],
+}
+
+impl CommMetrics {
+    pub(crate) fn new(rec: &MetricsRecorder) -> CommMetrics {
+        let counter =
+            |name: &'static str| std::array::from_fn(|i| rec.counter(name, Some(ALL_PHASES[i])));
+        CommMetrics {
+            send_messages: counter("comm_send_messages"),
+            send_elements: counter("comm_send_elements"),
+            send_bytes: counter("comm_send_bytes"),
+            coll_messages: counter("comm_collective_messages"),
+            coll_elements: counter("comm_collective_elements"),
+            coll_bytes: counter("comm_collective_bytes"),
+            message_size: std::array::from_fn(|i| {
+                rec.histogram("comm_message_size_bytes", Some(ALL_PHASES[i]))
+            }),
+        }
+    }
+
+    /// One message hit the wire: a point-to-point send when `counted`,
+    /// otherwise a constituent tree message of a collective.
+    pub(crate) fn on_send(&self, phase: Phase, elements: usize, bytes: usize, counted: bool) {
+        let i = phase.index();
+        if counted {
+            self.send_messages[i].inc();
+            self.send_elements[i].add(elements as u64);
+            self.send_bytes[i].add(bytes as u64);
+        } else {
+            self.coll_messages[i].inc();
+        }
+        self.message_size[i].observe(bytes as u64);
+    }
+
+    /// This rank participated in a collective with the given payload.
+    pub(crate) fn on_collective(&self, phase: Phase, elements: usize, bytes: usize) {
+        let i = phase.index();
+        self.coll_elements[i].add(elements as u64);
+        self.coll_bytes[i].add(bytes as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_into_the_recorder_by_phase() {
+        let rec = MetricsRecorder::for_rank(2);
+        let m = CommMetrics::new(&rec);
+        m.on_send(Phase::Shift, 10, 520, true);
+        m.on_send(Phase::Shift, 10, 520, false); // collective constituent
+        m.on_collective(Phase::Reduce, 7, 364);
+        let snap = rec.finish().unwrap();
+        assert_eq!(snap.counter("comm_send_messages", Some(Phase::Shift)), 1);
+        assert_eq!(snap.counter("comm_send_elements", Some(Phase::Shift)), 10);
+        assert_eq!(snap.counter("comm_send_bytes", Some(Phase::Shift)), 520);
+        assert_eq!(
+            snap.counter("comm_collective_messages", Some(Phase::Shift)),
+            1
+        );
+        assert_eq!(
+            snap.counter("comm_collective_elements", Some(Phase::Reduce)),
+            7
+        );
+        assert_eq!(snap.counter("comm_collective_bytes", Some(Phase::Reduce)), 364);
+        // Both messages appear in the size histogram.
+        let h = snap
+            .histogram("comm_message_size_bytes", Some(Phase::Shift))
+            .unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum, 1040);
+    }
+
+    #[test]
+    fn disabled_recorder_costs_nothing_and_drains_nothing() {
+        let rec = MetricsRecorder::disabled();
+        let m = CommMetrics::new(&rec);
+        m.on_send(Phase::Shift, 10, 520, true);
+        m.on_collective(Phase::Reduce, 7, 364);
+        assert!(rec.finish().is_none());
+    }
+}

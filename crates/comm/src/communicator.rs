@@ -11,6 +11,7 @@
 //! [`ThreadComm`]: crate::thread_comm::ThreadComm
 
 use crate::stats::{CommStats, Phase};
+use nbody_metrics::MetricsRecorder;
 use nbody_trace::Tracer;
 
 /// Marker for data that can travel between ranks. Blanket-implemented for
@@ -53,6 +54,14 @@ pub trait Communicator: Sized {
     /// execution was started with tracing on.
     fn tracer(&self) -> Tracer {
         Tracer::disabled()
+    }
+
+    /// This rank's metrics recorder (counters, gauges, histograms). Like
+    /// the tracer, it follows the rank across `split`s, and is disabled
+    /// unless the execution was started with metrics on — algorithms can
+    /// record against it unconditionally.
+    fn metrics(&self) -> MetricsRecorder {
+        MetricsRecorder::disabled()
     }
 
     /// Buffered send of `data` to local rank `dst`.

@@ -15,6 +15,7 @@
 
 #![warn(missing_docs)]
 
+mod comm_metrics;
 pub mod communicator;
 pub mod self_comm;
 pub mod stats;
@@ -24,4 +25,5 @@ pub use communicator::{sum_combine, CommData, Communicator};
 pub use stats::{CommStats, Phase, PhaseCounters, ALL_PHASES};
 pub use self_comm::SelfComm;
 pub use thread_comm::{run_ranks, run_ranks_traced, ThreadComm};
+pub use nbody_metrics::{MetricsRecorder, MetricsSnapshot, RankMetrics};
 pub use nbody_trace::{ExecutionTrace, Tracer};

@@ -11,24 +11,44 @@ use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::rc::Rc;
 
+use crate::comm_metrics::CommMetrics;
 use crate::communicator::{CommData, Communicator};
 use crate::stats::{CommStats, Phase};
+use nbody_metrics::MetricsRecorder;
 
 /// Queued loopback messages: `(tag, type-erased payload)`.
 type Mailbox = VecDeque<(u64, Box<dyn std::any::Any>)>;
 
 /// The one-rank communicator.
-#[derive(Default)]
 pub struct SelfComm {
     stats: Rc<RefCell<CommStats>>,
+    recorder: MetricsRecorder,
+    metrics: Rc<CommMetrics>,
     /// Loopback mailbox: sends to rank 0 are queued here for recv.
     mailbox: Rc<RefCell<Mailbox>>,
 }
 
+impl Default for SelfComm {
+    fn default() -> Self {
+        SelfComm::metered(MetricsRecorder::disabled())
+    }
+}
+
 impl SelfComm {
-    /// Create a fresh single-rank communicator.
+    /// Create a fresh single-rank communicator (metrics disabled).
     pub fn new() -> Self {
         SelfComm::default()
+    }
+
+    /// Create a single-rank communicator recording into `recorder`.
+    pub fn metered(recorder: MetricsRecorder) -> Self {
+        let metrics = Rc::new(CommMetrics::new(&recorder));
+        SelfComm {
+            stats: Rc::new(RefCell::new(CommStats::new())),
+            recorder,
+            metrics,
+            mailbox: Rc::new(RefCell::new(VecDeque::new())),
+        }
     }
 }
 
@@ -49,9 +69,19 @@ impl Communicator for SelfComm {
         self.stats.borrow().clone()
     }
 
+    fn metrics(&self) -> MetricsRecorder {
+        self.recorder.clone()
+    }
+
     fn send<T: CommData>(&self, dst: usize, tag: u64, data: &[T]) {
         assert_eq!(dst, 0, "single-rank send must loop back");
-        self.stats.borrow_mut().record_send(data.len());
+        let bytes = std::mem::size_of_val(data);
+        let phase = {
+            let mut stats = self.stats.borrow_mut();
+            stats.record_send(data.len(), bytes);
+            stats.current_phase()
+        };
+        self.metrics.on_send(phase, data.len(), bytes, true);
         self.mailbox
             .borrow_mut()
             .push_back((tag, Box::new(data.to_vec())));
@@ -89,6 +119,8 @@ impl Communicator for SelfComm {
         let _ = key;
         SelfComm {
             stats: Rc::clone(&self.stats),
+            recorder: self.recorder.clone(),
+            metrics: Rc::clone(&self.metrics),
             mailbox: Rc::new(RefCell::new(VecDeque::new())),
         }
     }
@@ -148,6 +180,22 @@ mod tests {
         let _ = sub.recv::<u8>(0, 1);
         assert_eq!(comm.stats().phase(Phase::Shift).messages, 1);
         assert_eq!(comm.stats().phase(Phase::Shift).elements, 3);
+    }
+
+    #[test]
+    fn metered_self_comm_records_bytes() {
+        let rec = MetricsRecorder::for_rank(0);
+        let comm = SelfComm::metered(rec.clone());
+        comm.set_phase(Phase::Shift);
+        let sub = comm.split(0, 0);
+        sub.send(0, 1, &[1u64, 2]);
+        let _ = sub.recv::<u64>(0, 1);
+        assert_eq!(comm.stats().phase(Phase::Shift).bytes, 16);
+        let m = rec.finish().unwrap();
+        assert_eq!(m.counter("comm_send_bytes", Some(Phase::Shift)), 16);
+        assert_eq!(m.counter("comm_send_messages", Some(Phase::Shift)), 1);
+        assert!(comm.metrics().is_enabled());
+        assert!(!SelfComm::new().metrics().is_enabled());
     }
 
     #[test]

@@ -14,16 +14,28 @@
 pub use nbody_trace::{Phase, ALL_PHASES};
 
 /// Counters for one phase.
+///
+/// A "word" throughout the workspace is one element of whatever type went
+/// over the wire; `bytes` fields pin that down with `size_of`-based byte
+/// counts so comparisons across element types are meaningful.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct PhaseCounters {
     /// Point-to-point messages sent.
     pub messages: u64,
     /// Elements (e.g. particles) sent in point-to-point messages.
     pub elements: u64,
+    /// Bytes sent in point-to-point messages (`size_of`-based).
+    pub bytes: u64,
     /// Collective operations participated in.
     pub collectives: u64,
     /// Elements moved by collectives (per participant contribution).
     pub collective_elements: u64,
+    /// Bytes of the collective payloads (`size_of`-based, per participant).
+    pub collective_bytes: u64,
+    /// Constituent tree messages this rank sent inside collectives — the
+    /// difference between the logical collective count and what actually
+    /// hit the wire.
+    pub collective_messages: u64,
     /// Wall-clock seconds spent blocked waiting for data in this phase.
     pub blocked_secs: f64,
 }
@@ -32,8 +44,11 @@ impl PhaseCounters {
     fn merge(&mut self, other: &PhaseCounters) {
         self.messages += other.messages;
         self.elements += other.elements;
+        self.bytes += other.bytes;
         self.collectives += other.collectives;
         self.collective_elements += other.collective_elements;
+        self.collective_bytes += other.collective_bytes;
+        self.collective_messages += other.collective_messages;
         self.blocked_secs += other.blocked_secs;
     }
 }
@@ -64,18 +79,26 @@ impl CommStats {
         ALL_PHASES[self.current]
     }
 
-    /// Record a point-to-point send of `elements` elements.
-    pub fn record_send(&mut self, elements: usize) {
+    /// Record a point-to-point send of `elements` elements / `bytes` bytes.
+    pub fn record_send(&mut self, elements: usize, bytes: usize) {
         let c = &mut self.phases[self.current];
         c.messages += 1;
         c.elements += elements as u64;
+        c.bytes += bytes as u64;
     }
 
-    /// Record participation in a collective moving `elements` elements.
-    pub fn record_collective(&mut self, elements: usize) {
+    /// Record participation in a collective moving `elements` elements /
+    /// `bytes` bytes (this rank's payload contribution).
+    pub fn record_collective(&mut self, elements: usize, bytes: usize) {
         let c = &mut self.phases[self.current];
         c.collectives += 1;
         c.collective_elements += elements as u64;
+        c.collective_bytes += bytes as u64;
+    }
+
+    /// Record one constituent tree message sent inside a collective.
+    pub fn record_collective_message(&mut self) {
+        self.phases[self.current].collective_messages += 1;
     }
 
     /// Record `secs` seconds spent blocked waiting for data.
@@ -103,6 +126,11 @@ impl CommStats {
         self.phases.iter().map(|c| c.collectives).sum()
     }
 
+    /// Total point-to-point bytes across phases.
+    pub fn total_bytes(&self) -> u64 {
+        self.phases.iter().map(|c| c.bytes).sum()
+    }
+
     /// Merge another rank's statistics into this one (for aggregation).
     pub fn merge(&mut self, other: &CommStats) {
         for (a, b) in self.phases.iter_mut().zip(&other.phases) {
@@ -119,20 +147,25 @@ mod tests {
     fn phases_bucket_independently() {
         let mut s = CommStats::new();
         s.set_phase(Phase::Shift);
-        s.record_send(10);
-        s.record_send(5);
+        s.record_send(10, 80);
+        s.record_send(5, 40);
         s.set_phase(Phase::Reduce);
-        s.record_collective(7);
+        s.record_collective(7, 56);
+        s.record_collective_message();
         s.record_blocked(0.5);
 
         assert_eq!(s.phase(Phase::Shift).messages, 2);
         assert_eq!(s.phase(Phase::Shift).elements, 15);
+        assert_eq!(s.phase(Phase::Shift).bytes, 120);
         assert_eq!(s.phase(Phase::Reduce).collectives, 1);
         assert_eq!(s.phase(Phase::Reduce).collective_elements, 7);
+        assert_eq!(s.phase(Phase::Reduce).collective_bytes, 56);
+        assert_eq!(s.phase(Phase::Reduce).collective_messages, 1);
         assert_eq!(s.phase(Phase::Reduce).blocked_secs, 0.5);
         assert_eq!(s.phase(Phase::Broadcast).messages, 0);
         assert_eq!(s.total_messages(), 2);
         assert_eq!(s.total_elements(), 15);
+        assert_eq!(s.total_bytes(), 120);
         assert_eq!(s.total_collectives(), 1);
     }
 
@@ -140,7 +173,7 @@ mod tests {
     fn default_phase_is_other() {
         let mut s = CommStats::new();
         assert_eq!(s.current_phase(), Phase::Other);
-        s.record_send(3);
+        s.record_send(3, 3);
         assert_eq!(s.phase(Phase::Other).messages, 1);
     }
 
@@ -148,14 +181,15 @@ mod tests {
     fn merge_adds_counters() {
         let mut a = CommStats::new();
         a.set_phase(Phase::Shift);
-        a.record_send(4);
+        a.record_send(4, 32);
         let mut b = CommStats::new();
         b.set_phase(Phase::Shift);
-        b.record_send(6);
+        b.record_send(6, 48);
         b.record_blocked(1.0);
         a.merge(&b);
         assert_eq!(a.phase(Phase::Shift).messages, 2);
         assert_eq!(a.phase(Phase::Shift).elements, 10);
+        assert_eq!(a.phase(Phase::Shift).bytes, 80);
         assert_eq!(a.phase(Phase::Shift).blocked_secs, 1.0);
     }
 

@@ -31,8 +31,10 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 
+use crate::comm_metrics::CommMetrics;
 use crate::communicator::{CommData, Communicator};
 use crate::stats::{CommStats, Phase};
+use nbody_metrics::{MetricsRecorder, MetricsSnapshot, RankMetrics};
 use nbody_trace::{ExecutionTrace, Span, Tracer};
 
 /// How long a receive may block before the runtime declares a deadlock.
@@ -120,6 +122,8 @@ pub struct ThreadComm {
     endpoint: Rc<RefCell<Endpoint>>,
     stats: Rc<RefCell<CommStats>>,
     tracer: Tracer,
+    recorder: MetricsRecorder,
+    metrics: Rc<CommMetrics>,
     comm_id: u64,
     /// Global ranks of the members, indexed by local rank.
     members: Rc<Vec<usize>>,
@@ -139,9 +143,17 @@ impl ThreadComm {
 
     fn send_raw<T: CommData>(&self, dst_local: usize, tag: u64, data: Vec<T>, count_stats: bool) {
         assert!(dst_local < self.size(), "send to invalid rank {dst_local}");
-        if count_stats {
-            self.stats.borrow_mut().record_send(data.len());
-        }
+        let bytes = data.len() * std::mem::size_of::<T>();
+        let phase = {
+            let mut stats = self.stats.borrow_mut();
+            if count_stats {
+                stats.record_send(data.len(), bytes);
+            } else {
+                stats.record_collective_message();
+            }
+            stats.current_phase()
+        };
+        self.metrics.on_send(phase, data.len(), bytes, count_stats);
         let env = Envelope {
             comm: self.comm_id,
             src_global: self.my_global(),
@@ -177,6 +189,17 @@ impl ThreadComm {
             })
     }
 
+    /// Attribute a collective's payload to stats and metrics.
+    fn record_collective<T>(&self, elements: usize) {
+        let bytes = elements * std::mem::size_of::<T>();
+        let phase = {
+            let mut stats = self.stats.borrow_mut();
+            stats.record_collective(elements, bytes);
+            stats.current_phase()
+        };
+        self.metrics.on_collective(phase, elements, bytes);
+    }
+
     /// Reserve a fresh internal tag for one collective operation. All ranks
     /// call collectives in identical order, so the sequence agrees globally.
     fn next_internal_tag(&self) -> u64 {
@@ -206,6 +229,10 @@ impl Communicator for ThreadComm {
 
     fn tracer(&self) -> Tracer {
         self.tracer.clone()
+    }
+
+    fn metrics(&self) -> MetricsRecorder {
+        self.recorder.clone()
     }
 
     fn send<T: CommData>(&self, dst: usize, tag: u64, data: &[T]) {
@@ -244,7 +271,7 @@ impl Communicator for ThreadComm {
         }
         // Recorded after completion so every member logs the payload size
         // (non-roots don't know it on entry).
-        self.stats.borrow_mut().record_collective(buf.len());
+        self.record_collective::<T>(buf.len());
     }
 
     fn reduce<T: CommData>(&self, root: usize, buf: &mut Vec<T>, combine: fn(&mut T, &T)) {
@@ -253,7 +280,7 @@ impl Communicator for ThreadComm {
         if size == 1 {
             return;
         }
-        self.stats.borrow_mut().record_collective(buf.len());
+        self.record_collective::<T>(buf.len());
         let tag = self.next_internal_tag();
         // Binomial tree reduction mirroring the broadcast: contributions from
         // higher virtual ranks are folded into lower ones, ending at vrank 0
@@ -290,7 +317,7 @@ impl Communicator for ThreadComm {
         if size == 1 {
             return Some(vec![data.to_vec()]);
         }
-        self.stats.borrow_mut().record_collective(data.len());
+        self.record_collective::<T>(data.len());
         let tag = self.next_internal_tag();
         if self.my_local == root {
             let mut out = Vec::with_capacity(size);
@@ -313,7 +340,7 @@ impl Communicator for ThreadComm {
         if size == 1 {
             return;
         }
-        self.stats.borrow_mut().record_collective(0);
+        self.record_collective::<u8>(0);
         let tag = self.next_internal_tag();
         // Dissemination barrier: log2(size) rounds of shifted token passing.
         let mut step = 1usize;
@@ -349,6 +376,8 @@ impl Communicator for ThreadComm {
             endpoint: Rc::clone(&self.endpoint),
             stats: Rc::clone(&self.stats),
             tracer: self.tracer.clone(),
+            recorder: self.recorder.clone(),
+            metrics: Rc::clone(&self.metrics),
             comm_id,
             members: Rc::new(members),
             my_local,
@@ -370,14 +399,18 @@ where
     R: Send,
     F: Fn(&mut ThreadComm) -> R + Sync,
 {
-    run_ranks_impl(p, None, f).into_iter().map(|(r, _)| r).collect()
+    run_ranks_impl(p, None, f)
+        .into_iter()
+        .map(|(r, _, _)| r)
+        .collect()
 }
 
-/// [`run_ranks`] with per-rank wall-clock span recording: every rank's
-/// communicator carries an enabled [`Tracer`] measuring against a shared
-/// epoch taken just before the threads spawn, and the per-rank buffers are
-/// merged into an [`ExecutionTrace`] at join.
-pub fn run_ranks_traced<R, F>(p: usize, f: F) -> (Vec<R>, ExecutionTrace)
+/// [`run_ranks`] with per-rank wall-clock span recording and live metrics:
+/// every rank's communicator carries an enabled [`Tracer`] measuring
+/// against a shared epoch taken just before the threads spawn plus an
+/// enabled [`MetricsRecorder`], and the per-rank buffers/shards are merged
+/// into an [`ExecutionTrace`] and a [`MetricsSnapshot`] at join.
+pub fn run_ranks_traced<R, F>(p: usize, f: F) -> (Vec<R>, ExecutionTrace, MetricsSnapshot)
 where
     R: Send,
     F: Fn(&mut ThreadComm) -> R + Sync,
@@ -386,14 +419,24 @@ where
     let out = run_ranks_impl(p, Some(epoch), f);
     let mut results = Vec::with_capacity(p);
     let mut buffers = Vec::with_capacity(p);
-    for (r, spans) in out {
+    let mut shards = Vec::with_capacity(p);
+    for (r, spans, metrics) in out {
         results.push(r);
         buffers.push(spans);
+        shards.push(metrics);
     }
-    (results, ExecutionTrace::from_rank_buffers(buffers))
+    (
+        results,
+        ExecutionTrace::from_rank_buffers(buffers),
+        MetricsSnapshot::from_shards(shards),
+    )
 }
 
-fn run_ranks_impl<R, F>(p: usize, epoch: Option<Instant>, f: F) -> Vec<(R, Vec<Span>)>
+fn run_ranks_impl<R, F>(
+    p: usize,
+    epoch: Option<Instant>,
+    f: F,
+) -> Vec<(R, Vec<Span>, Option<RankMetrics>)>
 where
     R: Send,
     F: Fn(&mut ThreadComm) -> R + Sync,
@@ -429,11 +472,17 @@ where
                         Some(epoch) => Tracer::for_rank(rank, epoch),
                         None => Tracer::disabled(),
                     };
+                    let recorder = match epoch {
+                        Some(_) => MetricsRecorder::for_rank(rank),
+                        None => MetricsRecorder::disabled(),
+                    };
                     let mut comm = ThreadComm {
                         fabric,
                         endpoint: Rc::new(RefCell::new(endpoint)),
                         stats: Rc::new(RefCell::new(CommStats::new())),
                         tracer: tracer.clone(),
+                        recorder: recorder.clone(),
+                        metrics: Rc::new(CommMetrics::new(&recorder)),
                         comm_id: 0,
                         members: Rc::new((0..p).collect()),
                         my_local: rank,
@@ -441,7 +490,7 @@ where
                         coll_seq: Cell::new(0),
                     };
                     let result = f(&mut comm);
-                    (result, tracer.finish())
+                    (result, tracer.finish(), recorder.finish())
                 })
                 .expect("failed to spawn rank thread");
             handles.push(handle);
@@ -680,7 +729,7 @@ mod tests {
     fn blocked_time_is_recorded_on_real_waits() {
         // Receiver posts its recv ~50 ms before the sender sends: both the
         // stats counter and the trace must capture the wait.
-        let (out, trace) = run_ranks_traced(2, |comm| {
+        let (out, trace, _) = run_ranks_traced(2, |comm| {
             comm.set_phase(Phase::Shift);
             if comm.rank() == 0 {
                 std::thread::sleep(Duration::from_millis(50));
@@ -715,17 +764,73 @@ mod tests {
             buf[0]
         };
         let plain = run_ranks(4, body);
-        let (traced, trace) = run_ranks_traced(4, body);
+        let (traced, trace, metrics) = run_ranks_traced(4, body);
         assert_eq!(plain, traced);
         assert_eq!(trace.ranks, 4);
         assert!(!trace.spans.is_empty());
+        assert_eq!(metrics.ranks.len(), 4);
+    }
+
+    #[test]
+    fn traced_run_collects_live_metrics() {
+        use nbody_trace::Phase;
+        let (_, _, metrics) = run_ranks_traced(2, |comm| {
+            comm.set_phase(Phase::Shift);
+            if comm.rank() == 0 {
+                comm.send(1, 1, &[7u64, 8, 9]);
+            } else {
+                let _ = comm.recv::<u64>(0, 1);
+            }
+            comm.set_phase(Phase::Reduce);
+            let mut buf = vec![comm.rank() as u64];
+            comm.allreduce(&mut buf, sum_combine);
+        });
+        let r0 = &metrics.ranks[0];
+        assert_eq!(r0.counter("comm_send_messages", Some(Phase::Shift)), 1);
+        assert_eq!(r0.counter("comm_send_elements", Some(Phase::Shift)), 3);
+        assert_eq!(r0.counter("comm_send_bytes", Some(Phase::Shift)), 24);
+        // allreduce = reduce + bcast: both payloads attributed to Reduce.
+        assert_eq!(
+            metrics.sum_counter("comm_collective_elements", Some(Phase::Reduce)),
+            4
+        );
+        // The tree messages of the collectives hit the wire somewhere.
+        assert!(metrics.sum_counter("comm_collective_messages", Some(Phase::Reduce)) > 0);
+        // Message sizes were observed.
+        let h = r0
+            .histogram("comm_message_size_bytes", Some(Phase::Shift))
+            .unwrap();
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.sum, 24);
+        // Untraced runs collect nothing.
+        let empty = run_ranks(2, |comm| comm.metrics().is_enabled());
+        assert_eq!(empty, vec![false, false]);
+    }
+
+    #[test]
+    fn split_communicators_share_the_metrics_shard() {
+        use nbody_trace::Phase;
+        let (_, _, metrics) = run_ranks_traced(2, |comm| {
+            comm.set_phase(Phase::Skew);
+            let sub = comm.split(0, comm.rank());
+            if sub.rank() == 0 {
+                sub.send(1, 1, &[1u8, 2, 3, 4]);
+            } else {
+                let _ = sub.recv::<u8>(0, 1);
+            }
+        });
+        // Traffic on the derived communicator lands on the rank's shard.
+        assert_eq!(
+            metrics.ranks[0].counter("comm_send_bytes", Some(Phase::Skew)),
+            4
+        );
     }
 
     #[test]
     fn phase_windows_follow_split_communicators() {
         // set_phase on a *derived* communicator must land on the rank's one
         // timeline — the converse of `stats_shared_across_split`.
-        let (_, trace) = run_ranks_traced(4, |comm| {
+        let (_, trace, _) = run_ranks_traced(4, |comm| {
             let sub = comm.split(comm.rank() % 2, comm.rank());
             sub.set_phase(Phase::Reduce);
             let mut buf = vec![comm.rank() as u64];

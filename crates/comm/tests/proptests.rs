@@ -1,12 +1,60 @@
 //! Property-based tests of the threaded message-passing runtime: random
 //! payloads, random routings, and random grid splits must behave like MPI.
 
-use nbody_comm::{run_ranks, sum_combine, Communicator};
+use nbody_comm::{run_ranks, sum_combine, CommStats, Communicator, Phase, ALL_PHASES};
 use proptest::prelude::*;
+
+/// Decode one `u64` into a statistics-recording operation and apply it.
+/// `blocked_secs` values are integer-valued `f64`s, so the sharded and
+/// sequential sums are exactly equal regardless of addition order.
+fn apply_op(stats: &mut CommStats, op: u64) {
+    let phase = ALL_PHASES[(op % 6) as usize];
+    let kind = (op / 6) % 4;
+    let a = ((op / 24) % 500) as usize;
+    let b = ((op / 12_000) % 4_000) as usize;
+    stats.set_phase(phase);
+    match kind {
+        0 => stats.record_send(a, b),
+        1 => stats.record_collective(a, b),
+        2 => stats.record_collective_message(),
+        _ => stats.record_blocked(a as f64),
+    }
+}
 
 proptest! {
     // Each case spawns threads; keep the count moderate.
     #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn merging_shards_equals_sequential_recording(
+        ops in proptest::collection::vec(any::<u64>(), 0..300),
+        shard_count in 1usize..8,
+    ) {
+        // One recorder observing every operation...
+        let mut sequential = CommStats::new();
+        for &op in &ops {
+            apply_op(&mut sequential, op);
+        }
+        // ...must agree with N shards observing a round-robin partition,
+        // merged in an arbitrary (here: reverse) order.
+        let mut shards = vec![CommStats::new(); shard_count];
+        for (i, &op) in ops.iter().enumerate() {
+            apply_op(&mut shards[i % shard_count], op);
+        }
+        let mut merged = CommStats::new();
+        for shard in shards.iter().rev() {
+            merged.merge(shard);
+        }
+        for phase in ALL_PHASES {
+            prop_assert_eq!(merged.phase(phase), sequential.phase(phase), "{:?}", phase);
+        }
+        prop_assert_eq!(merged.total_messages(), sequential.total_messages());
+        prop_assert_eq!(merged.total_elements(), sequential.total_elements());
+        prop_assert_eq!(merged.total_bytes(), sequential.total_bytes());
+        prop_assert_eq!(merged.total_collectives(), sequential.total_collectives());
+        // Merging must not disturb the receiving side's current phase.
+        prop_assert_eq!(merged.current_phase(), Phase::Other);
+    }
 
     #[test]
     fn bcast_delivers_arbitrary_payloads(

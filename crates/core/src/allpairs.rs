@@ -63,6 +63,11 @@ pub fn ca_all_pairs_forces<C: Communicator, F: ForceLaw>(
 
     // Line 3: copy to the exchange buffer.
     let mut exch = st.clone();
+    // The paper's M = cn/p replicated working set: the owned block plus the
+    // exchange copy, the memory the Eq. 2 bounds are evaluated against.
+    gc.col
+        .metrics()
+        .gauge_max("mem_particles_hwm", (st.len() + exch.len()) as u64);
 
     // Line 4: skew — row k shifts its buffer k teams east. After this, the
     // row-k processor of team t holds the block of team (t - k) mod teams.

@@ -151,6 +151,11 @@ pub fn ca_cutoff_forces<C: Communicator, W: Window, F: ForceLaw>(
     // boundary.
     let home: Vec<Particle> = st.clone();
     let mut exch: Vec<Particle> = st.clone();
+    // Replicated working set (owned block + home copy + exchange buffer):
+    // the memory the Eq. 3 bounds are evaluated against.
+    gc.col
+        .metrics()
+        .gauge_max("mem_particles_hwm", (st.len() + home.len() + exch.len()) as u64);
     // Window position and block currently held (None = fell off the edge).
     let mut cur_block: Option<usize> = Some(t);
 

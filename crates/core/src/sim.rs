@@ -7,7 +7,9 @@
 //! identical integrator/force code, so distributed trajectories can be
 //! validated against it step-for-step.
 
-use nbody_comm::{run_ranks, run_ranks_traced, CommStats, Communicator, ExecutionTrace, Phase};
+use nbody_comm::{
+    run_ranks, run_ranks_traced, CommStats, Communicator, ExecutionTrace, MetricsSnapshot, Phase,
+};
 use nbody_physics::particle::reset_forces;
 use nbody_physics::{Boundary, Domain, ForceLaw, Integrator, Particle};
 
@@ -157,20 +159,22 @@ where
 /// [`run_distributed`] with per-rank wall-clock tracing enabled: every
 /// communication phase window, blocked wait, and driver section
 /// (`step` / `integrate` / `force` / `reassign`, per timestep) is recorded
-/// against a shared epoch and returned merged across ranks.
+/// against a shared epoch and returned merged across ranks, together with
+/// the live metrics snapshot (per-rank communication counters, message-size
+/// histograms, and memory high-water marks) for optimality auditing.
 pub fn run_distributed_traced<F, I>(
     cfg: &SimConfig<F, I>,
     method: Method,
     p: usize,
     initial: &[Particle],
-) -> (RunResult, ExecutionTrace)
+) -> (RunResult, ExecutionTrace, MetricsSnapshot)
 where
     F: ForceLaw + Sync,
     I: Integrator + Sync,
 {
     validate_run(cfg, method);
-    let (out, trace) = run_ranks_traced(p, |world| run_rank(cfg, method, world, initial));
-    (gather_results(out, initial.len()), trace)
+    let (out, trace, metrics) = run_ranks_traced(p, |world| run_rank(cfg, method, world, initial));
+    (gather_results(out, initial.len()), trace, metrics)
 }
 
 fn validate_run<F: ForceLaw, I>(cfg: &SimConfig<F, I>, method: Method) {
@@ -709,8 +713,15 @@ mod tests {
         // slightly after the shared epoch) is well under the 10% margin.
         let initial = init::uniform(600, &cfg.domain, 13);
         let plain = run_distributed(&cfg, Method::Ca1dCutoff { c: 2 }, 8, &initial);
-        let (traced, trace) = run_distributed_traced(&cfg, Method::Ca1dCutoff { c: 2 }, 8, &initial);
+        let (traced, trace, metrics) =
+            run_distributed_traced(&cfg, Method::Ca1dCutoff { c: 2 }, 8, &initial);
         assert_eq!(plain.particles, traced.particles, "tracing must not perturb physics");
+
+        // Live metrics ride along: every rank shipped shift messages, and
+        // the leaders recorded their particle memory high-water marks.
+        assert_eq!(metrics.ranks.len(), 8);
+        assert!(metrics.sum_counter("comm_send_messages", Some(Phase::Shift)) > 0);
+        assert!(metrics.max_gauge("mem_particles_hwm", None) > 0);
 
         assert_eq!(trace.ranks, 8);
         // Phase windows tile each rank's timeline, so the mean per-phase
@@ -736,7 +747,7 @@ mod tests {
     fn traced_run_reports_driver_sections_per_step() {
         let cfg = all_pairs_cfg(4);
         let initial = init::uniform(24, &cfg.domain, 42);
-        let (_, trace) = run_distributed_traced(&cfg, Method::CaAllPairs { c: 2 }, 8, &initial);
+        let (_, trace, _) = run_distributed_traced(&cfg, Method::CaAllPairs { c: 2 }, 8, &initial);
         let reports = trace.step_reports();
         assert_eq!(reports.len(), 4, "one report per timestep");
         for (i, r) in reports.iter().enumerate() {

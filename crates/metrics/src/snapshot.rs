@@ -1,0 +1,190 @@
+//! The plain-data result of a metered execution.
+
+use nbody_trace::Phase;
+
+use crate::registry::RankMetrics;
+#[cfg(test)]
+use crate::registry::Sample;
+
+/// All ranks' drained metrics for one execution.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// One entry per rank, indexed by rank.
+    pub ranks: Vec<RankMetrics>,
+}
+
+impl MetricsSnapshot {
+    /// A snapshot with no ranks (metrics were disabled).
+    pub fn empty() -> MetricsSnapshot {
+        MetricsSnapshot::default()
+    }
+
+    /// Assemble a snapshot from per-rank shard drains; a `None` shard
+    /// (rank ran with metrics disabled) becomes an empty entry.
+    pub fn from_shards(shards: Vec<Option<RankMetrics>>) -> MetricsSnapshot {
+        let ranks = shards
+            .into_iter()
+            .enumerate()
+            .map(|(r, m)| {
+                m.unwrap_or(RankMetrics {
+                    rank: r as u32,
+                    ..RankMetrics::default()
+                })
+            })
+            .collect();
+        MetricsSnapshot { ranks }
+    }
+
+    /// Whether any rank recorded anything.
+    pub fn is_empty(&self) -> bool {
+        self.ranks.iter().all(|r| {
+            r.counters.is_empty() && r.gauges.is_empty() && r.histograms.is_empty()
+        })
+    }
+
+    /// Aggregate across ranks: counters sum, gauges take the max,
+    /// histograms merge bucket-wise. The result's `rank` field is 0.
+    pub fn merged(&self) -> RankMetrics {
+        let mut out = RankMetrics::default();
+        for rank in &self.ranks {
+            for s in &rank.counters {
+                match out
+                    .counters
+                    .iter_mut()
+                    .find(|o| o.name == s.name && o.phase == s.phase)
+                {
+                    Some(o) => o.value += s.value,
+                    None => out.counters.push(s.clone()),
+                }
+            }
+            for s in &rank.gauges {
+                match out
+                    .gauges
+                    .iter_mut()
+                    .find(|o| o.name == s.name && o.phase == s.phase)
+                {
+                    Some(o) => o.value = o.value.max(s.value),
+                    None => out.gauges.push(s.clone()),
+                }
+            }
+            for s in &rank.histograms {
+                match out
+                    .histograms
+                    .iter_mut()
+                    .find(|o| o.name == s.name && o.phase == s.phase)
+                {
+                    Some(o) => o.value.merge(&s.value),
+                    None => out.histograms.push(s.clone()),
+                }
+            }
+        }
+        out.normalize();
+        out
+    }
+
+    /// Max over ranks of one counter.
+    pub fn max_counter(&self, name: &str, phase: Option<Phase>) -> u64 {
+        self.ranks
+            .iter()
+            .map(|r| r.counter(name, phase))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Sum over ranks of one counter.
+    pub fn sum_counter(&self, name: &str, phase: Option<Phase>) -> u64 {
+        self.ranks.iter().map(|r| r.counter(name, phase)).sum()
+    }
+
+    /// Max over ranks of one gauge.
+    pub fn max_gauge(&self, name: &str, phase: Option<Phase>) -> u64 {
+        self.ranks
+            .iter()
+            .map(|r| r.gauge(name, phase))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Histogram;
+
+    fn sample(name: &str, phase: Option<Phase>, value: u64) -> Sample<u64> {
+        Sample {
+            name: name.to_string(),
+            phase,
+            value,
+        }
+    }
+
+    fn snap() -> MetricsSnapshot {
+        let mut h0 = Histogram::default();
+        h0.record(100);
+        let mut h1 = Histogram::default();
+        h1.record(5000);
+        h1.record(5000);
+        MetricsSnapshot {
+            ranks: vec![
+                RankMetrics {
+                    rank: 0,
+                    counters: vec![sample("msgs", Some(Phase::Shift), 4)],
+                    gauges: vec![sample("hwm", None, 100)],
+                    histograms: vec![Sample {
+                        name: "sz".to_string(),
+                        phase: Some(Phase::Shift),
+                        value: h0,
+                    }],
+                },
+                RankMetrics {
+                    rank: 1,
+                    counters: vec![sample("msgs", Some(Phase::Shift), 6)],
+                    gauges: vec![sample("hwm", None, 80)],
+                    histograms: vec![Sample {
+                        name: "sz".to_string(),
+                        phase: Some(Phase::Shift),
+                        value: h1,
+                    }],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn merged_sums_counters_maxes_gauges_merges_histograms() {
+        let m = snap().merged();
+        assert_eq!(m.counter("msgs", Some(Phase::Shift)), 10);
+        assert_eq!(m.gauge("hwm", None), 100);
+        let h = m.histogram("sz", Some(Phase::Shift)).unwrap();
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum, 10100);
+    }
+
+    #[test]
+    fn cross_rank_reductions() {
+        let s = snap();
+        assert_eq!(s.max_counter("msgs", Some(Phase::Shift)), 6);
+        assert_eq!(s.sum_counter("msgs", Some(Phase::Shift)), 10);
+        assert_eq!(s.max_gauge("hwm", None), 100);
+        assert_eq!(s.max_counter("absent", None), 0);
+    }
+
+    #[test]
+    fn from_shards_fills_gaps() {
+        let s = MetricsSnapshot::from_shards(vec![
+            None,
+            Some(RankMetrics {
+                rank: 1,
+                counters: vec![sample("x", None, 1)],
+                ..RankMetrics::default()
+            }),
+        ]);
+        assert_eq!(s.ranks.len(), 2);
+        assert_eq!(s.ranks[0].rank, 0);
+        assert!(s.ranks[0].counters.is_empty());
+        assert_eq!(s.ranks[1].counter("x", None), 1);
+        assert!(!s.is_empty());
+        assert!(MetricsSnapshot::empty().is_empty());
+    }
+}

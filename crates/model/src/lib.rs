@@ -14,7 +14,8 @@ pub mod efficiency;
 pub mod optima;
 
 pub use bounds::{
-    k_cutoff_1d, memory_per_proc, s_cutoff, s_direct, w_cutoff, w_direct,
+    bandwidth_lower_bound, k_cutoff_1d, latency_lower_bound, memory_per_proc, s_cutoff, s_direct,
+    w_cutoff, w_direct,
 };
 pub use costs::{
     ca_all_pairs, ca_cutoff_1d, force_decomposition, neutral_territory, optimality_ratio,

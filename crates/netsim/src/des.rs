@@ -157,6 +157,7 @@ where
                         end: states[r].clock,
                         kind: TraceKind::Send {
                             to: to as u32,
+                            bytes,
                             phase,
                         },
                     });

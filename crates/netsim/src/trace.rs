@@ -35,6 +35,8 @@ pub enum TraceKind {
     Send {
         /// Destination rank.
         to: u32,
+        /// Payload size on the (simulated) wire.
+        bytes: u64,
         /// Phase attribution.
         phase: Phase,
     },
@@ -96,7 +98,7 @@ impl Trace {
         for e in &self.events {
             let (peer, phase) = match e.kind {
                 TraceKind::Compute => (String::new(), String::new()),
-                TraceKind::Send { to, phase } => (to.to_string(), phase.label().into()),
+                TraceKind::Send { to, phase, .. } => (to.to_string(), phase.label().into()),
                 TraceKind::Recv { from, phase } => (from.to_string(), phase.label().into()),
                 TraceKind::Collective { members, phase } => {
                     (members.to_string(), phase.label().into())

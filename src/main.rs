@@ -3,58 +3,92 @@
 //! ```text
 //! ca-nbody run      [n=1024] [p=8] [c=2] [steps=20] [dt=0.005] [method=ca]
 //!                   [law=repulsive|gravity|lj] [cutoff=0.25] [boundary=reflective]
-//!                   [--trace=out.json] [--profile]
+//!                   [--trace=out.json] [--metrics=out.json|out.prom] [--profile]
 //! ca-nbody verify   [same options]            distributed-vs-serial check
 //! ca-nbody report   <trace-file>              per-phase/per-step breakdown tables
+//! ca-nbody audit    [n=4096] [p=16] [steps=1] [c=N] [cutoff=0]
+//!                   [--baseline=F] [--out=F.csv|F.json]
 //! ca-nbody scale    [machine=hopper] [n=32768] strong-scaling table (simulated)
 //! ca-nbody autotune [machine=hopper] [p=1536] [n=12288] [cutoff=0]
 //! ```
 //!
+//! Options take `key=value`, `--key=value`, or `--key value` form.
+//!
 //! `--trace` records per-rank wall-clock spans and writes them in a format
 //! chosen by extension: `.json` Chrome `trace_event` (open in Perfetto or
 //! `chrome://tracing`), `.jsonl` JSON-lines, `.csv` the shared event
-//! schema. `--profile` prints the per-phase breakdown after the run.
-//! `run` and `scale` end with a single-line JSON summary on stdout for
-//! scripted consumption.
+//! schema. `--metrics` writes the live metrics snapshot (per-rank
+//! communication counters, message-size histograms, memory high-water
+//! marks) as JSON, or in Prometheus text format for a `.prom` path.
+//! `--profile` prints the per-phase breakdown after the run.
+//!
+//! `audit` runs real instrumented executions across replication factors
+//! and compares the measured per-step communication against the paper's
+//! lower bounds (Eq. 2/3) and predicted costs (Eq. 5/§IV.B), failing if
+//! any constant factor exceeds the ceilings (`--baseline` overrides the
+//! defaults from a JSON file).
+//!
+//! `run`, `scale`, and `audit` end with a single-line JSON summary on
+//! stdout for scripted consumption.
 
 use std::collections::HashMap;
 use std::process::ExitCode;
 
 use ca_nbody::autotune::{autotune_all_pairs, autotune_cutoff_1d};
-use ca_nbody::schedule::AllPairsParams;
-use ca_nbody::{run_distributed, run_distributed_traced, run_serial, Method, SimConfig};
+use ca_nbody::cutoff::validate_cutoff;
+use ca_nbody::schedule::{count_ops, AllPairsParams};
+use ca_nbody::{
+    run_distributed, run_distributed_traced, run_serial, Method, ProcGrid, SimConfig, Window1d,
+};
+use nbody_metrics::{
+    audit, audit_csv, audit_json, audit_table, ceilings_from_json, AuditAlgorithm, AuditConfig,
+    AuditInput, FactorCeilings, MetricsSnapshot,
+};
 use nbody_netsim::{hopper, intrepid, simulate, Machine};
 use nbody_physics::{
     diagnostics, init, Boundary, Cutoff, Domain, ForceLaw, Gravity, LennardJones, Particle,
-    RepulsiveInverseSquare, SemiImplicitEuler, Vec2,
+    RepulsiveInverseSquare, SemiImplicitEuler, Vec2, PARTICLE_WIRE_BYTES,
 };
-use nbody_trace::{ExecutionTrace, Json};
+use nbody_trace::{ExecutionTrace, Json, ALL_PHASES};
 
 fn main() -> ExitCode {
-    let mut args = std::env::args().skip(1);
-    let Some(cmd) = args.next() else {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
         usage();
         return ExitCode::FAILURE;
     };
-    // `key=value` and `--key=value` populate the option map; a bare
-    // `--flag` is a boolean switch; anything else is positional.
+    // `key=value`, `--key=value`, and `--key value` populate the option
+    // map; a `--flag` with no value is a boolean switch; anything else is
+    // positional.
     let mut opts: HashMap<String, String> = HashMap::new();
     let mut positional: Vec<String> = Vec::new();
-    for a in args {
-        let body = a.strip_prefix("--").unwrap_or(&a);
+    let mut i = 1;
+    while i < args.len() {
+        let a = &args[i];
+        let body = a.strip_prefix("--").unwrap_or(a);
         if let Some((k, v)) = body.split_once('=') {
             opts.insert(k.to_string(), v.to_string());
         } else if a.starts_with("--") {
-            opts.insert(body.to_string(), "true".to_string());
+            match args.get(i + 1) {
+                Some(v) if !v.starts_with("--") && !v.contains('=') => {
+                    opts.insert(body.to_string(), v.clone());
+                    i += 1;
+                }
+                _ => {
+                    opts.insert(body.to_string(), "true".to_string());
+                }
+            }
         } else {
-            positional.push(a);
+            positional.push(a.clone());
         }
+        i += 1;
     }
 
     match cmd.as_str() {
         "run" => run_cmd(&opts, false),
         "verify" => run_cmd(&opts, true),
         "report" => report_cmd(&positional),
+        "audit" => audit_cmd(&opts),
         "scale" => scale_cmd(&opts),
         "autotune" => autotune_cmd(&opts),
         _ => {
@@ -66,7 +100,8 @@ fn main() -> ExitCode {
 
 fn usage() {
     eprintln!(
-        "usage: ca-nbody <run|verify|report|scale|autotune> [key=value ...] [--trace=F] [--profile]\n\
+        "usage: ca-nbody <run|verify|report|audit|scale|autotune> [key=value ...] \
+         [--trace=F] [--metrics=F] [--profile]\n\
          see `src/main.rs` header or README.md for the option list"
     );
 }
@@ -200,16 +235,21 @@ fn run_cmd(opts: &HashMap<String, String>, verify: bool) -> ExitCode {
     init::thermalize(&mut initial, get(opts, "temperature", 1e-4), 7);
 
     let trace_path = opts.get("trace").cloned();
+    let metrics_path = opts.get("metrics").cloned();
     let profile = opts.get("profile").is_some_and(|v| v != "false");
-    let tracing = trace_path.is_some() || profile;
+    let tracing = trace_path.is_some() || profile || metrics_path.is_some();
 
     println!("{method:?} on {p} ranks: n={n}, steps={steps}, dt={dt}, law={law_name}");
     let start = std::time::Instant::now();
-    let (result, trace) = if tracing {
-        let (result, trace) = run_distributed_traced(&cfg, method, p, &initial);
-        (result, Some(trace))
+    let (result, trace, metrics) = if tracing {
+        let (result, trace, metrics) = run_distributed_traced(&cfg, method, p, &initial);
+        (result, Some(trace), metrics)
     } else {
-        (run_distributed(&cfg, method, p, &initial), None)
+        (
+            run_distributed(&cfg, method, p, &initial),
+            None,
+            MetricsSnapshot::empty(),
+        )
     };
     let elapsed = start.elapsed();
     let kinetic = diagnostics::total_kinetic_energy(&result.particles);
@@ -231,6 +271,18 @@ fn run_cmd(opts: &HashMap<String, String>, verify: bool) -> ExitCode {
             return ExitCode::FAILURE;
         }
         println!("  trace written to {path} ({} spans)", trace.spans.len());
+    }
+    if let Some(path) = &metrics_path {
+        let body = if path.ends_with(".prom") {
+            metrics.to_prometheus()
+        } else {
+            metrics.to_json().to_string()
+        };
+        if let Err(e) = std::fs::write(path, body) {
+            eprintln!("cannot write metrics to {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("  metrics written to {path} ({} ranks)", metrics.ranks.len());
     }
     if profile {
         if let Some(trace) = &trace {
@@ -281,6 +333,17 @@ fn run_cmd(opts: &HashMap<String, String>, verify: bool) -> ExitCode {
     }
     if let Some(path) = &trace_path {
         summary.push(("trace_path".to_string(), Json::Str(path.clone())));
+    }
+    if let Some(path) = &metrics_path {
+        summary.push(("metrics_path".to_string(), Json::Str(path.clone())));
+        let total_sends: u64 = ALL_PHASES
+            .iter()
+            .map(|ph| metrics.sum_counter("comm_send_messages", Some(*ph)))
+            .sum();
+        summary.push((
+            "total_send_messages".to_string(),
+            Json::Num(total_sends as f64),
+        ));
     }
     if let Some(err) = max_err {
         summary.push(("max_deviation".to_string(), Json::Num(err)));
@@ -372,6 +435,183 @@ fn report_cmd(positional: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Run real instrumented executions across replication factors and audit
+/// the measured communication against the paper's bounds and predictions.
+fn audit_cmd(opts: &HashMap<String, String>) -> ExitCode {
+    let n: usize = get(opts, "n", 4096);
+    let p: usize = get(opts, "p", 16);
+    let steps: usize = get(opts, "steps", 1);
+    let seed: u64 = get(opts, "seed", 42);
+    let cutoff_frac: f64 = get(opts, "cutoff", 0.0);
+    if n == 0 || p == 0 || steps == 0 {
+        eprintln!("audit: n, p, and steps must be positive");
+        return ExitCode::FAILURE;
+    }
+
+    let mut ceilings = FactorCeilings::default();
+    if let Some(path) = opts.get("baseline") {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let doc = match Json::parse(&text) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("cannot parse {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        ceilings = match ceilings_from_json(&doc) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("cannot parse {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+    }
+
+    let domain = Domain::unit();
+    // A c is auditable if its processor grid is valid (and, with a cutoff,
+    // the replication fits inside the interaction window).
+    let usable = |c: usize| -> Result<(), String> {
+        if cutoff_frac > 0.0 {
+            let grid = ProcGrid::new(p, c).map_err(|e| e.to_string())?;
+            let window = Window1d::from_cutoff(&domain, grid.teams(), cutoff_frac);
+            validate_cutoff(&window, grid.teams(), c).map_err(|e| e.to_string())
+        } else {
+            ProcGrid::new_all_pairs(p, c)
+                .map(|_| ())
+                .map_err(|e| e.to_string())
+        }
+    };
+    let cs: Vec<usize> = match opts.get("c") {
+        Some(v) => {
+            let Ok(c) = v.parse::<usize>() else {
+                eprintln!("audit: invalid replication factor '{v}'");
+                return ExitCode::FAILURE;
+            };
+            if let Err(e) = usable(c) {
+                eprintln!("audit: c={c} is not usable with p={p}: {e}");
+                return ExitCode::FAILURE;
+            }
+            vec![c]
+        }
+        // Default sweep: every c = 1..√p the grid supports.
+        None => ProcGrid::valid_all_pairs_factors(p)
+            .into_iter()
+            .filter(|&c| usable(c).is_ok())
+            .collect(),
+    };
+    if cs.is_empty() {
+        eprintln!("audit: no usable replication factors for p={p}");
+        return ExitCode::FAILURE;
+    }
+
+    let (algorithm, algo_name) = if cutoff_frac > 0.0 {
+        (
+            AuditAlgorithm::Cutoff1d {
+                rc_over_l: cutoff_frac,
+            },
+            "cutoff-1d",
+        )
+    } else {
+        (AuditAlgorithm::AllPairs, "all-pairs")
+    };
+    println!(
+        "optimality audit: {algo_name} n={n} p={p} steps={steps}, c in {cs:?} \
+         (ceilings: latency {:.1}, bandwidth {:.1})",
+        ceilings.latency, ceilings.bandwidth
+    );
+
+    let mut reports = Vec::new();
+    for &c in &cs {
+        let base_law = RepulsiveInverseSquare {
+            strength: 1e-3,
+            softening: 1e-3,
+        };
+        let (law, method) = if cutoff_frac > 0.0 {
+            (
+                AnyLaw::RepulsiveCutoff(Cutoff::new(base_law, cutoff_frac)),
+                Method::Ca1dCutoff { c },
+            )
+        } else {
+            (AnyLaw::Repulsive(base_law), Method::CaAllPairs { c })
+        };
+        let cfg = SimConfig {
+            law,
+            integrator: SemiImplicitEuler,
+            domain,
+            boundary: Boundary::Reflective,
+            dt: 0.001,
+            steps,
+        };
+        let initial = init::uniform(n, &cfg.domain, seed);
+        let (_, _, metrics) = run_distributed_traced(&cfg, method, p, &initial);
+        let input = AuditInput::from_snapshot(&metrics);
+        let acfg = AuditConfig {
+            n: n as u64,
+            p: p as u64,
+            c: c as u64,
+            steps: steps as u64,
+            algorithm,
+            ceilings,
+        };
+        reports.push(audit(&acfg, &input));
+    }
+    print!("{}", audit_table(&reports));
+
+    if let Some(path) = opts.get("out") {
+        let body = if path.ends_with(".csv") {
+            audit_csv(&reports)
+        } else {
+            audit_json(&reports).to_string()
+        };
+        if let Err(e) = std::fs::write(path, body) {
+            eprintln!("cannot write audit report to {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("audit report written to {path}");
+    }
+
+    let rows = reports
+        .iter()
+        .map(|r| {
+            Json::Obj(vec![
+                ("c".to_string(), Json::Num(r.config.c as f64)),
+                ("s_factor".to_string(), Json::Num(r.s_factor)),
+                ("w_factor".to_string(), Json::Num(r.w_factor)),
+                (
+                    "shift_words".to_string(),
+                    Json::Num(r.shift_words() as f64),
+                ),
+                ("pass".to_string(), Json::Bool(r.pass)),
+            ])
+        })
+        .collect();
+    let summary = Json::Obj(vec![
+        ("cmd".to_string(), Json::Str("audit".into())),
+        ("algorithm".to_string(), Json::Str(algo_name.into())),
+        ("n".to_string(), Json::Num(n as f64)),
+        ("p".to_string(), Json::Num(p as f64)),
+        ("steps".to_string(), Json::Num(steps as f64)),
+        ("rows".to_string(), Json::Arr(rows)),
+        (
+            "pass".to_string(),
+            Json::Bool(reports.iter().all(|r| r.pass)),
+        ),
+    ]);
+    println!("{summary}");
+    if reports.iter().all(|r| r.pass) {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("AUDIT FAILED: a constant factor exceeded its ceiling");
+        ExitCode::FAILURE
+    }
+}
+
 fn machine_by_name(opts: &HashMap<String, String>) -> Machine {
     match opts.get("machine").map(String::as_str) {
         Some("intrepid") => intrepid(),
@@ -393,6 +633,8 @@ fn scale_cmd(opts: &HashMap<String, String>) -> ExitCode {
     for p in [256usize, 512, 1024, 2048, 4096] {
         print!("{:>8}", p);
         let mut effs = Vec::new();
+        let mut msgs = Vec::new();
+        let mut words = Vec::new();
         for c in cs {
             if c * c <= p && p % (c * c) == 0 {
                 let params = AllPairsParams::new(p, c, n);
@@ -401,15 +643,32 @@ fn scale_cmd(opts: &HashMap<String, String>) -> ExitCode {
                 let eff = compute / (p as f64 * rep.makespan);
                 print!(" {:>9.3}", eff);
                 effs.push(Json::Num(eff));
+                // Per-rank traffic totals (max over ranks): messages count
+                // point-to-point sends plus collectives, words count
+                // particles at the paper's 52-byte wire size.
+                let (mut max_msgs, mut max_words) = (0u64, 0u64);
+                for r in 0..p {
+                    let k = count_ops(params.program(r));
+                    let m = k.sends.iter().sum::<u64>() + k.collectives.iter().sum::<u64>();
+                    let w = k.send_bytes.iter().sum::<u64>() / PARTICLE_WIRE_BYTES as u64;
+                    max_msgs = max_msgs.max(m);
+                    max_words = max_words.max(w);
+                }
+                msgs.push(Json::Num(max_msgs as f64));
+                words.push(Json::Num(max_words as f64));
             } else {
                 print!(" {:>9}", "-");
                 effs.push(Json::Null);
+                msgs.push(Json::Null);
+                words.push(Json::Null);
             }
         }
         println!();
         rows.push(Json::Obj(vec![
             ("p".to_string(), Json::Num(p as f64)),
             ("efficiency".to_string(), Json::Arr(effs)),
+            ("messages_per_rank".to_string(), Json::Arr(msgs)),
+            ("words_per_rank".to_string(), Json::Arr(words)),
         ]));
     }
     let summary = Json::Obj(vec![

@@ -114,7 +114,20 @@ fn scale_emits_single_line_json_summary() {
     let last = stdout.lines().last().expect("no output");
     let doc = nbody_trace::Json::parse(last).expect("last line is not JSON");
     assert_eq!(doc.get("cmd").unwrap().as_str(), Some("scale"));
-    assert_eq!(doc.get("rows").unwrap().as_array().unwrap().len(), 5);
+    let rows = doc.get("rows").unwrap().as_array().unwrap();
+    assert_eq!(rows.len(), 5);
+    // Every row reports per-rank traffic alongside efficiency: one entry
+    // per c value, null where the grid is invalid.
+    for row in rows {
+        let n_c = row.get("efficiency").unwrap().as_array().unwrap().len();
+        let msgs = row.get("messages_per_rank").unwrap().as_array().unwrap();
+        let words = row.get("words_per_rank").unwrap().as_array().unwrap();
+        assert_eq!(msgs.len(), n_c);
+        assert_eq!(words.len(), n_c);
+        // c = 1 is always valid: a ring of p-1 shift sends moving ~n words.
+        assert!(msgs[0].as_f64().unwrap() > 0.0, "{last}");
+        assert!(words[0].as_f64().unwrap() > 0.0, "{last}");
+    }
 }
 
 #[test]
@@ -202,6 +215,227 @@ fn report_rejects_garbage_input() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("cannot parse"));
     std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn audit_prints_verdict_table_and_json_summary() {
+    // `--key value` form, as documented: shift words must fall as c grows
+    // and every configuration must pass the default ceilings.
+    let out = cli()
+        .args(["audit", "--n", "256", "--p", "16", "--steps", "1"])
+        .output()
+        .expect("launch");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "{stdout}\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    for want in ["latency   S:", "bandwidth W:", "bound", "PASS", "shift"] {
+        assert!(stdout.contains(want), "missing {want:?} in {stdout}");
+    }
+    let last = stdout.lines().last().unwrap();
+    let doc = nbody_trace::Json::parse(last).expect("last line is not JSON");
+    assert_eq!(doc.get("cmd").unwrap().as_str(), Some("audit"));
+    assert_eq!(doc.get("pass").unwrap(), &nbody_trace::Json::Bool(true));
+    let rows = doc.get("rows").unwrap().as_array().unwrap();
+    // p = 16 sweeps c = 1, 2, 4.
+    assert_eq!(rows.len(), 3);
+    let mut last_shift = f64::INFINITY;
+    for row in rows {
+        assert_eq!(row.get("pass").unwrap(), &nbody_trace::Json::Bool(true));
+        let s = row.get("s_factor").unwrap().as_f64().unwrap();
+        let w = row.get("w_factor").unwrap().as_f64().unwrap();
+        assert!(s.is_finite() && s > 0.0, "{last}");
+        assert!(w.is_finite() && w > 0.0, "{last}");
+        let shift = row.get("shift_words").unwrap().as_f64().unwrap();
+        assert!(
+            shift < last_shift,
+            "shift words must fall as c grows: {last}"
+        );
+        last_shift = shift;
+    }
+}
+
+#[test]
+fn audit_cutoff_variant_audits_against_eq3() {
+    // The cutoff constant factors are scale-invariant and larger than the
+    // all-pairs defaults (the Eq. 3 bound and the measured traffic both
+    // grow linearly in n), so give this variant its own ceilings — which
+    // also exercises the --baseline happy path.
+    let dir = std::env::temp_dir().join("ca_nbody_cli_audit_cutoff_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let baseline = dir.join("loose.json");
+    std::fs::write(
+        &baseline,
+        "{\"latency_factor_ceiling\": 1000.0, \"bandwidth_factor_ceiling\": 1000.0}",
+    )
+    .unwrap();
+    let out = cli()
+        .args([
+            "audit",
+            "n=256",
+            "p=8",
+            "cutoff=0.25",
+            "c=2",
+            &format!("--baseline={}", baseline.display()),
+        ])
+        .output()
+        .expect("launch");
+    std::fs::remove_file(&baseline).ok();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "{stdout}\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout.contains("cutoff-1d"), "{stdout}");
+    let last = stdout.lines().last().unwrap();
+    let doc = nbody_trace::Json::parse(last).unwrap();
+    assert_eq!(doc.get("algorithm").unwrap().as_str(), Some("cutoff-1d"));
+}
+
+#[test]
+fn audit_reads_ceilings_from_baseline_and_fails_when_exceeded() {
+    let dir = std::env::temp_dir().join("ca_nbody_cli_audit_baseline_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("tight.json");
+    // Impossible ceilings: every measured factor exceeds them.
+    std::fs::write(
+        &path,
+        "{\"latency_factor_ceiling\": 0.001, \"bandwidth_factor_ceiling\": 0.001}",
+    )
+    .unwrap();
+    let out = cli()
+        .args([
+            "audit",
+            "n=128",
+            "p=4",
+            &format!("--baseline={}", path.display()),
+        ])
+        .output()
+        .expect("launch");
+    assert!(!out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("FAIL"), "{stdout}");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn audit_rejects_missing_and_malformed_baseline_with_one_line_error() {
+    // Missing file: a clear one-line error, not a panic.
+    let out = cli()
+        .args(["audit", "n=64", "p=4", "--baseline=/no/such/file.json"])
+        .output()
+        .expect("launch");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("cannot read"), "{stderr}");
+    assert!(!stderr.contains("panicked"), "{stderr}");
+
+    // Malformed file: same contract.
+    let dir = std::env::temp_dir().join("ca_nbody_cli_audit_garbage_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("garbage.json");
+    std::fs::write(&path, "hello, world").unwrap();
+    let out = cli()
+        .args([
+            "audit",
+            "n=64",
+            "p=4",
+            &format!("--baseline={}", path.display()),
+        ])
+        .output()
+        .expect("launch");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("cannot parse"), "{stderr}");
+    assert!(!stderr.contains("panicked"), "{stderr}");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn audit_rejects_invalid_replication_factor() {
+    let out = cli()
+        .args(["audit", "n=64", "p=16", "c=3"])
+        .output()
+        .expect("launch");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("not usable"), "{stderr}");
+    assert!(!stderr.contains("panicked"), "{stderr}");
+}
+
+#[test]
+fn audit_writes_csv_and_json_reports() {
+    let dir = std::env::temp_dir().join("ca_nbody_cli_audit_out_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    for ext in ["csv", "json"] {
+        let path = dir.join(format!("audit.{ext}"));
+        let out = cli()
+            .args([
+                "audit",
+                "n=128",
+                "p=4",
+                &format!("--out={}", path.display()),
+            ])
+            .output()
+            .expect("launch");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let body = std::fs::read_to_string(&path).expect("report not written");
+        if ext == "csv" {
+            assert!(body.starts_with("algorithm,"), "{body}");
+        } else {
+            let doc = nbody_trace::Json::parse(&body).expect("invalid JSON report");
+            assert!(!doc.get("reports").unwrap().as_array().unwrap().is_empty());
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+#[test]
+fn metrics_flag_round_trips_through_json_and_prometheus() {
+    let dir = std::env::temp_dir().join("ca_nbody_cli_metrics_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let json_path = dir.join("metrics.json");
+    let prom_path = dir.join("metrics.prom");
+    for path in [&json_path, &prom_path] {
+        let out = cli()
+            .args([
+                "run",
+                "n=128",
+                "p=4",
+                "c=2",
+                "steps=2",
+                &format!("--metrics={}", path.display()),
+            ])
+            .output()
+            .expect("launch");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+    // Both exports must parse back to the same snapshot.
+    let json_text = std::fs::read_to_string(&json_path).unwrap();
+    let doc = nbody_trace::Json::parse(&json_text).unwrap();
+    let from_json = nbody_metrics::MetricsSnapshot::from_json(&doc).expect("JSON round-trip");
+    let prom_text = std::fs::read_to_string(&prom_path).unwrap();
+    let from_prom =
+        nbody_metrics::MetricsSnapshot::parse_prometheus(&prom_text).expect("prom round-trip");
+    assert_eq!(from_json, from_prom);
+    assert_eq!(from_json.ranks.len(), 4);
+    assert!(
+        from_json.sum_counter("comm_send_messages", Some(nbody_trace::Phase::Shift)) > 0,
+        "{json_text}"
+    );
+    std::fs::remove_file(&json_path).ok();
+    std::fs::remove_file(&prom_path).ok();
 }
 
 #[test]
