@@ -19,17 +19,17 @@
 //! | `comm_message_size_bytes` | histogram | size of every message on the wire|
 
 use nbody_metrics::{Counter, HistogramHandle, MetricsRecorder};
-use nbody_trace::{Phase, ALL_PHASES};
+use nbody_trace::{Phase, ALL_PHASES, PHASE_COUNT};
 
 /// Cached per-phase handles; see the module docs.
 pub(crate) struct CommMetrics {
-    send_messages: [Counter; 6],
-    send_elements: [Counter; 6],
-    send_bytes: [Counter; 6],
-    coll_messages: [Counter; 6],
-    coll_elements: [Counter; 6],
-    coll_bytes: [Counter; 6],
-    message_size: [HistogramHandle; 6],
+    send_messages: [Counter; PHASE_COUNT],
+    send_elements: [Counter; PHASE_COUNT],
+    send_bytes: [Counter; PHASE_COUNT],
+    coll_messages: [Counter; PHASE_COUNT],
+    coll_elements: [Counter; PHASE_COUNT],
+    coll_bytes: [Counter; PHASE_COUNT],
+    message_size: [HistogramHandle; PHASE_COUNT],
 }
 
 impl CommMetrics {

@@ -10,6 +10,9 @@
 //!
 //! [`ThreadComm`]: crate::thread_comm::ThreadComm
 
+use std::time::Duration;
+
+use crate::error::CommError;
 use crate::stats::{CommStats, Phase};
 use nbody_metrics::MetricsRecorder;
 use nbody_trace::Tracer;
@@ -70,6 +73,44 @@ pub trait Communicator: Sized {
     /// Blocking receive from local rank `src`. The next message from `src`
     /// on this communicator must carry `tag`.
     fn recv<T: CommData>(&self, src: usize, tag: u64) -> Vec<T>;
+
+    /// Fallible send: like [`send`](Communicator::send) but reporting
+    /// transport failures as [`CommError`] instead of panicking. The
+    /// default delegates to the panicking path (transports without a
+    /// failure model never return `Err`).
+    fn try_send<T: CommData>(&self, dst: usize, tag: u64, data: &[T]) -> Result<(), CommError> {
+        self.send(dst, tag, data);
+        Ok(())
+    }
+
+    /// Fallible, deadline-bounded receive: like [`recv`](Communicator::recv)
+    /// but returning [`CommError::Timeout`] when no matching message
+    /// arrives within `timeout` — the failure-detection primitive of the
+    /// recovery layer. The default delegates to the blocking path and
+    /// cannot time out; transports with real failure detection override it.
+    fn try_recv_timeout<T: CommData>(
+        &self,
+        src: usize,
+        tag: u64,
+        timeout: Duration,
+    ) -> Result<Vec<T>, CommError> {
+        let _ = timeout;
+        Ok(self.recv(src, tag))
+    }
+
+    /// Fault-injection hook: drivers announce each pipeline step `s`
+    /// (1-based; the skew is step 0) before communicating in it. A chaos
+    /// wrapper uses this to aim scheduled faults; on the rank a kill event
+    /// just felled it returns [`CommError::PeerDead`]. The default is a
+    /// no-op — plain transports never fail here.
+    fn fault_step(&self, step: usize) -> Result<(), CommError> {
+        let _ = step;
+        Ok(())
+    }
+
+    /// Fault-injection hook: clear a fired kill before a recovery retry
+    /// (models the replacement process coming back up). No-op by default.
+    fn fault_revive(&self) {}
 
     /// Combined shift step: send `data` to `dst` while receiving from `src`.
     /// Deadlock-free for arbitrary permutations because sends are buffered.

@@ -15,14 +15,20 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 mod comm_metrics;
 pub mod communicator;
+pub mod error;
 pub mod self_comm;
 pub mod stats;
 pub mod thread_comm;
 
+pub use chaos::{
+    run_ranks_chaos, run_ranks_chaos_traced, ChaosComm, FaultEvent, FaultKind, FaultPlan,
+};
 pub use communicator::{sum_combine, CommData, Communicator};
-pub use stats::{CommStats, Phase, PhaseCounters, ALL_PHASES};
+pub use error::CommError;
+pub use stats::{CommStats, Phase, PhaseCounters, ALL_PHASES, PHASE_COUNT};
 pub use self_comm::SelfComm;
 pub use thread_comm::{run_ranks, run_ranks_traced, ThreadComm};
 pub use nbody_metrics::{MetricsRecorder, MetricsSnapshot, RankMetrics};

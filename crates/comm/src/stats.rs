@@ -11,7 +11,7 @@
 // The phase vocabulary lives in `nbody-trace` (the root of the
 // observability stack) and is re-exported here so existing callers keep
 // importing it from `nbody_comm`.
-pub use nbody_trace::{Phase, ALL_PHASES};
+pub use nbody_trace::{Phase, ALL_PHASES, PHASE_COUNT};
 
 /// Counters for one phase.
 ///
@@ -56,7 +56,7 @@ impl PhaseCounters {
 /// Per-rank communication statistics, bucketed by [`Phase`].
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct CommStats {
-    phases: [PhaseCounters; 6],
+    phases: [PhaseCounters; PHASE_COUNT],
     current: usize,
 }
 
@@ -199,6 +199,6 @@ mod tests {
         // comm crate is directly usable by the trace exporters.
         let p: nbody_trace::Phase = Phase::Shift;
         assert_eq!(p.label(), "shift");
-        assert_eq!(ALL_PHASES.len(), 6);
+        assert_eq!(ALL_PHASES.len(), PHASE_COUNT);
     }
 }

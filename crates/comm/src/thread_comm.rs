@@ -25,7 +25,7 @@ use std::cell::{Cell, RefCell};
 use std::collections::{HashMap, VecDeque};
 use std::rc::Rc;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
@@ -33,12 +33,26 @@ use parking_lot::Mutex;
 
 use crate::comm_metrics::CommMetrics;
 use crate::communicator::{CommData, Communicator};
+use crate::error::CommError;
 use crate::stats::{CommStats, Phase};
 use nbody_metrics::{MetricsRecorder, MetricsSnapshot, RankMetrics};
 use nbody_trace::{ExecutionTrace, Span, Tracer};
 
-/// How long a receive may block before the runtime declares a deadlock.
-const RECV_TIMEOUT: Duration = Duration::from_secs(60);
+/// How long a blocking receive may wait before the runtime declares a
+/// deadlock. Overridable via `NBODY_RECV_TIMEOUT_SECS` so long-running test
+/// suites can fail fast with a diagnostic instead of hitting the harness
+/// timeout (read once per process).
+fn recv_timeout() -> Duration {
+    static SECS: OnceLock<u64> = OnceLock::new();
+    let secs = *SECS.get_or_init(|| {
+        std::env::var("NBODY_RECV_TIMEOUT_SECS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .filter(|&s| s > 0)
+            .unwrap_or(60)
+    });
+    Duration::from_secs(secs)
+}
 
 /// Tag space reserved for internal collective plumbing.
 const INTERNAL_TAG_BASE: u64 = 1 << 48;
@@ -56,6 +70,11 @@ pub(crate) struct Fabric {
     senders: Vec<Sender<Envelope>>,
     registry: Mutex<HashMap<(u64, u64, usize), u64>>,
     next_comm: AtomicU64,
+    /// Relaxed matching: receives match on `(comm, src, tag)` instead of
+    /// `(comm, src)`-then-assert-tag. Only chaos executions enable this —
+    /// it lets a retried protocol leave stale or duplicated messages of a
+    /// previous attempt unconsumed instead of tripping the tag assertion.
+    relaxed: bool,
 }
 
 impl Fabric {
@@ -68,41 +87,66 @@ impl Fabric {
 
 /// Per-thread receive state: the inbox plus reorder buffers.
 struct Endpoint {
-    global_rank: usize,
     rx: Receiver<Envelope>,
     pending: HashMap<(u64, usize), VecDeque<Envelope>>,
 }
 
 impl Endpoint {
-    /// Pull envelopes off the inbox until one matching `(comm, src)` is
-    /// available, buffering everything else.
-    fn recv_matching(
+    /// Pull envelopes off the inbox until one matching `(comm, src)` — and,
+    /// when `want_tag` is set (relaxed mode), the tag — is available,
+    /// buffering everything else. Returns [`CommError::Timeout`] instead of
+    /// panicking when nothing matching arrives within `timeout`.
+    fn try_recv_matching(
         &mut self,
         comm: u64,
         src_global: usize,
+        want_tag: Option<u64>,
+        timeout: Duration,
         stats: &mut CommStats,
         tracer: &Tracer,
-    ) -> Envelope {
+    ) -> Result<Envelope, CommError> {
+        let tag_ok = |env: &Envelope| match want_tag {
+            Some(t) => env.tag == t,
+            None => true,
+        };
         let key = (comm, src_global);
         if let Some(queue) = self.pending.get_mut(&key) {
-            if let Some(env) = queue.pop_front() {
-                return env;
+            if let Some(pos) = queue.iter().position(&tag_ok) {
+                // In strict mode `pos` is always 0 (plain FIFO pop); in
+                // relaxed mode messages of other tags stay queued.
+                return Ok(queue.remove(pos).expect("position came from this queue"));
             }
         }
         let start = Instant::now();
         loop {
-            let env = match self.rx.recv_timeout(RECV_TIMEOUT) {
-                Ok(env) => env,
-                Err(_) => panic!(
-                    "rank {} (global): receive from global rank {} on communicator {} \
-                     timed out after {:?} — protocol deadlock?",
-                    self.global_rank, src_global, comm, RECV_TIMEOUT
-                ),
+            let remaining = match timeout.checked_sub(start.elapsed()) {
+                Some(r) => r,
+                None => {
+                    stats.record_blocked(start.elapsed().as_secs_f64());
+                    tracer.record_blocked(start);
+                    return Err(CommError::Timeout {
+                        src: src_global,
+                        tag: want_tag.unwrap_or(0),
+                        waited: start.elapsed(),
+                    });
+                }
             };
-            if env.comm == comm && env.src_global == src_global {
+            let env = match self.rx.recv_timeout(remaining) {
+                Ok(env) => env,
+                Err(_) => {
+                    stats.record_blocked(start.elapsed().as_secs_f64());
+                    tracer.record_blocked(start);
+                    return Err(CommError::Timeout {
+                        src: src_global,
+                        tag: want_tag.unwrap_or(0),
+                        waited: start.elapsed(),
+                    });
+                }
+            };
+            if env.comm == comm && env.src_global == src_global && tag_ok(&env) {
                 stats.record_blocked(start.elapsed().as_secs_f64());
                 tracer.record_blocked(start);
-                return env;
+                return Ok(env);
             }
             self.pending
                 .entry((env.comm, env.src_global))
@@ -141,8 +185,19 @@ impl ThreadComm {
         self.members[self.my_local]
     }
 
-    fn send_raw<T: CommData>(&self, dst_local: usize, tag: u64, data: Vec<T>, count_stats: bool) {
-        assert!(dst_local < self.size(), "send to invalid rank {dst_local}");
+    fn try_send_raw<T: CommData>(
+        &self,
+        dst_local: usize,
+        tag: u64,
+        data: Vec<T>,
+        count_stats: bool,
+    ) -> Result<(), CommError> {
+        if dst_local >= self.size() {
+            return Err(CommError::InvalidRank {
+                rank: dst_local,
+                size: self.size(),
+            });
+        }
         let bytes = data.len() * std::mem::size_of::<T>();
         let phase = {
             let mut stats = self.stats.borrow_mut();
@@ -162,30 +217,61 @@ impl ThreadComm {
         };
         self.fabric.senders[self.global_of(dst_local)]
             .send(env)
-            .expect("fabric closed while sending");
+            .map_err(|_| CommError::FabricClosed)
+    }
+
+    fn send_raw<T: CommData>(&self, dst_local: usize, tag: u64, data: Vec<T>, count_stats: bool) {
+        self.try_send_raw(dst_local, tag, data, count_stats)
+            .unwrap_or_else(|e| {
+                panic!("rank {} of comm {}: {e}", self.my_local, self.comm_id)
+            });
+    }
+
+    fn try_recv_raw<T: CommData>(
+        &self,
+        src_local: usize,
+        tag: u64,
+        timeout: Duration,
+    ) -> Result<Vec<T>, CommError> {
+        if src_local >= self.size() {
+            return Err(CommError::InvalidRank {
+                rank: src_local,
+                size: self.size(),
+            });
+        }
+        let src_global = self.global_of(src_local);
+        // Strict mode matches (comm, src) in FIFO order and then checks the
+        // tag (a mismatch is a protocol violation); relaxed mode also keys
+        // the match on the tag, so stale-attempt messages are skipped.
+        let want_tag = if self.fabric.relaxed { Some(tag) } else { None };
+        let env = {
+            let mut stats = self.stats.borrow_mut();
+            self.endpoint.borrow_mut().try_recv_matching(
+                self.comm_id,
+                src_global,
+                want_tag,
+                timeout,
+                &mut stats,
+                &self.tracer,
+            )?
+        };
+        if env.tag != tag {
+            return Err(CommError::TagMismatch {
+                src: src_local,
+                expected: tag,
+                got: env.tag,
+            });
+        }
+        env.payload
+            .downcast::<Vec<T>>()
+            .map(|b| *b)
+            .map_err(|_| CommError::TypeMismatch { src: src_local, tag })
     }
 
     fn recv_raw<T: CommData>(&self, src_local: usize, tag: u64) -> Vec<T> {
-        assert!(src_local < self.size(), "recv from invalid rank {src_local}");
-        let src_global = self.global_of(src_local);
-        let env = {
-            let mut stats = self.stats.borrow_mut();
-            self.endpoint
-                .borrow_mut()
-                .recv_matching(self.comm_id, src_global, &mut stats, &self.tracer)
-        };
-        assert_eq!(
-            env.tag, tag,
-            "rank {} of comm {}: expected tag {tag} from local rank {src_local}, got {}",
-            self.my_local, self.comm_id, env.tag
-        );
-        *env.payload
-            .downcast::<Vec<T>>()
-            .unwrap_or_else(|_| {
-                panic!(
-                    "rank {} of comm {}: payload type mismatch from rank {src_local} (tag {tag})",
-                    self.my_local, self.comm_id
-                )
+        self.try_recv_raw(src_local, tag, recv_timeout())
+            .unwrap_or_else(|e| {
+                panic!("rank {} of comm {}: {e}", self.my_local, self.comm_id)
             })
     }
 
@@ -241,6 +327,19 @@ impl Communicator for ThreadComm {
 
     fn recv<T: CommData>(&self, src: usize, tag: u64) -> Vec<T> {
         self.recv_raw(src, tag)
+    }
+
+    fn try_send<T: CommData>(&self, dst: usize, tag: u64, data: &[T]) -> Result<(), CommError> {
+        self.try_send_raw(dst, tag, data.to_vec(), true)
+    }
+
+    fn try_recv_timeout<T: CommData>(
+        &self,
+        src: usize,
+        tag: u64,
+        timeout: Duration,
+    ) -> Result<Vec<T>, CommError> {
+        self.try_recv_raw(src, tag, timeout)
     }
 
     fn bcast<T: CommData>(&self, root: usize, buf: &mut Vec<T>) {
@@ -399,7 +498,7 @@ where
     R: Send,
     F: Fn(&mut ThreadComm) -> R + Sync,
 {
-    run_ranks_impl(p, None, f)
+    run_ranks_impl(p, None, false, f)
         .into_iter()
         .map(|(r, _, _)| r)
         .collect()
@@ -416,7 +515,7 @@ where
     F: Fn(&mut ThreadComm) -> R + Sync,
 {
     let epoch = Instant::now();
-    let out = run_ranks_impl(p, Some(epoch), f);
+    let out = run_ranks_impl(p, Some(epoch), false, f);
     let mut results = Vec::with_capacity(p);
     let mut buffers = Vec::with_capacity(p);
     let mut shards = Vec::with_capacity(p);
@@ -432,14 +531,18 @@ where
     )
 }
 
-fn run_ranks_impl<R, F>(
+/// Shared body of every entry point: spawn `p` rank threads, hand each its
+/// world [`ThreadComm`] (owned, so wrappers like `ChaosComm` can absorb
+/// it), and join. `relaxed` selects the fabric's tag-matching mode.
+pub(crate) fn run_ranks_owned<R, F>(
     p: usize,
     epoch: Option<Instant>,
+    relaxed: bool,
     f: F,
 ) -> Vec<(R, Vec<Span>, Option<RankMetrics>)>
 where
     R: Send,
-    F: Fn(&mut ThreadComm) -> R + Sync,
+    F: Fn(ThreadComm) -> R + Sync,
 {
     assert!(p > 0, "need at least one rank");
     let mut senders = Vec::with_capacity(p);
@@ -453,6 +556,7 @@ where
         senders,
         registry: Mutex::new(HashMap::new()),
         next_comm: AtomicU64::new(1),
+        relaxed,
     });
 
     std::thread::scope(|scope| {
@@ -464,7 +568,6 @@ where
                 .name(format!("rank-{rank}"))
                 .spawn_scoped(scope, move || {
                     let endpoint = Endpoint {
-                        global_rank: rank,
                         rx,
                         pending: HashMap::new(),
                     };
@@ -476,7 +579,7 @@ where
                         Some(_) => MetricsRecorder::for_rank(rank),
                         None => MetricsRecorder::disabled(),
                     };
-                    let mut comm = ThreadComm {
+                    let comm = ThreadComm {
                         fabric,
                         endpoint: Rc::new(RefCell::new(endpoint)),
                         stats: Rc::new(RefCell::new(CommStats::new())),
@@ -489,7 +592,7 @@ where
                         split_seq: Cell::new(0),
                         coll_seq: Cell::new(0),
                     };
-                    let result = f(&mut comm);
+                    let result = f(comm);
                     (result, tracer.finish(), recorder.finish())
                 })
                 .expect("failed to spawn rank thread");
@@ -505,6 +608,19 @@ where
             })
             .collect()
     })
+}
+
+fn run_ranks_impl<R, F>(
+    p: usize,
+    epoch: Option<Instant>,
+    relaxed: bool,
+    f: F,
+) -> Vec<(R, Vec<Span>, Option<RankMetrics>)>
+where
+    R: Send,
+    F: Fn(&mut ThreadComm) -> R + Sync,
+{
+    run_ranks_owned(p, epoch, relaxed, |mut comm| f(&mut comm))
 }
 
 #[cfg(test)]

@@ -8,7 +8,7 @@ use proptest::prelude::*;
 /// `blocked_secs` values are integer-valued `f64`s, so the sharded and
 /// sequential sums are exactly equal regardless of addition order.
 fn apply_op(stats: &mut CommStats, op: u64) {
-    let phase = ALL_PHASES[(op % 6) as usize];
+    let phase = ALL_PHASES[(op as usize) % ALL_PHASES.len()];
     let kind = (op / 6) % 4;
     let a = ((op / 24) % 500) as usize;
     let b = ((op / 12_000) % 4_000) as usize;

@@ -26,6 +26,7 @@ pub mod grid;
 pub mod kernel;
 pub mod midpoint;
 pub mod reassign;
+pub mod recovery;
 pub mod schedule;
 pub mod sim;
 pub mod spatial;
@@ -35,9 +36,12 @@ pub mod window_periodic;
 pub use cutoff::{ca_cutoff_forces, CutoffError};
 pub use allpairs::ca_all_pairs_forces;
 pub use grid::{GridComms, GridError, ProcGrid};
+pub use recovery::{
+    ca_all_pairs_forces_ft, ca_cutoff_forces_ft, FaultConfig, FaultError, RecoveryReport,
+};
 pub use sim::{
-    run_distributed, run_distributed_sampled, run_distributed_traced, run_serial, Method,
-    RunResult, SimConfig,
+    run_distributed, run_distributed_chaos, run_distributed_sampled, run_distributed_traced,
+    run_serial, ChaosRunResult, Method, RunResult, SimConfig,
 };
 pub use window::{Window, Window1d, Window2d, Window3d};
 pub use window_periodic::{Window1dPeriodic, Window2dPeriodic};

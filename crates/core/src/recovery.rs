@@ -1,0 +1,593 @@
+//! Fault-tolerant variants of the CA force drivers.
+//!
+//! The paper's algorithms assume a failure-free machine; at the scales its
+//! model targets (Hopper: 153k cores), rank loss during a force evaluation
+//! is a practical concern. The replication the algorithms already pay for
+//! (`c` copies of every block, §IV.A) doubles as a recovery resource: as
+//! long as one member of a team column survives, the lost rank's replicated
+//! inputs can be reconstructed from a teammate and the evaluation re-run
+//! from its checkpoint.
+//!
+//! The protocol wrapped around one force evaluation:
+//!
+//! 1. **Checkpoint.** After the team broadcast, every rank keeps an
+//!    immutable copy of its post-broadcast input block (`nc/p` particles —
+//!    the same replicated working set the paper's memory bound already
+//!    charges for).
+//! 2. **Attempt.** The skew/shift pipeline runs with deadline-bounded
+//!    receives ([`Communicator::try_recv_timeout`]); a missing message
+//!    surfaces as [`CommError::Timeout`] instead of a hang, and a rank the
+//!    fault plan just killed observes [`CommError::PeerDead`] on itself.
+//! 3. **Agreement.** Every rank reduces its local attempt status
+//!    (`ok < transient < rank-dead`) with a column-then-row max-allreduce,
+//!    so all `p` ranks agree on the worst outcome. A killed rank still
+//!    participates here — it models the *replacement* process that the
+//!    runtime would respawn in its slot.
+//! 4. **Resync + retry.** On a dead rank, survivors of its column re-send
+//!    the checkpoint with a team broadcast (valid whenever `c ≥ 2`); on a
+//!    transient fault the checkpoint is already local. Every rank restores
+//!    its checkpoint and re-enters the attempt under a fresh tag namespace,
+//!    bounded by [`FaultConfig::max_retries`].
+//!
+//! With `c = 1` there is no surviving replica: a kill is a documented
+//! [`FaultError::Unrecoverable`] returned by *every* rank within a bounded
+//! number of timeouts — a clean, agreed shutdown rather than a deadlock.
+//!
+//! Because a retry restores the exact post-broadcast state and the
+//! accumulation order is unchanged, recovered evaluations are
+//! **bit-identical** to fault-free ones. Recovery traffic is attributed to
+//! [`Phase::Recovery`] (excluded from the paper's cost model, priced
+//! separately by `audit`) and counted in the `fault_*` /
+//! `recovery_bytes_total` metrics.
+
+use std::time::Duration;
+
+use nbody_comm::{CommError, Communicator, Phase};
+use nbody_metrics::Counter;
+use nbody_physics::{Boundary, Domain, ForceLaw, Particle};
+
+use crate::allpairs::{TAG_SHIFT, TAG_SKEW};
+use crate::cutoff::{row_steps, validate_cutoff, TAG_CSHIFT, TAG_CSKEW};
+use crate::grid::GridComms;
+use crate::kernel::{accumulate_block, combine_forces};
+use crate::window::Window;
+
+/// Tag distance between retry attempts of one evaluation. Attempt `a` of
+/// evaluation epoch `e` offsets every pipeline tag by
+/// `e * EPOCH_TAG_STRIDE + a * ATTEMPT_TAG_STRIDE`, so a message a dead
+/// attempt left in flight can never satisfy a later attempt's receive
+/// (receives under chaos match on exact tags).
+pub const ATTEMPT_TAG_STRIDE: u64 = 1 << 16;
+/// Tag distance between force evaluations (timesteps). Keeps stale traffic
+/// from an aborted attempt in step `t` from matching step `t + 1`'s tags.
+pub const EPOCH_TAG_STRIDE: u64 = 1 << 20;
+
+const STATUS_OK: u8 = 0;
+const STATUS_TRANSIENT: u8 = 1;
+const STATUS_DEAD: u8 = 2;
+
+/// Tuning knobs of the recovery protocol.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultConfig {
+    /// Deadline for each pipeline receive; a peer silent for this long is
+    /// presumed failed. Bounds detection latency: a fault cascades through
+    /// at most `O(steps)` timeouts before the agreement round sees it.
+    pub recv_timeout: Duration,
+    /// Retries after the initial attempt before giving up with
+    /// [`FaultError::RetriesExhausted`].
+    pub max_retries: usize,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            recv_timeout: Duration::from_secs(1),
+            max_retries: 3,
+        }
+    }
+}
+
+impl FaultConfig {
+    /// A config with the given receive deadline in milliseconds.
+    pub fn with_timeout_ms(ms: u64) -> Self {
+        FaultConfig {
+            recv_timeout: Duration::from_millis(ms),
+            ..Default::default()
+        }
+    }
+}
+
+/// Terminal failures of a fault-tolerant evaluation. Every rank returns the
+/// same variant (the decision is taken on globally agreed state), so the
+/// caller can shut the execution down cleanly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultError {
+    /// A rank died and no replica of its inputs survives (`c = 1`, or an
+    /// entire team column was lost). The evaluation cannot be completed.
+    Unrecoverable {
+        /// World rank reporting the failure.
+        rank: usize,
+        /// Replication factor in effect.
+        c: usize,
+    },
+    /// Faults kept recurring past [`FaultConfig::max_retries`].
+    RetriesExhausted {
+        /// Attempts performed (initial + retries).
+        attempts: usize,
+    },
+}
+
+impl std::fmt::Display for FaultError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultError::Unrecoverable { rank, c } => write!(
+                f,
+                "rank {rank}: lost inputs are unrecoverable at replication c={c} \
+                 (recovery needs a surviving replica, c >= 2)"
+            ),
+            FaultError::RetriesExhausted { attempts } => {
+                write!(f, "faults persisted through {attempts} attempts; giving up")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultError {}
+
+/// What it took to complete a fault-tolerant evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RecoveryReport {
+    /// Attempts performed (1 = clean, fault-free run).
+    pub attempts: usize,
+    /// Whether any fault was detected (and survived).
+    pub recovered: bool,
+}
+
+/// Per-rank fault/recovery counters, registered against the live metrics
+/// recorder so `report`/`audit` can price recovery overhead.
+struct FaultCounters {
+    detected: Counter,
+    recovered: Counter,
+    retries: Counter,
+    resync_bytes: Counter,
+}
+
+impl FaultCounters {
+    fn new<C: Communicator>(comm: &C) -> Self {
+        let rec = comm.metrics();
+        FaultCounters {
+            detected: rec.counter("fault_detected_total", None),
+            recovered: rec.counter("fault_recovered_total", None),
+            retries: rec.counter("fault_retries_total", None),
+            resync_bytes: rec.counter("recovery_bytes_total", None),
+        }
+    }
+}
+
+fn max_combine(acc: &mut u8, x: &u8) {
+    if *x > *acc {
+        *acc = *x;
+    }
+}
+
+/// Column-then-row max-allreduce: every rank is in exactly one column and
+/// one row, and every row spans all columns, so the second reduce leaves
+/// the global maximum on all `p` ranks.
+fn agree<C: Communicator>(gc: &GridComms<C>, local: u8) -> u8 {
+    let mut buf = vec![local];
+    gc.col.allreduce(&mut buf, max_combine);
+    gc.row.allreduce(&mut buf, max_combine);
+    buf[0]
+}
+
+/// The retry/agreement/resync loop shared by both fault-tolerant drivers.
+///
+/// `st` must hold the post-broadcast input block; `attempt` runs one
+/// fallible pipeline pass over `st` under the given tag offset. On success
+/// `st` holds the accumulated partial forces and the caller performs the
+/// final reduction.
+fn recovery_loop<C: Communicator>(
+    gc: &GridComms<C>,
+    st: &mut Vec<Particle>,
+    fc: &FaultConfig,
+    epoch: u64,
+    mut attempt: impl FnMut(&mut Vec<Particle>, u64) -> Result<(), CommError>,
+) -> Result<RecoveryReport, FaultError> {
+    let c = gc.grid.c();
+    let world_rank = gc.grid.rank_at(gc.team(), gc.row_index());
+    let counters = FaultCounters::new(&gc.col);
+    // The checkpoint: the replicated post-broadcast input. A transient
+    // retry restores it locally; a dead rank gets it back from a teammate.
+    let mut input = st.clone();
+    let mut attempts = 0usize;
+    let mut had_fault = false;
+    loop {
+        attempts += 1;
+        st.clone_from(&input);
+        let tag_base =
+            epoch * EPOCH_TAG_STRIDE + (attempts as u64 - 1) * ATTEMPT_TAG_STRIDE;
+        let outcome = attempt(st, tag_base);
+        let local = match outcome {
+            Ok(()) => STATUS_OK,
+            Err(CommError::PeerDead { .. }) => STATUS_DEAD,
+            Err(_) => STATUS_TRANSIENT,
+        };
+        let self_dead = local == STATUS_DEAD;
+        if local != STATUS_OK {
+            counters.detected.inc();
+        }
+        if self_dead {
+            // The crash loses everything the rank held in memory; the
+            // replacement process starts blank.
+            st.clear();
+            input.clear();
+        }
+        gc.col.set_phase(Phase::Recovery);
+        let status = agree(gc, local);
+        if status == STATUS_OK {
+            if had_fault {
+                counters.recovered.inc();
+            }
+            return Ok(RecoveryReport {
+                attempts,
+                recovered: had_fault,
+            });
+        }
+        had_fault = true;
+        if status == STATUS_DEAD && c < 2 {
+            return Err(FaultError::Unrecoverable {
+                rank: world_rank,
+                c,
+            });
+        }
+        if attempts > fc.max_retries {
+            return Err(FaultError::RetriesExhausted { attempts });
+        }
+        // The replacement process comes back up for the retry.
+        gc.col.fault_revive();
+        if status == STATUS_DEAD {
+            // Re-seed dead ranks from the lowest surviving row of their
+            // column. The flags are identical on all members of a column,
+            // so every member picks the same broadcast root.
+            let flags = gc.col.allgather(&[u8::from(self_dead)]);
+            let src_row = flags.iter().position(|f| f[0] == 0);
+            let column_lost = u8::from(src_row.is_none());
+            if agree(gc, column_lost) != 0 {
+                // Some column lost every replica — globally unrecoverable.
+                return Err(FaultError::Unrecoverable {
+                    rank: world_rank,
+                    c,
+                });
+            }
+            let src_row = src_row.expect("agreed recoverable, so a survivor exists");
+            gc.col.bcast(src_row, &mut input);
+            if self_dead {
+                counters
+                    .resync_bytes
+                    .add((input.len() * std::mem::size_of::<Particle>()) as u64);
+            }
+        }
+        counters.retries.inc();
+    }
+}
+
+/// Fault-tolerant [`ca_all_pairs_forces`](crate::allpairs::ca_all_pairs_forces):
+/// identical result (bit-for-bit, even across recoveries), but the shift
+/// pipeline detects failed peers by timeout and runs the recovery protocol
+/// described in the module docs.
+///
+/// `epoch` must be unique per force evaluation on one execution (the
+/// timestep index) — it namespaces message tags so traffic from an aborted
+/// attempt can never satisfy a later evaluation's receive.
+pub fn ca_all_pairs_forces_ft<C: Communicator, F: ForceLaw>(
+    gc: &GridComms<C>,
+    st: &mut Vec<Particle>,
+    law: &F,
+    domain: &Domain,
+    boundary: Boundary,
+    fc: &FaultConfig,
+    epoch: u64,
+) -> Result<RecoveryReport, FaultError> {
+    let teams = gc.grid.teams();
+    let c = gc.grid.c();
+    let steps = gc.grid.all_pairs_steps();
+    let team = gc.team();
+    let k = gc.row_index();
+    debug_assert!(gc.is_leader() || st.is_empty());
+
+    gc.col.set_phase(Phase::Broadcast);
+    gc.col.bcast(0, st);
+    // Owned block + exchange buffer + recovery checkpoint.
+    gc.col
+        .metrics()
+        .gauge_max("mem_particles_hwm", (3 * st.len()) as u64);
+
+    let report = recovery_loop(gc, st, fc, epoch, |st, tag_base| {
+        let mut exch = st.clone();
+        gc.col.set_phase(Phase::Skew);
+        gc.col.fault_step(0)?;
+        if k > 0 {
+            let dst = (team + k) % teams;
+            let src = (team + teams - k) % teams;
+            gc.row.send(dst, TAG_SKEW + tag_base, &exch);
+            exch = gc
+                .row
+                .try_recv_timeout(src, TAG_SKEW + tag_base, fc.recv_timeout)?;
+        }
+        for s in 1..=steps {
+            gc.col.set_phase(Phase::Shift);
+            gc.col.fault_step(s)?;
+            let dst = (team + c) % teams;
+            let src = (team + teams - c) % teams;
+            let tag = TAG_SHIFT + tag_base + s as u64;
+            gc.row.send(dst, tag, &exch);
+            exch = gc.row.try_recv_timeout(src, tag, fc.recv_timeout)?;
+
+            gc.col.set_phase(Phase::Other);
+            accumulate_block(st, &exch, law, domain, boundary);
+        }
+        Ok(())
+    })?;
+
+    gc.col.set_phase(Phase::Reduce);
+    gc.col.reduce(0, st, combine_forces);
+    Ok(report)
+}
+
+/// Fault-tolerant [`ca_cutoff_forces`](crate::cutoff::ca_cutoff_forces):
+/// the window-modulo pipeline with deadline-bounded receives and the
+/// recovery protocol. See [`ca_all_pairs_forces_ft`] for the contract;
+/// `epoch` uniqueness is per-execution, shared with the all-pairs driver.
+///
+/// Note that rows perform different step counts here
+/// ([`row_steps`]), so a kill scheduled at step `s` only fires on ranks
+/// whose row reaches that step.
+#[allow(clippy::too_many_arguments)]
+pub fn ca_cutoff_forces_ft<C: Communicator, W: Window, F: ForceLaw>(
+    gc: &GridComms<C>,
+    window: &W,
+    st: &mut Vec<Particle>,
+    law: &F,
+    domain: &Domain,
+    boundary: Boundary,
+    fc: &FaultConfig,
+    epoch: u64,
+) -> Result<RecoveryReport, FaultError> {
+    assert_eq!(
+        boundary == Boundary::Periodic,
+        window.is_periodic(),
+        "boundary and window periodicity must agree"
+    );
+    let teams = gc.grid.teams();
+    let c = gc.grid.c();
+    validate_cutoff(window, teams, c).expect("invalid cutoff configuration");
+    let w = window.len();
+    let t = gc.team();
+    let k = gc.row_index();
+    debug_assert!(gc.is_leader() || st.is_empty());
+
+    gc.col.set_phase(Phase::Broadcast);
+    gc.col.bcast(0, st);
+    // Owned block + home copy + exchange buffer + recovery checkpoint.
+    gc.col
+        .metrics()
+        .gauge_max("mem_particles_hwm", (4 * st.len()) as u64);
+
+    let report = recovery_loop(gc, st, fc, epoch, |st, tag_base| {
+        // The home copy is rebuilt from the checkpointed state each
+        // attempt, so home-route re-injection stays consistent on retries.
+        let home: Vec<Particle> = st.clone();
+        let mut exch: Vec<Particle> = st.clone();
+        let mut cur_block: Option<usize> = Some(t);
+
+        gc.col.set_phase(Phase::Skew);
+        gc.col.fault_step(0)?;
+        if k > 0 {
+            let tag = TAG_CSKEW + tag_base;
+            if let Some(dst) = window.apply(t, k) {
+                gc.row.send(dst, tag, &exch);
+            }
+            cur_block = window.apply_back(t, k);
+            exch = match cur_block {
+                Some(b) => gc.row.try_recv_timeout(b, tag, fc.recv_timeout)?,
+                None => Vec::new(),
+            };
+        }
+
+        let steps = row_steps(w, c, k);
+        for s in 1..=steps {
+            gc.col.set_phase(Phase::Shift);
+            gc.col.fault_step(s)?;
+            let tag = TAG_CSHIFT + tag_base + s as u64;
+            let j_prev = (k + (s - 1) * c) % w;
+            let j_new = (k + s * c) % w;
+
+            if let Some(b) = cur_block {
+                if let Some(holder) = window.apply(b, j_new) {
+                    gc.row.send(holder, tag, &exch);
+                }
+            }
+            if let Some(needy) = window.apply(t, j_new) {
+                if window.apply(t, j_prev).is_none() {
+                    gc.row.send(needy, tag, &home);
+                }
+            }
+
+            cur_block = window.apply_back(t, j_new);
+            exch = match cur_block {
+                Some(b) => {
+                    let src = window.apply(b, j_prev).unwrap_or(b);
+                    gc.row.try_recv_timeout(src, tag, fc.recv_timeout)?
+                }
+                None => Vec::new(),
+            };
+
+            if k + s * c < w + c && cur_block.is_some() {
+                gc.col.set_phase(Phase::Other);
+                accumulate_block(st, &exch, law, domain, boundary);
+            }
+        }
+        Ok(())
+    })?;
+
+    gc.col.set_phase(Phase::Reduce);
+    gc.col.reduce(0, st, combine_forces);
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::id_block_subset;
+    use crate::grid::ProcGrid;
+    use nbody_comm::{run_ranks, run_ranks_chaos, FaultPlan};
+    use nbody_physics::{init, RepulsiveInverseSquare};
+
+    fn law() -> RepulsiveInverseSquare {
+        RepulsiveInverseSquare {
+            strength: 1e-3,
+            softening: 1e-3,
+        }
+    }
+
+    /// Fault-free ft run on a plain (strict-matching) transport: the ft
+    /// driver must behave exactly like the plain driver.
+    fn run_ft_plain(p: usize, c: usize, n: usize, seed: u64) -> Vec<Particle> {
+        let domain = Domain::unit();
+        let grid = ProcGrid::new_all_pairs(p, c).unwrap();
+        let out = run_ranks(p, move |world| {
+            let gc = GridComms::new(world, grid);
+            let all = init::uniform(n, &domain, seed);
+            let mut st = if gc.is_leader() {
+                id_block_subset(&all, grid.teams(), gc.team())
+            } else {
+                Vec::new()
+            };
+            let rep = ca_all_pairs_forces_ft(
+                &gc,
+                &mut st,
+                &law(),
+                &domain,
+                Boundary::Reflective,
+                &FaultConfig::default(),
+                0,
+            )
+            .expect("fault-free run cannot fail");
+            assert_eq!(rep, RecoveryReport { attempts: 1, recovered: false });
+            if gc.is_leader() {
+                st
+            } else {
+                Vec::new()
+            }
+        });
+        let mut got: Vec<Particle> = out.into_iter().flatten().collect();
+        got.sort_by_key(|q| q.id);
+        got
+    }
+
+    fn run_plain(p: usize, c: usize, n: usize, seed: u64) -> Vec<Particle> {
+        let domain = Domain::unit();
+        let grid = ProcGrid::new_all_pairs(p, c).unwrap();
+        let out = run_ranks(p, move |world| {
+            let gc = GridComms::new(world, grid);
+            let all = init::uniform(n, &domain, seed);
+            let mut st = if gc.is_leader() {
+                id_block_subset(&all, grid.teams(), gc.team())
+            } else {
+                Vec::new()
+            };
+            crate::allpairs::ca_all_pairs_forces(
+                &gc,
+                &mut st,
+                &law(),
+                &domain,
+                Boundary::Reflective,
+            );
+            if gc.is_leader() {
+                st
+            } else {
+                Vec::new()
+            }
+        });
+        let mut got: Vec<Particle> = out.into_iter().flatten().collect();
+        got.sort_by_key(|q| q.id);
+        got
+    }
+
+    #[test]
+    fn ft_driver_matches_plain_driver_without_faults() {
+        for (p, c) in [(4, 1), (8, 2), (9, 3)] {
+            assert_eq!(
+                run_ft_plain(p, c, 24, 7),
+                run_plain(p, c, 24, 7),
+                "p={p} c={c}"
+            );
+        }
+    }
+
+    #[test]
+    fn kill_with_replication_recovers_bit_identically() {
+        let want = run_plain(8, 2, 24, 3);
+        let domain = Domain::unit();
+        let grid = ProcGrid::new_all_pairs(8, 2).unwrap();
+        // Kill rank 5 at shift step 1.
+        let plan = FaultPlan::kill(5, 1);
+        let out = run_ranks_chaos(8, &plan, move |world| {
+            let gc = GridComms::new(world, grid);
+            let all = init::uniform(24, &domain, 3);
+            let mut st = if gc.is_leader() {
+                id_block_subset(&all, grid.teams(), gc.team())
+            } else {
+                Vec::new()
+            };
+            let rep = ca_all_pairs_forces_ft(
+                &gc,
+                &mut st,
+                &law(),
+                &domain,
+                Boundary::Reflective,
+                &FaultConfig::with_timeout_ms(500),
+                0,
+            )
+            .expect("c=2 must recover from a single kill");
+            assert!(rep.recovered);
+            assert_eq!(rep.attempts, 2);
+            if gc.is_leader() {
+                st
+            } else {
+                Vec::new()
+            }
+        });
+        let mut got: Vec<Particle> = out.into_iter().flatten().collect();
+        got.sort_by_key(|q| q.id);
+        assert_eq!(got, want, "recovered forces must be bit-identical");
+    }
+
+    #[test]
+    fn kill_without_replication_is_agreed_unrecoverable() {
+        let domain = Domain::unit();
+        let grid = ProcGrid::new_all_pairs(4, 1).unwrap();
+        let plan = FaultPlan::kill(2, 1);
+        let errs = run_ranks_chaos(4, &plan, move |world| {
+            let gc = GridComms::new(world, grid);
+            let all = init::uniform(16, &domain, 5);
+            let mut st = id_block_subset(&all, 4, gc.team());
+            ca_all_pairs_forces_ft(
+                &gc,
+                &mut st,
+                &law(),
+                &domain,
+                Boundary::Reflective,
+                &FaultConfig::with_timeout_ms(300),
+                0,
+            )
+        });
+        for (rank, err) in errs.into_iter().enumerate() {
+            assert_eq!(
+                err,
+                Err(FaultError::Unrecoverable { rank, c: 1 }),
+                "every rank must agree on Unrecoverable"
+            );
+        }
+    }
+}

@@ -8,7 +8,7 @@
 //! integration tests verify schedule-vs-execution equivalence by comparing
 //! per-phase message and byte counts against instrumented `ThreadComm` runs.
 
-use nbody_comm::Phase;
+use nbody_comm::{Phase, PHASE_COUNT};
 use nbody_netsim::{CollNet, Op, TeamSpec};
 use nbody_physics::particle::PARTICLE_WIRE_BYTES;
 
@@ -460,11 +460,11 @@ impl<W: Window> SpatialHaloParams<W> {
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct OpCounts {
     /// Point-to-point sends per phase index.
-    pub sends: [u64; 6],
+    pub sends: [u64; PHASE_COUNT],
     /// Bytes sent point-to-point per phase index.
-    pub send_bytes: [u64; 6],
+    pub send_bytes: [u64; PHASE_COUNT],
     /// Collectives per phase index.
-    pub collectives: [u64; 6],
+    pub collectives: [u64; PHASE_COUNT],
     /// Total force evaluations.
     pub interactions: u64,
 }

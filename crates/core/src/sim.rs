@@ -8,7 +8,8 @@
 //! validated against it step-for-step.
 
 use nbody_comm::{
-    run_ranks, run_ranks_traced, CommStats, Communicator, ExecutionTrace, MetricsSnapshot, Phase,
+    run_ranks, run_ranks_chaos_traced, run_ranks_traced, CommStats, Communicator, ExecutionTrace,
+    FaultPlan, MetricsSnapshot, Phase,
 };
 use nbody_physics::particle::reset_forces;
 use nbody_physics::{Boundary, Domain, ForceLaw, Integrator, Particle};
@@ -23,6 +24,9 @@ use crate::dist::{
 use crate::grid::{GridComms, ProcGrid};
 use crate::midpoint::midpoint_forces;
 use crate::reassign::reassign_particles;
+use crate::recovery::{
+    ca_all_pairs_forces_ft, ca_cutoff_forces_ft, FaultConfig, FaultError, RecoveryReport,
+};
 use crate::spatial::spatial_halo_forces;
 use crate::window::{Window1d, Window2d};
 use crate::window_periodic::{Window1dPeriodic, Window2dPeriodic};
@@ -175,6 +179,231 @@ where
     validate_run(cfg, method);
     let (out, trace, metrics) = run_ranks_traced(p, |world| run_rank(cfg, method, world, initial));
     (gather_results(out, initial.len()), trace, metrics)
+}
+
+/// Result of a distributed run under fault injection.
+#[derive(Debug, Clone)]
+pub struct ChaosRunResult {
+    /// Final particles, gathered from all owners and sorted by id.
+    pub particles: Vec<Particle>,
+    /// Per-world-rank communication statistics.
+    pub stats: Vec<CommStats>,
+    /// Live metrics snapshot (includes the `fault_*` and
+    /// `recovery_bytes_total` counters).
+    pub metrics: MetricsSnapshot,
+    /// Per-rank wall-clock trace (chaos runs always trace, so recovery
+    /// overhead shows up in `report` breakdowns).
+    pub trace: ExecutionTrace,
+    /// Worst per-evaluation attempt count across all ranks and timesteps
+    /// (1 = no fault ever fired).
+    pub max_attempts: usize,
+    /// Whether any evaluation recovered from a detected fault.
+    pub recovered: bool,
+}
+
+/// Run a distributed simulation under a fault-injection [`FaultPlan`],
+/// using the fault-tolerant force drivers (the CA methods only:
+/// [`Method::CaAllPairs`], [`Method::Ca1dCutoff`], [`Method::Ca2dCutoff`]).
+///
+/// Completes with forces bit-identical to the fault-free run whenever
+/// recovery is possible; returns the agreed [`FaultError`] otherwise
+/// (every rank reaches the same verdict, so the shutdown is clean).
+pub fn run_distributed_chaos<F, I>(
+    cfg: &SimConfig<F, I>,
+    method: Method,
+    p: usize,
+    plan: &FaultPlan,
+    fc: &FaultConfig,
+    initial: &[Particle],
+) -> Result<ChaosRunResult, FaultError>
+where
+    F: ForceLaw + Sync,
+    I: Integrator + Sync,
+{
+    validate_run(cfg, method);
+    let (out, trace, metrics) =
+        run_ranks_chaos_traced(p, plan, |world| run_rank_ft(cfg, method, world, initial, fc));
+    let mut particles = Vec::with_capacity(initial.len());
+    let mut stats = Vec::with_capacity(p);
+    let mut max_attempts = 1;
+    let mut recovered = false;
+    for r in out {
+        let (mut ps, st, rep) = r?;
+        particles.append(&mut ps);
+        stats.push(st);
+        max_attempts = max_attempts.max(rep.attempts);
+        recovered |= rep.recovered;
+    }
+    particles.sort_by_key(|q| q.id);
+    assert_eq!(
+        particles.len(),
+        initial.len(),
+        "particles lost or duplicated in chaos run"
+    );
+    Ok(ChaosRunResult {
+        particles,
+        stats,
+        metrics,
+        trace,
+        max_attempts,
+        recovered,
+    })
+}
+
+/// Per-rank body of a chaos run: the CA drivers with fault-tolerant force
+/// evaluations, `epoch` = timestep index for tag namespacing.
+fn run_rank_ft<F, I, C>(
+    cfg: &SimConfig<F, I>,
+    method: Method,
+    world: &mut C,
+    initial: &[Particle],
+    fc: &FaultConfig,
+) -> Result<(Vec<Particle>, CommStats, RecoveryReport), FaultError>
+where
+    F: ForceLaw,
+    I: Integrator,
+    C: Communicator,
+{
+    let p = world.size();
+    let domain = &cfg.domain;
+    let tr = world.tracer();
+    let mut agg = RecoveryReport {
+        attempts: 1,
+        recovered: false,
+    };
+    match method {
+        Method::CaAllPairs { c } => {
+            let grid = ProcGrid::new_all_pairs(p, c).expect("invalid all-pairs grid");
+            let gc = GridComms::new(world, grid);
+            let mut st = if gc.is_leader() {
+                id_block_subset(initial, grid.teams(), gc.team())
+            } else {
+                Vec::new()
+            };
+            for step in 0..cfg.steps {
+                let _step_g = tr.driver_span("step", step);
+                if gc.is_leader() {
+                    let _g = tr.driver_span("integrate", step);
+                    cfg.integrator.pre_force(&mut st, cfg.dt);
+                    reset_forces(&mut st);
+                }
+                let rep = {
+                    let _g = tr.driver_span("force", step);
+                    ca_all_pairs_forces_ft(
+                        &gc,
+                        &mut st,
+                        &cfg.law,
+                        domain,
+                        cfg.boundary,
+                        fc,
+                        step as u64,
+                    )?
+                };
+                agg.attempts = agg.attempts.max(rep.attempts);
+                agg.recovered |= rep.recovered;
+                if gc.is_leader() {
+                    let _g = tr.driver_span("integrate", step);
+                    cfg.integrator
+                        .post_force(&mut st, cfg.dt, domain, cfg.boundary);
+                } else {
+                    st.clear();
+                }
+            }
+            let owned = if gc.is_leader() { st } else { Vec::new() };
+            Ok((owned, world.stats(), agg))
+        }
+        Method::Ca1dCutoff { c } | Method::Ca2dCutoff { c } => {
+            let two_d = matches!(method, Method::Ca2dCutoff { .. });
+            let grid = ProcGrid::new(p, c).expect("invalid cutoff grid");
+            let gc = GridComms::new(world, grid);
+            let teams = grid.teams();
+            let r_c = cfg.law.cutoff().unwrap();
+            let (tx, ty) = if two_d {
+                team_grid_dims(teams)
+            } else {
+                (teams, 1)
+            };
+            let mut st = if gc.is_leader() {
+                if two_d {
+                    spatial_subset_2d(initial, domain, tx, ty, gc.team())
+                } else {
+                    spatial_subset_1d(initial, domain, teams, gc.team())
+                }
+            } else {
+                Vec::new()
+            };
+            let periodic = cfg.boundary == Boundary::Periodic;
+            for step in 0..cfg.steps {
+                let _step_g = tr.driver_span("step", step);
+                if gc.is_leader() {
+                    let _g = tr.driver_span("integrate", step);
+                    cfg.integrator.pre_force(&mut st, cfg.dt);
+                    reset_forces(&mut st);
+                }
+                let rep = {
+                    let _g = tr.driver_span("force", step);
+                    match (two_d, periodic) {
+                        (true, false) => {
+                            let window = Window2d::from_cutoff(domain, tx, ty, r_c);
+                            ca_cutoff_forces_ft(
+                                &gc, &window, &mut st, &cfg.law, domain, cfg.boundary, fc,
+                                step as u64,
+                            )?
+                        }
+                        (true, true) => {
+                            let window = Window2dPeriodic::from_cutoff(domain, tx, ty, r_c);
+                            ca_cutoff_forces_ft(
+                                &gc, &window, &mut st, &cfg.law, domain, cfg.boundary, fc,
+                                step as u64,
+                            )?
+                        }
+                        (false, false) => {
+                            let window = Window1d::from_cutoff(domain, teams, r_c);
+                            ca_cutoff_forces_ft(
+                                &gc, &window, &mut st, &cfg.law, domain, cfg.boundary, fc,
+                                step as u64,
+                            )?
+                        }
+                        (false, true) => {
+                            let window = Window1dPeriodic::from_cutoff(domain, teams, r_c);
+                            ca_cutoff_forces_ft(
+                                &gc, &window, &mut st, &cfg.law, domain, cfg.boundary, fc,
+                                step as u64,
+                            )?
+                        }
+                    }
+                };
+                agg.attempts = agg.attempts.max(rep.attempts);
+                agg.recovered |= rep.recovered;
+                if gc.is_leader() {
+                    {
+                        let _g = tr.driver_span("integrate", step);
+                        cfg.integrator
+                            .post_force(&mut st, cfg.dt, domain, cfg.boundary);
+                    }
+                    let _g = tr.driver_span("reassign", step);
+                    if two_d {
+                        reassign_particles(&gc.row, &mut st, |q| {
+                            team_of_xy(domain, tx, ty, q.pos.x, q.pos.y)
+                        });
+                    } else {
+                        reassign_particles(&gc.row, &mut st, |q| {
+                            team_of_x(domain, teams, q.pos.x)
+                        });
+                    }
+                } else {
+                    st.clear();
+                }
+            }
+            world.set_phase(Phase::Other);
+            let owned = if gc.is_leader() { st } else { Vec::new() };
+            Ok((owned, world.stats(), agg))
+        }
+        _ => panic!(
+            "{method:?} has no fault-tolerant driver; chaos runs support the CA methods \
+             (ca-all-pairs, ca-1d-cutoff, ca-2d-cutoff)"
+        ),
+    }
 }
 
 fn validate_run<F: ForceLaw, I>(cfg: &SimConfig<F, I>, method: Method) {

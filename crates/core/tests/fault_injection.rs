@@ -1,0 +1,207 @@
+//! Fault-injection integration tests: the recovery protocol must keep
+//! distributed trajectories bit-identical to fault-free runs whenever
+//! recovery is possible, and fail cleanly (agreed, bounded, no deadlock)
+//! when it is not.
+
+use std::time::{Duration, Instant};
+
+use ca_nbody::recovery::{FaultConfig, FaultError};
+use ca_nbody::sim::{run_distributed, run_distributed_chaos, Method, SimConfig};
+use nbody_comm::{FaultKind, FaultPlan};
+use nbody_physics::{
+    init, Boundary, Cutoff, Domain, RepulsiveInverseSquare, SemiImplicitEuler,
+};
+use proptest::prelude::*;
+
+fn all_pairs_cfg(steps: usize) -> SimConfig<RepulsiveInverseSquare, SemiImplicitEuler> {
+    SimConfig {
+        law: RepulsiveInverseSquare {
+            strength: 1e-3,
+            softening: 1e-3,
+        },
+        integrator: SemiImplicitEuler,
+        domain: Domain::unit(),
+        boundary: Boundary::Reflective,
+        dt: 0.01,
+        steps,
+    }
+}
+
+fn cutoff_cfg(steps: usize) -> SimConfig<Cutoff<RepulsiveInverseSquare>, SemiImplicitEuler> {
+    SimConfig {
+        law: Cutoff::new(
+            RepulsiveInverseSquare {
+                strength: 1e-3,
+                softening: 1e-3,
+            },
+            0.25,
+        ),
+        integrator: SemiImplicitEuler,
+        domain: Domain::unit(),
+        boundary: Boundary::Reflective,
+        dt: 0.01,
+        steps,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Delays and duplicates are benign: no retry is even needed, and the
+    /// trajectory is bit-identical to the fault-free one at every
+    /// replication factor.
+    #[test]
+    fn benign_faults_keep_trajectories_bit_identical(seed in any::<u64>()) {
+        let cfg = all_pairs_cfg(2);
+        let initial = init::uniform(24, &cfg.domain, 11);
+        for c in [1usize, 2] {
+            let method = Method::CaAllPairs { c };
+            let want = run_distributed(&cfg, method, 8, &initial).particles;
+            let plan = FaultPlan::seeded(
+                seed, 8, 2, 3, &[FaultKind::Delay, FaultKind::Duplicate],
+            );
+            let got = run_distributed_chaos(
+                &cfg, method, 8, &plan, &FaultConfig::with_timeout_ms(2000), &initial,
+            ).expect("benign faults cannot fail a run");
+            prop_assert_eq!(&got.particles, &want, "c={} plan={}", c, plan.spec());
+            prop_assert!(!got.recovered, "delays/dups must not trigger recovery");
+        }
+    }
+}
+
+/// A dropped message loses no state: the retry restores the checkpoint
+/// locally, so drops are recoverable even without replication (`c = 1`).
+#[test]
+fn drops_recover_bit_identically_at_every_c() {
+    let cfg = all_pairs_cfg(2);
+    let initial = init::uniform(24, &cfg.domain, 13);
+    // Note: step 0 is the skew, where only rows k > 0 send — aim the
+    // skew drop at rank 6 (team 2, row 1), not a row-0 rank.
+    for (c, rank, step) in [(1usize, 3usize, 1usize), (2, 5, 1), (2, 6, 0)] {
+        let method = Method::CaAllPairs { c };
+        let want = run_distributed(&cfg, method, 8, &initial).particles;
+        let plan = FaultPlan::parse(&format!("drop:{rank}@{step}")).unwrap();
+        let got = run_distributed_chaos(
+            &cfg,
+            method,
+            8,
+            &plan,
+            &FaultConfig::with_timeout_ms(400),
+            &initial,
+        )
+        .expect("drops are always recoverable");
+        assert_eq!(got.particles, want, "c={c} rank={rank} step={step}");
+        assert!(got.recovered, "a drop must be detected and retried");
+        assert_eq!(got.max_attempts, 2);
+    }
+}
+
+/// A rank killed at any pipeline step (skew = 0, shifts = 1..) with a
+/// surviving replica (`c >= 2`) is resynced from a teammate; the completed
+/// trajectory is bit-for-bit the fault-free one.
+#[test]
+fn kill_at_each_step_recovers_bit_identically_with_replication() {
+    let cfg = all_pairs_cfg(2);
+    let initial = init::uniform(24, &cfg.domain, 17);
+    let method = Method::CaAllPairs { c: 2 };
+    let want = run_distributed(&cfg, method, 8, &initial).particles;
+    // p=8, c=2: 4 teams x 2 rows, p/c^2 = 2 shift steps + the skew.
+    for step in 0..=2usize {
+        for rank in [1usize, 6] {
+            let plan = FaultPlan::kill(rank, step);
+            let got = run_distributed_chaos(
+                &cfg,
+                method,
+                8,
+                &plan,
+                &FaultConfig::with_timeout_ms(500),
+                &initial,
+            )
+            .unwrap_or_else(|e| panic!("kill:{rank}@{step} must recover at c=2: {e}"));
+            assert_eq!(got.particles, want, "kill:{rank}@{step}");
+            assert!(got.recovered);
+            assert_eq!(got.max_attempts, 2, "one retry suffices for one kill");
+            assert!(
+                got.metrics.sum_counter("fault_injected_kill", None) >= 1,
+                "kill must be recorded in metrics"
+            );
+            assert!(got.metrics.sum_counter("fault_recovered_total", None) >= 1);
+            assert!(
+                got.metrics.sum_counter("recovery_bytes_total", None) > 0,
+                "resync traffic must be accounted"
+            );
+        }
+    }
+}
+
+/// The cutoff pipeline (home-route re-injection and all) recovers the same
+/// way, across timesteps with spatial re-assignment in between.
+#[test]
+fn cutoff_kill_recovers_bit_identically() {
+    let cfg = cutoff_cfg(2);
+    let initial = init::uniform(40, &cfg.domain, 7);
+    for method in [Method::Ca1dCutoff { c: 2 }, Method::Ca2dCutoff { c: 2 }] {
+        let want = run_distributed(&cfg, method, 8, &initial).particles;
+        for (rank, step) in [(5usize, 1usize), (2, 0)] {
+            let plan = FaultPlan::kill(rank, step);
+            let got = run_distributed_chaos(
+                &cfg,
+                method,
+                8,
+                &plan,
+                &FaultConfig::with_timeout_ms(500),
+                &initial,
+            )
+            .unwrap_or_else(|e| panic!("{method:?} kill:{rank}@{step}: {e}"));
+            assert_eq!(got.particles, want, "{method:?} kill:{rank}@{step}");
+            assert!(got.recovered);
+        }
+    }
+}
+
+/// Without replication there is no surviving copy of the dead rank's
+/// inputs: the run must end with the documented `Unrecoverable` error —
+/// agreed by every rank, within a bounded number of timeouts, no deadlock.
+#[test]
+fn kill_without_replication_fails_cleanly_within_timeout_bound() {
+    let cfg = all_pairs_cfg(2);
+    let initial = init::uniform(16, &cfg.domain, 5);
+    let fc = FaultConfig::with_timeout_ms(300);
+    let start = Instant::now();
+    let err = run_distributed_chaos(
+        &cfg,
+        Method::CaAllPairs { c: 1 },
+        4,
+        &FaultPlan::kill(2, 1),
+        &fc,
+        &initial,
+    )
+    .expect_err("c=1 cannot recover a kill");
+    assert!(matches!(err, FaultError::Unrecoverable { c: 1, .. }), "{err}");
+    // Detection cascades through at most O(pipeline steps) timeouts; far
+    // below the blocking-collective deadline (60 s) a deadlock would hit.
+    assert!(
+        start.elapsed() < Duration::from_secs(20),
+        "clean shutdown took {:?}",
+        start.elapsed()
+    );
+}
+
+/// Faults recurring past the retry budget surface as `RetriesExhausted`
+/// rather than looping forever.
+#[test]
+fn persistent_faults_exhaust_retries() {
+    let cfg = all_pairs_cfg(1);
+    let initial = init::uniform(16, &cfg.domain, 9);
+    // Three drops aimed at the same rank across successive attempts: each
+    // retry re-arms the next event (events are one-shot, but distinct
+    // events fire on distinct attempts at the same step).
+    let plan = FaultPlan::parse("drop:1@1,drop:1@1,drop:1@1").unwrap();
+    let fc = FaultConfig {
+        recv_timeout: Duration::from_millis(300),
+        max_retries: 2,
+    };
+    let err = run_distributed_chaos(&cfg, Method::CaAllPairs { c: 2 }, 8, &plan, &fc, &initial)
+        .expect_err("three faults must exhaust a 2-retry budget");
+    assert_eq!(err, FaultError::RetriesExhausted { attempts: 3 });
+}

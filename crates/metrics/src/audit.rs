@@ -27,7 +27,7 @@ use nbody_model::{
     k_cutoff_1d, memory_per_proc, s_cutoff, s_direct, w_cutoff, w_direct,
     ca_all_pairs, ca_cutoff_1d, CommCost,
 };
-use nbody_trace::{Json, Phase, ALL_PHASES};
+use nbody_trace::{Json, Phase, ALL_PHASES, PHASE_COUNT};
 
 use crate::snapshot::MetricsSnapshot;
 
@@ -124,7 +124,7 @@ pub struct PhaseFlow {
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct AuditInput {
     /// `flows[rank][phase.index()]`.
-    pub flows: Vec<[PhaseFlow; 6]>,
+    pub flows: Vec<[PhaseFlow; PHASE_COUNT]>,
     /// Max particles simultaneously resident on any rank (the measured
     /// `M`); 0 means "not measured" and falls back to the nominal `cn/p`.
     pub memory_particles: u64,
@@ -140,7 +140,7 @@ impl AuditInput {
             .ranks
             .iter()
             .map(|r| {
-                let mut f = [PhaseFlow::default(); 6];
+                let mut f = [PhaseFlow::default(); PHASE_COUNT];
                 for phase in ALL_PHASES {
                     f[phase.index()] = PhaseFlow {
                         messages: r.counter("comm_send_messages", Some(phase))
@@ -231,7 +231,7 @@ pub fn audit(cfg: &AuditConfig, input: &AuditInput) -> AuditReport {
     }
 
     // Critical path: per-rank totals over the audited phases, then max.
-    let audited = |f: &[PhaseFlow; 6]| {
+    let audited = |f: &[PhaseFlow; PHASE_COUNT]| {
         ALL_PHASES
             .iter()
             .filter(|p| **p != Phase::Other)
@@ -428,7 +428,7 @@ mod tests {
     /// (teams=2, one shift step of 32 particles per rank).
     fn synthetic_input() -> AuditInput {
         let mk = |bcast: u64, skew: u64, shift: u64, reduce: u64| {
-            let mut f = [PhaseFlow::default(); 6];
+            let mut f = [PhaseFlow::default(); PHASE_COUNT];
             f[Phase::Broadcast.index()] = PhaseFlow {
                 messages: bcast,
                 words: 32,
@@ -528,7 +528,7 @@ mod tests {
             ceilings: FactorCeilings::default(),
         };
         let r = audit(&cfg, &AuditInput {
-            flows: vec![[PhaseFlow::default(); 6]; 8],
+            flows: vec![[PhaseFlow::default(); PHASE_COUNT]; 8],
             memory_particles: 64,
         });
         // k = 2·0.25·256 = 128; S = 256·128/(8·64²) = 1, W = 256·128/(8·64) = 64.

@@ -1,6 +1,6 @@
 //! Simulation output: per-rank and aggregated phase breakdowns.
 
-use nbody_comm::{Phase, ALL_PHASES};
+use nbody_comm::{Phase, ALL_PHASES, PHASE_COUNT};
 
 /// Time buckets for one rank, in seconds of virtual time.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -9,7 +9,7 @@ pub struct RankBreakdown {
     pub compute: f64,
     /// Communication time per [`Phase`] index (send overheads plus time
     /// blocked waiting for messages/collectives).
-    pub comm: [f64; 6],
+    pub comm: [f64; PHASE_COUNT],
 }
 
 impl RankBreakdown {

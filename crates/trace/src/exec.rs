@@ -8,7 +8,7 @@
 use std::collections::BTreeMap;
 
 use crate::json::{escape_into, num_into, Json};
-use crate::phase::{Phase, ALL_PHASES};
+use crate::phase::{Phase, ALL_PHASES, PHASE_COUNT};
 use crate::schema;
 use crate::span::{Span, SpanKind};
 
@@ -111,8 +111,8 @@ impl ExecutionTrace {
 
     /// Per-rank total seconds inside each phase's windows:
     /// `result[rank][phase.index()]`.
-    pub fn phase_secs_per_rank(&self) -> Vec<[f64; 6]> {
-        let mut acc = vec![[0.0f64; 6]; self.ranks];
+    pub fn phase_secs_per_rank(&self) -> Vec<[f64; PHASE_COUNT]> {
+        let mut acc = vec![[0.0f64; PHASE_COUNT]; self.ranks];
         for s in &self.spans {
             if let SpanKind::Phase(p) = s.kind {
                 acc[s.rank as usize][p.index()] += s.secs();
@@ -124,7 +124,7 @@ impl ExecutionTrace {
     /// The per-phase breakdown across ranks (the `ca-nbody report` table).
     pub fn phase_breakdown(&self) -> PhaseBreakdown {
         let per_rank = self.phase_secs_per_rank();
-        let mut blocked_acc = [0.0f64; 6];
+        let mut blocked_acc = [0.0f64; PHASE_COUNT];
         for s in &self.spans {
             if let SpanKind::Blocked(p) = s.kind {
                 blocked_acc[p.index()] += s.secs();

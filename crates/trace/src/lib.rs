@@ -48,6 +48,6 @@ pub mod tracer;
 
 pub use exec::{DistStat, ExecutionTrace, PhaseBreakdown, StepReport};
 pub use json::Json;
-pub use phase::{Phase, ALL_PHASES};
+pub use phase::{Phase, ALL_PHASES, PHASE_COUNT};
 pub use span::{Span, SpanKind};
 pub use tracer::{SpanGuard, Tracer};

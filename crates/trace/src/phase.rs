@@ -23,17 +23,25 @@ pub enum Phase {
     Reduce,
     /// Spatial-decomposition maintenance between timesteps (§IV.D).
     Reassign,
+    /// Fault detection, agreement, and replica-resync traffic. Not part of
+    /// the paper's cost model — kept separate so `audit` can price recovery
+    /// overhead independently of the optimality-bound phases.
+    Recovery,
     /// Anything else (setup, local compute, verification, ...).
     Other,
 }
 
+/// Number of phases; the length of every per-phase array.
+pub const PHASE_COUNT: usize = 7;
+
 /// All phases, in figure order.
-pub const ALL_PHASES: [Phase; 6] = [
+pub const ALL_PHASES: [Phase; PHASE_COUNT] = [
     Phase::Broadcast,
     Phase::Skew,
     Phase::Shift,
     Phase::Reduce,
     Phase::Reassign,
+    Phase::Recovery,
     Phase::Other,
 ];
 
@@ -47,7 +55,8 @@ impl Phase {
             Phase::Shift => 2,
             Phase::Reduce => 3,
             Phase::Reassign => 4,
-            Phase::Other => 5,
+            Phase::Recovery => 5,
+            Phase::Other => 6,
         }
     }
 
@@ -59,6 +68,7 @@ impl Phase {
             Phase::Shift => "shift",
             Phase::Reduce => "reduce",
             Phase::Reassign => "re-assign",
+            Phase::Recovery => "recovery",
             Phase::Other => "other",
         }
     }
@@ -84,8 +94,8 @@ mod tests {
         assert_eq!(Phase::Shift.label(), "shift");
         assert_eq!(Phase::Reassign.label(), "re-assign");
         assert_eq!(format!("{}", Phase::Reduce), "reduce");
-        // index() is a bijection onto 0..6
-        let mut seen = [false; 6];
+        // index() is a bijection onto 0..PHASE_COUNT
+        let mut seen = [false; PHASE_COUNT];
         for p in ALL_PHASES {
             assert!(!seen[p.index()]);
             seen[p.index()] = true;

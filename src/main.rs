@@ -4,10 +4,13 @@
 //! ca-nbody run      [n=1024] [p=8] [c=2] [steps=20] [dt=0.005] [method=ca]
 //!                   [law=repulsive|gravity|lj] [cutoff=0.25] [boundary=reflective]
 //!                   [--trace=out.json] [--metrics=out.json|out.prom] [--profile]
+//!                   [--faults=SPEC] [fault-timeout-ms=1000] [max-retries=3]
 //! ca-nbody verify   [same options]            distributed-vs-serial check
 //! ca-nbody report   <trace-file>              per-phase/per-step breakdown tables
 //! ca-nbody audit    [n=4096] [p=16] [steps=1] [c=N] [cutoff=0]
 //!                   [--baseline=F] [--out=F.csv|F.json]
+//! ca-nbody chaos    [n=192] [p=8] [c=2] [steps=1] [method=ca] [seed=42]
+//!                   [fault-timeout-ms=250] [--baseline=F]
 //! ca-nbody scale    [machine=hopper] [n=32768] strong-scaling table (simulated)
 //! ca-nbody autotune [machine=hopper] [p=1536] [n=12288] [cutoff=0]
 //! ```
@@ -28,8 +31,15 @@
 //! any constant factor exceeds the ceilings (`--baseline` overrides the
 //! defaults from a JSON file).
 //!
-//! `run`, `scale`, and `audit` end with a single-line JSON summary on
-//! stdout for scripted consumption.
+//! `--faults` injects a deterministic fault schedule (spec grammar
+//! `kind:rank@step` with kinds `kill | drop | dup | delay`, comma-
+//! separated) and switches `run`/`verify` to the fault-tolerant CA
+//! drivers. `chaos` sweeps kill schedules over every rank and pipeline
+//! step, asserting recovered forces stay bit-identical to the fault-free
+//! run and gating recovery overhead against `--baseline` ceilings.
+//!
+//! `run`, `scale`, `audit`, and `chaos` end with a single-line JSON
+//! summary on stdout for scripted consumption.
 
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -37,9 +47,12 @@ use std::process::ExitCode;
 use ca_nbody::autotune::{autotune_all_pairs, autotune_cutoff_1d};
 use ca_nbody::cutoff::validate_cutoff;
 use ca_nbody::schedule::{count_ops, AllPairsParams};
+use ca_nbody::recovery::{FaultConfig, FaultError};
 use ca_nbody::{
-    run_distributed, run_distributed_traced, run_serial, Method, ProcGrid, SimConfig, Window1d,
+    run_distributed, run_distributed_chaos, run_distributed_traced, run_serial, Method, ProcGrid,
+    RunResult, SimConfig, Window, Window1d,
 };
+use nbody_comm::{FaultKind, FaultPlan};
 use nbody_metrics::{
     audit, audit_csv, audit_json, audit_table, ceilings_from_json, AuditAlgorithm, AuditConfig,
     AuditInput, FactorCeilings, MetricsSnapshot,
@@ -89,6 +102,7 @@ fn main() -> ExitCode {
         "verify" => run_cmd(&opts, true),
         "report" => report_cmd(&positional),
         "audit" => audit_cmd(&opts),
+        "chaos" => chaos_cmd(&opts),
         "scale" => scale_cmd(&opts),
         "autotune" => autotune_cmd(&opts),
         _ => {
@@ -100,8 +114,8 @@ fn main() -> ExitCode {
 
 fn usage() {
     eprintln!(
-        "usage: ca-nbody <run|verify|report|audit|scale|autotune> [key=value ...] \
-         [--trace=F] [--metrics=F] [--profile]\n\
+        "usage: ca-nbody <run|verify|report|audit|chaos|scale|autotune> [key=value ...] \
+         [--trace=F] [--metrics=F] [--profile] [--faults=SPEC]\n\
          see `src/main.rs` header or README.md for the option list"
     );
 }
@@ -239,16 +253,63 @@ fn run_cmd(opts: &HashMap<String, String>, verify: bool) -> ExitCode {
     let profile = opts.get("profile").is_some_and(|v| v != "false");
     let tracing = trace_path.is_some() || profile || metrics_path.is_some();
 
+    let faults = match opts.get("faults") {
+        Some(spec) => match FaultPlan::parse(spec) {
+            Ok(plan) => Some(plan),
+            Err(e) => {
+                eprintln!("invalid --faults spec: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+
     println!("{method:?} on {p} ranks: n={n}, steps={steps}, dt={dt}, law={law_name}");
     let start = std::time::Instant::now();
-    let (result, trace, metrics) = if tracing {
+    let (result, trace, metrics, chaos_info) = if let Some(plan) = &faults {
+        if !matches!(
+            method,
+            Method::CaAllPairs { .. } | Method::Ca1dCutoff { .. } | Method::Ca2dCutoff { .. }
+        ) {
+            eprintln!("--faults requires a CA method (ca, ca-cutoff-1d, ca-cutoff-2d)");
+            return ExitCode::FAILURE;
+        }
+        let fc = FaultConfig {
+            recv_timeout: std::time::Duration::from_millis(get(opts, "fault-timeout-ms", 1000)),
+            max_retries: get(opts, "max-retries", 3),
+        };
+        match run_distributed_chaos(&cfg, method, p, plan, &fc, &initial) {
+            Ok(res) => {
+                println!(
+                    "  faults [{}]: max attempts {}, recovered: {}",
+                    plan.spec(),
+                    res.max_attempts,
+                    res.recovered
+                );
+                (
+                    RunResult {
+                        particles: res.particles,
+                        stats: res.stats,
+                    },
+                    Some(res.trace),
+                    res.metrics,
+                    Some((res.max_attempts, res.recovered)),
+                )
+            }
+            Err(e) => {
+                eprintln!("fault-injected run failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else if tracing {
         let (result, trace, metrics) = run_distributed_traced(&cfg, method, p, &initial);
-        (result, Some(trace), metrics)
+        (result, Some(trace), metrics, None)
     } else {
         (
             run_distributed(&cfg, method, p, &initial),
             None,
             MetricsSnapshot::empty(),
+            None,
         )
     };
     let elapsed = start.elapsed();
@@ -348,6 +409,22 @@ fn run_cmd(opts: &HashMap<String, String>, verify: bool) -> ExitCode {
     if let Some(err) = max_err {
         summary.push(("max_deviation".to_string(), Json::Num(err)));
         summary.push(("verify_ok".to_string(), Json::Bool(true)));
+    }
+    if let (Some(plan), Some((attempts, recovered))) = (&faults, chaos_info) {
+        summary.push(("faults".to_string(), Json::Str(plan.spec())));
+        summary.push(("max_attempts".to_string(), Json::Num(attempts as f64)));
+        summary.push(("recovered".to_string(), Json::Bool(recovered)));
+        for key in [
+            "fault_injected_total",
+            "fault_detected_total",
+            "fault_retries_total",
+            "recovery_bytes_total",
+        ] {
+            summary.push((
+                key.to_string(),
+                Json::Num(metrics.sum_counter(key, None) as f64),
+            ));
+        }
     }
     println!("{}", Json::Obj(summary));
     ExitCode::SUCCESS
@@ -608,6 +685,253 @@ fn audit_cmd(opts: &HashMap<String, String>) -> ExitCode {
         ExitCode::SUCCESS
     } else {
         eprintln!("AUDIT FAILED: a constant factor exceeded its ceiling");
+        ExitCode::FAILURE
+    }
+}
+
+/// `chaos`: sweep deterministic fault schedules over a small execution.
+///
+/// Three passes, all against the same fault-free baseline trajectory:
+/// benign seeded schedules (delays + duplicates) that must not even
+/// trigger recovery; a kill of every rank at every pipeline step, which
+/// must recover **bit-identically** whenever `c >= 2`; and a `c = 1` kill
+/// that must fail with the documented `Unrecoverable` error instead of
+/// deadlocking. Recovery overhead (worst attempt count, resync bytes per
+/// kill relative to one replicated block) is gated against ceilings, by
+/// default or from `--baseline=<json>`.
+fn chaos_cmd(opts: &HashMap<String, String>) -> ExitCode {
+    let n: usize = get(opts, "n", 192);
+    let p: usize = get(opts, "p", 8);
+    let c: usize = get(opts, "c", 2);
+    let steps: usize = get(opts, "steps", 1);
+    let seed: u64 = get(opts, "seed", 42);
+    let timeout_ms: u64 = get(opts, "fault-timeout-ms", 250);
+    let method_name = opts.get("method").map(String::as_str).unwrap_or("ca");
+    if c < 2 {
+        eprintln!("chaos: the kill sweep needs a surviving replica; pass c >= 2");
+        return ExitCode::FAILURE;
+    }
+
+    let mut attempts_ceiling = 2.0f64;
+    let mut bytes_factor_ceiling = 2.5f64;
+    if let Some(path) = opts.get("baseline") {
+        let parsed = std::fs::read_to_string(path)
+            .map_err(|e| e.to_string())
+            .and_then(|text| Json::parse(&text).map_err(|e| e.to_string()));
+        let doc = match parsed {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("cannot read baseline {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let field = |key: &str| {
+            doc.get(key)
+                .and_then(Json::as_f64)
+                .filter(|v| v.is_finite() && *v > 0.0)
+                .ok_or_else(|| format!("missing or invalid {key:?}"))
+        };
+        match (field("max_attempts_ceiling"), field("recovery_bytes_factor_ceiling")) {
+            (Ok(a), Ok(b)) => {
+                attempts_ceiling = a;
+                bytes_factor_ceiling = b;
+            }
+            (Err(e), _) | (_, Err(e)) => {
+                eprintln!("cannot parse baseline {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let domain = Domain::unit();
+    let base_law = RepulsiveInverseSquare {
+        strength: 1e-3,
+        softening: 1e-3,
+    };
+    let (method, law, pipeline_steps) = match method_name {
+        "ca" => {
+            let grid = match ProcGrid::new_all_pairs(p, c) {
+                Ok(g) => g,
+                Err(e) => {
+                    eprintln!("chaos: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            (
+                Method::CaAllPairs { c },
+                AnyLaw::Repulsive(base_law),
+                grid.all_pairs_steps(),
+            )
+        }
+        "ca-cutoff-1d" => {
+            let grid = match ProcGrid::new(p, c) {
+                Ok(g) => g,
+                Err(e) => {
+                    eprintln!("chaos: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let cutoff: f64 = get(opts, "cutoff", 0.25);
+            let window = Window1d::from_cutoff(&domain, grid.teams(), cutoff);
+            if let Err(e) = validate_cutoff(&window, grid.teams(), c) {
+                eprintln!("chaos: {e}");
+                return ExitCode::FAILURE;
+            }
+            (
+                Method::Ca1dCutoff { c },
+                AnyLaw::RepulsiveCutoff(Cutoff::new(base_law, cutoff)),
+                ca_nbody::cutoff::row_steps(window.len(), c, 0),
+            )
+        }
+        other => {
+            eprintln!("chaos: unsupported method '{other}' (use ca or ca-cutoff-1d)");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let cfg = SimConfig {
+        law,
+        integrator: SemiImplicitEuler,
+        domain,
+        boundary: Boundary::Reflective,
+        dt: 0.005,
+        steps,
+    };
+    let initial = init::uniform(n, &cfg.domain, seed);
+    let fc = FaultConfig {
+        recv_timeout: std::time::Duration::from_millis(timeout_ms),
+        max_retries: 3,
+    };
+    println!(
+        "chaos sweep: {method_name} n={n} p={p} c={c} steps={steps}, \
+         kill schedule 0..={pipeline_steps} x {p} ranks, timeout {timeout_ms} ms"
+    );
+    let start = std::time::Instant::now();
+    let want = run_distributed(&cfg, method, p, &initial).particles;
+
+    let mut failures: Vec<String> = Vec::new();
+    let mut runs = 0usize;
+
+    // Benign schedules: delays and duplicates must be absorbed without
+    // even triggering recovery.
+    for salt in 0..2u64 {
+        let plan = FaultPlan::seeded(
+            seed.wrapping_add(salt),
+            p,
+            pipeline_steps,
+            4,
+            &[FaultKind::Delay, FaultKind::Duplicate],
+        );
+        runs += 1;
+        match run_distributed_chaos(&cfg, method, p, &plan, &fc, &initial) {
+            Ok(res) => {
+                if res.particles != want {
+                    failures.push(format!("benign [{}]: forces diverged", plan.spec()));
+                }
+                if res.recovered {
+                    failures.push(format!("benign [{}]: spurious recovery", plan.spec()));
+                }
+            }
+            Err(e) => failures.push(format!("benign [{}]: {e}", plan.spec())),
+        }
+    }
+
+    // The kill sweep: every rank, every pipeline step (0 = skew).
+    let nominal_block_bytes = ((n * c / p) * std::mem::size_of::<Particle>()) as f64;
+    let mut kills_fired = 0usize;
+    let mut worst_attempts = 1usize;
+    let mut worst_bytes_factor = 0.0f64;
+    for step in 0..=pipeline_steps {
+        for rank in 0..p {
+            let plan = FaultPlan::kill(rank, step);
+            runs += 1;
+            match run_distributed_chaos(&cfg, method, p, &plan, &fc, &initial) {
+                Ok(res) => {
+                    if res.particles != want {
+                        failures.push(format!(
+                            "kill:{rank}@{step}: forces diverged from fault-free run"
+                        ));
+                    }
+                    // In the cutoff pipeline short rows never reach high
+                    // steps, so some scheduled kills legitimately don't fire.
+                    if res.metrics.sum_counter("fault_injected_kill", None) > 0 {
+                        kills_fired += 1;
+                        if !res.recovered {
+                            failures.push(format!("kill:{rank}@{step}: fired but not recovered"));
+                        }
+                        worst_attempts = worst_attempts.max(res.max_attempts);
+                        let bytes = res.metrics.sum_counter("recovery_bytes_total", None) as f64;
+                        worst_bytes_factor = worst_bytes_factor.max(bytes / nominal_block_bytes);
+                    }
+                }
+                Err(e) => failures.push(format!("kill:{rank}@{step}: {e}")),
+            }
+        }
+    }
+    if kills_fired == 0 {
+        failures.push("no scheduled kill ever fired".to_string());
+    }
+
+    // Without replication the same kill must end in a clean, agreed
+    // failure — not a hang and not a bogus result.
+    let m1 = match method {
+        Method::CaAllPairs { .. } => Method::CaAllPairs { c: 1 },
+        Method::Ca1dCutoff { .. } => Method::Ca1dCutoff { c: 1 },
+        _ => unreachable!("chaos supports only CA methods"),
+    };
+    runs += 1;
+    match run_distributed_chaos(&cfg, m1, p, &FaultPlan::kill(p / 2, 1), &fc, &initial) {
+        Err(FaultError::Unrecoverable { .. }) => {}
+        Ok(_) => failures.push("c=1 kill unexpectedly produced a result".to_string()),
+        Err(e) => failures.push(format!("c=1 kill: wrong terminal error: {e}")),
+    }
+
+    let elapsed = start.elapsed();
+    let attempts_ok = (worst_attempts as f64) <= attempts_ceiling;
+    let bytes_ok = worst_bytes_factor <= bytes_factor_ceiling;
+    if !attempts_ok {
+        failures.push(format!(
+            "worst attempt count {worst_attempts} exceeds ceiling {attempts_ceiling}"
+        ));
+    }
+    if !bytes_ok {
+        failures.push(format!(
+            "recovery bytes factor {worst_bytes_factor:.2} exceeds ceiling {bytes_factor_ceiling}"
+        ));
+    }
+    println!(
+        "  {runs} runs in {elapsed:.2?}: {kills_fired} kills fired, worst attempts \
+         {worst_attempts} (ceiling {attempts_ceiling}), resync bytes/kill \
+         {worst_bytes_factor:.2}x block (ceiling {bytes_factor_ceiling})"
+    );
+    for f in &failures {
+        eprintln!("  CHAOS FAILURE: {f}");
+    }
+
+    let pass = failures.is_empty();
+    let summary = Json::Obj(vec![
+        ("cmd".to_string(), Json::Str("chaos".into())),
+        ("method".to_string(), Json::Str(method_name.into())),
+        ("n".to_string(), Json::Num(n as f64)),
+        ("p".to_string(), Json::Num(p as f64)),
+        ("c".to_string(), Json::Num(c as f64)),
+        ("steps".to_string(), Json::Num(steps as f64)),
+        ("runs".to_string(), Json::Num(runs as f64)),
+        ("kills_fired".to_string(), Json::Num(kills_fired as f64)),
+        ("max_attempts".to_string(), Json::Num(worst_attempts as f64)),
+        (
+            "recovery_bytes_factor".to_string(),
+            Json::Num(worst_bytes_factor),
+        ),
+        ("elapsed_secs".to_string(), Json::Num(elapsed.as_secs_f64())),
+        ("failures".to_string(), Json::Num(failures.len() as f64)),
+        ("pass".to_string(), Json::Bool(pass)),
+    ]);
+    println!("{summary}");
+    if pass {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("CHAOS FAILED: {} failure(s)", failures.len());
         ExitCode::FAILURE
     }
 }

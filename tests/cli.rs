@@ -452,3 +452,101 @@ fn profile_flag_prints_breakdown_after_run() {
     let doc = nbody_trace::Json::parse(last).unwrap();
     assert!(doc.get("trace_spans").unwrap().as_f64().unwrap() > 0.0);
 }
+
+#[test]
+fn verify_with_injected_kill_recovers_and_passes() {
+    let out = cli()
+        .args([
+            "verify", "n=96", "p=8", "c=2", "steps=2",
+            "--faults=kill:5@1", "fault-timeout-ms=400",
+        ])
+        .output()
+        .expect("launch");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success() && stdout.contains("VERIFY OK"),
+        "{stdout}\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let last = stdout.lines().last().unwrap();
+    let doc = nbody_trace::Json::parse(last).unwrap();
+    // Recovery happened, and the distributed result still matched serial
+    // exactly (max_deviation is bitwise zero).
+    assert!(
+        matches!(doc.get("recovered"), Some(nbody_trace::Json::Bool(true))),
+        "{last}"
+    );
+    assert_eq!(doc.get("max_attempts").unwrap().as_f64(), Some(2.0));
+    assert_eq!(doc.get("max_deviation").unwrap().as_f64(), Some(0.0));
+    assert!(doc.get("recovery_bytes_total").unwrap().as_f64().unwrap() > 0.0);
+}
+
+#[test]
+fn run_with_unrecoverable_fault_fails_cleanly() {
+    let out = cli()
+        .args([
+            "run", "n=64", "p=4", "c=1", "steps=1",
+            "--faults=kill:2@1", "fault-timeout-ms=300",
+        ])
+        .output()
+        .expect("launch");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unrecoverable"), "{stderr}");
+}
+
+#[test]
+fn faults_flag_rejects_bad_specs_and_non_ca_methods() {
+    let out = cli()
+        .args(["run", "n=32", "p=4", "--faults=explode:1@2"])
+        .output()
+        .expect("launch");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("invalid --faults"));
+
+    let out = cli()
+        .args(["run", "n=32", "p=4", "method=ring", "--faults=drop:1@1"])
+        .output()
+        .expect("launch");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("requires a CA method"));
+}
+
+#[test]
+fn chaos_subcommand_sweeps_and_gates_against_baseline() {
+    // A narrow sweep (p=4, one timestep) keeps this CI-friendly; the
+    // kill schedule still covers every rank at every pipeline step.
+    let out = cli()
+        .args([
+            "chaos", "n=64", "p=4", "c=2", "steps=1",
+            "fault-timeout-ms=250",
+            "--baseline=bench_results/chaos_baseline.json",
+        ])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .expect("launch");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "{stdout}\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let last = stdout.lines().last().unwrap();
+    let doc = nbody_trace::Json::parse(last).unwrap();
+    assert!(
+        matches!(doc.get("pass"), Some(nbody_trace::Json::Bool(true))),
+        "{last}"
+    );
+    assert!(doc.get("kills_fired").unwrap().as_f64().unwrap() > 0.0);
+    assert_eq!(doc.get("failures").unwrap().as_f64(), Some(0.0));
+}
+
+#[test]
+fn chaos_rejects_configs_without_a_surviving_replica() {
+    let out = cli()
+        .args(["chaos", "n=32", "p=4", "c=1"])
+        .output()
+        .expect("launch");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("c >= 2"));
+}

@@ -8,8 +8,19 @@ use nbody_physics::{
     VelocityVerlet,
 };
 
+/// Bound every blocking receive in this test binary: a protocol bug that
+/// would deadlock now dies within seconds carrying a diagnostic
+/// `CommError::Timeout` panic (who was waiting, for which tag, how long)
+/// instead of stalling the whole suite on the 60 s default. The variable
+/// is read once by the comm layer, so concurrent tests setting it again
+/// is harmless.
+fn bound_recv_timeouts() {
+    std::env::set_var("NBODY_RECV_TIMEOUT_SECS", "20");
+}
+
 #[test]
 fn fifty_step_cutoff_with_heavy_migration() {
+    bound_recv_timeouts();
     // Hot particles cross many slab boundaries; the spatial decomposition
     // must track them without losing or duplicating anyone.
     let cfg = SimConfig {
@@ -49,6 +60,7 @@ fn fifty_step_cutoff_with_heavy_migration() {
 
 #[test]
 fn hundred_step_all_pairs_remains_stable() {
+    bound_recv_timeouts();
     let cfg = SimConfig {
         law: RepulsiveInverseSquare {
             strength: 5e-4,
@@ -87,6 +99,7 @@ fn hundred_step_all_pairs_remains_stable() {
 
 #[test]
 fn repeated_runs_are_deterministic() {
+    bound_recv_timeouts();
     // Thread scheduling must not leak into results: two identical
     // distributed runs produce bit-identical states.
     let cfg = SimConfig {
@@ -105,6 +118,7 @@ fn repeated_runs_are_deterministic() {
 
 #[test]
 fn clustered_load_survives_long_cutoff_run() {
+    bound_recv_timeouts();
     // Extreme imbalance: everything in one corner, with reassignment
     // slowly spreading it out under repulsion.
     let cfg = SimConfig {
