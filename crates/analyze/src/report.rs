@@ -1,0 +1,335 @@
+//! Renderings of an [`Analysis`]: human tables, CSV, JSON.
+
+use nbody_trace::Json;
+
+use crate::history::{RegressionReport, Verdict};
+use crate::{Analysis, GridHeatmap};
+
+fn secs(x: f64) -> String {
+    format!("{x:.6}")
+}
+
+fn pstep_label(pstep: Option<u32>) -> String {
+    match pstep {
+        Some(0) => "skew".to_string(),
+        Some(s) => format!("shift step {s}"),
+        None => String::new(),
+    }
+}
+
+/// The human-readable analysis report printed by `ca-nbody analyze`.
+pub fn render_table(a: &Analysis) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "analysis: {} ranks, {} traced s, {} timesteps\n\n",
+        a.ranks,
+        secs(a.wall_secs),
+        a.steps.len()
+    ));
+
+    out.push_str("critical path (per timestep)\n");
+    out.push_str(&format!(
+        "{:<6} {:>12} {:>9} {:>12} {:>12} {:>12}  {}\n",
+        "step", "makespan s", "critical", "compute s", "comm s", "blocked s", "waited on"
+    ));
+    let (mut tc, mut tm, mut tb) = (0.0, 0.0, 0.0);
+    for s in &a.steps {
+        let waited = match s.blamed_peer {
+            Some(p) => {
+                let at = pstep_label(s.blamed_pstep);
+                if at.is_empty() {
+                    format!("rank {p}")
+                } else {
+                    format!("rank {p} @ {at}")
+                }
+            }
+            None => "-".to_string(),
+        };
+        out.push_str(&format!(
+            "{:<6} {:>12} {:>9} {:>12} {:>12} {:>12}  {}\n",
+            s.step,
+            secs(s.makespan_secs),
+            format!("rank {}", s.critical_rank),
+            secs(s.compute_secs),
+            secs(s.comm_secs),
+            secs(s.blocked_secs),
+            waited
+        ));
+        tc += s.compute_secs;
+        tm += s.comm_secs;
+        tb += s.blocked_secs;
+    }
+    out.push_str(&format!(
+        "{:<6} {:>12} {:>9} {:>12} {:>12} {:>12}\n\n",
+        "total",
+        secs(a.steps.iter().map(|s| s.makespan_secs).sum::<f64>()),
+        "",
+        secs(tc),
+        secs(tm),
+        secs(tb)
+    ));
+
+    out.push_str("phase imbalance (per-rank seconds across ranks)\n");
+    out.push_str(&format!(
+        "{:<10} {:>12} {:>12} {:>9} {:>8}\n",
+        "phase", "mean s", "max s", "max rank", "factor"
+    ));
+    for i in &a.imbalance {
+        out.push_str(&format!(
+            "{:<10} {:>12} {:>12} {:>9} {:>8.3}\n",
+            i.phase.label(),
+            secs(i.mean_secs),
+            secs(i.max_secs),
+            i.max_rank,
+            i.factor
+        ));
+    }
+    out.push('\n');
+
+    out.push_str("stragglers (worst first)\n");
+    out.push_str(&format!(
+        "{:<6} {:>15} {:>15} {:>15}\n",
+        "rank", "critical steps", "caused wait s", "own blocked s"
+    ));
+    for s in &a.stragglers {
+        out.push_str(&format!(
+            "{:<6} {:>15} {:>15} {:>15}\n",
+            s.rank,
+            s.times_critical,
+            secs(s.caused_wait_secs),
+            secs(s.own_blocked_secs)
+        ));
+    }
+
+    if let Some(h) = &a.heatmap {
+        out.push('\n');
+        out.push_str(&render_heatmap(h));
+    }
+    out
+}
+
+fn render_plane<T: Copy>(
+    out: &mut String,
+    h: &GridHeatmap,
+    title: &str,
+    values: &[T],
+    fmt: impl Fn(T) -> String,
+) {
+    out.push_str(title);
+    out.push('\n');
+    for row in 0..h.c {
+        out.push_str(&format!("  row {row} |"));
+        for team in 0..h.teams {
+            out.push_str(&format!(" {:>12}", fmt(values[h.rank_at(row, team)])));
+        }
+        out.push('\n');
+    }
+}
+
+/// The three grid planes (send bytes, recv bytes, wait seconds) as text,
+/// teams across, replication rows down.
+pub fn render_heatmap(h: &GridHeatmap) -> String {
+    let mut out = format!(
+        "grid heat-map ({} teams x c = {} rows)\n",
+        h.teams, h.c
+    );
+    render_plane(&mut out, h, "sent bytes", &h.send_bytes, |v: u64| {
+        v.to_string()
+    });
+    render_plane(&mut out, h, "recv bytes", &h.recv_bytes, |v: u64| {
+        v.to_string()
+    });
+    render_plane(&mut out, h, "wait seconds", &h.wait_secs, secs);
+    out
+}
+
+/// Per-step critical-path CSV.
+pub fn render_csv(a: &Analysis) -> String {
+    let mut out = String::from(
+        "step,makespan_secs,critical_rank,compute_secs,comm_secs,blocked_secs,\
+         blamed_peer,blamed_pstep\n",
+    );
+    for s in &a.steps {
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{},{}\n",
+            s.step,
+            s.makespan_secs,
+            s.critical_rank,
+            s.compute_secs,
+            s.comm_secs,
+            s.blocked_secs,
+            s.blamed_peer.map(|p| p.to_string()).unwrap_or_default(),
+            s.blamed_pstep.map(|p| p.to_string()).unwrap_or_default(),
+        ));
+    }
+    out
+}
+
+/// The whole analysis as one JSON document.
+pub fn render_json(a: &Analysis) -> Json {
+    let opt_num = |v: Option<u32>| match v {
+        Some(x) => Json::Num(x as f64),
+        None => Json::Null,
+    };
+    let steps = a
+        .steps
+        .iter()
+        .map(|s| {
+            Json::Obj(vec![
+                ("step".into(), Json::Num(s.step as f64)),
+                ("makespan_secs".into(), Json::Num(s.makespan_secs)),
+                ("critical_rank".into(), Json::Num(s.critical_rank as f64)),
+                ("compute_secs".into(), Json::Num(s.compute_secs)),
+                ("comm_secs".into(), Json::Num(s.comm_secs)),
+                ("blocked_secs".into(), Json::Num(s.blocked_secs)),
+                ("blamed_peer".into(), opt_num(s.blamed_peer)),
+                ("blamed_pstep".into(), opt_num(s.blamed_pstep)),
+            ])
+        })
+        .collect();
+    let imbalance = a
+        .imbalance
+        .iter()
+        .map(|i| {
+            Json::Obj(vec![
+                ("phase".into(), Json::Str(i.phase.label().to_string())),
+                ("mean_secs".into(), Json::Num(i.mean_secs)),
+                ("max_secs".into(), Json::Num(i.max_secs)),
+                ("max_rank".into(), Json::Num(i.max_rank as f64)),
+                ("factor".into(), Json::Num(i.factor)),
+            ])
+        })
+        .collect();
+    let stragglers = a
+        .stragglers
+        .iter()
+        .map(|s| {
+            Json::Obj(vec![
+                ("rank".into(), Json::Num(s.rank as f64)),
+                (
+                    "times_critical".into(),
+                    Json::Num(s.times_critical as f64),
+                ),
+                ("caused_wait_secs".into(), Json::Num(s.caused_wait_secs)),
+                ("own_blocked_secs".into(), Json::Num(s.own_blocked_secs)),
+            ])
+        })
+        .collect();
+    let heatmap = match &a.heatmap {
+        Some(h) => Json::Obj(vec![
+            ("teams".into(), Json::Num(h.teams as f64)),
+            ("c".into(), Json::Num(h.c as f64)),
+            (
+                "send_bytes".into(),
+                Json::Arr(h.send_bytes.iter().map(|&v| Json::Num(v as f64)).collect()),
+            ),
+            (
+                "recv_bytes".into(),
+                Json::Arr(h.recv_bytes.iter().map(|&v| Json::Num(v as f64)).collect()),
+            ),
+            (
+                "wait_secs".into(),
+                Json::Arr(h.wait_secs.iter().map(|&v| Json::Num(v)).collect()),
+            ),
+        ]),
+        None => Json::Null,
+    };
+    Json::Obj(vec![
+        ("ranks".into(), Json::Num(a.ranks as f64)),
+        ("wall_secs".into(), Json::Num(a.wall_secs)),
+        ("critical_path".into(), Json::Arr(steps)),
+        ("imbalance".into(), Json::Arr(imbalance)),
+        ("stragglers".into(), Json::Arr(stragglers)),
+        ("heatmap".into(), heatmap),
+    ])
+}
+
+/// The human-readable verdict printed by `ca-nbody regress`.
+pub fn render_regression(r: &RegressionReport) -> String {
+    match r.verdict {
+        Verdict::NoHistory => format!(
+            "regress: no matching history entries; live wall {} s (recorded only)\n",
+            secs(r.live_wall_secs)
+        ),
+        Verdict::Pass => format!(
+            "regress: PASS — live wall {} s vs median {} s over {} run(s) \
+             (ratio {:.3} <= tolerance {:.2})\n",
+            secs(r.live_wall_secs),
+            secs(r.median_wall_secs),
+            r.matched,
+            r.ratio,
+            r.tolerance
+        ),
+        Verdict::Regression => format!(
+            "regress: FAIL — live wall {} s vs median {} s over {} run(s) \
+             (ratio {:.3} > tolerance {:.2})\n",
+            secs(r.live_wall_secs),
+            secs(r.median_wall_secs),
+            r.matched,
+            r.ratio,
+            r.tolerance
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::check_regression;
+    use crate::testutil::two_rank_trace;
+    use crate::{analyze, RunSummary};
+
+    fn sample_analysis() -> Analysis {
+        analyze(&two_rank_trace(), None, 1)
+    }
+
+    #[test]
+    fn table_names_critical_ranks_and_blame() {
+        let text = render_table(&sample_analysis());
+        assert!(text.contains("critical path"));
+        assert!(text.contains("rank 1 @ shift step 2"));
+        assert!(text.contains("phase imbalance"));
+        assert!(text.contains("stragglers"));
+        assert!(text.contains("grid heat-map"));
+    }
+
+    #[test]
+    fn csv_has_one_row_per_step() {
+        let csv = render_csv(&sample_analysis());
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("step,makespan_secs"));
+        assert!(lines[2].contains(",1,2"), "blame columns: {}", lines[2]);
+    }
+
+    #[test]
+    fn json_is_parseable_and_complete() {
+        let doc = render_json(&sample_analysis()).to_string();
+        let v = Json::parse(&doc).unwrap();
+        assert_eq!(v.get("ranks").and_then(Json::as_f64), Some(2.0));
+        let steps = v.get("critical_path").and_then(Json::as_array).unwrap();
+        assert_eq!(steps.len(), 2);
+        assert_eq!(
+            steps[1].get("blamed_peer").and_then(Json::as_f64),
+            Some(1.0)
+        );
+        assert!(v.get("heatmap").unwrap().get("send_bytes").is_some());
+    }
+
+    #[test]
+    fn regression_text_matches_verdict() {
+        let a = sample_analysis();
+        let live = RunSummary::from_analysis(&a, 64, 1, "allpairs", "deadbee", 2, 0);
+        let fast = RunSummary {
+            wall_secs: live.wall_secs / 4.0,
+            ..live.clone()
+        };
+        let r = check_regression(&live, &[fast], 1.5);
+        let text = render_regression(&r);
+        assert!(text.contains("FAIL"), "got: {text}");
+        let r = check_regression(&live, std::slice::from_ref(&live), 1.5);
+        assert!(render_regression(&r).contains("PASS"));
+        let r = check_regression(&live, &[], 1.5);
+        assert!(render_regression(&r).contains("no matching history"));
+    }
+}

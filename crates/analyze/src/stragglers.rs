@@ -1,0 +1,94 @@
+//! Straggler attribution across ranks.
+//!
+//! Two independent lines of evidence identify a straggler: how often a
+//! rank terminates the per-step critical path (it was the one everyone
+//! waited for), and how much blocked time *other* ranks accumulated with
+//! this rank tagged as the late sender. A rank can also be a victim —
+//! its own blocked seconds say how much it waited on others.
+
+use std::collections::BTreeMap;
+
+use nbody_trace::{ExecutionTrace, SpanKind};
+
+use crate::critical::StepCritical;
+
+/// Straggler evidence for one rank.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Straggler {
+    /// World rank.
+    pub rank: u32,
+    /// Timesteps in which this rank ended the critical path.
+    pub times_critical: usize,
+    /// Blocked seconds other ranks spent waiting on this rank (summed
+    /// over all blocked spans naming it as the peer).
+    pub caused_wait_secs: f64,
+    /// Blocked seconds this rank itself spent waiting.
+    pub own_blocked_secs: f64,
+}
+
+/// Every rank's straggler evidence, worst first (most steps critical,
+/// then most wait caused).
+pub fn rank_stragglers(
+    trace: &ExecutionTrace,
+    steps: &[StepCritical],
+) -> Vec<Straggler> {
+    let mut caused: BTreeMap<u32, f64> = BTreeMap::new();
+    let mut own: BTreeMap<u32, f64> = BTreeMap::new();
+    for s in &trace.spans {
+        if let SpanKind::Blocked { peer, .. } = &s.kind {
+            *own.entry(s.rank).or_insert(0.0) += s.secs();
+            if let Some(p) = peer {
+                *caused.entry(*p).or_insert(0.0) += s.secs();
+            }
+        }
+    }
+    let mut times: BTreeMap<u32, usize> = BTreeMap::new();
+    for s in steps {
+        *times.entry(s.critical_rank).or_insert(0) += 1;
+    }
+    let mut out: Vec<Straggler> = (0..trace.ranks as u32)
+        .map(|rank| Straggler {
+            rank,
+            times_critical: times.get(&rank).copied().unwrap_or(0),
+            caused_wait_secs: caused.get(&rank).copied().unwrap_or(0.0),
+            own_blocked_secs: own.get(&rank).copied().unwrap_or(0.0),
+        })
+        .collect();
+    out.sort_by(|a, b| {
+        b.times_critical
+            .cmp(&a.times_critical)
+            .then(b.caused_wait_secs.total_cmp(&a.caused_wait_secs))
+            .then(a.rank.cmp(&b.rank))
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::critical::critical_path;
+    use crate::testutil::two_rank_trace;
+
+    #[test]
+    fn ranks_by_critical_steps_then_caused_wait() {
+        let t = two_rank_trace();
+        let steps = critical_path(&t);
+        let s = rank_stragglers(&t, &steps);
+        assert_eq!(s.len(), 2);
+        // Each rank is critical once; rank 1 caused 0.3 s of waiting on
+        // rank 0, so it sorts first.
+        assert_eq!(s[0].rank, 1);
+        assert_eq!(s[0].times_critical, 1);
+        assert!((s[0].caused_wait_secs - 0.3).abs() < 1e-12);
+        assert_eq!(s[0].own_blocked_secs, 0.0);
+        assert_eq!(s[1].rank, 0);
+        assert!((s[1].own_blocked_secs - 0.3).abs() < 1e-12);
+        assert_eq!(s[1].caused_wait_secs, 0.0);
+    }
+
+    #[test]
+    fn empty_trace_has_no_stragglers() {
+        let t = ExecutionTrace::default();
+        assert!(rank_stragglers(&t, &[]).is_empty());
+    }
+}

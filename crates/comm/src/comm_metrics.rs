@@ -13,6 +13,9 @@
 //! | `comm_send_messages`      | counter   | point-to-point messages sent     |
 //! | `comm_send_elements`      | counter   | elements in those messages       |
 //! | `comm_send_bytes`         | counter   | bytes in those messages          |
+//! | `comm_recv_messages`      | counter   | point-to-point messages received |
+//! | `comm_recv_elements`      | counter   | elements in those messages       |
+//! | `comm_recv_bytes`         | counter   | bytes in those messages          |
 //! | `comm_collective_messages`| counter   | tree messages inside collectives |
 //! | `comm_collective_elements`| counter   | collective payload elements      |
 //! | `comm_collective_bytes`   | counter   | collective payload bytes         |
@@ -26,6 +29,9 @@ pub(crate) struct CommMetrics {
     send_messages: [Counter; PHASE_COUNT],
     send_elements: [Counter; PHASE_COUNT],
     send_bytes: [Counter; PHASE_COUNT],
+    recv_messages: [Counter; PHASE_COUNT],
+    recv_elements: [Counter; PHASE_COUNT],
+    recv_bytes: [Counter; PHASE_COUNT],
     coll_messages: [Counter; PHASE_COUNT],
     coll_elements: [Counter; PHASE_COUNT],
     coll_bytes: [Counter; PHASE_COUNT],
@@ -40,6 +46,9 @@ impl CommMetrics {
             send_messages: counter("comm_send_messages"),
             send_elements: counter("comm_send_elements"),
             send_bytes: counter("comm_send_bytes"),
+            recv_messages: counter("comm_recv_messages"),
+            recv_elements: counter("comm_recv_elements"),
+            recv_bytes: counter("comm_recv_bytes"),
             coll_messages: counter("comm_collective_messages"),
             coll_elements: counter("comm_collective_elements"),
             coll_bytes: counter("comm_collective_bytes"),
@@ -63,6 +72,16 @@ impl CommMetrics {
         self.message_size[i].observe(bytes as u64);
     }
 
+    /// One point-to-point message arrived and was consumed by a receive.
+    /// Collective-internal receives are not routed here — their payloads
+    /// are attributed by [`on_collective`](CommMetrics::on_collective).
+    pub(crate) fn on_recv(&self, phase: Phase, elements: usize, bytes: usize) {
+        let i = phase.index();
+        self.recv_messages[i].inc();
+        self.recv_elements[i].add(elements as u64);
+        self.recv_bytes[i].add(bytes as u64);
+    }
+
     /// This rank participated in a collective with the given payload.
     pub(crate) fn on_collective(&self, phase: Phase, elements: usize, bytes: usize) {
         let i = phase.index();
@@ -81,11 +100,14 @@ mod tests {
         let m = CommMetrics::new(&rec);
         m.on_send(Phase::Shift, 10, 520, true);
         m.on_send(Phase::Shift, 10, 520, false); // collective constituent
+        m.on_recv(Phase::Shift, 10, 520);
         m.on_collective(Phase::Reduce, 7, 364);
         let snap = rec.finish().unwrap();
         assert_eq!(snap.counter("comm_send_messages", Some(Phase::Shift)), 1);
         assert_eq!(snap.counter("comm_send_elements", Some(Phase::Shift)), 10);
         assert_eq!(snap.counter("comm_send_bytes", Some(Phase::Shift)), 520);
+        assert_eq!(snap.counter("comm_recv_messages", Some(Phase::Shift)), 1);
+        assert_eq!(snap.counter("comm_recv_bytes", Some(Phase::Shift)), 520);
         assert_eq!(
             snap.counter("comm_collective_messages", Some(Phase::Shift)),
             1

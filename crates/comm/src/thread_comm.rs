@@ -109,6 +109,7 @@ impl Endpoint {
             Some(t) => env.tag == t,
             None => true,
         };
+        let peer = Some(src_global as u32);
         let key = (comm, src_global);
         if let Some(queue) = self.pending.get_mut(&key) {
             if let Some(pos) = queue.iter().position(&tag_ok) {
@@ -123,7 +124,7 @@ impl Endpoint {
                 Some(r) => r,
                 None => {
                     stats.record_blocked(start.elapsed().as_secs_f64());
-                    tracer.record_blocked(start);
+                    tracer.record_blocked(start, peer);
                     return Err(CommError::Timeout {
                         src: src_global,
                         tag: want_tag.unwrap_or(0),
@@ -135,7 +136,7 @@ impl Endpoint {
                 Ok(env) => env,
                 Err(_) => {
                     stats.record_blocked(start.elapsed().as_secs_f64());
-                    tracer.record_blocked(start);
+                    tracer.record_blocked(start, peer);
                     return Err(CommError::Timeout {
                         src: src_global,
                         tag: want_tag.unwrap_or(0),
@@ -145,7 +146,7 @@ impl Endpoint {
             };
             if env.comm == comm && env.src_global == src_global && tag_ok(&env) {
                 stats.record_blocked(start.elapsed().as_secs_f64());
-                tracer.record_blocked(start);
+                tracer.record_blocked(start, peer);
                 return Ok(env);
             }
             self.pending
@@ -232,6 +233,7 @@ impl ThreadComm {
         src_local: usize,
         tag: u64,
         timeout: Duration,
+        count_stats: bool,
     ) -> Result<Vec<T>, CommError> {
         if src_local >= self.size() {
             return Err(CommError::InvalidRank {
@@ -262,14 +264,25 @@ impl ThreadComm {
                 got: env.tag,
             });
         }
-        env.payload
+        let data = env
+            .payload
             .downcast::<Vec<T>>()
             .map(|b| *b)
-            .map_err(|_| CommError::TypeMismatch { src: src_local, tag })
+            .map_err(|_| CommError::TypeMismatch { src: src_local, tag })?;
+        // Mirror of the send-side accounting: point-to-point receives are
+        // counted so per-rank ingress (the recv half of the heat-map) is
+        // observable; collective-internal receives are already attributed
+        // by `record_collective` on each member.
+        if count_stats {
+            let bytes = data.len() * std::mem::size_of::<T>();
+            let phase = self.stats.borrow().current_phase();
+            self.metrics.on_recv(phase, data.len(), bytes);
+        }
+        Ok(data)
     }
 
-    fn recv_raw<T: CommData>(&self, src_local: usize, tag: u64) -> Vec<T> {
-        self.try_recv_raw(src_local, tag, recv_timeout())
+    fn recv_raw<T: CommData>(&self, src_local: usize, tag: u64, count_stats: bool) -> Vec<T> {
+        self.try_recv_raw(src_local, tag, recv_timeout(), count_stats)
             .unwrap_or_else(|e| {
                 panic!("rank {} of comm {}: {e}", self.my_local, self.comm_id)
             })
@@ -326,7 +339,7 @@ impl Communicator for ThreadComm {
     }
 
     fn recv<T: CommData>(&self, src: usize, tag: u64) -> Vec<T> {
-        self.recv_raw(src, tag)
+        self.recv_raw(src, tag, true)
     }
 
     fn try_send<T: CommData>(&self, dst: usize, tag: u64, data: &[T]) -> Result<(), CommError> {
@@ -339,7 +352,7 @@ impl Communicator for ThreadComm {
         tag: u64,
         timeout: Duration,
     ) -> Result<Vec<T>, CommError> {
-        self.try_recv_raw(src, tag, timeout)
+        self.try_recv_raw(src, tag, timeout, true)
     }
 
     fn bcast<T: CommData>(&self, root: usize, buf: &mut Vec<T>) {
@@ -355,7 +368,7 @@ impl Communicator for ThreadComm {
         while mask < size {
             if vrank & mask != 0 {
                 let src = (vrank - mask + root) % size;
-                *buf = self.recv_raw::<T>(src, tag);
+                *buf = self.recv_raw::<T>(src, tag, false);
                 break;
             }
             mask <<= 1;
@@ -391,7 +404,7 @@ impl Communicator for ThreadComm {
                 let partner = vrank | mask;
                 if partner < size {
                     let src = (partner + root) % size;
-                    let incoming = self.recv_raw::<T>(src, tag);
+                    let incoming = self.recv_raw::<T>(src, tag, false);
                     assert_eq!(
                         incoming.len(),
                         buf.len(),
@@ -424,7 +437,7 @@ impl Communicator for ThreadComm {
                 if r == root {
                     out.push(data.to_vec());
                 } else {
-                    out.push(self.recv_raw::<T>(r, tag));
+                    out.push(self.recv_raw::<T>(r, tag, false));
                 }
             }
             Some(out)
@@ -447,7 +460,7 @@ impl Communicator for ThreadComm {
             let dst = (self.my_local + step) % size;
             let src = (self.my_local + size - step) % size;
             self.send_raw::<u8>(dst, tag + step as u64, Vec::new(), false);
-            let _ = self.recv_raw::<u8>(src, tag + step as u64);
+            let _ = self.recv_raw::<u8>(src, tag + step as u64, false);
             step <<= 1;
         }
     }
@@ -865,11 +878,23 @@ mod tests {
             .spans
             .iter()
             .filter(|s| {
-                s.rank == 1 && s.kind == nbody_trace::SpanKind::Blocked(Phase::Shift)
+                s.rank == 1
+                    && matches!(
+                        s.kind,
+                        nbody_trace::SpanKind::Blocked {
+                            phase: Phase::Shift,
+                            ..
+                        }
+                    )
             })
             .collect();
         assert_eq!(blocked.len(), 1, "one blocked interval: {blocked:?}");
         assert!(blocked[0].secs() > 0.04);
+        // The wait is attributed to the late sender: global rank 0.
+        match blocked[0].kind {
+            nbody_trace::SpanKind::Blocked { peer, .. } => assert_eq!(peer, Some(0)),
+            _ => unreachable!(),
+        }
     }
 
     #[test]
@@ -905,6 +930,10 @@ mod tests {
         assert_eq!(r0.counter("comm_send_messages", Some(Phase::Shift)), 1);
         assert_eq!(r0.counter("comm_send_elements", Some(Phase::Shift)), 3);
         assert_eq!(r0.counter("comm_send_bytes", Some(Phase::Shift)), 24);
+        // The receive side mirrors it on rank 1.
+        let r1 = &metrics.ranks[1];
+        assert_eq!(r1.counter("comm_recv_messages", Some(Phase::Shift)), 1);
+        assert_eq!(r1.counter("comm_recv_bytes", Some(Phase::Shift)), 24);
         // allreduce = reduce + bcast: both payloads attributed to Reduce.
         assert_eq!(
             metrics.sum_counter("comm_collective_elements", Some(Phase::Reduce)),

@@ -69,9 +69,15 @@ pub fn ca_all_pairs_forces<C: Communicator, F: ForceLaw>(
         .metrics()
         .gauge_max("mem_particles_hwm", (st.len() + exch.len()) as u64);
 
+    // Pipeline-step tagging (0 = skew, s = shift step s): blocked waits in
+    // the trace carry the step, so an analyzer can place every wait in the
+    // skew/shift schedule and name the late sender.
+    let tr = gc.col.tracer();
+
     // Line 4: skew — row k shifts its buffer k teams east. After this, the
     // row-k processor of team t holds the block of team (t - k) mod teams.
     gc.col.set_phase(Phase::Skew);
+    tr.set_step(Some(0));
     if k > 0 {
         let dst = (team + k) % teams;
         let src = (team + teams - k) % teams;
@@ -81,6 +87,7 @@ pub fn ca_all_pairs_forces<C: Communicator, F: ForceLaw>(
     // Lines 5-8: shift by c, then update.
     for s in 1..=steps {
         gc.col.set_phase(Phase::Shift);
+        tr.set_step(Some(s as u32));
         let dst = (team + c) % teams;
         let src = (team + teams - c) % teams;
         exch = gc.row.sendrecv(dst, src, TAG_SHIFT + s as u64, &exch);
@@ -88,6 +95,7 @@ pub fn ca_all_pairs_forces<C: Communicator, F: ForceLaw>(
         gc.col.set_phase(Phase::Other);
         accumulate_block(st, &exch, law, domain, boundary);
     }
+    tr.set_step(None);
 
     // Line 9: sum-reduce the partial forces onto the leader.
     gc.col.set_phase(Phase::Reduce);

@@ -159,8 +159,13 @@ pub fn ca_cutoff_forces<C: Communicator, W: Window, F: ForceLaw>(
     // Window position and block currently held (None = fell off the edge).
     let mut cur_block: Option<usize> = Some(t);
 
+    // Pipeline-step tagging (0 = skew, s = shift step s) for blocked-wait
+    // attribution in the trace.
+    let tr = gc.col.tracer();
+
     // Line 4: skew to position k. Own blocks move directly from their homes.
     gc.col.set_phase(Phase::Skew);
+    tr.set_step(Some(0));
     if k > 0 {
         if let Some(dst) = window.apply(t, k) {
             gc.row.send(dst, TAG_CSKEW, &exch);
@@ -177,6 +182,7 @@ pub fn ca_cutoff_forces<C: Communicator, W: Window, F: ForceLaw>(
     let steps = row_steps(w, c, k);
     for s in 1..=steps {
         gc.col.set_phase(Phase::Shift);
+        tr.set_step(Some(s as u32));
         let tag = TAG_CSHIFT + s as u64;
         let j_prev = (k + (s - 1) * c) % w;
         let j_new = (k + s * c) % w;
@@ -216,6 +222,7 @@ pub fn ca_cutoff_forces<C: Communicator, W: Window, F: ForceLaw>(
             accumulate_block(st, &exch, law, domain, boundary);
         }
     }
+    tr.set_step(None);
 
     // Line 9: sum-reduce the partial forces onto the leader.
     gc.col.set_phase(Phase::Reduce);

@@ -302,9 +302,11 @@ pub fn ca_all_pairs_forces_ft<C: Communicator, F: ForceLaw>(
         .metrics()
         .gauge_max("mem_particles_hwm", (3 * st.len()) as u64);
 
+    let tr = gc.col.tracer();
     let report = recovery_loop(gc, st, fc, epoch, |st, tag_base| {
         let mut exch = st.clone();
         gc.col.set_phase(Phase::Skew);
+        tr.set_step(Some(0));
         gc.col.fault_step(0)?;
         if k > 0 {
             let dst = (team + k) % teams;
@@ -316,6 +318,7 @@ pub fn ca_all_pairs_forces_ft<C: Communicator, F: ForceLaw>(
         }
         for s in 1..=steps {
             gc.col.set_phase(Phase::Shift);
+            tr.set_step(Some(s as u32));
             gc.col.fault_step(s)?;
             let dst = (team + c) % teams;
             let src = (team + teams - c) % teams;
@@ -328,6 +331,7 @@ pub fn ca_all_pairs_forces_ft<C: Communicator, F: ForceLaw>(
         }
         Ok(())
     })?;
+    tr.set_step(None);
 
     gc.col.set_phase(Phase::Reduce);
     gc.col.reduce(0, st, combine_forces);
@@ -373,6 +377,7 @@ pub fn ca_cutoff_forces_ft<C: Communicator, W: Window, F: ForceLaw>(
         .metrics()
         .gauge_max("mem_particles_hwm", (4 * st.len()) as u64);
 
+    let tr = gc.col.tracer();
     let report = recovery_loop(gc, st, fc, epoch, |st, tag_base| {
         // The home copy is rebuilt from the checkpointed state each
         // attempt, so home-route re-injection stays consistent on retries.
@@ -381,6 +386,7 @@ pub fn ca_cutoff_forces_ft<C: Communicator, W: Window, F: ForceLaw>(
         let mut cur_block: Option<usize> = Some(t);
 
         gc.col.set_phase(Phase::Skew);
+        tr.set_step(Some(0));
         gc.col.fault_step(0)?;
         if k > 0 {
             let tag = TAG_CSKEW + tag_base;
@@ -397,6 +403,7 @@ pub fn ca_cutoff_forces_ft<C: Communicator, W: Window, F: ForceLaw>(
         let steps = row_steps(w, c, k);
         for s in 1..=steps {
             gc.col.set_phase(Phase::Shift);
+            tr.set_step(Some(s as u32));
             gc.col.fault_step(s)?;
             let tag = TAG_CSHIFT + tag_base + s as u64;
             let j_prev = (k + (s - 1) * c) % w;
@@ -429,6 +436,7 @@ pub fn ca_cutoff_forces_ft<C: Communicator, W: Window, F: ForceLaw>(
         }
         Ok(())
     })?;
+    tr.set_step(None);
 
     gc.col.set_phase(Phase::Reduce);
     gc.col.reduce(0, st, combine_forces);

@@ -126,8 +126,8 @@ impl ExecutionTrace {
         let per_rank = self.phase_secs_per_rank();
         let mut blocked_acc = [0.0f64; PHASE_COUNT];
         for s in &self.spans {
-            if let SpanKind::Blocked(p) = s.kind {
-                blocked_acc[p.index()] += s.secs();
+            if let SpanKind::Blocked { phase, .. } = s.kind {
+                blocked_acc[phase.index()] += s.secs();
             }
         }
         let ranks = self.ranks.max(1);
@@ -212,7 +212,8 @@ impl ExecutionTrace {
     }
 
     /// Event-schema CSV shared with the simulator's traces. Driver rows
-    /// put the section name in `kind` and the step index in `peer`.
+    /// put the section name in `kind` and the step index in `peer`;
+    /// blocked rows put the late sender's global rank in `peer`.
     pub fn to_events_csv(&self) -> String {
         let mut out = String::from(schema::EVENT_CSV_HEADER);
         out.push('\n');
@@ -221,8 +222,14 @@ impl ExecutionTrace {
                 SpanKind::Phase(p) => {
                     schema::push_event_row(&mut out, s.rank, "phase", s.start, s.end, "", p.label())
                 }
-                SpanKind::Blocked(p) => schema::push_event_row(
-                    &mut out, s.rank, "blocked", s.start, s.end, "", p.label(),
+                SpanKind::Blocked { phase, peer, .. } => schema::push_event_row(
+                    &mut out,
+                    s.rank,
+                    "blocked",
+                    s.start,
+                    s.end,
+                    &peer.map(|r| r.to_string()).unwrap_or_default(),
+                    phase.label(),
                 ),
                 SpanKind::Driver { name, step } => schema::push_event_row(
                     &mut out,
@@ -284,8 +291,15 @@ impl ExecutionTrace {
                     let args = format!("{{\"phase\":\"{}\"}}", p.label());
                     push_event(&mut out, p.label(), PID_PHASE, s.rank, ts, dur, &args);
                 }
-                SpanKind::Blocked(p) => {
-                    let args = format!("{{\"phase\":\"{}\"}}", p.label());
+                SpanKind::Blocked { phase, peer, step } => {
+                    let mut args = format!("{{\"phase\":\"{}\"", phase.label());
+                    if let Some(peer) = peer {
+                        args.push_str(&format!(",\"peer\":{peer}"));
+                    }
+                    if let Some(step) = step {
+                        args.push_str(&format!(",\"pstep\":{step}"));
+                    }
+                    args.push('}');
                     push_event(&mut out, "blocked", PID_BLOCKED, s.rank, ts, dur, &args);
                 }
                 SpanKind::Driver { name, step } => {
@@ -331,10 +345,18 @@ impl ExecutionTrace {
                     out.push_str(p.label());
                     out.push('"');
                 }
-                SpanKind::Blocked(p) => {
+                SpanKind::Blocked { phase, peer, step } => {
                     out.push_str(",\"kind\":\"blocked\",\"phase\":\"");
-                    out.push_str(p.label());
+                    out.push_str(phase.label());
                     out.push('"');
+                    if let Some(peer) = peer {
+                        out.push_str(",\"peer\":");
+                        num_into(&mut out, *peer as f64);
+                    }
+                    if let Some(step) = step {
+                        out.push_str(",\"pstep\":");
+                        num_into(&mut out, *step as f64);
+                    }
                 }
                 SpanKind::Driver { name, step } => {
                     out.push_str(",\"kind\":\"driver\",\"name\":\"");
@@ -395,12 +417,21 @@ impl ExecutionTrace {
                     Phase::from_label(name).ok_or_else(|| format!("unknown phase '{name}'"))?,
                 ),
                 "blocked" => {
-                    let label = ev
-                        .get("args")
+                    let args = ev.get("args");
+                    let label = args
                         .and_then(|a| a.get("phase"))
                         .and_then(Json::as_str)
                         .unwrap_or("other");
-                    SpanKind::Blocked(Phase::from_label(label).unwrap_or(Phase::Other))
+                    let field = |key: &str| {
+                        args.and_then(|a| a.get(key))
+                            .and_then(Json::as_f64)
+                            .map(|v| v as u32)
+                    };
+                    SpanKind::Blocked {
+                        phase: Phase::from_label(label).unwrap_or(Phase::Other),
+                        peer: field("peer"),
+                        step: field("pstep"),
+                    }
                 }
                 _ => {
                     let step = ev
@@ -461,7 +492,11 @@ impl ExecutionTrace {
             };
             let kind = match v.get("kind").and_then(Json::as_str) {
                 Some("phase") => SpanKind::Phase(phase()),
-                Some("blocked") => SpanKind::Blocked(phase()),
+                Some("blocked") => SpanKind::Blocked {
+                    phase: phase(),
+                    peer: v.get("peer").and_then(Json::as_f64).map(|x| x as u32),
+                    step: v.get("pstep").and_then(Json::as_f64).map(|x| x as u32),
+                },
                 Some("driver") => SpanKind::Driver {
                     name: v
                         .get("name")
@@ -507,7 +542,16 @@ mod tests {
                 mk(0, SpanKind::Phase(Phase::Other), 0.0, 0.4),
                 mk(0, SpanKind::Phase(Phase::Shift), 0.4, 0.9),
                 mk(0, SpanKind::Phase(Phase::Reduce), 0.9, 1.0),
-                mk(0, SpanKind::Blocked(Phase::Shift), 0.5, 0.6),
+                mk(
+                    0,
+                    SpanKind::Blocked {
+                        phase: Phase::Shift,
+                        peer: Some(3),
+                        step: Some(2),
+                    },
+                    0.5,
+                    0.6,
+                ),
                 mk(
                     0,
                     SpanKind::Driver {
@@ -611,7 +655,7 @@ mod tests {
         let mut lines = csv.lines();
         assert_eq!(lines.next(), Some(schema::EVENT_CSV_HEADER));
         assert!(csv.contains("0,phase,0.4,0.9,,shift"));
-        assert!(csv.contains("0,blocked,0.5,0.6,,shift"));
+        assert!(csv.contains("0,blocked,0.5,0.6,3,shift"));
         assert!(csv.contains("0,force,0.1,0.9,0,"));
     }
 

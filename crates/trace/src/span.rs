@@ -12,7 +12,19 @@ pub enum SpanKind {
     /// Time spent blocked inside a receive, attributed to the phase in
     /// effect when the wait began. Blocked intervals overlap the enclosing
     /// phase window (they are a *refinement*, not an additional tile).
-    Blocked(Phase),
+    Blocked {
+        /// Phase in effect when the wait began.
+        phase: Phase,
+        /// Global rank of the sender whose message was waited for — the
+        /// straggler the wait is attributed to. `None` when the transport
+        /// does not know the source (e.g. synthetic traces).
+        peer: Option<u32>,
+        /// Pipeline step of the force evaluation during which the wait
+        /// happened (0 = skew, `s` = shift step `s`), as announced by the
+        /// CA drivers via [`Tracer::set_step`](crate::Tracer::set_step).
+        /// `None` outside the skew/shift pipeline.
+        step: Option<u32>,
+    },
     /// A section emitted by the simulation driver (`integrate`, `force`,
     /// `reassign`, or the whole `step`), tagged with the timestep index.
     Driver {
@@ -29,7 +41,7 @@ impl SpanKind {
     pub fn label(&self) -> &str {
         match self {
             SpanKind::Phase(_) => "phase",
-            SpanKind::Blocked(_) => "blocked",
+            SpanKind::Blocked { .. } => "blocked",
             SpanKind::Driver { name, .. } => name,
         }
     }
@@ -37,8 +49,19 @@ impl SpanKind {
     /// The phase this span is attributed to, if any.
     pub fn phase(&self) -> Option<Phase> {
         match self {
-            SpanKind::Phase(p) | SpanKind::Blocked(p) => Some(*p),
+            SpanKind::Phase(p) => Some(*p),
+            SpanKind::Blocked { phase, .. } => Some(*phase),
             SpanKind::Driver { .. } => None,
+        }
+    }
+
+    /// A blocked interval attributed to `phase`, with no peer or pipeline
+    /// step recorded. Shorthand for tests and synthetic traces.
+    pub fn blocked(phase: Phase) -> SpanKind {
+        SpanKind::Blocked {
+            phase,
+            peer: None,
+            step: None,
         }
     }
 }
@@ -73,7 +96,7 @@ mod tests {
     #[test]
     fn kind_labels_and_phases() {
         assert_eq!(SpanKind::Phase(Phase::Shift).label(), "phase");
-        assert_eq!(SpanKind::Blocked(Phase::Reduce).label(), "blocked");
+        assert_eq!(SpanKind::blocked(Phase::Reduce).label(), "blocked");
         let d = SpanKind::Driver {
             name: "force".into(),
             step: 3,
@@ -81,7 +104,14 @@ mod tests {
         assert_eq!(d.label(), "force");
         assert_eq!(d.phase(), None);
         assert_eq!(SpanKind::Phase(Phase::Shift).phase(), Some(Phase::Shift));
-        assert_eq!(SpanKind::Blocked(Phase::Reduce).phase(), Some(Phase::Reduce));
+        assert_eq!(SpanKind::blocked(Phase::Reduce).phase(), Some(Phase::Reduce));
+        let full = SpanKind::Blocked {
+            phase: Phase::Shift,
+            peer: Some(5),
+            step: Some(2),
+        };
+        assert_eq!(full.phase(), Some(Phase::Shift));
+        assert_eq!(full.label(), "blocked");
     }
 
     #[test]

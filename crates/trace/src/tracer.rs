@@ -23,6 +23,7 @@ struct Inner {
     spans: Vec<Span>,
     cur_phase: Phase,
     phase_start: f64,
+    cur_step: Option<u32>,
 }
 
 impl Inner {
@@ -69,6 +70,7 @@ impl Tracer {
                 spans: Vec::new(),
                 cur_phase: Phase::Other,
                 phase_start,
+                cur_step: None,
             }))),
         }
     }
@@ -92,17 +94,31 @@ impl Tracer {
         t.cur_phase = phase;
     }
 
+    /// Announce the pipeline step of the force evaluation (0 = skew,
+    /// `s` = shift step `s`); subsequent blocked intervals carry it, so an
+    /// analyzer can place each wait in the skew/shift schedule. Drivers
+    /// clear it with `None` once the pipeline ends. No-op when disabled.
+    pub fn set_step(&self, step: Option<u32>) {
+        let Some(inner) = &self.inner else { return };
+        inner.borrow_mut().cur_step = step;
+    }
+
     /// Record a blocked interval that began at `wait_started` and ends
-    /// now, attributed to the current phase. Called by the transport right
-    /// after a receive that had to wait.
-    pub fn record_blocked(&self, wait_started: Instant) {
+    /// now, attributed to the current phase, the current pipeline step,
+    /// and — when known — the global rank of the late sender. Called by
+    /// the transport right after a receive that had to wait.
+    pub fn record_blocked(&self, wait_started: Instant, peer: Option<u32>) {
         let Some(inner) = &self.inner else { return };
         let mut t = inner.borrow_mut();
         let start = wait_started.duration_since(t.epoch).as_secs_f64();
         let end = t.now();
         let span = Span {
             rank: t.rank,
-            kind: SpanKind::Blocked(t.cur_phase),
+            kind: SpanKind::Blocked {
+                phase: t.cur_phase,
+                peer,
+                step: t.cur_step,
+            },
             start,
             end,
         };
@@ -175,7 +191,8 @@ mod tests {
         let t = Tracer::disabled();
         assert!(!t.is_enabled());
         t.phase_change(Phase::Shift);
-        t.record_blocked(Instant::now());
+        t.set_step(Some(1));
+        t.record_blocked(Instant::now(), Some(0));
         drop(t.driver_span("force", 0));
         assert!(t.finish().is_empty());
     }
@@ -234,15 +251,47 @@ mod tests {
         t.phase_change(Phase::Shift);
         let wait = Instant::now();
         std::thread::sleep(std::time::Duration::from_millis(1));
-        t.record_blocked(wait);
+        t.record_blocked(wait, None);
         let spans = t.finish();
         let blocked: Vec<&Span> = spans
             .iter()
-            .filter(|s| matches!(s.kind, SpanKind::Blocked(_)))
+            .filter(|s| matches!(s.kind, SpanKind::Blocked { .. }))
             .collect();
         assert_eq!(blocked.len(), 1);
-        assert_eq!(blocked[0].kind, SpanKind::Blocked(Phase::Shift));
+        assert_eq!(blocked[0].kind, SpanKind::blocked(Phase::Shift));
         assert!(blocked[0].secs() >= 0.001);
+    }
+
+    #[test]
+    fn blocked_carries_peer_and_pipeline_step() {
+        let t = Tracer::for_rank(1, Instant::now());
+        t.phase_change(Phase::Shift);
+        t.set_step(Some(3));
+        t.record_blocked(Instant::now(), Some(7));
+        t.set_step(None);
+        t.record_blocked(Instant::now(), Some(2));
+        let spans = t.finish();
+        let blocked: Vec<&Span> = spans
+            .iter()
+            .filter(|s| matches!(s.kind, SpanKind::Blocked { .. }))
+            .collect();
+        assert_eq!(blocked.len(), 2);
+        assert_eq!(
+            blocked[0].kind,
+            SpanKind::Blocked {
+                phase: Phase::Shift,
+                peer: Some(7),
+                step: Some(3),
+            }
+        );
+        assert_eq!(
+            blocked[1].kind,
+            SpanKind::Blocked {
+                phase: Phase::Shift,
+                peer: Some(2),
+                step: None,
+            }
+        );
     }
 
     #[test]

@@ -13,6 +13,9 @@
 //!                   [fault-timeout-ms=250] [--baseline=F]
 //! ca-nbody scale    [machine=hopper] [n=32768] strong-scaling table (simulated)
 //! ca-nbody autotune [machine=hopper] [p=1536] [n=12288] [cutoff=0]
+//! ca-nbody analyze  <trace-file> [--metrics=F] [c=1] [--csv=F] [--json=F]
+//! ca-nbody regress  <trace-file> [--metrics=F] [n=0] [c=1] [kernel=allpairs]
+//!                   [tolerance=1.5] [--history=bench_results/history] [--record]
 //! ```
 //!
 //! Options take `key=value`, `--key=value`, or `--key value` form.
@@ -38,8 +41,19 @@
 //! step, asserting recovered forces stay bit-identical to the fault-free
 //! run and gating recovery overhead against `--baseline` ceilings.
 //!
-//! `run`, `scale`, `audit`, and `chaos` end with a single-line JSON
-//! summary on stdout for scripted consumption.
+//! `analyze` diagnoses a recorded trace: the per-timestep cross-rank
+//! critical path (which rank gated the step, how its time split into
+//! compute/comm/blocked, and which late sender it waited on), per-phase
+//! load-imbalance factors, straggler rankings, and traffic/wait heat-maps
+//! on the `p/c × c` grid when `--metrics` is given. `regress` distills the
+//! same trace into a `RunSummary`, compares its wall time against the
+//! median of matching entries in the append-only history store
+//! (`bench_results/history/<kernel>.jsonl`), exits non-zero past the
+//! tolerance, and with `--record` appends the live summary — the CI
+//! performance gate.
+//!
+//! `run`, `scale`, `audit`, `chaos`, and `regress` end with a single-line
+//! JSON summary on stdout for scripted consumption.
 
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -51,6 +65,10 @@ use ca_nbody::recovery::{FaultConfig, FaultError};
 use ca_nbody::{
     run_distributed, run_distributed_chaos, run_distributed_traced, run_serial, Method, ProcGrid,
     RunResult, SimConfig, Window, Window1d,
+};
+use nbody_analyze::{
+    analyze, check_regression, parse_history, render_csv, render_json, render_regression,
+    render_table, RunSummary, Verdict,
 };
 use nbody_comm::{FaultKind, FaultPlan};
 use nbody_metrics::{
@@ -105,6 +123,8 @@ fn main() -> ExitCode {
         "chaos" => chaos_cmd(&opts),
         "scale" => scale_cmd(&opts),
         "autotune" => autotune_cmd(&opts),
+        "analyze" => analyze_cmd(&opts, &positional),
+        "regress" => regress_cmd(&opts, &positional),
         _ => {
             usage();
             ExitCode::FAILURE
@@ -114,7 +134,8 @@ fn main() -> ExitCode {
 
 fn usage() {
     eprintln!(
-        "usage: ca-nbody <run|verify|report|audit|chaos|scale|autotune> [key=value ...] \
+        "usage: ca-nbody <run|verify|report|audit|chaos|scale|autotune|analyze|regress> \
+         [key=value ...] \
          [--trace=F] [--metrics=F] [--profile] [--faults=SPEC]\n\
          see `src/main.rs` header or README.md for the option list"
     );
@@ -390,6 +411,29 @@ fn run_cmd(opts: &HashMap<String, String>, verify: bool) -> ExitCode {
         summary.push((
             "trace_wall_secs".to_string(),
             Json::Num(trace.wall_secs()),
+        ));
+        // Post-run diagnosis: per-phase imbalance factors and the
+        // critical-path split of the makespan (what actually gated the
+        // run, not the mean across ranks).
+        let a = analyze(trace, Some(&metrics), method.replication());
+        let (crit_compute, crit_comm, crit_blocked) = a.critical_split();
+        summary.push((
+            "critical_compute_secs".to_string(),
+            Json::Num(crit_compute),
+        ));
+        summary.push(("critical_comm_secs".to_string(), Json::Num(crit_comm)));
+        summary.push((
+            "critical_blocked_secs".to_string(),
+            Json::Num(crit_blocked),
+        ));
+        summary.push((
+            "imbalance".to_string(),
+            Json::Obj(
+                a.imbalance
+                    .iter()
+                    .map(|i| (i.phase.label().to_string(), Json::Num(i.factor)))
+                    .collect(),
+            ),
         ));
     }
     if let Some(path) = &trace_path {
@@ -959,6 +1003,8 @@ fn scale_cmd(opts: &HashMap<String, String>) -> ExitCode {
         let mut effs = Vec::new();
         let mut msgs = Vec::new();
         let mut words = Vec::new();
+        let mut imbs = Vec::new();
+        let mut crit_comm = Vec::new();
         for c in cs {
             if c * c <= p && p % (c * c) == 0 {
                 let params = AllPairsParams::new(p, c, n);
@@ -967,6 +1013,20 @@ fn scale_cmd(opts: &HashMap<String, String>) -> ExitCode {
                 let eff = compute / (p as f64 * rep.makespan);
                 print!(" {:>9.3}", eff);
                 effs.push(Json::Num(eff));
+                // Load imbalance (critical rank total vs mean total) and
+                // the critical rank's communication share of its time.
+                let mean = rep.mean();
+                let crit = rep.critical();
+                imbs.push(Json::Num(if mean.total() > 0.0 {
+                    crit.total() / mean.total()
+                } else {
+                    1.0
+                }));
+                crit_comm.push(Json::Num(if crit.total() > 0.0 {
+                    crit.comm_total() / crit.total()
+                } else {
+                    0.0
+                }));
                 // Per-rank traffic totals (max over ranks): messages count
                 // point-to-point sends plus collectives, words count
                 // particles at the paper's 52-byte wire size.
@@ -985,6 +1045,8 @@ fn scale_cmd(opts: &HashMap<String, String>) -> ExitCode {
                 effs.push(Json::Null);
                 msgs.push(Json::Null);
                 words.push(Json::Null);
+                imbs.push(Json::Null);
+                crit_comm.push(Json::Null);
             }
         }
         println!();
@@ -993,6 +1055,8 @@ fn scale_cmd(opts: &HashMap<String, String>) -> ExitCode {
             ("efficiency".to_string(), Json::Arr(effs)),
             ("messages_per_rank".to_string(), Json::Arr(msgs)),
             ("words_per_rank".to_string(), Json::Arr(words)),
+            ("imbalance".to_string(), Json::Arr(imbs)),
+            ("critical_comm_frac".to_string(), Json::Arr(crit_comm)),
         ]));
     }
     let summary = Json::Obj(vec![
@@ -1033,4 +1097,211 @@ fn autotune_cmd(opts: &HashMap<String, String>) -> ExitCode {
         println!("  c={:<4} {:.3} ms{marker}", k.c, k.predicted_secs * 1e3);
     }
     ExitCode::SUCCESS
+}
+
+fn load_trace(path: &str) -> Result<ExecutionTrace, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    ExecutionTrace::parse(&text).map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
+fn load_metrics(path: &str) -> Result<MetricsSnapshot, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    if path.ends_with(".prom") {
+        MetricsSnapshot::parse_prometheus(&text)
+    } else {
+        Json::parse(&text).and_then(|doc| MetricsSnapshot::from_json(&doc))
+    }
+    .map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
+/// The revision recorded into history entries: `NBODY_GIT_REV` when set
+/// (CI passes it explicitly), else `git rev-parse`, else `unknown`.
+fn git_rev() -> String {
+    if let Ok(rev) = std::env::var("NBODY_GIT_REV") {
+        if !rev.trim().is_empty() {
+            return rev.trim().to_string();
+        }
+    }
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+fn unix_now() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+/// `analyze`: post-run diagnosis of a recorded trace — per-step critical
+/// path, per-phase imbalance, straggler rankings, grid heat-maps.
+fn analyze_cmd(opts: &HashMap<String, String>, positional: &[String]) -> ExitCode {
+    let Some(path) = positional.first() else {
+        eprintln!(
+            "usage: ca-nbody analyze <trace.json|trace.jsonl> [--metrics=F] [c=1] \
+             [--csv=F] [--json=F]"
+        );
+        return ExitCode::FAILURE;
+    };
+    let trace = match load_trace(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let metrics = match opts.get("metrics") {
+        Some(mp) => match load_metrics(mp) {
+            Ok(m) => Some(m),
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+    let c: usize = get(opts, "c", 1);
+    let a = analyze(&trace, metrics.as_ref(), c);
+    print!("{}", render_table(&a));
+    if let Some(out) = opts.get("csv") {
+        if let Err(e) = std::fs::write(out, render_csv(&a)) {
+            eprintln!("cannot write {out}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("critical-path CSV written to {out}");
+    }
+    if let Some(out) = opts.get("json") {
+        if let Err(e) = std::fs::write(out, render_json(&a).to_string()) {
+            eprintln!("cannot write {out}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("analysis JSON written to {out}");
+    }
+    ExitCode::SUCCESS
+}
+
+/// `regress`: gate a traced run against the cross-run history store.
+fn regress_cmd(opts: &HashMap<String, String>, positional: &[String]) -> ExitCode {
+    let Some(path) = positional.first() else {
+        eprintln!(
+            "usage: ca-nbody regress <trace.json|trace.jsonl> [--metrics=F] [n=0] [c=1] \
+             [kernel=allpairs] [tolerance=1.5] [--history=bench_results/history] [--record]"
+        );
+        return ExitCode::FAILURE;
+    };
+    let trace = match load_trace(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let metrics = match opts.get("metrics") {
+        Some(mp) => match load_metrics(mp) {
+            Ok(m) => Some(m),
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+    let n: u64 = get(opts, "n", 0);
+    let c: u64 = get(opts, "c", 1);
+    let kernel = opts
+        .get("kernel")
+        .cloned()
+        .unwrap_or_else(|| "allpairs".to_string());
+    let tolerance: f64 = get(opts, "tolerance", 1.5);
+    if !(tolerance.is_finite() && tolerance > 0.0) {
+        eprintln!("regress: tolerance must be a positive number");
+        return ExitCode::FAILURE;
+    }
+    let history_dir = opts
+        .get("history")
+        .cloned()
+        .unwrap_or_else(|| "bench_results/history".to_string());
+
+    let a = analyze(&trace, metrics.as_ref(), c as usize);
+    let live = RunSummary::from_analysis(
+        &a,
+        n,
+        c,
+        &kernel,
+        &git_rev(),
+        a.steps.len() as u64,
+        unix_now(),
+    );
+
+    let store = format!("{history_dir}/{kernel}.jsonl");
+    let history = match std::fs::read_to_string(&store) {
+        Ok(text) => match parse_history(&text) {
+            Ok(h) => h,
+            Err(e) => {
+                eprintln!("cannot parse {store}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        // A missing store is not an error: the first run seeds it.
+        Err(_) => Vec::new(),
+    };
+    let r = check_regression(&live, &history, tolerance);
+    print!("{}", render_regression(&r));
+
+    if opts.get("record").is_some_and(|v| v != "false") {
+        let append = std::fs::create_dir_all(&history_dir)
+            .map_err(|e| e.to_string())
+            .and_then(|()| {
+                use std::io::Write;
+                std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(&store)
+                    .and_then(|mut f| writeln!(f, "{}", live.to_json_line()))
+                    .map_err(|e| e.to_string())
+            });
+        match append {
+            Ok(()) => println!("recorded to {store}"),
+            Err(e) => {
+                eprintln!("cannot record to {store}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let verdict = match r.verdict {
+        Verdict::Pass => "pass",
+        Verdict::Regression => "regression",
+        Verdict::NoHistory => "no-history",
+    };
+    let summary = Json::Obj(vec![
+        ("cmd".to_string(), Json::Str("regress".into())),
+        ("kernel".to_string(), Json::Str(kernel)),
+        ("n".to_string(), Json::Num(n as f64)),
+        ("p".to_string(), Json::Num(live.p as f64)),
+        ("c".to_string(), Json::Num(c as f64)),
+        ("live_wall_secs".to_string(), Json::Num(r.live_wall_secs)),
+        (
+            "median_wall_secs".to_string(),
+            Json::Num(r.median_wall_secs),
+        ),
+        ("ratio".to_string(), Json::Num(r.ratio)),
+        ("tolerance".to_string(), Json::Num(r.tolerance)),
+        ("matched".to_string(), Json::Num(r.matched as f64)),
+        ("verdict".to_string(), Json::Str(verdict.into())),
+    ]);
+    println!("{summary}");
+    if r.verdict == Verdict::Regression {
+        eprintln!("REGRESSION: wall time exceeded tolerance over history median");
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
 }

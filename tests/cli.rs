@@ -550,3 +550,288 @@ fn chaos_rejects_configs_without_a_surviving_replica() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("c >= 2"));
 }
+
+/// Run a small traced all-pairs execution and return the trace/metrics
+/// paths inside `dir`.
+fn traced_run(dir: &std::path::Path, p: usize, c: usize) -> (String, String) {
+    std::fs::create_dir_all(dir).unwrap();
+    let trace = dir.join("trace.jsonl").display().to_string();
+    let metrics = dir.join("metrics.json").display().to_string();
+    let out = cli()
+        .args([
+            "run",
+            "n=128",
+            &format!("p={p}"),
+            &format!("c={c}"),
+            "steps=3",
+            &format!("--trace={trace}"),
+            &format!("--metrics={metrics}"),
+        ])
+        .output()
+        .expect("launch");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    (trace, metrics)
+}
+
+#[test]
+fn analyze_reports_critical_path_imbalance_and_heatmap() {
+    let dir = std::env::temp_dir().join("ca_nbody_cli_analyze_test");
+    let (trace, metrics) = traced_run(&dir, 8, 2);
+    let csv = dir.join("critical.csv").display().to_string();
+    let json = dir.join("analysis.json").display().to_string();
+    let out = cli()
+        .args([
+            "analyze",
+            &trace,
+            &format!("--metrics={metrics}"),
+            "c=2",
+            &format!("--csv={csv}"),
+            &format!("--json={json}"),
+        ])
+        .output()
+        .expect("launch");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "{stdout}\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // Per-step critical path, per-phase imbalance, stragglers, heat-map.
+    assert!(stdout.contains("critical path (per timestep)"), "{stdout}");
+    assert!(stdout.contains("phase imbalance"), "{stdout}");
+    assert!(stdout.contains("stragglers"), "{stdout}");
+    assert!(stdout.contains("grid heat-map (4 teams x c = 2 rows)"), "{stdout}");
+
+    // CSV export: one row per timestep plus header.
+    let csv_body = std::fs::read_to_string(&csv).unwrap();
+    assert!(csv_body.starts_with("step,makespan_secs,critical_rank"), "{csv_body}");
+    assert_eq!(csv_body.lines().count(), 4, "{csv_body}");
+
+    // JSON export parses and covers all three steps; the heat-map planes
+    // carry real traffic (the skew makes non-leader rows send bytes).
+    let doc = nbody_trace::Json::parse(&std::fs::read_to_string(&json).unwrap()).unwrap();
+    let steps = doc.get("critical_path").unwrap().as_array().unwrap();
+    assert_eq!(steps.len(), 3);
+    for s in steps {
+        assert!(s.get("makespan_secs").unwrap().as_f64().unwrap() > 0.0);
+    }
+    let send = doc
+        .get("heatmap")
+        .unwrap()
+        .get("send_bytes")
+        .unwrap()
+        .as_array()
+        .unwrap();
+    assert_eq!(send.len(), 8);
+    assert!(send.iter().any(|v| v.as_f64().unwrap() > 0.0));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn analyze_handles_single_rank_runs() {
+    // p = 1, c = 1: no communication spans at all.
+    let dir = std::env::temp_dir().join("ca_nbody_cli_analyze_p1_test");
+    let (trace, metrics) = traced_run(&dir, 1, 1);
+    let out = cli()
+        .args(["analyze", &trace, &format!("--metrics={metrics}")])
+        .output()
+        .expect("launch");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "{stdout}\n{stderr}");
+    assert!(!stderr.contains("panicked"), "{stderr}");
+    assert!(stdout.contains("critical path (per timestep)"), "{stdout}");
+    // The sole rank is critical in every step and never waits on a peer.
+    assert!(stdout.contains("rank 0"), "{stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn analyze_rejects_empty_and_truncated_traces_with_diagnostics() {
+    let dir = std::env::temp_dir().join("ca_nbody_cli_analyze_bad_test");
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // Empty trace file: a one-line error, not a panic.
+    let empty = dir.join("empty.jsonl");
+    std::fs::write(&empty, "").unwrap();
+    let out = cli()
+        .args(["analyze", empty.to_str().unwrap()])
+        .output()
+        .expect("launch");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("no spans"), "{stderr}");
+    assert!(!stderr.contains("panicked"), "{stderr}");
+
+    // Truncated JSONL: the diagnostic names the offending line.
+    let truncated = dir.join("truncated.jsonl");
+    std::fs::write(
+        &truncated,
+        "{\"rank\":0,\"kind\":\"phase\",\"phase\":\"shift\",\"start\":0,\"end\":1}\n\
+         {\"rank\":1,\"kind\":\"ph",
+    )
+    .unwrap();
+    let out = cli()
+        .args(["analyze", truncated.to_str().unwrap()])
+        .output()
+        .expect("launch");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("line 2"), "{stderr}");
+    assert!(!stderr.contains("panicked"), "{stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn run_summary_includes_imbalance_and_critical_path_when_traced() {
+    let out = cli()
+        .args(["run", "n=96", "p=4", "c=2", "steps=2", "--profile"])
+        .output()
+        .expect("launch");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let last = stdout.lines().last().unwrap();
+    let doc = nbody_trace::Json::parse(last).expect("last line is not JSON");
+    // Critical-path split: the three buckets exist and compute is real.
+    let compute = doc.get("critical_compute_secs").unwrap().as_f64().unwrap();
+    assert!(compute > 0.0, "{last}");
+    assert!(doc.get("critical_comm_secs").unwrap().as_f64().unwrap() >= 0.0);
+    assert!(doc.get("critical_blocked_secs").unwrap().as_f64().unwrap() >= 0.0);
+    // Per-phase imbalance factors: max/mean >= 1 for every reported phase.
+    let imb = doc.get("imbalance").unwrap();
+    for phase in ["shift", "other"] {
+        let f = imb.get(phase).unwrap().as_f64().unwrap();
+        assert!(f >= 1.0, "phase {phase}: {last}");
+    }
+}
+
+#[test]
+fn scale_rows_carry_imbalance_and_critical_comm_fraction() {
+    let out = cli().args(["scale", "n=4096"]).output().expect("launch");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let last = stdout.lines().last().unwrap();
+    let doc = nbody_trace::Json::parse(last).unwrap();
+    for row in doc.get("rows").unwrap().as_array().unwrap() {
+        let n_c = row.get("efficiency").unwrap().as_array().unwrap().len();
+        let imb = row.get("imbalance").unwrap().as_array().unwrap();
+        let frac = row.get("critical_comm_frac").unwrap().as_array().unwrap();
+        assert_eq!(imb.len(), n_c);
+        assert_eq!(frac.len(), n_c);
+        // c = 1 is always simulated: imbalance >= 1 (up to summation
+        // noise — the simulated ring is perfectly balanced), comm share
+        // in (0, 1].
+        assert!(imb[0].as_f64().unwrap() >= 1.0 - 1e-9, "{last}");
+        let f = frac[0].as_f64().unwrap();
+        assert!(f > 0.0 && f <= 1.0, "{last}");
+    }
+}
+
+#[test]
+fn regress_gates_against_history_and_records() {
+    let dir = std::env::temp_dir().join("ca_nbody_cli_regress_test");
+    std::fs::remove_dir_all(&dir).ok();
+    let (trace, _) = traced_run(&dir, 4, 2);
+    let hist = dir.join("history").display().to_string();
+    let common = [
+        "n=128".to_string(),
+        "c=2".to_string(),
+        "kernel=allpairs".to_string(),
+        format!("--history={hist}"),
+    ];
+
+    // First run: no history yet — passes and seeds the store.
+    let out = cli()
+        .args(["regress", &trace])
+        .args(&common)
+        .arg("--record")
+        .output()
+        .expect("launch");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}");
+    assert!(stdout.contains("no matching history"), "{stdout}");
+    let store = format!("{hist}/allpairs.jsonl");
+    assert!(std::fs::metadata(&store).is_ok(), "store not created");
+
+    // Second run against the honest history: within tolerance, exit 0.
+    let out = cli()
+        .args(["regress", &trace])
+        .args(&common)
+        .args(["tolerance=2.0"])
+        .output()
+        .expect("launch");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}");
+    assert!(stdout.contains("PASS"), "{stdout}");
+    let last = stdout.lines().last().unwrap();
+    let doc = nbody_trace::Json::parse(last).unwrap();
+    assert_eq!(doc.get("verdict").unwrap().as_str(), Some("pass"));
+    assert_eq!(doc.get("matched").unwrap().as_f64(), Some(1.0));
+
+    // Doctor the stored entry to be 2x faster than physically possible:
+    // the live run now exceeds the tolerance and the gate trips.
+    let body = std::fs::read_to_string(&store).unwrap();
+    let entry = nbody_trace::Json::parse(body.lines().next().unwrap()).unwrap();
+    let wall = entry.get("wall_secs").unwrap().as_f64().unwrap();
+    let doctored = body.replace(
+        &format!("\"wall_secs\":{wall}"),
+        &format!("\"wall_secs\":{}", wall / 8.0),
+    );
+    assert_ne!(body, doctored, "doctoring must change the entry");
+    std::fs::write(&store, doctored).unwrap();
+    let out = cli()
+        .args(["regress", &trace])
+        .args(&common)
+        .args(["tolerance=2.0"])
+        .output()
+        .expect("launch");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(!out.status.success(), "doctored history must trip the gate: {stdout}");
+    assert!(stdout.contains("FAIL"), "{stdout}");
+    let last = stdout.lines().last().unwrap();
+    let doc = nbody_trace::Json::parse(last).unwrap();
+    assert_eq!(doc.get("verdict").unwrap().as_str(), Some("regression"));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("REGRESSION"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // A different configuration key never matches the doctored entry.
+    let out = cli()
+        .args(["regress", &trace, "n=999", "c=2", "kernel=allpairs"])
+        .arg(format!("--history={hist}"))
+        .output()
+        .expect("launch");
+    assert!(out.status.success());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn regress_rejects_corrupt_history_with_line_diagnostic() {
+    let dir = std::env::temp_dir().join("ca_nbody_cli_regress_bad_test");
+    std::fs::remove_dir_all(&dir).ok();
+    let (trace, _) = traced_run(&dir, 4, 2);
+    let hist_dir = dir.join("history");
+    std::fs::create_dir_all(&hist_dir).unwrap();
+    std::fs::write(hist_dir.join("allpairs.jsonl"), "{\"n\": 128,\n").unwrap();
+    let out = cli()
+        .args([
+            "regress",
+            &trace,
+            "n=128",
+            "c=2",
+            &format!("--history={}", hist_dir.display()),
+        ])
+        .output()
+        .expect("launch");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("line 1"), "{stderr}");
+    assert!(!stderr.contains("panicked"), "{stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}
