@@ -93,7 +93,7 @@ pub fn analyze(
 ) -> Analysis {
     let steps = critical_path(trace);
     let imbalance = phase_imbalance(trace);
-    let stragglers = rank_stragglers(trace, &steps);
+    let stragglers = rank_stragglers(trace, &steps, metrics);
     let heatmap = grid_heatmap(trace, metrics, c).ok();
     Analysis {
         ranks: trace.ranks,

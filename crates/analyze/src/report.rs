@@ -86,19 +86,30 @@ pub fn render_table(a: &Analysis) -> String {
     }
     out.push('\n');
 
+    // The compute column only means something when the run carried
+    // metrics; an all-zero column would just be noise.
+    let have_gflops = a.stragglers.iter().any(|s| s.compute_gflops > 0.0);
     out.push_str("stragglers (worst first)\n");
     out.push_str(&format!(
-        "{:<6} {:>15} {:>15} {:>15}\n",
+        "{:<6} {:>15} {:>15} {:>15}",
         "rank", "critical steps", "caused wait s", "own blocked s"
     ));
+    if have_gflops {
+        out.push_str(&format!(" {:>13}", "compute GF/s"));
+    }
+    out.push('\n');
     for s in &a.stragglers {
         out.push_str(&format!(
-            "{:<6} {:>15} {:>15} {:>15}\n",
+            "{:<6} {:>15} {:>15} {:>15}",
             s.rank,
             s.times_critical,
             secs(s.caused_wait_secs),
             secs(s.own_blocked_secs)
         ));
+        if have_gflops {
+            out.push_str(&format!(" {:>13.3}", s.compute_gflops));
+        }
+        out.push('\n');
     }
 
     if let Some(h) = &a.heatmap {
@@ -212,6 +223,7 @@ pub fn render_json(a: &Analysis) -> Json {
                 ),
                 ("caused_wait_secs".into(), Json::Num(s.caused_wait_secs)),
                 ("own_blocked_secs".into(), Json::Num(s.own_blocked_secs)),
+                ("compute_gflops".into(), Json::Num(s.compute_gflops)),
             ])
         })
         .collect();
@@ -291,6 +303,33 @@ mod tests {
         assert!(text.contains("phase imbalance"));
         assert!(text.contains("stragglers"));
         assert!(text.contains("grid heat-map"));
+        // No metrics, no compute column.
+        assert!(!text.contains("compute GF/s"));
+    }
+
+    #[test]
+    fn compute_column_appears_with_metrics() {
+        use nbody_metrics::{MetricsRecorder, MetricsSnapshot};
+        let shards = (0..2)
+            .map(|rank| {
+                let rec = MetricsRecorder::for_rank(rank);
+                rec.counter("compute_flops", None).add(3000);
+                rec.counter("compute_nanos", None).add(1000);
+                rec.finish()
+            })
+            .collect();
+        let snap = MetricsSnapshot::from_shards(shards);
+        let a = analyze(&two_rank_trace(), Some(&snap), 1);
+        let text = render_table(&a);
+        assert!(text.contains("compute GF/s"), "{text}");
+        assert!(text.contains("3.000"), "{text}");
+        let doc = render_json(&a).to_string();
+        let v = Json::parse(&doc).unwrap();
+        let stragglers = v.get("stragglers").and_then(Json::as_array).unwrap();
+        assert_eq!(
+            stragglers[0].get("compute_gflops").and_then(Json::as_f64),
+            Some(3.0)
+        );
     }
 
     #[test]

@@ -27,7 +27,7 @@ use nbody_comm::{Communicator, Phase};
 use nbody_physics::{Boundary, Domain, ForceLaw, Particle};
 
 use crate::grid::GridComms;
-use crate::kernel::{accumulate_block, combine_forces};
+use crate::kernel::{accumulate_block, combine_forces, ComputeMeter};
 
 /// Tag for the skew message (line 4).
 pub const TAG_SKEW: u64 = 0x10;
@@ -73,6 +73,8 @@ pub fn ca_all_pairs_forces<C: Communicator, F: ForceLaw>(
     // the trace carry the step, so an analyzer can place every wait in the
     // skew/shift schedule and name the late sender.
     let tr = gc.col.tracer();
+    // FLOP/byte accounting for the roofline audit.
+    let meter = ComputeMeter::new(&gc.col.metrics(), law.flops_per_interaction());
 
     // Line 4: skew — row k shifts its buffer k teams east. After this, the
     // row-k processor of team t holds the block of team (t - k) mod teams.
@@ -93,7 +95,9 @@ pub fn ca_all_pairs_forces<C: Communicator, F: ForceLaw>(
         exch = gc.row.sendrecv(dst, src, TAG_SHIFT + s as u64, &exch);
 
         gc.col.set_phase(Phase::Other);
-        accumulate_block(st, &exch, law, domain, boundary);
+        meter.time(st.len(), exch.len(), || {
+            accumulate_block(st, &exch, law, domain, boundary)
+        });
     }
     tr.set_step(None);
 

@@ -37,7 +37,7 @@ use nbody_comm::{Communicator, Phase};
 use nbody_physics::{Boundary, Domain, ForceLaw, Particle};
 
 use crate::grid::GridComms;
-use crate::kernel::{accumulate_block, combine_forces};
+use crate::kernel::{accumulate_block, combine_forces, ComputeMeter};
 use crate::window::Window;
 
 /// Tag for the skew message (line 4).
@@ -162,6 +162,8 @@ pub fn ca_cutoff_forces<C: Communicator, W: Window, F: ForceLaw>(
     // Pipeline-step tagging (0 = skew, s = shift step s) for blocked-wait
     // attribution in the trace.
     let tr = gc.col.tracer();
+    // FLOP/byte accounting for the roofline audit.
+    let meter = ComputeMeter::new(&gc.col.metrics(), law.flops_per_interaction());
 
     // Line 4: skew to position k. Own blocks move directly from their homes.
     gc.col.set_phase(Phase::Skew);
@@ -219,7 +221,9 @@ pub fn ca_cutoff_forces<C: Communicator, W: Window, F: ForceLaw>(
         // Line 7: update, once per window position (first-wrap rule).
         if k + s * c < w + c && cur_block.is_some() {
             gc.col.set_phase(Phase::Other);
-            accumulate_block(st, &exch, law, domain, boundary);
+            meter.time(st.len(), exch.len(), || {
+                accumulate_block(st, &exch, law, domain, boundary)
+            });
         }
     }
     tr.set_step(None);

@@ -49,7 +49,7 @@ use nbody_physics::{Boundary, Domain, ForceLaw, Particle};
 use crate::allpairs::{TAG_SHIFT, TAG_SKEW};
 use crate::cutoff::{row_steps, validate_cutoff, TAG_CSHIFT, TAG_CSKEW};
 use crate::grid::GridComms;
-use crate::kernel::{accumulate_block, combine_forces};
+use crate::kernel::{accumulate_block, combine_forces, ComputeMeter};
 use crate::window::Window;
 
 /// Tag distance between retry attempts of one evaluation. Attempt `a` of
@@ -303,6 +303,9 @@ pub fn ca_all_pairs_forces_ft<C: Communicator, F: ForceLaw>(
         .gauge_max("mem_particles_hwm", (3 * st.len()) as u64);
 
     let tr = gc.col.tracer();
+    // FLOP/byte accounting for the roofline audit; aborted attempts still
+    // count — the work was really done.
+    let meter = ComputeMeter::new(&gc.col.metrics(), law.flops_per_interaction());
     let report = recovery_loop(gc, st, fc, epoch, |st, tag_base| {
         let mut exch = st.clone();
         gc.col.set_phase(Phase::Skew);
@@ -327,7 +330,9 @@ pub fn ca_all_pairs_forces_ft<C: Communicator, F: ForceLaw>(
             exch = gc.row.try_recv_timeout(src, tag, fc.recv_timeout)?;
 
             gc.col.set_phase(Phase::Other);
-            accumulate_block(st, &exch, law, domain, boundary);
+            meter.time(st.len(), exch.len(), || {
+                accumulate_block(st, &exch, law, domain, boundary)
+            });
         }
         Ok(())
     })?;
@@ -378,6 +383,8 @@ pub fn ca_cutoff_forces_ft<C: Communicator, W: Window, F: ForceLaw>(
         .gauge_max("mem_particles_hwm", (4 * st.len()) as u64);
 
     let tr = gc.col.tracer();
+    // FLOP/byte accounting for the roofline audit.
+    let meter = ComputeMeter::new(&gc.col.metrics(), law.flops_per_interaction());
     let report = recovery_loop(gc, st, fc, epoch, |st, tag_base| {
         // The home copy is rebuilt from the checkpointed state each
         // attempt, so home-route re-injection stays consistent on retries.
@@ -431,7 +438,9 @@ pub fn ca_cutoff_forces_ft<C: Communicator, W: Window, F: ForceLaw>(
 
             if k + s * c < w + c && cur_block.is_some() {
                 gc.col.set_phase(Phase::Other);
-                accumulate_block(st, &exch, law, domain, boundary);
+                meter.time(st.len(), exch.len(), || {
+                    accumulate_block(st, &exch, law, domain, boundary)
+                });
             }
         }
         Ok(())

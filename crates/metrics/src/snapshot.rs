@@ -47,39 +47,29 @@ impl MetricsSnapshot {
     pub fn merged(&self) -> RankMetrics {
         let mut out = RankMetrics::default();
         for rank in &self.ranks {
-            for s in &rank.counters {
-                match out
-                    .counters
-                    .iter_mut()
-                    .find(|o| o.name == s.name && o.phase == s.phase)
-                {
-                    Some(o) => o.value += s.value,
-                    None => out.counters.push(s.clone()),
-                }
-            }
-            for s in &rank.gauges {
-                match out
-                    .gauges
-                    .iter_mut()
-                    .find(|o| o.name == s.name && o.phase == s.phase)
-                {
-                    Some(o) => o.value = o.value.max(s.value),
-                    None => out.gauges.push(s.clone()),
-                }
-            }
-            for s in &rank.histograms {
-                match out
-                    .histograms
-                    .iter_mut()
-                    .find(|o| o.name == s.name && o.phase == s.phase)
-                {
-                    Some(o) => o.value.merge(&s.value),
-                    None => out.histograms.push(s.clone()),
-                }
-            }
+            merge_rank(&mut out, rank);
         }
         out.normalize();
         out
+    }
+
+    /// Fold another snapshot into this one rank-wise — rank `r`'s samples
+    /// merge into rank `r` here (counters add, gauges max, histograms
+    /// merge), and extra ranks are appended. This accumulates metrics
+    /// across a *sweep of runs* of the same configuration (the chaos kill
+    /// sweep, an audit's repeats) where per-rank attribution should
+    /// survive, unlike [`MetricsSnapshot::merged`] which collapses ranks.
+    pub fn absorb(&mut self, other: &MetricsSnapshot) {
+        while self.ranks.len() < other.ranks.len() {
+            self.ranks.push(RankMetrics {
+                rank: self.ranks.len() as u32,
+                ..RankMetrics::default()
+            });
+        }
+        for (dst, src) in self.ranks.iter_mut().zip(&other.ranks) {
+            merge_rank(dst, src);
+            dst.normalize();
+        }
     }
 
     /// Max over ranks of one counter.
@@ -103,6 +93,41 @@ impl MetricsSnapshot {
             .map(|r| r.gauge(name, phase))
             .max()
             .unwrap_or(0)
+    }
+}
+
+/// Merge `src`'s samples into `dst`: counters add, gauges take the max,
+/// histograms merge bucket-wise. Does not normalize.
+fn merge_rank(dst: &mut RankMetrics, src: &RankMetrics) {
+    for s in &src.counters {
+        match dst
+            .counters
+            .iter_mut()
+            .find(|o| o.name == s.name && o.phase == s.phase)
+        {
+            Some(o) => o.value += s.value,
+            None => dst.counters.push(s.clone()),
+        }
+    }
+    for s in &src.gauges {
+        match dst
+            .gauges
+            .iter_mut()
+            .find(|o| o.name == s.name && o.phase == s.phase)
+        {
+            Some(o) => o.value = o.value.max(s.value),
+            None => dst.gauges.push(s.clone()),
+        }
+    }
+    for s in &src.histograms {
+        match dst
+            .histograms
+            .iter_mut()
+            .find(|o| o.name == s.name && o.phase == s.phase)
+        {
+            Some(o) => o.value.merge(&s.value),
+            None => dst.histograms.push(s.clone()),
+        }
     }
 }
 
@@ -168,6 +193,34 @@ mod tests {
         assert_eq!(s.sum_counter("msgs", Some(Phase::Shift)), 10);
         assert_eq!(s.max_gauge("hwm", None), 100);
         assert_eq!(s.max_counter("absent", None), 0);
+    }
+
+    #[test]
+    fn absorb_accumulates_rank_wise() {
+        let mut acc = MetricsSnapshot::empty();
+        acc.absorb(&snap());
+        acc.absorb(&snap());
+        assert_eq!(acc.ranks.len(), 2);
+        // Counters add per rank, not across ranks.
+        assert_eq!(acc.ranks[0].counter("msgs", Some(Phase::Shift)), 8);
+        assert_eq!(acc.ranks[1].counter("msgs", Some(Phase::Shift)), 12);
+        // Gauges keep the per-rank max.
+        assert_eq!(acc.ranks[0].gauge("hwm", None), 100);
+        assert_eq!(acc.ranks[1].gauge("hwm", None), 80);
+        // Histograms merge bucket-wise.
+        let h = acc.ranks[1].histogram("sz", Some(Phase::Shift)).unwrap();
+        assert_eq!(h.count(), 4);
+        // Absorbing into a populated snapshot grows it when needed.
+        let mut one = MetricsSnapshot {
+            ranks: vec![RankMetrics {
+                rank: 0,
+                counters: vec![sample("msgs", Some(Phase::Shift), 1)],
+                ..RankMetrics::default()
+            }],
+        };
+        one.absorb(&snap());
+        assert_eq!(one.ranks.len(), 2);
+        assert_eq!(one.ranks[0].counter("msgs", Some(Phase::Shift)), 5);
     }
 
     #[test]

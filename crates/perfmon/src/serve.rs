@@ -1,0 +1,253 @@
+//! The live `/metrics` endpoint: a dependency-free HTTP server.
+//!
+//! One background thread, blocking handlers, `Connection: close` — the
+//! minimum HTTP/1.1 a Prometheus scraper (or `curl`) needs, and nothing
+//! more. The served body is the text exposition the existing exporter
+//! already produces ([`MetricsSnapshot::to_prometheus`]); callers
+//! [`publish`](MetricsServer::publish) a snapshot whenever they have a
+//! fresh one, so the endpoint is a view of the latest drained registry
+//! state, not a second registry. This is the first concrete step toward
+//! the ROADMAP's simulation-as-a-service direction.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use nbody_metrics::MetricsSnapshot;
+
+/// How long the accept loop sleeps between polls when idle.
+const POLL: Duration = Duration::from_millis(10);
+
+/// Per-connection read/write deadline; a stalled scraper cannot wedge the
+/// serving thread forever.
+const IO_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// The running `/metrics` server. Dropping it stops the serving thread.
+pub struct MetricsServer {
+    addr: SocketAddr,
+    body: Arc<Mutex<String>>,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Bind `addr` (e.g. `127.0.0.1:9090`; port 0 picks a free port) and
+    /// start serving. The endpoint initially serves an empty snapshot.
+    pub fn start<A: ToSocketAddrs>(addr: A) -> std::io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let body = Arc::new(Mutex::new(MetricsSnapshot::empty().to_prometheus()));
+        let stop = Arc::new(AtomicBool::new(false));
+        let handle = {
+            let body = Arc::clone(&body);
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("metrics-http".to_string())
+                .spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        match listener.accept() {
+                            Ok((stream, _)) => {
+                                // Render outside the lock, serve blocking.
+                                let text = body.lock().map(|b| b.clone()).unwrap_or_default();
+                                let _ = handle_connection(stream, &text);
+                            }
+                            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                                std::thread::sleep(POLL);
+                            }
+                            Err(_) => std::thread::sleep(POLL),
+                        }
+                    }
+                })?
+        };
+        Ok(MetricsServer {
+            addr,
+            body,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Replace the served body with the Prometheus rendering of
+    /// `snapshot`.
+    pub fn publish(&self, snapshot: &MetricsSnapshot) {
+        if let Ok(mut b) = self.body.lock() {
+            *b = snapshot.to_prometheus();
+        }
+    }
+
+    /// Stop the serving thread and wait for it to exit.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// Serve one request on `stream`: `/metrics` gets the Prometheus text,
+/// `/healthz` a liveness probe, anything else a 404.
+fn handle_connection(mut stream: TcpStream, metrics_body: &str) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+
+    // Read until the end of the request head (or the buffer limit — the
+    // requests we answer have no meaningful body).
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() > 8192 {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    let head = String::from_utf8_lossy(&buf);
+    let mut parts = head.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+
+    let (status, content_type, body) = match (method, path) {
+        ("GET", "/metrics") | ("HEAD", "/metrics") => (
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            metrics_body,
+        ),
+        ("GET", "/healthz") | ("HEAD", "/healthz") => ("200 OK", "text/plain", "ok\n"),
+        _ => ("404 Not Found", "text/plain", "not found\n"),
+    };
+    let payload = if method == "HEAD" { "" } else { body };
+    write!(
+        stream,
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{payload}",
+        body.len()
+    )?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nbody_metrics::{MetricsRecorder, MetricsSnapshot};
+    use nbody_trace::Phase;
+
+    /// A snapshot with counters, a phase label, a gauge, and a histogram —
+    /// enough shape to prove the scrape is lossless.
+    fn sample_snapshot() -> MetricsSnapshot {
+        let shards = (0..2)
+            .map(|rank| {
+                let rec = MetricsRecorder::for_rank(rank);
+                rec.counter("comm_send_messages", Some(Phase::Shift))
+                    .add(3 + rank as u64);
+                rec.counter("compute_flops", None).add(12_345);
+                rec.counter("compute_nanos", None).add(678);
+                rec.gauge("mem_particles_hwm", None).record_max(42);
+                rec.histogram("comm_send_bytes_hist", Some(Phase::Shift))
+                    .observe(512);
+                rec.finish()
+            })
+            .collect();
+        MetricsSnapshot::from_shards(shards)
+    }
+
+    fn scrape(addr: SocketAddr, request: &str) -> (String, String) {
+        let mut conn = TcpStream::connect(addr).unwrap();
+        conn.write_all(request.as_bytes()).unwrap();
+        let mut response = String::new();
+        conn.read_to_string(&mut response).unwrap();
+        let (head, body) = response
+            .split_once("\r\n\r\n")
+            .expect("response has a header/body split");
+        (head.to_string(), body.to_string())
+    }
+
+    #[test]
+    fn http_scrape_round_trips_the_snapshot() {
+        let server = MetricsServer::start("127.0.0.1:0").unwrap();
+        let snap = sample_snapshot();
+        server.publish(&snap);
+
+        // Raw TCP client, as the satellite demands: no HTTP library on
+        // either side.
+        let (head, body) = scrape(
+            server.local_addr(),
+            "GET /metrics HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n",
+        );
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+        assert!(head.contains("Content-Type: text/plain; version=0.0.4"));
+        let advertised: usize = head
+            .lines()
+            .find_map(|l| l.strip_prefix("Content-Length: "))
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert_eq!(advertised, body.len());
+
+        // Lossless: parsing the scraped exposition reconstructs the
+        // in-memory snapshot exactly.
+        let parsed = MetricsSnapshot::parse_prometheus(&body).unwrap();
+        assert_eq!(parsed, snap);
+
+        // The new compute gauges are present in the exposition.
+        assert!(body.contains("compute_flops"), "{body}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn publish_replaces_the_served_body() {
+        let server = MetricsServer::start("127.0.0.1:0").unwrap();
+        let (_, empty_body) = scrape(
+            server.local_addr(),
+            "GET /metrics HTTP/1.1\r\nConnection: close\r\n\r\n",
+        );
+        let before = MetricsSnapshot::parse_prometheus(&empty_body).unwrap();
+        assert!(before.is_empty(), "starts serving an empty snapshot");
+
+        server.publish(&sample_snapshot());
+        let (_, body) = scrape(
+            server.local_addr(),
+            "GET /metrics HTTP/1.1\r\nConnection: close\r\n\r\n",
+        );
+        assert!(body.contains("comm_send_messages"));
+    }
+
+    #[test]
+    fn unknown_paths_get_404_and_healthz_answers() {
+        let server = MetricsServer::start("127.0.0.1:0").unwrap();
+        let (head, _) = scrape(
+            server.local_addr(),
+            "GET /nope HTTP/1.1\r\nConnection: close\r\n\r\n",
+        );
+        assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+        let (head, body) = scrape(
+            server.local_addr(),
+            "GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n",
+        );
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert_eq!(body, "ok\n");
+    }
+}

@@ -40,6 +40,17 @@ pub trait ForceLaw: Sync {
     fn is_symmetric(&self) -> bool {
         true
     }
+
+    /// Nominal floating-point operations per force evaluation, the
+    /// conversion factor from interaction counts to FLOP totals (Harfst
+    /// et al.'s hardware-efficiency accounting). Counts multiplies, adds,
+    /// divides, and square roots as one FLOP each, including the force
+    /// accumulation; transcendental calls are costed at their typical
+    /// polynomial expansion. An estimate, not a measurement — what matters
+    /// for roofline comparisons is that it is fixed per law.
+    fn flops_per_interaction(&self) -> u64 {
+        20
+    }
 }
 
 /// The paper's force: repulsion with inverse-square falloff,
@@ -84,6 +95,12 @@ impl ForceLaw for RepulsiveInverseSquare {
         }
         self.strength * target.mass * source.mass / r
     }
+
+    // norm_sq (3) + softening (2) + magnitude (3) + normalize (6) +
+    // scale/negate (2) + accumulate (2) + compare (1) + guard slack.
+    fn flops_per_interaction(&self) -> u64 {
+        20
+    }
 }
 
 /// Newtonian gravity with Plummer softening, `F = G m_i m_j / (r^2 + eps^2)`
@@ -123,6 +140,11 @@ impl ForceLaw for Gravity {
             return 0.0;
         }
         -self.g * target.mass * source.mass / r
+    }
+
+    // Same operation mix as the repulsive law, opposite sign.
+    fn flops_per_interaction(&self) -> u64 {
+        20
     }
 }
 
@@ -170,6 +192,12 @@ impl ForceLaw for LennardJones {
         let s6 = s2 * s2 * s2;
         4.0 * self.epsilon * (s6 * s6 - s6)
     }
+
+    // norm_sq (3) + s2/s6/s12 ladder (6) + magnitude (5) + scale/negate
+    // (4) + accumulate (2) + compare (1) + guard slack.
+    fn flops_per_interaction(&self) -> u64 {
+        23
+    }
 }
 
 /// A diagnostic "force" that adds exactly `(1, 0)` per evaluated pair.
@@ -190,6 +218,11 @@ impl ForceLaw for Counting {
 
     fn is_symmetric(&self) -> bool {
         false
+    }
+
+    // Only the two accumulator adds.
+    fn flops_per_interaction(&self) -> u64 {
+        2
     }
 }
 
@@ -251,6 +284,11 @@ impl<F: ForceLaw> ForceLaw for Cutoff<F> {
 
     fn is_symmetric(&self) -> bool {
         self.inner.is_symmetric()
+    }
+
+    // The range test (norm_sq + compare) on top of the inner law.
+    fn flops_per_interaction(&self) -> u64 {
+        self.inner.flops_per_interaction() + 4
     }
 }
 

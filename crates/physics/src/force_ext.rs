@@ -58,6 +58,12 @@ impl ForceLaw for Yukawa {
         }
         self.strength * target.mass * source.mass * (-r / self.screening_length).exp() / r
     }
+
+    // The inverse-square mix plus a sqrt and an exp (costed at ~20 FLOPs
+    // for its polynomial expansion).
+    fn flops_per_interaction(&self) -> u64 {
+        45
+    }
 }
 
 /// Force-shifted truncation: `F'(r) = F(r) − F(r_c)·r̂` for `r ≤ r_c`, zero
@@ -126,6 +132,12 @@ impl<F: ForceLaw> ForceLaw for ShiftedForce<F> {
 
     fn is_symmetric(&self) -> bool {
         self.inner.is_symmetric()
+    }
+
+    // Probes the inner law twice (live value + shift constant) plus the
+    // range test, renormalization, and the shift subtraction.
+    fn flops_per_interaction(&self) -> u64 {
+        2 * self.inner.flops_per_interaction() + 12
     }
 }
 

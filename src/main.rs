@@ -4,14 +4,18 @@
 //! ca-nbody run      [n=1024] [p=8] [c=2] [steps=20] [dt=0.005] [method=ca]
 //!                   [law=repulsive|gravity|lj] [cutoff=0.25] [boundary=reflective]
 //!                   [--trace=out.json] [--metrics=out.json|out.prom] [--profile]
+//!                   [--serve-metrics=ADDR] [serve-metrics-hold-ms=2000]
 //!                   [--faults=SPEC] [fault-timeout-ms=1000] [max-retries=3]
 //! ca-nbody verify   [same options]            distributed-vs-serial check
 //! ca-nbody report   <trace-file>              per-phase/per-step breakdown tables
 //! ca-nbody audit    [n=4096] [p=16] [steps=1] [c=N] [cutoff=0]
 //!                   [--baseline=F] [--out=F.csv|F.json]
+//!                   [--calibration=F] [--roofline-baseline=F] [--roofline-out=F.csv|F.json]
+//! ca-nbody calibrate [--out=bench_results/machine_calibration.json] [seed=42] [--full]
 //! ca-nbody chaos    [n=192] [p=8] [c=2] [steps=1] [method=ca] [seed=42]
-//!                   [fault-timeout-ms=250] [--baseline=F]
-//! ca-nbody scale    [machine=hopper] [n=32768] strong-scaling table (simulated)
+//!                   [fault-timeout-ms=250] [--baseline=F] [--metrics=F]
+//! ca-nbody scale    [machine=hopper] [n=32768] [--metrics=F]
+//!                   strong-scaling table (simulated)
 //! ca-nbody autotune [machine=hopper] [p=1536] [n=12288] [cutoff=0]
 //! ca-nbody analyze  <trace-file> [--metrics=F] [c=1] [--csv=F] [--json=F]
 //! ca-nbody regress  <trace-file> [--metrics=F] [n=0] [c=1] [kernel=allpairs]
@@ -32,7 +36,22 @@
 //! and compares the measured per-step communication against the paper's
 //! lower bounds (Eq. 2/3) and predicted costs (Eq. 5/§IV.B), failing if
 //! any constant factor exceeds the ceilings (`--baseline` overrides the
-//! defaults from a JSON file).
+//! defaults from a JSON file). It also reports the *compute* side: the
+//! kernel's live `compute_*` counters joined with a machine calibration
+//! (`--calibration`, default `bench_results/machine_calibration.json`,
+//! else a quick in-process calibration) become per-rank roofline points —
+//! achieved GFLOP/s, arithmetic intensity, %-of-roofline — written with
+//! `--roofline-out` and gated by `--roofline-baseline` (fails if the best
+//! rank falls below the recorded floor minus its tolerance).
+//!
+//! `calibrate` measures the machine ceilings the roofline uses (scalar
+//! FMA peak, stream bandwidth) with seedable microbenchmarks and writes
+//! them as JSON (`--full` for the long, checked-in variant).
+//!
+//! `--serve-metrics=<addr>` starts a dependency-free HTTP endpoint
+//! serving the Prometheus exposition of the run's metrics at
+//! `http://<addr>/metrics` (empty until the run finishes, then held for
+//! `serve-metrics-hold-ms` so scrapers can collect the final snapshot).
 //!
 //! `--faults` injects a deterministic fault schedule (spec grammar
 //! `kind:rank@step` with kinds `kill | drop | dup | delay`, comma-
@@ -76,6 +95,10 @@ use nbody_metrics::{
     AuditInput, FactorCeilings, MetricsSnapshot,
 };
 use nbody_netsim::{hopper, intrepid, simulate, Machine};
+use nbody_perfmon::{
+    roofline, roofline_csv, roofline_json, roofline_table, CalibrationConfig, MachineCalibration,
+    MetricsServer, RooflineGate, RooflineReport,
+};
 use nbody_physics::{
     diagnostics, init, Boundary, Cutoff, Domain, ForceLaw, Gravity, LennardJones, Particle,
     RepulsiveInverseSquare, SemiImplicitEuler, Vec2, PARTICLE_WIRE_BYTES,
@@ -120,6 +143,7 @@ fn main() -> ExitCode {
         "verify" => run_cmd(&opts, true),
         "report" => report_cmd(&positional),
         "audit" => audit_cmd(&opts),
+        "calibrate" => calibrate_cmd(&opts),
         "chaos" => chaos_cmd(&opts),
         "scale" => scale_cmd(&opts),
         "autotune" => autotune_cmd(&opts),
@@ -134,7 +158,7 @@ fn main() -> ExitCode {
 
 fn usage() {
     eprintln!(
-        "usage: ca-nbody <run|verify|report|audit|chaos|scale|autotune|analyze|regress> \
+        "usage: ca-nbody <run|verify|report|audit|calibrate|chaos|scale|autotune|analyze|regress> \
          [key=value ...] \
          [--trace=F] [--metrics=F] [--profile] [--faults=SPEC]\n\
          see `src/main.rs` header or README.md for the option list"
@@ -184,6 +208,15 @@ impl ForceLaw for AnyLaw {
 
     fn is_symmetric(&self) -> bool {
         true
+    }
+
+    fn flops_per_interaction(&self) -> u64 {
+        match self {
+            AnyLaw::Repulsive(l) => l.flops_per_interaction(),
+            AnyLaw::Gravity(l) => l.flops_per_interaction(),
+            AnyLaw::Lj(l) => l.flops_per_interaction(),
+            AnyLaw::RepulsiveCutoff(l) => l.flops_per_interaction(),
+        }
     }
 }
 
@@ -272,7 +305,26 @@ fn run_cmd(opts: &HashMap<String, String>, verify: bool) -> ExitCode {
     let trace_path = opts.get("trace").cloned();
     let metrics_path = opts.get("metrics").cloned();
     let profile = opts.get("profile").is_some_and(|v| v != "false");
-    let tracing = trace_path.is_some() || profile || metrics_path.is_some();
+    let serve_addr = opts.get("serve-metrics").cloned();
+    let tracing =
+        trace_path.is_some() || profile || metrics_path.is_some() || serve_addr.is_some();
+
+    // The endpoint comes up before the run (serving an empty snapshot) so
+    // scrapers can connect while the simulation is in flight; the final
+    // snapshot is published after the run and held for a grace period.
+    let server = match &serve_addr {
+        Some(addr) => match MetricsServer::start(addr.as_str()) {
+            Ok(s) => {
+                println!("  serving metrics on http://{}/metrics", s.local_addr());
+                Some(s)
+            }
+            Err(e) => {
+                eprintln!("cannot serve metrics on {addr}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
 
     let faults = match opts.get("faults") {
         Some(spec) => match FaultPlan::parse(spec) {
@@ -371,6 +423,14 @@ fn run_cmd(opts: &HashMap<String, String>, verify: bool) -> ExitCode {
             print_breakdown(trace);
         }
     }
+    if let Some(server) = &server {
+        server.publish(&metrics);
+        println!(
+            "  metrics published at http://{}/metrics ({} ranks)",
+            server.local_addr(),
+            metrics.ranks.len()
+        );
+    }
 
     let mut max_err = None;
     if verify {
@@ -454,6 +514,16 @@ fn run_cmd(opts: &HashMap<String, String>, verify: bool) -> ExitCode {
         summary.push(("max_deviation".to_string(), Json::Num(err)));
         summary.push(("verify_ok".to_string(), Json::Bool(true)));
     }
+    if let Some(server) = &server {
+        summary.push((
+            "metrics_endpoint".to_string(),
+            Json::Str(format!("http://{}/metrics", server.local_addr())),
+        ));
+        summary.push((
+            "compute_flops".to_string(),
+            Json::Num(metrics.sum_counter("compute_flops", None) as f64),
+        ));
+    }
     if let (Some(plan), Some((attempts, recovered))) = (&faults, chaos_info) {
         summary.push(("faults".to_string(), Json::Str(plan.spec())));
         summary.push(("max_attempts".to_string(), Json::Num(attempts as f64)));
@@ -471,6 +541,13 @@ fn run_cmd(opts: &HashMap<String, String>, verify: bool) -> ExitCode {
         }
     }
     println!("{}", Json::Obj(summary));
+    if let Some(server) = server {
+        // Hold the endpoint open so an external scraper launched against
+        // the printed address can still collect the final snapshot.
+        let hold_ms: u64 = get(opts, "serve-metrics-hold-ms", 2000);
+        std::thread::sleep(std::time::Duration::from_millis(hold_ms));
+        server.shutdown();
+    }
     ExitCode::SUCCESS
 }
 
@@ -648,6 +725,14 @@ fn audit_cmd(opts: &HashMap<String, String>) -> ExitCode {
     );
 
     let mut reports = Vec::new();
+    let mut rooflines: Vec<RooflineReport> = Vec::new();
+    let calibration = match load_calibration(opts) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
     for &c in &cs {
         let base_law = RepulsiveInverseSquare {
             strength: 1e-3,
@@ -671,6 +756,14 @@ fn audit_cmd(opts: &HashMap<String, String>) -> ExitCode {
         };
         let initial = init::uniform(n, &cfg.domain, seed);
         let (_, _, metrics) = run_distributed_traced(&cfg, method, p, &initial);
+        // The same instrumented run feeds both sides of the audit: its
+        // comm counters go to the optimality check, its compute counters
+        // to the roofline.
+        rooflines.push(roofline(
+            &format!("{algo_name} c={c}"),
+            &metrics,
+            &calibration,
+        ));
         let input = AuditInput::from_snapshot(&metrics);
         let acfg = AuditConfig {
             n: n as u64,
@@ -697,6 +790,50 @@ fn audit_cmd(opts: &HashMap<String, String>) -> ExitCode {
         println!("audit report written to {path}");
     }
 
+    print!("{}", roofline_table(&rooflines));
+    if let Some(path) = opts.get("roofline-out") {
+        let body = if path.ends_with(".csv") {
+            roofline_csv(&rooflines)
+        } else {
+            roofline_json(&rooflines).to_string()
+        };
+        if let Err(e) = std::fs::write(path, body) {
+            eprintln!("cannot write roofline report to {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("roofline report written to {path}");
+    }
+
+    let roofline_best = rooflines
+        .iter()
+        .map(RooflineReport::best_pct)
+        .fold(0.0, f64::max);
+    let mut roofline_pass = true;
+    if let Some(path) = opts.get("roofline-baseline") {
+        let gate = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {path}: {e}"))
+            .and_then(|text| Json::parse(&text).map_err(|e| format!("cannot parse {path}: {e}")))
+            .and_then(|doc| RooflineGate::from_json(&doc));
+        let gate = match gate {
+            Ok(g) => g,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match gate.check(&rooflines) {
+            Ok(best) => println!(
+                "roofline gate: best rank {best:.2}% of roofline >= floor \
+                 {:.2}% - {:.2}%",
+                gate.min_pct, gate.tolerance_pct
+            ),
+            Err(e) => {
+                eprintln!("{e}");
+                roofline_pass = false;
+            }
+        }
+    }
+
     let rows = reports
         .iter()
         .map(|r| {
@@ -719,18 +856,105 @@ fn audit_cmd(opts: &HashMap<String, String>) -> ExitCode {
         ("p".to_string(), Json::Num(p as f64)),
         ("steps".to_string(), Json::Num(steps as f64)),
         ("rows".to_string(), Json::Arr(rows)),
+        ("roofline_best_pct".to_string(), Json::Num(roofline_best)),
+        ("roofline_pass".to_string(), Json::Bool(roofline_pass)),
         (
             "pass".to_string(),
-            Json::Bool(reports.iter().all(|r| r.pass)),
+            Json::Bool(reports.iter().all(|r| r.pass) && roofline_pass),
         ),
     ]);
     println!("{summary}");
-    if reports.iter().all(|r| r.pass) {
-        ExitCode::SUCCESS
-    } else {
+    if !reports.iter().all(|r| r.pass) {
         eprintln!("AUDIT FAILED: a constant factor exceeded its ceiling");
         ExitCode::FAILURE
+    } else if !roofline_pass {
+        eprintln!("AUDIT FAILED: compute efficiency fell below the roofline baseline");
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
     }
+}
+
+/// Resolve the machine calibration the roofline uses: an explicit
+/// `--calibration` path, else the checked-in default if present, else a
+/// quick in-process measurement.
+fn load_calibration(opts: &HashMap<String, String>) -> Result<MachineCalibration, String> {
+    const DEFAULT_PATH: &str = "bench_results/machine_calibration.json";
+    let explicit = opts.get("calibration").map(String::as_str);
+    let path = explicit.unwrap_or(DEFAULT_PATH);
+    match std::fs::read_to_string(path) {
+        Ok(text) => {
+            let doc = Json::parse(&text).map_err(|e| format!("cannot parse {path}: {e}"))?;
+            let cal = MachineCalibration::from_json(&doc)?;
+            println!(
+                "calibration from {path}: peak {:.2} GFLOP/s, bandwidth {:.2} GB/s",
+                cal.peak_gflops, cal.mem_bw_gbytes
+            );
+            Ok(cal)
+        }
+        Err(e) if explicit.is_some() => Err(format!("cannot read {path}: {e}")),
+        Err(_) => {
+            // No recorded calibration: measure a quick one so the audit
+            // still renders a roofline (noisier than the recorded file).
+            let cal = MachineCalibration::measure(&CalibrationConfig::quick());
+            println!(
+                "no {DEFAULT_PATH}; quick live calibration: peak {:.2} GFLOP/s, \
+                 bandwidth {:.2} GB/s",
+                cal.peak_gflops, cal.mem_bw_gbytes
+            );
+            Ok(cal)
+        }
+    }
+}
+
+/// `calibrate`: run the machine microbenchmarks and persist the ceilings.
+fn calibrate_cmd(opts: &HashMap<String, String>) -> ExitCode {
+    let full = opts.get("full").is_some_and(|v| v != "false");
+    let mut cfg = if full {
+        CalibrationConfig::full()
+    } else {
+        CalibrationConfig::quick()
+    };
+    cfg.seed = get(opts, "seed", cfg.seed);
+    println!(
+        "calibrating ({}): {} FMA iters x {} lanes, {} MiB stream, best of {}",
+        if full { "full" } else { "quick" },
+        cfg.fma_iters,
+        8,
+        cfg.stream_mib,
+        cfg.repeats
+    );
+    let start = std::time::Instant::now();
+    let cal = MachineCalibration::measure(&cfg);
+    let elapsed = start.elapsed();
+    println!(
+        "  scalar FMA peak {:.3} GFLOP/s, stream bandwidth {:.3} GB/s ({elapsed:.2?})",
+        cal.peak_gflops, cal.mem_bw_gbytes
+    );
+    if let Some(path) = opts.get("out") {
+        if let Some(dir) = std::path::Path::new(path).parent().filter(|d| !d.as_os_str().is_empty())
+        {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("cannot create {}: {e}", dir.display());
+                return ExitCode::FAILURE;
+            }
+        }
+        if let Err(e) = std::fs::write(path, cal.to_json().to_string()) {
+            eprintln!("cannot write calibration to {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("  calibration written to {path}");
+    }
+    let summary = Json::Obj(vec![
+        ("cmd".to_string(), Json::Str("calibrate".into())),
+        ("full".to_string(), Json::Bool(full)),
+        ("seed".to_string(), Json::Num(cfg.seed as f64)),
+        ("peak_gflops".to_string(), Json::Num(cal.peak_gflops)),
+        ("mem_bw_gbytes".to_string(), Json::Num(cal.mem_bw_gbytes)),
+        ("elapsed_secs".to_string(), Json::Num(elapsed.as_secs_f64())),
+    ]);
+    println!("{summary}");
+    ExitCode::SUCCESS
 }
 
 /// `chaos`: sweep deterministic fault schedules over a small execution.
@@ -855,6 +1079,11 @@ fn chaos_cmd(opts: &HashMap<String, String>) -> ExitCode {
 
     let mut failures: Vec<String> = Vec::new();
     let mut runs = 0usize;
+    // With --metrics the whole sweep's counters accumulate rank-wise into
+    // one snapshot (fault counters sum, memory HWMs take the max), so one
+    // file answers "what did the entire chaos campaign cost".
+    let metrics_path = opts.get("metrics").cloned();
+    let mut sweep_metrics = MetricsSnapshot::empty();
 
     // Benign schedules: delays and duplicates must be absorbed without
     // even triggering recovery.
@@ -869,6 +1098,7 @@ fn chaos_cmd(opts: &HashMap<String, String>) -> ExitCode {
         runs += 1;
         match run_distributed_chaos(&cfg, method, p, &plan, &fc, &initial) {
             Ok(res) => {
+                sweep_metrics.absorb(&res.metrics);
                 if res.particles != want {
                     failures.push(format!("benign [{}]: forces diverged", plan.spec()));
                 }
@@ -891,6 +1121,7 @@ fn chaos_cmd(opts: &HashMap<String, String>) -> ExitCode {
             runs += 1;
             match run_distributed_chaos(&cfg, method, p, &plan, &fc, &initial) {
                 Ok(res) => {
+                    sweep_metrics.absorb(&res.metrics);
                     if res.particles != want {
                         failures.push(format!(
                             "kill:{rank}@{step}: forces diverged from fault-free run"
@@ -952,8 +1183,24 @@ fn chaos_cmd(opts: &HashMap<String, String>) -> ExitCode {
         eprintln!("  CHAOS FAILURE: {f}");
     }
 
+    if let Some(path) = &metrics_path {
+        let body = if path.ends_with(".prom") {
+            sweep_metrics.to_prometheus()
+        } else {
+            sweep_metrics.to_json().to_string()
+        };
+        if let Err(e) = std::fs::write(path, body) {
+            eprintln!("cannot write metrics to {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "  sweep metrics written to {path} ({} ranks)",
+            sweep_metrics.ranks.len()
+        );
+    }
+
     let pass = failures.is_empty();
-    let summary = Json::Obj(vec![
+    let mut summary = vec![
         ("cmd".to_string(), Json::Str("chaos".into())),
         ("method".to_string(), Json::Str(method_name.into())),
         ("n".to_string(), Json::Num(n as f64)),
@@ -970,8 +1217,15 @@ fn chaos_cmd(opts: &HashMap<String, String>) -> ExitCode {
         ("elapsed_secs".to_string(), Json::Num(elapsed.as_secs_f64())),
         ("failures".to_string(), Json::Num(failures.len() as f64)),
         ("pass".to_string(), Json::Bool(pass)),
-    ]);
-    println!("{summary}");
+    ];
+    if let Some(path) = &metrics_path {
+        summary.push(("metrics_path".to_string(), Json::Str(path.clone())));
+        summary.push((
+            "sweep_compute_flops".to_string(),
+            Json::Num(sweep_metrics.sum_counter("compute_flops", None) as f64),
+        ));
+    }
+    println!("{}", Json::Obj(summary));
     if pass {
         ExitCode::SUCCESS
     } else {
@@ -1059,7 +1313,76 @@ fn scale_cmd(opts: &HashMap<String, String>) -> ExitCode {
             ("critical_comm_frac".to_string(), Json::Arr(crit_comm)),
         ]));
     }
-    let summary = Json::Obj(vec![
+    // With --metrics, one simulated configuration is distilled into a real
+    // MetricsSnapshot (comm counters from the schedule's operation counts,
+    // compute counters from the DES compute times), so the downstream
+    // lenses — audit, roofline, analyze — work on predicted executions too.
+    let metrics_path = opts.get("metrics").cloned();
+    let mut metrics_info: Option<(usize, usize)> = None;
+    if let Some(path) = &metrics_path {
+        let mp: usize = get(opts, "metrics-p", 256);
+        let Some(c) = cs
+            .iter()
+            .rev()
+            .copied()
+            .find(|&c| c * c <= mp && mp.is_multiple_of(c * c))
+        else {
+            eprintln!("scale: no usable replication factor for metrics-p={mp}");
+            return ExitCode::FAILURE;
+        };
+        let params = AllPairsParams::new(mp, c, n);
+        let rep = simulate(&machine, mp, |r| params.program(r));
+        // One kernel call touches its own block (read + write) and a
+        // visiting block (read): interactions * 3*block_bytes / block^2.
+        let block = (n * c / mp).max(1) as u64;
+        let particle_bytes = std::mem::size_of::<Particle>() as u64;
+        // The synthesized kernel is the default repulsive law.
+        let flops_per_interaction = RepulsiveInverseSquare {
+            strength: 1e-3,
+            softening: 1e-3,
+        }
+        .flops_per_interaction();
+        let shards = (0..mp)
+            .map(|r| {
+                let rec = nbody_metrics::MetricsRecorder::for_rank(r);
+                let k = count_ops(params.program(r));
+                for (i, ph) in ALL_PHASES.iter().enumerate() {
+                    if k.sends[i] > 0 {
+                        rec.counter("comm_send_messages", Some(*ph)).add(k.sends[i]);
+                        rec.counter("comm_send_bytes", Some(*ph)).add(k.send_bytes[i]);
+                        rec.counter("comm_send_elements", Some(*ph))
+                            .add(k.send_bytes[i] / PARTICLE_WIRE_BYTES as u64);
+                    }
+                    if k.collectives[i] > 0 {
+                        rec.counter("comm_collective_messages", Some(*ph))
+                            .add(k.collectives[i]);
+                    }
+                }
+                rec.counter("compute_interactions", None).add(k.interactions);
+                rec.counter("compute_flops", None)
+                    .add(k.interactions.saturating_mul(flops_per_interaction));
+                rec.counter("compute_bytes", None)
+                    .add(k.interactions.saturating_mul(3 * particle_bytes) / block);
+                let nanos = (rep.per_rank[r].compute * 1e9) as u64;
+                rec.counter("compute_nanos", None).add(nanos.max(1));
+                rec.finish()
+            })
+            .collect();
+        let snap = MetricsSnapshot::from_shards(shards);
+        let body = if path.ends_with(".prom") {
+            snap.to_prometheus()
+        } else {
+            snap.to_json().to_string()
+        };
+        if let Err(e) = std::fs::write(path, body) {
+            eprintln!("cannot write metrics to {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("simulated metrics for p={mp} c={c} written to {path}");
+        metrics_info = Some((mp, c));
+    }
+
+    let mut summary = vec![
         ("cmd".to_string(), Json::Str("scale".into())),
         ("machine".to_string(), Json::Str(machine.name.to_string())),
         ("n".to_string(), Json::Num(n as f64)),
@@ -1068,8 +1391,13 @@ fn scale_cmd(opts: &HashMap<String, String>) -> ExitCode {
             Json::Arr(cs.iter().map(|&c| Json::Num(c as f64)).collect()),
         ),
         ("rows".to_string(), Json::Arr(rows)),
-    ]);
-    println!("{summary}");
+    ];
+    if let (Some(path), Some((mp, c))) = (&metrics_path, metrics_info) {
+        summary.push(("metrics_path".to_string(), Json::Str(path.clone())));
+        summary.push(("metrics_p".to_string(), Json::Num(mp as f64)));
+        summary.push(("metrics_c".to_string(), Json::Num(c as f64)));
+    }
+    println!("{}", Json::Obj(summary));
     ExitCode::SUCCESS
 }
 

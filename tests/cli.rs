@@ -421,19 +421,34 @@ fn metrics_flag_round_trips_through_json_and_prometheus() {
             String::from_utf8_lossy(&out.stderr)
         );
     }
-    // Both exports must parse back to the same snapshot.
+    // Both exports must parse back; each round-trips losslessly through
+    // the other format in memory. (The two runs themselves are not
+    // bit-identical: compute_nanos is wall-clock kernel time.)
     let json_text = std::fs::read_to_string(&json_path).unwrap();
     let doc = nbody_trace::Json::parse(&json_text).unwrap();
     let from_json = nbody_metrics::MetricsSnapshot::from_json(&doc).expect("JSON round-trip");
     let prom_text = std::fs::read_to_string(&prom_path).unwrap();
     let from_prom =
         nbody_metrics::MetricsSnapshot::parse_prometheus(&prom_text).expect("prom round-trip");
-    assert_eq!(from_json, from_prom);
-    assert_eq!(from_json.ranks.len(), 4);
-    assert!(
-        from_json.sum_counter("comm_send_messages", Some(nbody_trace::Phase::Shift)) > 0,
-        "{json_text}"
+    assert_eq!(
+        nbody_metrics::MetricsSnapshot::parse_prometheus(&from_json.to_prometheus()).unwrap(),
+        from_json
     );
+    let prom_doc = nbody_trace::Json::parse(&from_prom.to_json().to_string()).unwrap();
+    assert_eq!(
+        nbody_metrics::MetricsSnapshot::from_json(&prom_doc).unwrap(),
+        from_prom
+    );
+    for snap in [&from_json, &from_prom] {
+        assert_eq!(snap.ranks.len(), 4);
+        assert!(
+            snap.sum_counter("comm_send_messages", Some(nbody_trace::Phase::Shift)) > 0,
+            "{json_text}"
+        );
+        // The kernel meter populates the compute side of the snapshot.
+        assert!(snap.sum_counter("compute_flops", None) > 0);
+        assert!(snap.sum_counter("compute_nanos", None) > 0);
+    }
     std::fs::remove_file(&json_path).ok();
     std::fs::remove_file(&prom_path).ok();
 }
@@ -834,4 +849,227 @@ fn regress_rejects_corrupt_history_with_line_diagnostic() {
     assert!(stderr.contains("line 1"), "{stderr}");
     assert!(!stderr.contains("panicked"), "{stderr}");
     std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn calibrate_writes_machine_ceilings_json() {
+    let dir = std::env::temp_dir().join("ca_nbody_cli_calibrate_test");
+    std::fs::remove_dir_all(&dir).ok();
+    let path = dir.join("machine_calibration.json");
+    let out = cli()
+        .args([
+            "calibrate",
+            "seed=7",
+            &format!("--out={}", path.display()),
+        ])
+        .output()
+        .expect("launch");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}");
+    let last = stdout.lines().last().unwrap();
+    let doc = nbody_trace::Json::parse(last).expect("last line is not JSON");
+    assert_eq!(doc.get("cmd").unwrap().as_str(), Some("calibrate"));
+    assert_eq!(doc.get("seed").unwrap().as_f64(), Some(7.0));
+    assert!(doc.get("peak_gflops").unwrap().as_f64().unwrap() > 0.0);
+    // The file parses back to the same positive ceilings.
+    let text = std::fs::read_to_string(&path).expect("calibration not written");
+    let saved = nbody_trace::Json::parse(&text).unwrap();
+    assert!(saved.get("peak_gflops").unwrap().as_f64().unwrap() > 0.0);
+    assert!(saved.get("mem_bw_gbytes").unwrap().as_f64().unwrap() > 0.0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn audit_renders_roofline_and_gates_against_baseline() {
+    let dir = std::env::temp_dir().join("ca_nbody_cli_roofline_test");
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    // A hand-written calibration keeps the test deterministic and fast.
+    let cal = dir.join("cal.json");
+    std::fs::write(
+        &cal,
+        r#"{"peak_gflops": 1.0, "mem_bw_gbytes": 10.0, "seed": 42, "fma_iters": 0, "stream_bytes": 0}"#,
+    )
+    .unwrap();
+    let roofline_json = dir.join("roofline.json");
+    let base = |args: &[String]| {
+        let mut v = vec![
+            "audit".to_string(),
+            "n=256".to_string(),
+            "p=4".to_string(),
+            "steps=1".to_string(),
+            "c=2".to_string(),
+            format!("--calibration={}", cal.display()),
+        ];
+        v.extend_from_slice(args);
+        cli().args(&v).output().expect("launch")
+    };
+
+    // An achievable floor passes and writes the roofline report.
+    let floor = dir.join("floor_ok.json");
+    std::fs::write(&floor, r#"{"min_pct_of_roofline": 0.0, "tolerance_pct": 0.0}"#).unwrap();
+    let out = base(&[
+        format!("--roofline-baseline={}", floor.display()),
+        format!("--roofline-out={}", roofline_json.display()),
+    ]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}");
+    assert!(stdout.contains("compute roofline"), "{stdout}");
+    assert!(stdout.contains("roofline gate"), "{stdout}");
+    let last = stdout.lines().last().unwrap();
+    let doc = nbody_trace::Json::parse(last).unwrap();
+    assert_eq!(doc.get("roofline_pass").unwrap().as_bool(), Some(true));
+    assert!(doc.get("roofline_best_pct").unwrap().as_f64().unwrap() > 0.0);
+    let report = nbody_trace::Json::parse(
+        &std::fs::read_to_string(&roofline_json).expect("roofline report not written"),
+    )
+    .unwrap();
+    let kernels = report.as_array().unwrap();
+    assert!(!kernels.is_empty());
+    assert!(kernels[0].get("best_pct_of_roofline").unwrap().as_f64().unwrap() > 0.0);
+
+    // An impossible floor fails the audit with a roofline diagnostic.
+    let floor_bad = dir.join("floor_bad.json");
+    std::fs::write(
+        &floor_bad,
+        r#"{"min_pct_of_roofline": 1000000.0, "tolerance_pct": 0.0}"#,
+    )
+    .unwrap();
+    let out = base(&[format!("--roofline-baseline={}", floor_bad.display())]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("roofline gate"), "{stderr}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let last = stdout.lines().last().unwrap();
+    let doc = nbody_trace::Json::parse(last).unwrap();
+    assert_eq!(doc.get("roofline_pass").unwrap().as_bool(), Some(false));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn chaos_metrics_flag_accumulates_the_whole_sweep() {
+    let dir = std::env::temp_dir().join("ca_nbody_cli_chaos_metrics_test");
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("sweep.json");
+    let out = cli()
+        .args([
+            "chaos",
+            "n=96",
+            "p=4",
+            "c=2",
+            "steps=1",
+            &format!("--metrics={}", path.display()),
+        ])
+        .output()
+        .expect("launch");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}");
+    let text = std::fs::read_to_string(&path).expect("sweep metrics not written");
+    let doc = nbody_trace::Json::parse(&text).unwrap();
+    let snap = nbody_metrics::MetricsSnapshot::from_json(&doc).unwrap();
+    assert_eq!(snap.ranks.len(), 4);
+    // The accumulated snapshot spans the whole campaign: kills fired and
+    // every run's kernel work is in the compute counters.
+    assert!(snap.sum_counter("fault_injected_kill", None) > 0);
+    assert!(snap.sum_counter("compute_flops", None) > 0);
+    assert!(snap.sum_counter("compute_nanos", None) > 0);
+    let last = stdout.lines().last().unwrap();
+    let summary = nbody_trace::Json::parse(last).unwrap();
+    assert!(summary.get("sweep_compute_flops").unwrap().as_f64().unwrap() > 0.0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn scale_metrics_flag_synthesizes_a_snapshot_from_the_model() {
+    let dir = std::env::temp_dir().join("ca_nbody_cli_scale_metrics_test");
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("scale.prom");
+    let out = cli()
+        .args([
+            "scale",
+            "n=4096",
+            "metrics-p=64",
+            &format!("--metrics={}", path.display()),
+        ])
+        .output()
+        .expect("launch");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}");
+    let text = std::fs::read_to_string(&path).expect("metrics not written");
+    let snap = nbody_metrics::MetricsSnapshot::parse_prometheus(&text).unwrap();
+    assert_eq!(snap.ranks.len(), 64);
+    // Comm counters come from the schedule's operation counts, compute
+    // counters from the DES model — both sides must be populated.
+    let sends: u64 = nbody_trace::ALL_PHASES
+        .iter()
+        .map(|ph| snap.sum_counter("comm_send_messages", Some(*ph)))
+        .sum();
+    assert!(sends > 0, "{text}");
+    assert!(snap.sum_counter("compute_interactions", None) > 0);
+    assert!(snap.sum_counter("compute_flops", None) > 0);
+    assert!(snap.sum_counter("compute_nanos", None) > 0);
+    let last = stdout.lines().last().unwrap();
+    let summary = nbody_trace::Json::parse(last).unwrap();
+    assert_eq!(summary.get("metrics_p").unwrap().as_f64(), Some(64.0));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn serve_metrics_endpoint_scrapes_compute_gauges_over_http() {
+    use std::io::{BufRead, BufReader, Read, Write};
+
+    let mut child = cli()
+        .args([
+            "run",
+            "n=128",
+            "p=4",
+            "c=2",
+            "steps=2",
+            "--serve-metrics=127.0.0.1:0",
+            "serve-metrics-hold-ms=30000",
+        ])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("launch");
+
+    // stdout is line-buffered; wait for the post-run "published" line and
+    // take the endpoint address from it.
+    let mut reader = BufReader::new(child.stdout.take().unwrap());
+    let mut addr = None;
+    let mut line = String::new();
+    while reader.read_line(&mut line).unwrap_or(0) > 0 {
+        if let Some(rest) = line.split("published at http://").nth(1) {
+            addr = rest.split("/metrics").next().map(str::to_string);
+            break;
+        }
+        line.clear();
+    }
+    let addr = match addr {
+        Some(a) => a,
+        None => {
+            child.kill().ok();
+            panic!("no 'metrics published' line on stdout");
+        }
+    };
+
+    let mut conn = std::net::TcpStream::connect(&addr).expect("connect to /metrics");
+    conn.write_all(b"GET /metrics HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n")
+        .unwrap();
+    let mut response = String::new();
+    conn.read_to_string(&mut response).unwrap();
+    child.kill().ok();
+    child.wait().ok();
+
+    let (head, body) = response.split_once("\r\n\r\n").expect("no header split");
+    assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+    assert!(head.contains("text/plain; version=0.0.4"), "{head}");
+    // The scraped exposition parses back and carries the live compute
+    // counters of the run that just finished.
+    let snap = nbody_metrics::MetricsSnapshot::parse_prometheus(body).unwrap();
+    assert_eq!(snap.ranks.len(), 4);
+    assert!(snap.sum_counter("compute_flops", None) > 0, "{body}");
+    assert!(snap.sum_counter("compute_interactions", None) > 0);
+    assert!(snap.sum_counter("comm_send_messages", Some(nbody_trace::Phase::Shift)) > 0);
 }
