@@ -21,7 +21,8 @@
 //!   append-only `bench_results/history/*.jsonl` store, plus the
 //!   median-based regression check behind `ca-nbody regress`.
 //! * [`report`] — human tables, CSV, and JSON renderings of an
-//!   [`Analysis`].
+//!   [`Analysis`], plus the drift-window table `ca-nbody analyze
+//!   --timeline=…` prints from a recorded `nbody-timeline` bundle.
 //!
 //! Everything consumes the serialized artifacts a traced run already
 //! writes (`--trace=… --metrics=…`); nothing here needs the live
@@ -42,7 +43,9 @@ pub use history::{
     check_regression, parse_history, RegressionReport, RunSummary, Verdict,
 };
 pub use imbalance::{max_imbalance_factor, phase_imbalance, PhaseImbalance};
-pub use report::{render_csv, render_heatmap, render_json, render_regression, render_table};
+pub use report::{
+    render_csv, render_drift, render_heatmap, render_json, render_regression, render_table,
+};
 pub use stragglers::{rank_stragglers, Straggler};
 
 use nbody_metrics::MetricsSnapshot;

@@ -1,5 +1,6 @@
 //! Renderings of an [`Analysis`]: human tables, CSV, JSON.
 
+use nbody_timeline::{DriftConfig, RunTimeline};
 use nbody_trace::Json;
 
 use crate::history::{RegressionReport, Verdict};
@@ -256,6 +257,49 @@ pub fn render_json(a: &Analysis) -> Json {
     ])
 }
 
+/// Drift windows over a recorded run timeline, printed by
+/// `ca-nbody analyze --timeline=…` next to the straggler table. Same
+/// fixed-width idiom as [`render_table`] so the two sections read as one
+/// report.
+pub fn render_drift(tl: &RunTimeline, cfg: &DriftConfig) -> String {
+    let samples: usize = tl.ranks.iter().map(|r| r.samples.len()).sum();
+    let mut out = format!(
+        "timeline drift ({} ranks, {} step samples; window {}, {:.1} sigma)\n",
+        tl.ranks.len(),
+        samples,
+        cfg.window,
+        cfg.nsigma
+    );
+    if let Some(reason) = &tl.failure {
+        out.push_str(&format!("POSTMORTEM: {reason}\n"));
+    }
+    let windows = tl.drift(cfg);
+    if windows.is_empty() {
+        out.push_str("no drift flagged\n");
+        return out;
+    }
+    out.push_str(&format!(
+        "{:<15} {:>13} {:>12} {:>12} {:>8}\n",
+        "metric", "steps", "baseline", "peak", "ratio"
+    ));
+    for w in &windows {
+        let ratio = if w.baseline.abs() > f64::EPSILON {
+            format!("{:.2}", w.peak / w.baseline)
+        } else {
+            "inf".to_string()
+        };
+        out.push_str(&format!(
+            "{:<15} {:>13} {:>12.4} {:>12.4} {:>8}\n",
+            w.metric,
+            format!("{}-{}", w.start_step, w.end_step),
+            w.baseline,
+            w.peak,
+            ratio
+        ));
+    }
+    out
+}
+
 /// The human-readable verdict printed by `ca-nbody regress`.
 pub fn render_regression(r: &RegressionReport) -> String {
     match r.verdict {
@@ -353,6 +397,58 @@ mod tests {
             Some(1.0)
         );
         assert!(v.get("heatmap").unwrap().get("send_bytes").is_some());
+    }
+
+    fn drift_timeline(shift_at: Option<u32>) -> RunTimeline {
+        use nbody_timeline::{RankTimeline, StepSample};
+        let ranks = (0..2u32)
+            .map(|rank| RankTimeline {
+                rank,
+                stride: 1,
+                samples: (0..60u32)
+                    .map(|step| {
+                        // Rank 1 hoards particles after the shift point,
+                        // pushing the imbalance factor from 1.0 to ~1.5.
+                        let shifted = shift_at.is_some_and(|at| step >= at);
+                        let particles = if shifted && rank == 1 { 300 } else { 100 };
+                        StepSample {
+                            step,
+                            t_secs: step as f64 * 0.01,
+                            dt_secs: 0.01,
+                            particles,
+                            ..StepSample::default()
+                        }
+                    })
+                    .collect(),
+                events: vec![],
+                dropped_events: 0,
+                failure: None,
+            })
+            .collect();
+        RunTimeline::from_ranks(ranks)
+    }
+
+    #[test]
+    fn drift_report_flags_a_step_function() {
+        let text = render_drift(&drift_timeline(Some(30)), &DriftConfig::default());
+        assert!(text.contains("timeline drift (2 ranks, 120 step samples"), "{text}");
+        assert!(text.contains("imbalance"), "{text}");
+        assert!(text.contains("30-"), "window starts at the transition: {text}");
+        assert!(!text.contains("no drift flagged"), "{text}");
+    }
+
+    #[test]
+    fn drift_report_is_quiet_on_stationary_data() {
+        let text = render_drift(&drift_timeline(None), &DriftConfig::default());
+        assert!(text.contains("no drift flagged"), "{text}");
+        assert!(!text.contains("POSTMORTEM"));
+    }
+
+    #[test]
+    fn drift_report_carries_the_postmortem_reason() {
+        let tl = drift_timeline(None).with_failure("rank 1 dead with c=1");
+        let text = render_drift(&tl, &DriftConfig::default());
+        assert!(text.contains("POSTMORTEM: rank 1 dead with c=1"), "{text}");
     }
 
     #[test]

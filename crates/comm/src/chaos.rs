@@ -38,6 +38,7 @@ use crate::error::CommError;
 use crate::stats::{CommStats, Phase};
 use crate::thread_comm::{run_ranks_owned, ThreadComm};
 use nbody_metrics::{Counter, MetricsRecorder, MetricsSnapshot};
+use nbody_timeline::{EventKind, RunTimeline, TimelineRecorder};
 use nbody_trace::{ExecutionTrace, Tracer};
 use std::time::Instant;
 
@@ -225,6 +226,7 @@ struct ChaosState {
     injected_delay: Counter,
     injected_dup: Counter,
     injected_kill: Counter,
+    timeline: TimelineRecorder,
 }
 
 impl ChaosState {
@@ -250,6 +252,11 @@ impl ChaosState {
                     FaultKind::Duplicate => self.injected_dup.inc(),
                     FaultKind::Kill => unreachable!(),
                 }
+                self.timeline.event(
+                    EventKind::FaultInjected,
+                    Some(step as u64),
+                    e.kind.label(),
+                );
                 return Some(*e);
             }
         }
@@ -267,6 +274,11 @@ impl ChaosState {
                 fired.set(true);
                 self.injected_total.inc();
                 self.injected_kill.inc();
+                self.timeline.event(
+                    EventKind::FaultInjected,
+                    Some(step as u64),
+                    FaultKind::Kill.label(),
+                );
                 return true;
             }
         }
@@ -307,6 +319,7 @@ impl<C: Communicator> ChaosComm<C> {
             injected_delay: rec.counter("fault_injected_delay", None),
             injected_dup: rec.counter("fault_injected_duplicate", None),
             injected_kill: rec.counter("fault_injected_kill", None),
+            timeline: inner.timeline(),
         };
         ChaosComm {
             inner,
@@ -349,6 +362,10 @@ impl<C: Communicator> Communicator for ChaosComm<C> {
 
     fn metrics(&self) -> MetricsRecorder {
         self.inner.metrics()
+    }
+
+    fn timeline(&self) -> TimelineRecorder {
+        self.inner.timeline()
     }
 
     fn send<T: CommData>(&self, dst: usize, tag: u64, data: &[T]) {
@@ -436,43 +453,46 @@ where
     R: Send,
     F: Fn(&mut ChaosComm<ThreadComm>) -> R + Sync,
 {
-    run_ranks_owned(p, None, true, |comm| {
+    run_ranks_owned(p, None, true, true, |comm| {
         let mut chaos = ChaosComm::new(comm, plan);
         f(&mut chaos)
     })
     .into_iter()
-    .map(|(r, _, _)| r)
+    .map(|(r, _, _, _)| r)
     .collect()
 }
 
-/// [`run_ranks_chaos`] with per-rank wall-clock tracing and live metrics,
-/// mirroring [`run_ranks_traced`](crate::run_ranks_traced).
+/// [`run_ranks_chaos`] with per-rank wall-clock tracing, live metrics and
+/// a step timeline, mirroring [`run_ranks_traced`](crate::run_ranks_traced).
 pub fn run_ranks_chaos_traced<R, F>(
     p: usize,
     plan: &FaultPlan,
     f: F,
-) -> (Vec<R>, ExecutionTrace, MetricsSnapshot)
+) -> (Vec<R>, ExecutionTrace, MetricsSnapshot, RunTimeline)
 where
     R: Send,
     F: Fn(&mut ChaosComm<ThreadComm>) -> R + Sync,
 {
     let epoch = Instant::now();
-    let out = run_ranks_owned(p, Some(epoch), true, |comm| {
+    let out = run_ranks_owned(p, Some(epoch), true, true, |comm| {
         let mut chaos = ChaosComm::new(comm, plan);
         f(&mut chaos)
     });
     let mut results = Vec::with_capacity(p);
     let mut buffers = Vec::with_capacity(p);
     let mut shards = Vec::with_capacity(p);
-    for (r, spans, metrics) in out {
+    let mut timelines = Vec::with_capacity(p);
+    for (r, spans, metrics, timeline) in out {
         results.push(r);
         buffers.push(spans);
         shards.push(metrics);
+        timelines.extend(timeline);
     }
     (
         results,
         ExecutionTrace::from_rank_buffers(buffers),
         MetricsSnapshot::from_shards(shards),
+        RunTimeline::from_ranks(timelines),
     )
 }
 
@@ -650,7 +670,7 @@ mod tests {
     #[test]
     fn injection_metrics_are_recorded() {
         let plan = FaultPlan::parse("drop:0@1,kill:1@1").unwrap();
-        let (_, _, metrics) = run_ranks_chaos_traced(2, &plan, |comm| {
+        let (_, _, metrics, timeline) = run_ranks_chaos_traced(2, &plan, |comm| {
             comm.set_phase(Phase::Shift);
             let _ = comm.fault_step(1);
             if comm.rank() == 0 {
@@ -661,6 +681,17 @@ mod tests {
         assert_eq!(metrics.sum_counter("fault_injected_total", None), 2);
         assert_eq!(metrics.sum_counter("fault_injected_drop", None), 1);
         assert_eq!(metrics.sum_counter("fault_injected_kill", None), 1);
+        // Each injection also lands in the rank's flight ring.
+        let fault_events: Vec<_> = timeline
+            .ranks
+            .iter()
+            .flat_map(|r| &r.events)
+            .filter(|e| e.kind == EventKind::FaultInjected)
+            .collect();
+        assert_eq!(fault_events.len(), 2);
+        let drop_ev = fault_events.iter().find(|e| e.detail == "drop").unwrap();
+        assert_eq!(drop_ev.step, Some(1));
+        assert!(fault_events.iter().any(|e| e.detail == "kill"));
     }
 
     #[test]

@@ -15,6 +15,7 @@ use std::time::Duration;
 use crate::error::CommError;
 use crate::stats::{CommStats, Phase};
 use nbody_metrics::MetricsRecorder;
+use nbody_timeline::TimelineRecorder;
 use nbody_trace::Tracer;
 
 /// Marker for data that can travel between ranks. Blanket-implemented for
@@ -65,6 +66,13 @@ pub trait Communicator: Sized {
     /// record against it unconditionally.
     fn metrics(&self) -> MetricsRecorder {
         MetricsRecorder::disabled()
+    }
+
+    /// This rank's timeline recorder (step-sample series + flight-event
+    /// ring). Follows the rank across `split`s like the tracer; disabled
+    /// by default so plain transports stay telemetry-free.
+    fn timeline(&self) -> TimelineRecorder {
+        TimelineRecorder::disabled()
     }
 
     /// Buffered send of `data` to local rank `dst`.

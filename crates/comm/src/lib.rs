@@ -30,6 +30,9 @@ pub use communicator::{sum_combine, CommData, Communicator};
 pub use error::CommError;
 pub use stats::{CommStats, Phase, PhaseCounters, ALL_PHASES, PHASE_COUNT};
 pub use self_comm::SelfComm;
-pub use thread_comm::{run_ranks, run_ranks_traced, ThreadComm};
+pub use thread_comm::{run_ranks, run_ranks_silent, run_ranks_traced, validate_env, ThreadComm};
 pub use nbody_metrics::{MetricsRecorder, MetricsSnapshot, RankMetrics};
+pub use nbody_timeline::{
+    EventKind, FlightEvent, RankTimeline, RunTimeline, StepSample, TimelineRecorder,
+};
 pub use nbody_trace::{ExecutionTrace, Tracer};

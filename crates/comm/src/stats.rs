@@ -131,6 +131,16 @@ impl CommStats {
         self.phases.iter().map(|c| c.bytes).sum()
     }
 
+    /// Total collective payload bytes across phases.
+    pub fn total_collective_bytes(&self) -> u64 {
+        self.phases.iter().map(|c| c.collective_bytes).sum()
+    }
+
+    /// Total seconds spent blocked in receives/collectives across phases.
+    pub fn total_blocked_secs(&self) -> f64 {
+        self.phases.iter().map(|c| c.blocked_secs).sum()
+    }
+
     /// Merge another rank's statistics into this one (for aggregation).
     pub fn merge(&mut self, other: &CommStats) {
         for (a, b) in self.phases.iter_mut().zip(&other.phases) {

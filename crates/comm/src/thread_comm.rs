@@ -36,20 +36,49 @@ use crate::communicator::{CommData, Communicator};
 use crate::error::CommError;
 use crate::stats::{CommStats, Phase};
 use nbody_metrics::{MetricsRecorder, MetricsSnapshot, RankMetrics};
+use nbody_timeline::{RankTimeline, RunTimeline, TimelineRecorder};
 use nbody_trace::{ExecutionTrace, Span, Tracer};
+
+/// Parse an `NBODY_RECV_TIMEOUT_SECS` value: a positive integer number of
+/// seconds, or `None` when the variable is unset (→ the 60 s default).
+/// Malformed or zero values are an error — a typo'd timeout silently
+/// becoming 60 s is exactly the kind of misconfiguration that shows up as
+/// an unexplained hang or a premature deadlock diagnosis much later.
+fn parse_recv_timeout(raw: Option<&str>) -> Result<u64, String> {
+    match raw {
+        None => Ok(60),
+        Some(s) => match s.trim().parse::<u64>() {
+            Ok(0) => Err(format!(
+                "NBODY_RECV_TIMEOUT_SECS must be a positive number of seconds, got '{s}'"
+            )),
+            Ok(secs) => Ok(secs),
+            Err(e) => Err(format!(
+                "NBODY_RECV_TIMEOUT_SECS must be a positive number of seconds, got '{s}': {e}"
+            )),
+        },
+    }
+}
+
+/// Validate process-level runtime configuration read from the
+/// environment. Called implicitly at the start of every distributed
+/// execution; front-ends can call it explicitly to turn a malformed
+/// `NBODY_RECV_TIMEOUT_SECS` into a clean startup error instead of a
+/// panic inside the rank spawner.
+pub fn validate_env() -> Result<(), String> {
+    let raw = std::env::var("NBODY_RECV_TIMEOUT_SECS").ok();
+    parse_recv_timeout(raw.as_deref()).map(|_| ())
+}
 
 /// How long a blocking receive may wait before the runtime declares a
 /// deadlock. Overridable via `NBODY_RECV_TIMEOUT_SECS` so long-running test
 /// suites can fail fast with a diagnostic instead of hitting the harness
-/// timeout (read once per process).
+/// timeout (read once per process). A malformed value is a startup error,
+/// not a silent fallback to the default.
 fn recv_timeout() -> Duration {
     static SECS: OnceLock<u64> = OnceLock::new();
     let secs = *SECS.get_or_init(|| {
-        std::env::var("NBODY_RECV_TIMEOUT_SECS")
-            .ok()
-            .and_then(|s| s.parse().ok())
-            .filter(|&s| s > 0)
-            .unwrap_or(60)
+        let raw = std::env::var("NBODY_RECV_TIMEOUT_SECS").ok();
+        parse_recv_timeout(raw.as_deref()).unwrap_or_else(|e| panic!("{e}"))
     });
     Duration::from_secs(secs)
 }
@@ -168,6 +197,7 @@ pub struct ThreadComm {
     stats: Rc<RefCell<CommStats>>,
     tracer: Tracer,
     recorder: MetricsRecorder,
+    timeline: TimelineRecorder,
     metrics: Rc<CommMetrics>,
     comm_id: u64,
     /// Global ranks of the members, indexed by local rank.
@@ -334,6 +364,10 @@ impl Communicator for ThreadComm {
         self.recorder.clone()
     }
 
+    fn timeline(&self) -> TimelineRecorder {
+        self.timeline.clone()
+    }
+
     fn send<T: CommData>(&self, dst: usize, tag: u64, data: &[T]) {
         self.send_raw(dst, tag, data.to_vec(), true);
     }
@@ -489,6 +523,7 @@ impl Communicator for ThreadComm {
             stats: Rc::clone(&self.stats),
             tracer: self.tracer.clone(),
             recorder: self.recorder.clone(),
+            timeline: self.timeline.clone(),
             metrics: Rc::clone(&self.metrics),
             comm_id,
             members: Rc::new(members),
@@ -511,53 +546,85 @@ where
     R: Send,
     F: Fn(&mut ThreadComm) -> R + Sync,
 {
-    run_ranks_impl(p, None, false, f)
+    run_ranks_impl(p, None, false, true, f)
         .into_iter()
-        .map(|(r, _, _)| r)
+        .map(|(r, _, _, _)| r)
+        .collect()
+}
+
+/// [`run_ranks`] with the always-on flight recorder disabled. The only
+/// intended user is the `timeline_overhead` bench, which needs a
+/// recording-free baseline to price the recorder against; everything else
+/// should keep the crash forensics on.
+pub fn run_ranks_silent<R, F>(p: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&mut ThreadComm) -> R + Sync,
+{
+    run_ranks_impl(p, None, false, false, f)
+        .into_iter()
+        .map(|(r, _, _, _)| r)
         .collect()
 }
 
 /// [`run_ranks`] with per-rank wall-clock span recording and live metrics:
 /// every rank's communicator carries an enabled [`Tracer`] measuring
 /// against a shared epoch taken just before the threads spawn plus an
-/// enabled [`MetricsRecorder`], and the per-rank buffers/shards are merged
-/// into an [`ExecutionTrace`] and a [`MetricsSnapshot`] at join.
-pub fn run_ranks_traced<R, F>(p: usize, f: F) -> (Vec<R>, ExecutionTrace, MetricsSnapshot)
+/// enabled [`MetricsRecorder`] and step-sampling [`TimelineRecorder`], and
+/// the per-rank buffers/shards are merged into an [`ExecutionTrace`], a
+/// [`MetricsSnapshot`], and a [`RunTimeline`] at join.
+pub fn run_ranks_traced<R, F>(
+    p: usize,
+    f: F,
+) -> (Vec<R>, ExecutionTrace, MetricsSnapshot, RunTimeline)
 where
     R: Send,
     F: Fn(&mut ThreadComm) -> R + Sync,
 {
     let epoch = Instant::now();
-    let out = run_ranks_impl(p, Some(epoch), false, f);
+    let out = run_ranks_impl(p, Some(epoch), false, true, f);
     let mut results = Vec::with_capacity(p);
     let mut buffers = Vec::with_capacity(p);
     let mut shards = Vec::with_capacity(p);
-    for (r, spans, metrics) in out {
+    let mut timelines = Vec::with_capacity(p);
+    for (r, spans, metrics, timeline) in out {
         results.push(r);
         buffers.push(spans);
         shards.push(metrics);
+        timelines.extend(timeline);
     }
     (
         results,
         ExecutionTrace::from_rank_buffers(buffers),
         MetricsSnapshot::from_shards(shards),
+        RunTimeline::from_ranks(timelines),
     )
 }
 
+/// Per-rank artifacts a joined rank thread hands back: the closure's
+/// result plus the rank's trace spans, metrics shard, and timeline.
+pub(crate) type RankOutput<R> = (R, Vec<Span>, Option<RankMetrics>, Option<RankTimeline>);
+
 /// Shared body of every entry point: spawn `p` rank threads, hand each its
 /// world [`ThreadComm`] (owned, so wrappers like `ChaosComm` can absorb
-/// it), and join. `relaxed` selects the fabric's tag-matching mode.
+/// it), and join. `relaxed` selects the fabric's tag-matching mode;
+/// `flight` controls the always-on flight recorder (off only for overhead
+/// benchmarking baselines).
 pub(crate) fn run_ranks_owned<R, F>(
     p: usize,
     epoch: Option<Instant>,
     relaxed: bool,
+    flight: bool,
     f: F,
-) -> Vec<(R, Vec<Span>, Option<RankMetrics>)>
+) -> Vec<RankOutput<R>>
 where
     R: Send,
     F: Fn(ThreadComm) -> R + Sync,
 {
     assert!(p > 0, "need at least one rank");
+    // Surface a malformed NBODY_RECV_TIMEOUT_SECS here, before any rank
+    // thread exists — a startup error instead of a mid-protocol panic.
+    let _ = recv_timeout();
     let mut senders = Vec::with_capacity(p);
     let mut receivers = Vec::with_capacity(p);
     for _ in 0..p {
@@ -592,12 +659,18 @@ where
                         Some(_) => MetricsRecorder::for_rank(rank),
                         None => MetricsRecorder::disabled(),
                     };
+                    let timeline = if flight {
+                        TimelineRecorder::for_rank(rank as u32, epoch)
+                    } else {
+                        TimelineRecorder::disabled()
+                    };
                     let comm = ThreadComm {
                         fabric,
                         endpoint: Rc::new(RefCell::new(endpoint)),
                         stats: Rc::new(RefCell::new(CommStats::new())),
                         tracer: tracer.clone(),
                         recorder: recorder.clone(),
+                        timeline: timeline.clone(),
                         metrics: Rc::new(CommMetrics::new(&recorder)),
                         comm_id: 0,
                         members: Rc::new((0..p).collect()),
@@ -606,7 +679,12 @@ where
                         coll_seq: Cell::new(0),
                     };
                     let result = f(comm);
-                    (result, tracer.finish(), recorder.finish())
+                    (
+                        result,
+                        tracer.finish(),
+                        recorder.finish(),
+                        timeline.finish(),
+                    )
                 })
                 .expect("failed to spawn rank thread");
             handles.push(handle);
@@ -627,13 +705,14 @@ fn run_ranks_impl<R, F>(
     p: usize,
     epoch: Option<Instant>,
     relaxed: bool,
+    flight: bool,
     f: F,
-) -> Vec<(R, Vec<Span>, Option<RankMetrics>)>
+) -> Vec<RankOutput<R>>
 where
     R: Send,
     F: Fn(&mut ThreadComm) -> R + Sync,
 {
-    run_ranks_owned(p, epoch, relaxed, |mut comm| f(&mut comm))
+    run_ranks_owned(p, epoch, relaxed, flight, |mut comm| f(&mut comm))
 }
 
 #[cfg(test)]
@@ -858,7 +937,7 @@ mod tests {
     fn blocked_time_is_recorded_on_real_waits() {
         // Receiver posts its recv ~50 ms before the sender sends: both the
         // stats counter and the trace must capture the wait.
-        let (out, trace, _) = run_ranks_traced(2, |comm| {
+        let (out, trace, _, _) = run_ranks_traced(2, |comm| {
             comm.set_phase(Phase::Shift);
             if comm.rank() == 0 {
                 std::thread::sleep(Duration::from_millis(50));
@@ -905,17 +984,65 @@ mod tests {
             buf[0]
         };
         let plain = run_ranks(4, body);
-        let (traced, trace, metrics) = run_ranks_traced(4, body);
+        let (traced, trace, metrics, timeline) = run_ranks_traced(4, body);
         assert_eq!(plain, traced);
         assert_eq!(trace.ranks, 4);
         assert!(!trace.spans.is_empty());
         assert_eq!(metrics.ranks.len(), 4);
+        assert_eq!(timeline.ranks.len(), 4);
+        assert!(!timeline.is_postmortem());
+        // Silent runs (bench baseline) still compute the same results.
+        assert_eq!(run_ranks_silent(4, body), plain);
+    }
+
+    #[test]
+    fn ranks_carry_a_live_timeline_recorder() {
+        let (enabled, _, _, timeline) = run_ranks_traced(2, |comm| {
+            let tl = comm.timeline();
+            tl.step_mark(comm.rank() as u64);
+            let sub = comm.split(0, comm.rank());
+            // The recorder follows the rank across splits.
+            sub.timeline().event(
+                nbody_timeline::EventKind::Checkpoint,
+                Some(0),
+                "via split",
+            );
+            (tl.is_enabled(), tl.wants_samples())
+        });
+        assert_eq!(enabled, vec![(true, true), (true, true)]);
+        for (rank, rt) in timeline.ranks.iter().enumerate() {
+            assert_eq!(rt.rank as usize, rank);
+            assert_eq!(rt.events.len(), 2, "step mark + split event: {rt:?}");
+        }
+        // Plain runs keep the flight ring on (always-on crash forensics)
+        // but skip step sampling.
+        let modes = run_ranks(2, |comm| {
+            (comm.timeline().is_enabled(), comm.timeline().wants_samples())
+        });
+        assert_eq!(modes, vec![(true, false), (true, false)]);
+    }
+
+    #[test]
+    fn recv_timeout_env_values_parse_strictly() {
+        assert_eq!(parse_recv_timeout(None), Ok(60));
+        assert_eq!(parse_recv_timeout(Some("20")), Ok(20));
+        assert_eq!(parse_recv_timeout(Some(" 5 ")), Ok(5));
+        assert!(parse_recv_timeout(Some("0")).is_err());
+        assert!(parse_recv_timeout(Some("-3")).is_err());
+        assert!(parse_recv_timeout(Some("banana")).is_err());
+        assert!(parse_recv_timeout(Some("")).is_err());
+        assert!(parse_recv_timeout(Some("1.5")).is_err());
+        let msg = parse_recv_timeout(Some("banana")).unwrap_err();
+        assert!(
+            msg.contains("NBODY_RECV_TIMEOUT_SECS") && msg.contains("banana"),
+            "diagnostic names the variable and the bad value: {msg}"
+        );
     }
 
     #[test]
     fn traced_run_collects_live_metrics() {
         use nbody_trace::Phase;
-        let (_, _, metrics) = run_ranks_traced(2, |comm| {
+        let (_, _, metrics, _) = run_ranks_traced(2, |comm| {
             comm.set_phase(Phase::Shift);
             if comm.rank() == 0 {
                 comm.send(1, 1, &[7u64, 8, 9]);
@@ -955,7 +1082,7 @@ mod tests {
     #[test]
     fn split_communicators_share_the_metrics_shard() {
         use nbody_trace::Phase;
-        let (_, _, metrics) = run_ranks_traced(2, |comm| {
+        let (_, _, metrics, _) = run_ranks_traced(2, |comm| {
             comm.set_phase(Phase::Skew);
             let sub = comm.split(0, comm.rank());
             if sub.rank() == 0 {
@@ -975,7 +1102,7 @@ mod tests {
     fn phase_windows_follow_split_communicators() {
         // set_phase on a *derived* communicator must land on the rank's one
         // timeline — the converse of `stats_shared_across_split`.
-        let (_, trace, _) = run_ranks_traced(4, |comm| {
+        let (_, trace, _, _) = run_ranks_traced(4, |comm| {
             let sub = comm.split(comm.rank() % 2, comm.rank());
             sub.set_phase(Phase::Reduce);
             let mut buf = vec![comm.rank() as u64];

@@ -25,6 +25,7 @@ pub mod dist;
 pub mod grid;
 pub mod kernel;
 pub mod midpoint;
+pub mod probe;
 pub mod reassign;
 pub mod recovery;
 pub mod schedule;
@@ -39,9 +40,11 @@ pub use grid::{GridComms, GridError, ProcGrid};
 pub use recovery::{
     ca_all_pairs_forces_ft, ca_cutoff_forces_ft, FaultConfig, FaultError, RecoveryReport,
 };
+pub use probe::StepProbe;
 pub use sim::{
-    run_distributed, run_distributed_chaos, run_distributed_sampled, run_distributed_traced,
-    run_serial, ChaosRunResult, Method, RunResult, SimConfig,
+    run_distributed, run_distributed_chaos, run_distributed_chaos_recorded,
+    run_distributed_recorded, run_distributed_sampled, run_distributed_traced, run_serial,
+    ChaosRunResult, Method, RunResult, SimConfig,
 };
 pub use window::{Window, Window1d, Window2d, Window3d};
 pub use window_periodic::{Window1dPeriodic, Window2dPeriodic};

@@ -42,7 +42,7 @@
 
 use std::time::Duration;
 
-use nbody_comm::{CommError, Communicator, Phase};
+use nbody_comm::{CommError, Communicator, EventKind, Phase};
 use nbody_metrics::Counter;
 use nbody_physics::{Boundary, Domain, ForceLaw, Particle};
 
@@ -196,9 +196,19 @@ fn recovery_loop<C: Communicator>(
     let c = gc.grid.c();
     let world_rank = gc.grid.rank_at(gc.team(), gc.row_index());
     let counters = FaultCounters::new(&gc.col);
+    // The flight recorder: structured events land in the rank's bounded
+    // ring so a postmortem bundle shows what recovery was doing when (and
+    // if) the run degraded. Every recorded event carries `epoch` (the
+    // timestep) as its step coordinate.
+    let tl = gc.col.timeline();
     // The checkpoint: the replicated post-broadcast input. A transient
     // retry restores it locally; a dead rank gets it back from a teammate.
     let mut input = st.clone();
+    tl.event(
+        EventKind::Checkpoint,
+        Some(epoch),
+        &format!("{} particles", input.len()),
+    );
     let mut attempts = 0usize;
     let mut had_fault = false;
     loop {
@@ -215,6 +225,14 @@ fn recovery_loop<C: Communicator>(
         let self_dead = local == STATUS_DEAD;
         if local != STATUS_OK {
             counters.detected.inc();
+            tl.event(
+                EventKind::RecoveryAttempt,
+                Some(epoch),
+                &format!(
+                    "attempt {attempts} failed locally: {}",
+                    if self_dead { "rank dead" } else { "transient" }
+                ),
+            );
         }
         if self_dead {
             // The crash loses everything the rank held in memory; the
@@ -235,13 +253,19 @@ fn recovery_loop<C: Communicator>(
         }
         had_fault = true;
         if status == STATUS_DEAD && c < 2 {
-            return Err(FaultError::Unrecoverable {
+            let err = FaultError::Unrecoverable {
                 rank: world_rank,
                 c,
-            });
+            };
+            tl.event(EventKind::Unrecoverable, Some(epoch), &err.to_string());
+            tl.mark_failure(&err.to_string());
+            return Err(err);
         }
         if attempts > fc.max_retries {
-            return Err(FaultError::RetriesExhausted { attempts });
+            let err = FaultError::RetriesExhausted { attempts };
+            tl.event(EventKind::RetryExhausted, Some(epoch), &err.to_string());
+            tl.mark_failure(&err.to_string());
+            return Err(err);
         }
         // The replacement process comes back up for the retry.
         gc.col.fault_revive();
@@ -254,13 +278,21 @@ fn recovery_loop<C: Communicator>(
             let column_lost = u8::from(src_row.is_none());
             if agree(gc, column_lost) != 0 {
                 // Some column lost every replica — globally unrecoverable.
-                return Err(FaultError::Unrecoverable {
+                let err = FaultError::Unrecoverable {
                     rank: world_rank,
                     c,
-                });
+                };
+                tl.event(EventKind::Unrecoverable, Some(epoch), &err.to_string());
+                tl.mark_failure(&err.to_string());
+                return Err(err);
             }
             let src_row = src_row.expect("agreed recoverable, so a survivor exists");
             gc.col.bcast(src_row, &mut input);
+            tl.event(
+                EventKind::Resync,
+                Some(epoch),
+                &format!("checkpoint re-seeded from row {src_row}"),
+            );
             if self_dead {
                 counters
                     .resync_bytes

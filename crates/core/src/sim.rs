@@ -9,7 +9,7 @@
 
 use nbody_comm::{
     run_ranks, run_ranks_chaos_traced, run_ranks_traced, CommStats, Communicator, ExecutionTrace,
-    FaultPlan, MetricsSnapshot, Phase,
+    FaultPlan, MetricsSnapshot, Phase, RunTimeline,
 };
 use nbody_physics::particle::reset_forces;
 use nbody_physics::{Boundary, Domain, ForceLaw, Integrator, Particle};
@@ -23,6 +23,7 @@ use crate::dist::{
 };
 use crate::grid::{GridComms, ProcGrid};
 use crate::midpoint::midpoint_forces;
+use crate::probe::StepProbe;
 use crate::reassign::reassign_particles;
 use crate::recovery::{
     ca_all_pairs_forces_ft, ca_cutoff_forces_ft, FaultConfig, FaultError, RecoveryReport,
@@ -176,9 +177,28 @@ where
     F: ForceLaw + Sync,
     I: Integrator + Sync,
 {
+    let (result, trace, metrics, _) = run_distributed_recorded(cfg, method, p, initial);
+    (result, trace, metrics)
+}
+
+/// [`run_distributed_traced`] returning the per-step [`RunTimeline`] as
+/// well: each rank samples its communication/compute deltas at every
+/// timestep boundary (decimated 2:1 when the series ring fills), feeding
+/// the live dashboard and the drift detector.
+pub fn run_distributed_recorded<F, I>(
+    cfg: &SimConfig<F, I>,
+    method: Method,
+    p: usize,
+    initial: &[Particle],
+) -> (RunResult, ExecutionTrace, MetricsSnapshot, RunTimeline)
+where
+    F: ForceLaw + Sync,
+    I: Integrator + Sync,
+{
     validate_run(cfg, method);
-    let (out, trace, metrics) = run_ranks_traced(p, |world| run_rank(cfg, method, world, initial));
-    (gather_results(out, initial.len()), trace, metrics)
+    let (out, trace, metrics, timeline) =
+        run_ranks_traced(p, |world| run_rank(cfg, method, world, initial));
+    (gather_results(out, initial.len()), trace, metrics, timeline)
 }
 
 /// Result of a distributed run under fault injection.
@@ -220,34 +240,57 @@ where
     F: ForceLaw + Sync,
     I: Integrator + Sync,
 {
+    run_distributed_chaos_recorded(cfg, method, p, plan, fc, initial).0
+}
+
+/// [`run_distributed_chaos`] returning the per-step [`RunTimeline`] as
+/// well. The timeline is produced **even when the run fails**: on an
+/// agreed [`FaultError`] it is a postmortem bundle
+/// ([`RunTimeline::is_postmortem`]) carrying each rank's final flight-ring
+/// events and the failure reason marked by the recovery layer.
+pub fn run_distributed_chaos_recorded<F, I>(
+    cfg: &SimConfig<F, I>,
+    method: Method,
+    p: usize,
+    plan: &FaultPlan,
+    fc: &FaultConfig,
+    initial: &[Particle],
+) -> (Result<ChaosRunResult, FaultError>, RunTimeline)
+where
+    F: ForceLaw + Sync,
+    I: Integrator + Sync,
+{
     validate_run(cfg, method);
-    let (out, trace, metrics) =
+    let (out, trace, metrics, timeline) =
         run_ranks_chaos_traced(p, plan, |world| run_rank_ft(cfg, method, world, initial, fc));
-    let mut particles = Vec::with_capacity(initial.len());
-    let mut stats = Vec::with_capacity(p);
-    let mut max_attempts = 1;
-    let mut recovered = false;
-    for r in out {
-        let (mut ps, st, rep) = r?;
-        particles.append(&mut ps);
-        stats.push(st);
-        max_attempts = max_attempts.max(rep.attempts);
-        recovered |= rep.recovered;
-    }
-    particles.sort_by_key(|q| q.id);
-    assert_eq!(
-        particles.len(),
-        initial.len(),
-        "particles lost or duplicated in chaos run"
-    );
-    Ok(ChaosRunResult {
-        particles,
-        stats,
-        metrics,
-        trace,
-        max_attempts,
-        recovered,
-    })
+    let assemble = || {
+        let mut particles = Vec::with_capacity(initial.len());
+        let mut stats = Vec::with_capacity(p);
+        let mut max_attempts = 1;
+        let mut recovered = false;
+        for r in out {
+            let (mut ps, st, rep) = r?;
+            particles.append(&mut ps);
+            stats.push(st);
+            max_attempts = max_attempts.max(rep.attempts);
+            recovered |= rep.recovered;
+        }
+        particles.sort_by_key(|q| q.id);
+        assert_eq!(
+            particles.len(),
+            initial.len(),
+            "particles lost or duplicated in chaos run"
+        );
+        Ok(ChaosRunResult {
+            particles,
+            stats,
+            metrics,
+            trace,
+            max_attempts,
+            recovered,
+        })
+    };
+    (assemble(), timeline)
 }
 
 /// Per-rank body of a chaos run: the CA drivers with fault-tolerant force
@@ -267,6 +310,7 @@ where
     let p = world.size();
     let domain = &cfg.domain;
     let tr = world.tracer();
+    let mut probe = StepProbe::new(world);
     let mut agg = RecoveryReport {
         attempts: 1,
         recovered: false,
@@ -308,6 +352,7 @@ where
                 } else {
                     st.clear();
                 }
+                probe.sample(world, step, st.len());
             }
             let owned = if gc.is_leader() { st } else { Vec::new() };
             Ok((owned, world.stats(), agg))
@@ -394,6 +439,7 @@ where
                 } else {
                     st.clear();
                 }
+                probe.sample(world, step, st.len());
             }
             world.set_phase(Phase::Other);
             let owned = if gc.is_leader() { st } else { Vec::new() };
@@ -446,6 +492,7 @@ where
     let p = world.size();
     let domain = &cfg.domain;
     let tr = world.tracer();
+    let mut probe = StepProbe::new(world);
     match method {
         Method::CaAllPairs { c } => {
             let grid = ProcGrid::new_all_pairs(p, c).expect("invalid all-pairs grid");
@@ -473,6 +520,7 @@ where
                 } else {
                     st.clear();
                 }
+                probe.sample(world, step, st.len());
             }
             let owned = if gc.is_leader() { st } else { Vec::new() };
             (owned, world.stats())
@@ -505,6 +553,7 @@ where
                 let _g = tr.driver_span("integrate", step);
                 cfg.integrator
                     .post_force(&mut my, cfg.dt, domain, cfg.boundary);
+                probe.sample(world, step, my.len());
             }
             (my, world.stats())
         }
@@ -533,6 +582,7 @@ where
                     cfg.integrator
                         .post_force(&mut st, cfg.dt, domain, cfg.boundary);
                 }
+                probe.sample(world, step, st.len());
             }
             (st, world.stats())
         }
@@ -611,6 +661,7 @@ where
                 } else {
                     st.clear();
                 }
+                probe.sample(world, step, st.len());
             }
             world.set_phase(Phase::Other);
             let owned = if gc.is_leader() { st } else { Vec::new() };
@@ -671,6 +722,7 @@ where
                 } else {
                     reassign_particles(world, &mut my, |q| team_of_x(domain, p, q.pos.x));
                 }
+                probe.sample(world, step, my.len());
             }
             (my, world.stats())
         }
@@ -733,6 +785,7 @@ where
                 } else {
                     reassign_particles(world, &mut my, |q| team_of_x(domain, p, q.pos.x));
                 }
+                probe.sample(world, step, my.len());
             }
             (my, world.stats())
         }

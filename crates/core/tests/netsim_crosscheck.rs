@@ -85,7 +85,7 @@ fn all_pairs_live_counters_agree_exactly_with_simulated_trace() {
     let domain = Domain::unit();
     for (p, c, n) in [(4, 1, 16), (8, 2, 24), (16, 4, 33), (9, 3, 21)] {
         let grid = ProcGrid::new_all_pairs(p, c).unwrap();
-        let (stats, _, metrics) = run_ranks_traced(p, |world| {
+        let (stats, _, metrics, _) = run_ranks_traced(p, |world| {
             let gc = GridComms::new(world, grid);
             let all = init::uniform(n, &domain, 5);
             let mut st = if gc.is_leader() {
@@ -116,7 +116,7 @@ fn cutoff_1d_live_counters_agree_exactly_with_simulated_trace() {
             .collect();
 
         let all_ref = &all;
-        let (stats, _, metrics) = run_ranks_traced(p, |world| {
+        let (stats, _, metrics, _) = run_ranks_traced(p, |world| {
             let gc = GridComms::new(world, grid);
             let mut st = if gc.is_leader() {
                 spatial_subset_1d(all_ref, &domain, grid.teams(), gc.team())

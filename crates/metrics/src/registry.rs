@@ -56,7 +56,7 @@ impl Histogram {
             .position(|&bound| value <= bound)
             .unwrap_or(BUCKET_BOUNDS.len());
         self.counts[idx] += 1;
-        self.sum += value;
+        self.sum = self.sum.saturating_add(value);
     }
 
     /// Total number of observations.
@@ -74,12 +74,14 @@ impl Histogram {
         }
     }
 
-    /// Add another histogram's observations into this one.
+    /// Add another histogram's observations into this one. Saturating,
+    /// like the counter merge: long accumulation sweeps pin at `u64::MAX`
+    /// instead of wrapping.
     pub fn merge(&mut self, other: &Histogram) {
         for (a, b) in self.counts.iter_mut().zip(&other.counts) {
-            *a += b;
+            *a = a.saturating_add(*b);
         }
-        self.sum += other.sum;
+        self.sum = self.sum.saturating_add(other.sum);
     }
 }
 
@@ -307,6 +309,14 @@ impl Counter {
     #[inline]
     pub fn inc(&self) {
         self.add(1);
+    }
+
+    /// Current value (0 when disabled). Handles to the same registered
+    /// name share storage, so this reads everything recorded so far —
+    /// the step-timeline probe uses it to take per-step deltas.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.cell.as_ref().map_or(0, |c| c.get())
     }
 }
 

@@ -96,8 +96,10 @@ impl MetricsSnapshot {
     }
 }
 
-/// Merge `src`'s samples into `dst`: counters add, gauges take the max,
-/// histograms merge bucket-wise. Does not normalize.
+/// Merge `src`'s samples into `dst`: counters add (saturating — an
+/// accumulator absorbing many sweeps pins at `u64::MAX` rather than
+/// wrapping back to small, plausible-looking values), gauges take the
+/// max, histograms merge bucket-wise. Does not normalize.
 fn merge_rank(dst: &mut RankMetrics, src: &RankMetrics) {
     for s in &src.counters {
         match dst
@@ -105,7 +107,7 @@ fn merge_rank(dst: &mut RankMetrics, src: &RankMetrics) {
             .iter_mut()
             .find(|o| o.name == s.name && o.phase == s.phase)
         {
-            Some(o) => o.value += s.value,
+            Some(o) => o.value = o.value.saturating_add(s.value),
             None => dst.counters.push(s.clone()),
         }
     }
@@ -221,6 +223,46 @@ mod tests {
         one.absorb(&snap());
         assert_eq!(one.ranks.len(), 2);
         assert_eq!(one.ranks[0].counter("msgs", Some(Phase::Shift)), 5);
+    }
+
+    #[test]
+    fn absorb_saturates_at_u64_boundaries() {
+        let near_max = |v: u64| MetricsSnapshot {
+            ranks: vec![RankMetrics {
+                rank: 0,
+                counters: vec![sample("total", None, v)],
+                gauges: vec![sample("hwm", None, v)],
+                ..RankMetrics::default()
+            }],
+        };
+        // MAX + 1 pins at MAX instead of wrapping to 0.
+        let mut acc = near_max(u64::MAX);
+        acc.absorb(&near_max(1));
+        assert_eq!(acc.ranks[0].counter("total", None), u64::MAX);
+        // (MAX - 1) + 1 lands exactly on the boundary.
+        let mut acc = near_max(u64::MAX - 1);
+        acc.absorb(&near_max(1));
+        assert_eq!(acc.ranks[0].counter("total", None), u64::MAX);
+        // MAX + MAX stays pinned; the gauge max is unaffected by repeats.
+        acc.absorb(&near_max(u64::MAX));
+        assert_eq!(acc.ranks[0].counter("total", None), u64::MAX);
+        assert_eq!(acc.ranks[0].gauge("hwm", None), u64::MAX);
+        // merged() across ranks saturates the same way.
+        let both = MetricsSnapshot {
+            ranks: vec![
+                RankMetrics {
+                    rank: 0,
+                    counters: vec![sample("total", None, u64::MAX)],
+                    ..RankMetrics::default()
+                },
+                RankMetrics {
+                    rank: 1,
+                    counters: vec![sample("total", None, 7)],
+                    ..RankMetrics::default()
+                },
+            ],
+        };
+        assert_eq!(both.merged().counter("total", None), u64::MAX);
     }
 
     #[test]

@@ -1,0 +1,272 @@
+//! The live dashboard: dependency-free inline HTML + SVG sparklines.
+//!
+//! [`render_dashboard`] turns a [`RunTimeline`] into a single
+//! self-contained HTML page — no external scripts, stylesheets, or fonts,
+//! so the `/dashboard` endpoint works from `curl ... > d.html && open
+//! d.html` on an air-gapped machine. Each tracked metric gets an SVG
+//! polyline sparkline; drift windows flagged by the online detector are
+//! listed beneath, and a postmortem banner appears when the timeline
+//! carries a failure.
+
+use nbody_timeline::{DriftConfig, DriftWindow, MetricSeries, RunTimeline};
+
+/// Sparkline viewport in CSS pixels.
+const SPARK_W: f64 = 560.0;
+const SPARK_H: f64 = 64.0;
+
+/// Render `tl` as a self-contained HTML dashboard page.
+pub fn render_dashboard(tl: &RunTimeline) -> String {
+    let mut out = String::with_capacity(8 * 1024);
+    out.push_str(
+        "<!doctype html>\n<html><head><meta charset=\"utf-8\">\
+         <title>ca-nbody dashboard</title>\n<style>\n\
+         body{font-family:monospace;margin:2em;background:#fafafa;color:#222}\n\
+         h1{font-size:1.3em} h2{font-size:1.05em;margin-bottom:0.2em}\n\
+         .failure{background:#fee;border:1px solid #c00;padding:0.6em;margin:1em 0}\n\
+         .spark{background:#fff;border:1px solid #ccc}\n\
+         .meta{color:#666;font-size:0.85em}\n\
+         table{border-collapse:collapse;margin:0.5em 0}\n\
+         td,th{border:1px solid #ccc;padding:0.2em 0.6em;text-align:left}\n\
+         </style></head><body>\n<h1>ca-nbody run dashboard</h1>\n",
+    );
+    out.push_str(&format!(
+        "<p class=\"meta\">{} ranks &middot; {} step samples &middot; refresh to update</p>\n",
+        tl.ranks.len(),
+        tl.ranks.iter().map(|r| r.samples.len()).sum::<usize>(),
+    ));
+    if let Some(reason) = &tl.failure {
+        out.push_str(&format!(
+            "<div class=\"failure\"><b>POSTMORTEM</b>: {}</div>\n",
+            escape_html(reason)
+        ));
+    }
+
+    for series in [
+        mean_series(tl, "send bytes / step", |s| s.send_bytes as f64),
+        mean_series(tl, "collective bytes / step", |s| s.coll_bytes as f64),
+        mean_series(tl, "flops / step", |s| s.flops as f64),
+        tl.comm_fraction_series(),
+        tl.imbalance_series(),
+    ] {
+        render_section(&mut out, &series);
+    }
+
+    let drift = tl.drift(&DriftConfig::default());
+    out.push_str("<h2>drift windows</h2>\n");
+    if drift.is_empty() {
+        out.push_str("<p class=\"meta\">none flagged</p>\n");
+    } else {
+        out.push_str(
+            "<table><tr><th>metric</th><th>steps</th><th>baseline</th><th>peak</th></tr>\n",
+        );
+        for w in &drift {
+            out.push_str(&render_drift_row(w));
+        }
+        out.push_str("</table>\n");
+    }
+
+    render_recent_events(&mut out, tl);
+    out.push_str("</body></html>\n");
+    out
+}
+
+/// Mean of one sample field across ranks, per step.
+fn mean_series(
+    tl: &RunTimeline,
+    name: &str,
+    field: impl Fn(&nbody_timeline::StepSample) -> f64,
+) -> MetricSeries {
+    let mut steps: Vec<u32> = tl
+        .ranks
+        .iter()
+        .flat_map(|r| r.samples.iter().map(|s| s.step))
+        .collect();
+    steps.sort_unstable();
+    steps.dedup();
+    let values = steps
+        .iter()
+        .map(|&step| {
+            let mut sum = 0.0;
+            let mut n = 0usize;
+            for r in &tl.ranks {
+                for s in &r.samples {
+                    if s.step == step {
+                        sum += field(s);
+                        n += 1;
+                    }
+                }
+            }
+            if n == 0 { 0.0 } else { sum / n as f64 }
+        })
+        .collect();
+    MetricSeries {
+        metric: name.to_string(),
+        steps,
+        values,
+    }
+}
+
+fn render_section(out: &mut String, series: &MetricSeries) {
+    out.push_str(&format!("<h2>{}</h2>\n", escape_html(&series.metric)));
+    if series.values.is_empty() {
+        out.push_str("<p class=\"meta\">no samples</p>\n");
+        return;
+    }
+    let last = series.values.last().copied().unwrap_or(0.0);
+    let max = series.values.iter().copied().fold(f64::MIN, f64::max);
+    out.push_str(&format!(
+        "<p class=\"meta\">last {last:.3e} &middot; max {max:.3e} &middot; {} points</p>\n",
+        series.values.len()
+    ));
+    out.push_str(&sparkline_svg(&series.values));
+}
+
+/// An SVG polyline over `values`, y-scaled to the data range.
+fn sparkline_svg(values: &[f64]) -> String {
+    let min = values.iter().copied().fold(f64::MAX, f64::min);
+    let max = values.iter().copied().fold(f64::MIN, f64::max);
+    let span = if (max - min).abs() < f64::EPSILON {
+        1.0
+    } else {
+        max - min
+    };
+    let n = values.len().max(2) as f64 - 1.0;
+    let pts: Vec<String> = values
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| {
+            let x = i as f64 / n * (SPARK_W - 4.0) + 2.0;
+            let y = SPARK_H - 4.0 - (v - min) / span * (SPARK_H - 8.0);
+            format!("{x:.1},{y:.1}")
+        })
+        .collect();
+    format!(
+        "<svg class=\"spark\" width=\"{SPARK_W}\" height=\"{SPARK_H}\" \
+         viewBox=\"0 0 {SPARK_W} {SPARK_H}\" xmlns=\"http://www.w3.org/2000/svg\">\
+         <polyline fill=\"none\" stroke=\"#0074d9\" stroke-width=\"1.5\" \
+         points=\"{}\"/></svg>\n",
+        pts.join(" ")
+    )
+}
+
+fn render_drift_row(w: &DriftWindow) -> String {
+    format!(
+        "<tr><td>{}</td><td>{}&ndash;{}</td><td>{:.3e}</td><td>{:.3e}</td></tr>\n",
+        escape_html(&w.metric),
+        w.start_step,
+        w.end_step,
+        w.baseline,
+        w.peak
+    )
+}
+
+/// The last few flight-ring events across ranks, newest last.
+fn render_recent_events(out: &mut String, tl: &RunTimeline) {
+    let mut events: Vec<(u32, &nbody_timeline::FlightEvent)> = tl
+        .ranks
+        .iter()
+        .flat_map(|r| r.events.iter().map(move |e| (r.rank, e)))
+        .collect();
+    events.sort_by(|a, b| a.1.t_secs.total_cmp(&b.1.t_secs));
+    let tail = events.len().saturating_sub(16);
+    out.push_str("<h2>recent events</h2>\n");
+    if events.is_empty() {
+        out.push_str("<p class=\"meta\">none recorded</p>\n");
+        return;
+    }
+    out.push_str("<table><tr><th>t (s)</th><th>rank</th><th>kind</th><th>step</th><th>detail</th></tr>\n");
+    for (rank, e) in &events[tail..] {
+        out.push_str(&format!(
+            "<tr><td>{:.4}</td><td>{rank}</td><td>{}</td><td>{}</td><td>{}</td></tr>\n",
+            e.t_secs,
+            e.kind.label(),
+            e.step.map_or(String::new(), |s| s.to_string()),
+            escape_html(&e.detail)
+        ));
+    }
+    out.push_str("</table>\n");
+}
+
+fn escape_html(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nbody_timeline::{EventKind, RankTimeline, StepSample};
+
+    fn timeline() -> RunTimeline {
+        let ranks = (0..2)
+            .map(|rank| RankTimeline {
+                rank,
+                stride: 1,
+                samples: (0..20)
+                    .map(|step| StepSample {
+                        step,
+                        t_secs: step as f64 * 0.01,
+                        dt_secs: 0.01,
+                        send_bytes: 1000 + step as u64,
+                        coll_bytes: 64,
+                        blocked_secs: 0.002,
+                        flops: 5_000,
+                        compute_nanos: 7_000,
+                        particles: 100 + rank as u64,
+                    })
+                    .collect(),
+                events: vec![],
+                dropped_events: 0,
+                failure: None,
+            })
+            .collect();
+        RunTimeline::from_ranks(ranks)
+    }
+
+    #[test]
+    fn dashboard_is_selfcontained_html_with_sparklines() {
+        let html = render_dashboard(&timeline());
+        assert!(html.starts_with("<!doctype html>"));
+        assert!(html.contains("<svg"), "sparklines are inline SVG");
+        assert!(html.contains("send bytes / step"));
+        assert!(html.contains("imbalance"));
+        assert!(html.contains("comm_fraction"));
+        assert!(!html.contains("<script"), "no scripts — curl-and-open safe");
+        assert!(!html.contains("http://") || html.contains("w3.org"), "no external fetches");
+        assert!(html.contains("none flagged"), "stationary data shows no drift");
+    }
+
+    #[test]
+    fn postmortem_banner_and_events_render_escaped() {
+        let mut tl = timeline();
+        tl.failure = Some("rank 1: <dead>".to_string());
+        tl.ranks[0].events.push(nbody_timeline::FlightEvent {
+            t_secs: 0.5,
+            kind: EventKind::Unrecoverable,
+            step: Some(3),
+            detail: "c<2".to_string(),
+        });
+        let html = render_dashboard(&tl);
+        assert!(html.contains("POSTMORTEM"));
+        assert!(html.contains("rank 1: &lt;dead&gt;"), "failure reason is escaped");
+        assert!(html.contains("unrecoverable"));
+        assert!(html.contains("c&lt;2"));
+    }
+
+    #[test]
+    fn empty_timeline_renders_without_panicking() {
+        let html = render_dashboard(&RunTimeline::from_ranks(vec![]));
+        assert!(html.contains("0 ranks"));
+        assert!(html.contains("no samples"));
+        assert!(html.contains("none recorded"));
+    }
+}

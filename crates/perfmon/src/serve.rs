@@ -1,13 +1,22 @@
-//! The live `/metrics` endpoint: a dependency-free HTTP server.
+//! The live observability endpoints: a dependency-free HTTP server.
 //!
 //! One background thread, blocking handlers, `Connection: close` — the
 //! minimum HTTP/1.1 a Prometheus scraper (or `curl`) needs, and nothing
-//! more. The served body is the text exposition the existing exporter
-//! already produces ([`MetricsSnapshot::to_prometheus`]); callers
-//! [`publish`](MetricsServer::publish) a snapshot whenever they have a
-//! fresh one, so the endpoint is a view of the latest drained registry
-//! state, not a second registry. This is the first concrete step toward
-//! the ROADMAP's simulation-as-a-service direction.
+//! more. Four endpoints:
+//!
+//! * `/metrics` — the Prometheus text exposition of the latest published
+//!   [`MetricsSnapshot`] ([`MetricsSnapshot::to_prometheus`]).
+//! * `/timeseries` — the latest published [`RunTimeline`] as JSON (the
+//!   `nbody-timeline/v1` schema — per-rank step samples + flight events).
+//! * `/dashboard` — a self-contained HTML page with SVG sparklines and
+//!   drift windows over the same timeline ([`render_dashboard`]).
+//! * `/healthz` — liveness probe.
+//!
+//! Non-`GET`/`HEAD` methods get `405 Method Not Allowed` with an `Allow`
+//! header; unknown paths get 404. Callers [`publish`](MetricsServer::publish)
+//! / [`publish_timeline`](MetricsServer::publish_timeline) whenever they
+//! have fresh state, so the endpoints are views of the latest drained
+//! registries, not second registries.
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -17,6 +26,9 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use nbody_metrics::MetricsSnapshot;
+use nbody_timeline::RunTimeline;
+
+use crate::dashboard::render_dashboard;
 
 /// How long the accept loop sleeps between polls when idle.
 const POLL: Duration = Duration::from_millis(10);
@@ -25,25 +37,37 @@ const POLL: Duration = Duration::from_millis(10);
 /// serving thread forever.
 const IO_TIMEOUT: Duration = Duration::from_secs(2);
 
-/// The running `/metrics` server. Dropping it stops the serving thread.
+/// The bodies the server can answer with, refreshed by `publish*` calls.
+struct Bodies {
+    metrics: String,
+    timeseries: String,
+    dashboard: String,
+}
+
+/// The running observability server. Dropping it stops the serving thread.
 pub struct MetricsServer {
     addr: SocketAddr,
-    body: Arc<Mutex<String>>,
+    bodies: Arc<Mutex<Bodies>>,
     stop: Arc<AtomicBool>,
     handle: Option<JoinHandle<()>>,
 }
 
 impl MetricsServer {
     /// Bind `addr` (e.g. `127.0.0.1:9090`; port 0 picks a free port) and
-    /// start serving. The endpoint initially serves an empty snapshot.
+    /// start serving. The endpoints initially serve empty state.
     pub fn start<A: ToSocketAddrs>(addr: A) -> std::io::Result<MetricsServer> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
-        let body = Arc::new(Mutex::new(MetricsSnapshot::empty().to_prometheus()));
+        let empty_tl = RunTimeline::from_ranks(Vec::new());
+        let bodies = Arc::new(Mutex::new(Bodies {
+            metrics: MetricsSnapshot::empty().to_prometheus(),
+            timeseries: empty_tl.to_json().to_string(),
+            dashboard: render_dashboard(&empty_tl),
+        }));
         let stop = Arc::new(AtomicBool::new(false));
         let handle = {
-            let body = Arc::clone(&body);
+            let bodies = Arc::clone(&bodies);
             let stop = Arc::clone(&stop);
             std::thread::Builder::new()
                 .name("metrics-http".to_string())
@@ -51,9 +75,7 @@ impl MetricsServer {
                     while !stop.load(Ordering::Relaxed) {
                         match listener.accept() {
                             Ok((stream, _)) => {
-                                // Render outside the lock, serve blocking.
-                                let text = body.lock().map(|b| b.clone()).unwrap_or_default();
-                                let _ = handle_connection(stream, &text);
+                                let _ = handle_connection(stream, &bodies);
                             }
                             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                                 std::thread::sleep(POLL);
@@ -65,7 +87,7 @@ impl MetricsServer {
         };
         Ok(MetricsServer {
             addr,
-            body,
+            bodies,
             stop,
             handle: Some(handle),
         })
@@ -76,11 +98,22 @@ impl MetricsServer {
         self.addr
     }
 
-    /// Replace the served body with the Prometheus rendering of
+    /// Replace the served `/metrics` body with the Prometheus rendering of
     /// `snapshot`.
     pub fn publish(&self, snapshot: &MetricsSnapshot) {
-        if let Ok(mut b) = self.body.lock() {
-            *b = snapshot.to_prometheus();
+        if let Ok(mut b) = self.bodies.lock() {
+            b.metrics = snapshot.to_prometheus();
+        }
+    }
+
+    /// Replace the served `/timeseries` JSON and `/dashboard` page with
+    /// renderings of `timeline`.
+    pub fn publish_timeline(&self, timeline: &RunTimeline) {
+        let json = timeline.to_json().to_string();
+        let html = render_dashboard(timeline);
+        if let Ok(mut b) = self.bodies.lock() {
+            b.timeseries = json;
+            b.dashboard = html;
         }
     }
 
@@ -103,9 +136,8 @@ impl Drop for MetricsServer {
     }
 }
 
-/// Serve one request on `stream`: `/metrics` gets the Prometheus text,
-/// `/healthz` a liveness probe, anything else a 404.
-fn handle_connection(mut stream: TcpStream, metrics_body: &str) -> std::io::Result<()> {
+/// Serve one request on `stream`; see the module docs for the routes.
+fn handle_connection(mut stream: TcpStream, bodies: &Arc<Mutex<Bodies>>) -> std::io::Result<()> {
     stream.set_read_timeout(Some(IO_TIMEOUT))?;
     stream.set_write_timeout(Some(IO_TIMEOUT))?;
 
@@ -130,16 +162,40 @@ fn handle_connection(mut stream: TcpStream, metrics_body: &str) -> std::io::Resu
     let method = parts.next().unwrap_or("");
     let path = parts.next().unwrap_or("");
 
-    let (status, content_type, body) = match (method, path) {
-        ("GET", "/metrics") | ("HEAD", "/metrics") => (
-            "200 OK",
-            "text/plain; version=0.0.4; charset=utf-8",
-            metrics_body,
-        ),
-        ("GET", "/healthz") | ("HEAD", "/healthz") => ("200 OK", "text/plain", "ok\n"),
-        _ => ("404 Not Found", "text/plain", "not found\n"),
+    // Method gate first: the resource may exist, but only reads are
+    // supported — that is 405 + Allow, not 404.
+    if method != "GET" && method != "HEAD" {
+        let body = "method not allowed\n";
+        write!(
+            stream,
+            "HTTP/1.1 405 Method Not Allowed\r\nAllow: GET, HEAD\r\n\
+             Content-Type: text/plain\r\nContent-Length: {}\r\n\
+             Connection: close\r\n\r\n{body}",
+            body.len()
+        )?;
+        return stream.flush();
+    }
+
+    // Clone the body out so the lock is not held during the write.
+    let (status, content_type, body) = {
+        let b = bodies.lock().map_err(|_| std::io::ErrorKind::Other)?;
+        match path {
+            "/metrics" => (
+                "200 OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                b.metrics.clone(),
+            ),
+            "/timeseries" => ("200 OK", "application/json", b.timeseries.clone()),
+            "/dashboard" => (
+                "200 OK",
+                "text/html; charset=utf-8",
+                b.dashboard.clone(),
+            ),
+            "/healthz" => ("200 OK", "text/plain", "ok\n".to_string()),
+            _ => ("404 Not Found", "text/plain", "not found\n".to_string()),
+        }
     };
-    let payload = if method == "HEAD" { "" } else { body };
+    let payload = if method == "HEAD" { "" } else { body.as_str() };
     write!(
         stream,
         "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\n\
@@ -153,6 +209,7 @@ fn handle_connection(mut stream: TcpStream, metrics_body: &str) -> std::io::Resu
 mod tests {
     use super::*;
     use nbody_metrics::{MetricsRecorder, MetricsSnapshot};
+    use nbody_timeline::{RankTimeline, StepSample};
     use nbody_trace::Phase;
 
     /// A snapshot with counters, a phase label, a gauge, and a histogram —
@@ -172,6 +229,29 @@ mod tests {
             })
             .collect();
         MetricsSnapshot::from_shards(shards)
+    }
+
+    fn sample_timeline() -> RunTimeline {
+        RunTimeline::from_ranks(vec![RankTimeline {
+            rank: 0,
+            stride: 1,
+            samples: (0..4)
+                .map(|step| StepSample {
+                    step,
+                    t_secs: step as f64 * 0.1,
+                    dt_secs: 0.1,
+                    send_bytes: 256,
+                    coll_bytes: 32,
+                    blocked_secs: 0.01,
+                    flops: 1000,
+                    compute_nanos: 900,
+                    particles: 50,
+                })
+                .collect(),
+            events: Vec::new(),
+            dropped_events: 0,
+            failure: None,
+        }])
     }
 
     fn scrape(addr: SocketAddr, request: &str) -> (String, String) {
@@ -249,5 +329,58 @@ mod tests {
         );
         assert!(head.starts_with("HTTP/1.1 200"), "{head}");
         assert_eq!(body, "ok\n");
+    }
+
+    #[test]
+    fn non_get_methods_are_405_with_allow_header() {
+        let server = MetricsServer::start("127.0.0.1:0").unwrap();
+        for request in [
+            "POST /metrics HTTP/1.1\r\nContent-Length: 0\r\nConnection: close\r\n\r\n",
+            "DELETE /healthz HTTP/1.1\r\nConnection: close\r\n\r\n",
+            "PUT /nope HTTP/1.1\r\nContent-Length: 0\r\nConnection: close\r\n\r\n",
+        ] {
+            let (head, body) = scrape(server.local_addr(), request);
+            assert!(head.starts_with("HTTP/1.1 405"), "{request}: {head}");
+            assert!(head.contains("Allow: GET, HEAD"), "{head}");
+            assert_eq!(body, "method not allowed\n");
+        }
+        // HEAD stays allowed: headers only, no payload.
+        let (head, body) = scrape(
+            server.local_addr(),
+            "HEAD /healthz HTTP/1.1\r\nConnection: close\r\n\r\n",
+        );
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert!(body.is_empty());
+    }
+
+    #[test]
+    fn timeseries_round_trips_the_timeline_as_json() {
+        let server = MetricsServer::start("127.0.0.1:0").unwrap();
+        let tl = sample_timeline();
+        server.publish_timeline(&tl);
+        let (head, body) = scrape(
+            server.local_addr(),
+            "GET /timeseries HTTP/1.1\r\nConnection: close\r\n\r\n",
+        );
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert!(head.contains("Content-Type: application/json"));
+        let parsed = RunTimeline::parse(&body).expect("served JSON parses back");
+        assert_eq!(parsed.ranks.len(), 1);
+        assert_eq!(parsed.ranks[0].samples.len(), 4);
+        assert_eq!(parsed.ranks[0].samples[2].send_bytes, 256);
+    }
+
+    #[test]
+    fn dashboard_serves_the_inline_html_page() {
+        let server = MetricsServer::start("127.0.0.1:0").unwrap();
+        server.publish_timeline(&sample_timeline());
+        let (head, body) = scrape(
+            server.local_addr(),
+            "GET /dashboard HTTP/1.1\r\nConnection: close\r\n\r\n",
+        );
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert!(head.contains("Content-Type: text/html"));
+        assert!(body.starts_with("<!doctype html>"));
+        assert!(body.contains("<svg"), "sparklines present");
     }
 }

@@ -1,0 +1,233 @@
+//! Fixed-capacity per-step sample series with 2:1 decimation.
+
+use nbody_trace::Json;
+
+/// One rank's measurement deltas for a single timestep.
+///
+/// All byte/flop fields are *deltas over this step*, not running totals:
+/// the probe that fills the series diffs the rank's counters at step
+/// boundaries. Times are seconds relative to the run's shared epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct StepSample {
+    /// Timestep index (the integrator step, 0-based).
+    pub step: u32,
+    /// End-of-step wall-clock time, seconds since the run epoch.
+    pub t_secs: f64,
+    /// Wall-clock duration of the step.
+    pub dt_secs: f64,
+    /// Point-to-point bytes sent during the step.
+    pub send_bytes: u64,
+    /// Collective payload bytes contributed during the step.
+    pub coll_bytes: u64,
+    /// Seconds spent blocked waiting for data during the step.
+    pub blocked_secs: f64,
+    /// Floating-point operations executed by the force kernel.
+    pub flops: u64,
+    /// Nanoseconds spent inside the force kernel.
+    pub compute_nanos: u64,
+    /// Particles held by the rank at the end of the step (imbalance input).
+    pub particles: u64,
+}
+
+impl StepSample {
+    pub(crate) fn to_json(self) -> Json {
+        Json::Obj(vec![
+            ("step".into(), Json::Num(self.step as f64)),
+            ("t".into(), Json::Num(self.t_secs)),
+            ("dt".into(), Json::Num(self.dt_secs)),
+            ("send_bytes".into(), Json::Num(self.send_bytes as f64)),
+            ("coll_bytes".into(), Json::Num(self.coll_bytes as f64)),
+            ("blocked".into(), Json::Num(self.blocked_secs)),
+            ("flops".into(), Json::Num(self.flops as f64)),
+            ("compute_nanos".into(), Json::Num(self.compute_nanos as f64)),
+            ("particles".into(), Json::Num(self.particles as f64)),
+        ])
+    }
+
+    pub(crate) fn from_json(v: &Json) -> Result<StepSample, String> {
+        let num = |key: &str| -> Result<f64, String> {
+            v.get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("sample missing numeric '{key}'"))
+        };
+        Ok(StepSample {
+            step: num("step")? as u32,
+            t_secs: num("t")?,
+            dt_secs: num("dt")?,
+            send_bytes: num("send_bytes")? as u64,
+            coll_bytes: num("coll_bytes")? as u64,
+            blocked_secs: num("blocked")?,
+            flops: num("flops")? as u64,
+            compute_nanos: num("compute_nanos")? as u64,
+            particles: num("particles")? as u64,
+        })
+    }
+}
+
+/// A bounded store of [`StepSample`]s covering the whole run.
+///
+/// The series keeps at most `capacity` samples. While it has room, every
+/// offered sample whose step index is a multiple of the current *stride*
+/// is kept (the stride starts at 1, so initially everything is). When a
+/// kept sample would overflow the capacity, the series decimates 2:1 —
+/// dropping every other retained sample — and doubles the stride, so the
+/// buffer always spans the full run at uniform spacing, trading
+/// resolution for coverage as the run grows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepSeries {
+    cap: usize,
+    stride: u32,
+    samples: Vec<StepSample>,
+}
+
+impl StepSeries {
+    /// An empty series holding at most `capacity` samples (>= 1).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "step series capacity must be >= 1");
+        StepSeries {
+            cap: capacity,
+            stride: 1,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Maximum number of retained samples.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Current sampling stride: only steps divisible by this are kept.
+    pub fn stride(&self) -> u32 {
+        self.stride
+    }
+
+    /// Retained samples, in step order.
+    pub fn samples(&self) -> &[StepSample] {
+        &self.samples
+    }
+
+    /// Number of retained samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples have been retained yet.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Offer a sample. Samples off the current stride are ignored; a
+    /// sample that would overflow the capacity first triggers a 2:1
+    /// decimation (which may then put the sample itself off-stride).
+    pub fn push(&mut self, s: StepSample) {
+        if !s.step.is_multiple_of(self.stride) {
+            return;
+        }
+        if self.samples.len() == self.cap {
+            self.decimate();
+            if !s.step.is_multiple_of(self.stride) {
+                return;
+            }
+        }
+        self.samples.push(s);
+    }
+
+    /// Consume the series, returning `(stride, samples)`.
+    pub fn into_parts(self) -> (u32, Vec<StepSample>) {
+        (self.stride, self.samples)
+    }
+
+    fn decimate(&mut self) {
+        let mut i = 0usize;
+        self.samples.retain(|_| {
+            let keep = i.is_multiple_of(2);
+            i += 1;
+            keep
+        });
+        self.stride = self.stride.saturating_mul(2);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(step: u32) -> StepSample {
+        StepSample {
+            step,
+            t_secs: step as f64 * 0.5,
+            dt_secs: 0.5,
+            send_bytes: 100 + step as u64,
+            ..StepSample::default()
+        }
+    }
+
+    #[test]
+    fn capacity_one_keeps_a_single_sample() {
+        let mut s = StepSeries::new(1);
+        for step in 0..32 {
+            s.push(sample(step));
+            assert!(s.len() <= 1);
+        }
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.samples()[0].step, 0);
+        assert!(s.stride() > 1, "stride must have grown past the overflow");
+    }
+
+    #[test]
+    fn exact_capacity_keeps_everything_at_stride_one() {
+        let mut s = StepSeries::new(8);
+        for step in 0..8 {
+            s.push(sample(step));
+        }
+        assert_eq!(s.len(), 8);
+        assert_eq!(s.stride(), 1);
+        let steps: Vec<u32> = s.samples().iter().map(|x| x.step).collect();
+        assert_eq!(steps, vec![0, 1, 2, 3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn triple_overflow_decimates_to_uniform_coverage() {
+        let mut s = StepSeries::new(8);
+        for step in 0..24 {
+            s.push(sample(step));
+            assert!(s.len() <= 8, "capacity must never be exceeded");
+        }
+        // 24 steps through an 8-slot ring: two decimations -> stride 4,
+        // uniform coverage of the whole run.
+        assert_eq!(s.stride(), 4);
+        let steps: Vec<u32> = s.samples().iter().map(|x| x.step).collect();
+        assert_eq!(steps, vec![0, 4, 8, 12, 16, 20]);
+        // Sample payloads survive decimation intact.
+        assert_eq!(s.samples()[1].send_bytes, 104);
+    }
+
+    #[test]
+    fn off_stride_samples_are_ignored() {
+        let mut s = StepSeries::new(4);
+        for step in 0..8 {
+            s.push(sample(step));
+        }
+        assert_eq!(s.stride(), 2);
+        let before = s.len();
+        s.push(sample(9)); // odd step, stride is 2
+        assert_eq!(s.len(), before);
+    }
+
+    #[test]
+    fn sample_json_round_trips() {
+        let orig = StepSample {
+            step: 7,
+            t_secs: 1.25,
+            dt_secs: 0.25,
+            send_bytes: 4096,
+            coll_bytes: 512,
+            blocked_secs: 0.01,
+            flops: 1_000_000,
+            compute_nanos: 250_000,
+            particles: 128,
+        };
+        let back = StepSample::from_json(&orig.to_json()).unwrap();
+        assert_eq!(back, orig);
+    }
+}

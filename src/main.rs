@@ -4,6 +4,7 @@
 //! ca-nbody run      [n=1024] [p=8] [c=2] [steps=20] [dt=0.005] [method=ca]
 //!                   [law=repulsive|gravity|lj] [cutoff=0.25] [boundary=reflective]
 //!                   [--trace=out.json] [--metrics=out.json|out.prom] [--profile]
+//!                   [--record-timeline=out.json]
 //!                   [--serve-metrics=ADDR] [serve-metrics-hold-ms=2000]
 //!                   [--faults=SPEC] [fault-timeout-ms=1000] [max-retries=3]
 //! ca-nbody verify   [same options]            distributed-vs-serial check
@@ -14,10 +15,13 @@
 //! ca-nbody calibrate [--out=bench_results/machine_calibration.json] [seed=42] [--full]
 //! ca-nbody chaos    [n=192] [p=8] [c=2] [steps=1] [method=ca] [seed=42]
 //!                   [fault-timeout-ms=250] [--baseline=F] [--metrics=F]
+//!                   [--postmortem=DIR]
 //! ca-nbody scale    [machine=hopper] [n=32768] [--metrics=F]
 //!                   strong-scaling table (simulated)
 //! ca-nbody autotune [machine=hopper] [p=1536] [n=12288] [cutoff=0]
-//! ca-nbody analyze  <trace-file> [--metrics=F] [c=1] [--csv=F] [--json=F]
+//! ca-nbody analyze  [trace-file] [--metrics=F] [--timeline=F] [--drift-window=16]
+//!                   [--drift-nsigma=6] [c=1] [--csv=F] [--json=F]
+//! ca-nbody postmortem <bundle.json>           render a flight-recorder dump
 //! ca-nbody regress  <trace-file> [--metrics=F] [n=0] [c=1] [kernel=allpairs]
 //!                   [tolerance=1.5] [--history=bench_results/history] [--record]
 //! ```
@@ -53,6 +57,17 @@
 //! `http://<addr>/metrics` (empty until the run finishes, then held for
 //! `serve-metrics-hold-ms` so scrapers can collect the final snapshot).
 //!
+//! `--record-timeline=<path>` writes the run's per-step time series
+//! (bytes, blocked time, FLOPs, particles per rank) plus the always-on
+//! flight-recorder event ring as one `nbody-timeline/v1` JSON bundle.
+//! When a fault-injected run dies, the same path receives a *postmortem*
+//! bundle carrying the failure reason and the events leading up to it.
+//! `postmortem <bundle>` renders such a dump as text; `analyze
+//! --timeline=<bundle>` runs the online drift detector over the recorded
+//! series and prints the flagged windows next to the straggler table.
+//! When `--serve-metrics` is active the timeline is also published at
+//! `/timeseries` (JSON) and `/dashboard` (self-contained HTML).
+//!
 //! `--faults` injects a deterministic fault schedule (spec grammar
 //! `kind:rank@step` with kinds `kill | drop | dup | delay`, comma-
 //! separated) and switches `run`/`verify` to the fault-tolerant CA
@@ -82,14 +97,15 @@ use ca_nbody::cutoff::validate_cutoff;
 use ca_nbody::schedule::{count_ops, AllPairsParams};
 use ca_nbody::recovery::{FaultConfig, FaultError};
 use ca_nbody::{
-    run_distributed, run_distributed_chaos, run_distributed_traced, run_serial, Method, ProcGrid,
-    RunResult, SimConfig, Window, Window1d,
+    run_distributed, run_distributed_chaos_recorded, run_distributed_recorded,
+    run_distributed_traced, run_serial, Method, ProcGrid, RunResult, SimConfig, Window, Window1d,
 };
 use nbody_analyze::{
-    analyze, check_regression, parse_history, render_csv, render_json, render_regression,
-    render_table, RunSummary, Verdict,
+    analyze, check_regression, parse_history, render_csv, render_drift, render_json,
+    render_regression, render_table, RunSummary, Verdict,
 };
-use nbody_comm::{FaultKind, FaultPlan};
+use nbody_comm::{validate_env, FaultKind, FaultPlan, RunTimeline};
+use nbody_timeline::DriftConfig;
 use nbody_metrics::{
     audit, audit_csv, audit_json, audit_table, ceilings_from_json, AuditAlgorithm, AuditConfig,
     AuditInput, FactorCeilings, MetricsSnapshot,
@@ -106,6 +122,12 @@ use nbody_physics::{
 use nbody_trace::{ExecutionTrace, Json, ALL_PHASES};
 
 fn main() -> ExitCode {
+    // A malformed NBODY_RECV_TIMEOUT_SECS is a startup error, not a silent
+    // fallback discovered mid-run inside a worker thread.
+    if let Err(e) = validate_env() {
+        eprintln!("{e}");
+        return ExitCode::from(2);
+    }
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
         usage();
@@ -148,6 +170,7 @@ fn main() -> ExitCode {
         "scale" => scale_cmd(&opts),
         "autotune" => autotune_cmd(&opts),
         "analyze" => analyze_cmd(&opts, &positional),
+        "postmortem" => postmortem_cmd(&positional),
         "regress" => regress_cmd(&opts, &positional),
         _ => {
             usage();
@@ -158,9 +181,10 @@ fn main() -> ExitCode {
 
 fn usage() {
     eprintln!(
-        "usage: ca-nbody <run|verify|report|audit|calibrate|chaos|scale|autotune|analyze|regress> \
+        "usage: ca-nbody <run|verify|report|audit|calibrate|chaos|scale|autotune|analyze|\
+         postmortem|regress> \
          [key=value ...] \
-         [--trace=F] [--metrics=F] [--profile] [--faults=SPEC]\n\
+         [--trace=F] [--metrics=F] [--record-timeline=F] [--profile] [--faults=SPEC]\n\
          see `src/main.rs` header or README.md for the option list"
     );
 }
@@ -177,6 +201,7 @@ enum AnyLaw {
     Gravity(Gravity),
     Lj(Cutoff<LennardJones>),
     RepulsiveCutoff(Cutoff<RepulsiveInverseSquare>),
+    GravityCutoff(Cutoff<Gravity>),
 }
 
 impl ForceLaw for AnyLaw {
@@ -186,6 +211,7 @@ impl ForceLaw for AnyLaw {
             AnyLaw::Gravity(l) => l.force(target, source, disp),
             AnyLaw::Lj(l) => l.force(target, source, disp),
             AnyLaw::RepulsiveCutoff(l) => l.force(target, source, disp),
+            AnyLaw::GravityCutoff(l) => l.force(target, source, disp),
         }
     }
 
@@ -195,6 +221,7 @@ impl ForceLaw for AnyLaw {
             AnyLaw::Gravity(l) => l.potential(target, source, disp),
             AnyLaw::Lj(l) => l.potential(target, source, disp),
             AnyLaw::RepulsiveCutoff(l) => l.potential(target, source, disp),
+            AnyLaw::GravityCutoff(l) => l.potential(target, source, disp),
         }
     }
 
@@ -203,6 +230,7 @@ impl ForceLaw for AnyLaw {
             AnyLaw::Repulsive(_) | AnyLaw::Gravity(_) => None,
             AnyLaw::Lj(l) => l.cutoff(),
             AnyLaw::RepulsiveCutoff(l) => l.cutoff(),
+            AnyLaw::GravityCutoff(l) => l.cutoff(),
         }
     }
 
@@ -216,6 +244,7 @@ impl ForceLaw for AnyLaw {
             AnyLaw::Gravity(l) => l.flops_per_interaction(),
             AnyLaw::Lj(l) => l.flops_per_interaction(),
             AnyLaw::RepulsiveCutoff(l) => l.flops_per_interaction(),
+            AnyLaw::GravityCutoff(l) => l.flops_per_interaction(),
         }
     }
 }
@@ -269,10 +298,17 @@ fn run_cmd(opts: &HashMap<String, String>, verify: bool) -> ExitCode {
             },
             cutoff,
         )),
-        ("gravity", _) => AnyLaw::Gravity(Gravity {
+        ("gravity", false) => AnyLaw::Gravity(Gravity {
             g: 1e-3,
             softening: 0.02,
         }),
+        ("gravity", true) => AnyLaw::GravityCutoff(Cutoff::new(
+            Gravity {
+                g: 1e-3,
+                softening: 0.02,
+            },
+            cutoff,
+        )),
         ("lj", _) => AnyLaw::Lj(Cutoff::new(LennardJones::default(), cutoff)),
         (other, _) => {
             eprintln!("unknown law '{other}'");
@@ -304,10 +340,14 @@ fn run_cmd(opts: &HashMap<String, String>, verify: bool) -> ExitCode {
 
     let trace_path = opts.get("trace").cloned();
     let metrics_path = opts.get("metrics").cloned();
+    let timeline_path = opts.get("record-timeline").cloned();
     let profile = opts.get("profile").is_some_and(|v| v != "false");
     let serve_addr = opts.get("serve-metrics").cloned();
-    let tracing =
-        trace_path.is_some() || profile || metrics_path.is_some() || serve_addr.is_some();
+    let tracing = trace_path.is_some()
+        || profile
+        || metrics_path.is_some()
+        || serve_addr.is_some()
+        || timeline_path.is_some();
 
     // The endpoint comes up before the run (serving an empty snapshot) so
     // scrapers can connect while the simulation is in flight; the final
@@ -339,7 +379,7 @@ fn run_cmd(opts: &HashMap<String, String>, verify: bool) -> ExitCode {
 
     println!("{method:?} on {p} ranks: n={n}, steps={steps}, dt={dt}, law={law_name}");
     let start = std::time::Instant::now();
-    let (result, trace, metrics, chaos_info) = if let Some(plan) = &faults {
+    let (result, trace, metrics, chaos_info, timeline) = if let Some(plan) = &faults {
         if !matches!(
             method,
             Method::CaAllPairs { .. } | Method::Ca1dCutoff { .. } | Method::Ca2dCutoff { .. }
@@ -351,7 +391,8 @@ fn run_cmd(opts: &HashMap<String, String>, verify: bool) -> ExitCode {
             recv_timeout: std::time::Duration::from_millis(get(opts, "fault-timeout-ms", 1000)),
             max_retries: get(opts, "max-retries", 3),
         };
-        match run_distributed_chaos(&cfg, method, p, plan, &fc, &initial) {
+        let (res, timeline) = run_distributed_chaos_recorded(&cfg, method, p, plan, &fc, &initial);
+        match res {
             Ok(res) => {
                 println!(
                     "  faults [{}]: max attempts {}, recovered: {}",
@@ -367,21 +408,37 @@ fn run_cmd(opts: &HashMap<String, String>, verify: bool) -> ExitCode {
                     Some(res.trace),
                     res.metrics,
                     Some((res.max_attempts, res.recovered)),
+                    Some(timeline),
                 )
             }
             Err(e) => {
                 eprintln!("fault-injected run failed: {e}");
+                // The flight recorder was on the whole time: dump the
+                // postmortem bundle so the failure can be diagnosed.
+                if let Some(path) = &timeline_path {
+                    let bundle = if timeline.is_postmortem() {
+                        timeline
+                    } else {
+                        timeline.with_failure(&e.to_string())
+                    };
+                    match std::fs::write(path, bundle.to_json()) {
+                        Ok(()) => eprintln!("postmortem bundle written to {path}"),
+                        Err(we) => eprintln!("cannot write postmortem to {path}: {we}"),
+                    }
+                }
                 return ExitCode::FAILURE;
             }
         }
     } else if tracing {
-        let (result, trace, metrics) = run_distributed_traced(&cfg, method, p, &initial);
-        (result, Some(trace), metrics, None)
+        let (result, trace, metrics, timeline) =
+            run_distributed_recorded(&cfg, method, p, &initial);
+        (result, Some(trace), metrics, None, Some(timeline))
     } else {
         (
             run_distributed(&cfg, method, p, &initial),
             None,
             MetricsSnapshot::empty(),
+            None,
             None,
         )
     };
@@ -418,6 +475,17 @@ fn run_cmd(opts: &HashMap<String, String>, verify: bool) -> ExitCode {
         }
         println!("  metrics written to {path} ({} ranks)", metrics.ranks.len());
     }
+    if let (Some(path), Some(tl)) = (&timeline_path, &timeline) {
+        if let Err(e) = std::fs::write(path, tl.to_json()) {
+            eprintln!("cannot write timeline to {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "  timeline written to {path} ({} ranks, {} step samples)",
+            tl.ranks.len(),
+            tl.ranks.iter().map(|r| r.samples.len()).sum::<usize>()
+        );
+    }
     if profile {
         if let Some(trace) = &trace {
             print_breakdown(trace);
@@ -425,6 +493,13 @@ fn run_cmd(opts: &HashMap<String, String>, verify: bool) -> ExitCode {
     }
     if let Some(server) = &server {
         server.publish(&metrics);
+        if let Some(tl) = &timeline {
+            server.publish_timeline(tl);
+            println!(
+                "  dashboard live at http://{}/dashboard",
+                server.local_addr()
+            );
+        }
         println!(
             "  metrics published at http://{}/metrics ({} ranks)",
             server.local_addr(),
@@ -498,6 +573,17 @@ fn run_cmd(opts: &HashMap<String, String>, verify: bool) -> ExitCode {
     }
     if let Some(path) = &trace_path {
         summary.push(("trace_path".to_string(), Json::Str(path.clone())));
+    }
+    if let (Some(path), Some(tl)) = (&timeline_path, &timeline) {
+        summary.push(("timeline_path".to_string(), Json::Str(path.clone())));
+        summary.push((
+            "timeline_samples".to_string(),
+            Json::Num(tl.ranks.iter().map(|r| r.samples.len()).sum::<usize>() as f64),
+        ));
+        summary.push((
+            "drift_windows".to_string(),
+            Json::Num(tl.drift(&DriftConfig::default()).len() as f64),
+        ));
     }
     if let Some(path) = &metrics_path {
         summary.push(("metrics_path".to_string(), Json::Str(path.clone())));
@@ -1085,6 +1171,30 @@ fn chaos_cmd(opts: &HashMap<String, String>) -> ExitCode {
     let metrics_path = opts.get("metrics").cloned();
     let mut sweep_metrics = MetricsSnapshot::empty();
 
+    // With --postmortem every run that dies dumps its flight-recorder
+    // bundle into the directory, one JSON file per failed schedule.
+    let postmortem_dir = opts.get("postmortem").cloned();
+    let mut postmortem_bundles: Vec<String> = Vec::new();
+    fn dump_postmortem(
+        dir: &Option<String>,
+        name: &str,
+        tl: &RunTimeline,
+        bundles: &mut Vec<String>,
+    ) {
+        let Some(dir) = dir else { return };
+        let write = std::fs::create_dir_all(dir).and_then(|()| {
+            let path = format!("{dir}/{name}.json");
+            std::fs::write(&path, tl.to_json()).map(|()| path)
+        });
+        match write {
+            Ok(path) => {
+                println!("  postmortem bundle written to {path}");
+                bundles.push(name.to_string());
+            }
+            Err(e) => eprintln!("  cannot write postmortem {name} to {dir}: {e}"),
+        }
+    }
+
     // Benign schedules: delays and duplicates must be absorbed without
     // even triggering recovery.
     for salt in 0..2u64 {
@@ -1096,7 +1206,8 @@ fn chaos_cmd(opts: &HashMap<String, String>) -> ExitCode {
             &[FaultKind::Delay, FaultKind::Duplicate],
         );
         runs += 1;
-        match run_distributed_chaos(&cfg, method, p, &plan, &fc, &initial) {
+        let (res, tl) = run_distributed_chaos_recorded(&cfg, method, p, &plan, &fc, &initial);
+        match res {
             Ok(res) => {
                 sweep_metrics.absorb(&res.metrics);
                 if res.particles != want {
@@ -1106,7 +1217,15 @@ fn chaos_cmd(opts: &HashMap<String, String>) -> ExitCode {
                     failures.push(format!("benign [{}]: spurious recovery", plan.spec()));
                 }
             }
-            Err(e) => failures.push(format!("benign [{}]: {e}", plan.spec())),
+            Err(e) => {
+                failures.push(format!("benign [{}]: {e}", plan.spec()));
+                dump_postmortem(
+                    &postmortem_dir,
+                    &format!("benign_{salt}"),
+                    &tl.with_failure(&e.to_string()),
+                    &mut postmortem_bundles,
+                );
+            }
         }
     }
 
@@ -1119,7 +1238,8 @@ fn chaos_cmd(opts: &HashMap<String, String>) -> ExitCode {
         for rank in 0..p {
             let plan = FaultPlan::kill(rank, step);
             runs += 1;
-            match run_distributed_chaos(&cfg, method, p, &plan, &fc, &initial) {
+            let (res, tl) = run_distributed_chaos_recorded(&cfg, method, p, &plan, &fc, &initial);
+            match res {
                 Ok(res) => {
                     sweep_metrics.absorb(&res.metrics);
                     if res.particles != want {
@@ -1139,7 +1259,15 @@ fn chaos_cmd(opts: &HashMap<String, String>) -> ExitCode {
                         worst_bytes_factor = worst_bytes_factor.max(bytes / nominal_block_bytes);
                     }
                 }
-                Err(e) => failures.push(format!("kill:{rank}@{step}: {e}")),
+                Err(e) => {
+                    failures.push(format!("kill:{rank}@{step}: {e}"));
+                    dump_postmortem(
+                        &postmortem_dir,
+                        &format!("kill_{rank}_at_{step}"),
+                        &tl.with_failure(&e.to_string()),
+                        &mut postmortem_bundles,
+                    );
+                }
             }
         }
     }
@@ -1155,8 +1283,19 @@ fn chaos_cmd(opts: &HashMap<String, String>) -> ExitCode {
         _ => unreachable!("chaos supports only CA methods"),
     };
     runs += 1;
-    match run_distributed_chaos(&cfg, m1, p, &FaultPlan::kill(p / 2, 1), &fc, &initial) {
-        Err(FaultError::Unrecoverable { .. }) => {}
+    let (res, tl) =
+        run_distributed_chaos_recorded(&cfg, m1, p, &FaultPlan::kill(p / 2, 1), &fc, &initial);
+    match res {
+        Err(e @ FaultError::Unrecoverable { .. }) => {
+            // The expected terminal failure — exactly what the postmortem
+            // bundle is for.
+            dump_postmortem(
+                &postmortem_dir,
+                "c1_kill_unrecoverable",
+                &tl.with_failure(&e.to_string()),
+                &mut postmortem_bundles,
+            );
+        }
         Ok(_) => failures.push("c=1 kill unexpectedly produced a result".to_string()),
         Err(e) => failures.push(format!("c=1 kill: wrong terminal error: {e}")),
     }
@@ -1223,6 +1362,18 @@ fn chaos_cmd(opts: &HashMap<String, String>) -> ExitCode {
         summary.push((
             "sweep_compute_flops".to_string(),
             Json::Num(sweep_metrics.sum_counter("compute_flops", None) as f64),
+        ));
+    }
+    if let Some(dir) = &postmortem_dir {
+        summary.push(("postmortem_dir".to_string(), Json::Str(dir.clone())));
+        summary.push((
+            "postmortem_bundles".to_string(),
+            Json::Arr(
+                postmortem_bundles
+                    .iter()
+                    .map(|n| Json::Str(n.clone()))
+                    .collect(),
+            ),
         ));
     }
     println!("{}", Json::Obj(summary));
@@ -1442,6 +1593,11 @@ fn load_metrics(path: &str) -> Result<MetricsSnapshot, String> {
     .map_err(|e| format!("cannot parse {path}: {e}"))
 }
 
+fn load_timeline(path: &str) -> Result<RunTimeline, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    RunTimeline::parse(&text).map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
 /// The revision recorded into history entries: `NBODY_GIT_REV` when set
 /// (CI passes it explicitly), else `git rev-parse`, else `unknown`.
 fn git_rev() -> String {
@@ -1471,10 +1627,35 @@ fn unix_now() -> u64 {
 /// `analyze`: post-run diagnosis of a recorded trace — per-step critical
 /// path, per-phase imbalance, straggler rankings, grid heat-maps.
 fn analyze_cmd(opts: &HashMap<String, String>, positional: &[String]) -> ExitCode {
+    let timeline = match opts.get("timeline") {
+        Some(tp) => match load_timeline(tp) {
+            Ok(tl) => Some(tl),
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+    // The defaults (16-sample window, 6 sigma) are alarm-tuned: they fire
+    // on step functions and stay quiet otherwise. Exploratory analysis of
+    // slow ramps (e.g. a gravitational collapse) wants a wider window and
+    // a tighter threshold.
+    let drift_cfg = DriftConfig {
+        window: get(opts, "drift-window", DriftConfig::default().window),
+        nsigma: get(opts, "drift-nsigma", DriftConfig::default().nsigma),
+        ..DriftConfig::default()
+    };
     let Some(path) = positional.first() else {
+        // Timeline-only invocation: a recorded bundle is diagnosable on
+        // its own (the drift detector needs no trace).
+        if let Some(tl) = &timeline {
+            print!("{}", render_drift(tl, &drift_cfg));
+            return ExitCode::SUCCESS;
+        }
         eprintln!(
-            "usage: ca-nbody analyze <trace.json|trace.jsonl> [--metrics=F] [c=1] \
-             [--csv=F] [--json=F]"
+            "usage: ca-nbody analyze <trace.json|trace.jsonl> [--metrics=F] [--timeline=F] \
+             [--drift-window=16] [--drift-nsigma=6] [c=1] [--csv=F] [--json=F]"
         );
         return ExitCode::FAILURE;
     };
@@ -1498,6 +1679,10 @@ fn analyze_cmd(opts: &HashMap<String, String>, positional: &[String]) -> ExitCod
     let c: usize = get(opts, "c", 1);
     let a = analyze(&trace, metrics.as_ref(), c);
     print!("{}", render_table(&a));
+    if let Some(tl) = &timeline {
+        println!();
+        print!("{}", render_drift(tl, &drift_cfg));
+    }
     if let Some(out) = opts.get("csv") {
         if let Err(e) = std::fs::write(out, render_csv(&a)) {
             eprintln!("cannot write {out}: {e}");
@@ -1511,6 +1696,65 @@ fn analyze_cmd(opts: &HashMap<String, String>, positional: &[String]) -> ExitCod
             return ExitCode::FAILURE;
         }
         println!("analysis JSON written to {out}");
+    }
+    ExitCode::SUCCESS
+}
+
+/// `postmortem`: render a flight-recorder dump (a failed run's timeline
+/// bundle) as a human-readable per-rank account of what happened.
+fn postmortem_cmd(positional: &[String]) -> ExitCode {
+    let Some(path) = positional.first() else {
+        eprintln!("usage: ca-nbody postmortem <bundle.json>");
+        return ExitCode::FAILURE;
+    };
+    let tl = match load_timeline(path) {
+        Ok(tl) => tl,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match &tl.failure {
+        Some(reason) => println!("{path}: FAILED — {reason}"),
+        None => println!("{path}: healthy run (no failure recorded)"),
+    }
+    println!("{} ranks recorded\n", tl.ranks.len());
+    for r in &tl.ranks {
+        let steps = match (r.samples.first(), r.samples.last()) {
+            (Some(a), Some(b)) => format!(
+                "{} samples over steps {}..={} (stride {})",
+                r.samples.len(),
+                a.step,
+                b.step,
+                r.stride
+            ),
+            _ => "no step samples".to_string(),
+        };
+        println!("rank {:<4} {steps}", r.rank);
+        if let Some(last) = r.samples.last() {
+            println!(
+                "          last sample: {} particles, {} send bytes, {:.6} s blocked",
+                last.particles, last.send_bytes, last.blocked_secs
+            );
+        }
+        if let Some(f) = &r.failure {
+            println!("          failure: {f}");
+        }
+        if r.dropped_events > 0 {
+            println!(
+                "          ({} earlier events evicted from the flight ring)",
+                r.dropped_events
+            );
+        }
+        for e in &r.events {
+            let step = e.step.map_or(String::new(), |s| format!(" step {s}"));
+            println!(
+                "  {:>10.4}s  {:<16}{step}  {}",
+                e.t_secs,
+                e.kind.label(),
+                e.detail
+            );
+        }
     }
     ExitCode::SUCCESS
 }

@@ -1017,9 +1017,231 @@ fn scale_metrics_flag_synthesizes_a_snapshot_from_the_model() {
 }
 
 #[test]
+fn record_timeline_writes_bundle_and_analyze_reports_drift() {
+    let dir = std::env::temp_dir().join("ca_nbody_cli_timeline_test");
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let tl_path = dir.join("timeline.json").display().to_string();
+    let trace = dir.join("trace.jsonl").display().to_string();
+    let out = cli()
+        .args([
+            "run",
+            "n=128",
+            "p=4",
+            "c=2",
+            "steps=4",
+            &format!("--trace={trace}"),
+            &format!("--record-timeline={tl_path}"),
+        ])
+        .output()
+        .expect("launch");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "{stdout}\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout.contains("timeline written to"), "{stdout}");
+    let last = stdout.lines().last().unwrap();
+    let doc = nbody_trace::Json::parse(last).unwrap();
+    assert!(doc.get("timeline_samples").unwrap().as_f64().unwrap() > 0.0, "{last}");
+
+    // The bundle parses back: every rank sampled every step.
+    let text = std::fs::read_to_string(&tl_path).expect("timeline not written");
+    let tl = nbody_comm::RunTimeline::parse(&text).expect("invalid timeline bundle");
+    assert!(!tl.is_postmortem());
+    assert_eq!(tl.ranks.len(), 4);
+    for r in &tl.ranks {
+        assert_eq!(r.samples.len(), 4, "rank {} samples", r.rank);
+    }
+    // Team leaders own the particles; non-leader replica rows own none.
+    assert!(
+        tl.ranks
+            .iter()
+            .any(|r| r.samples.iter().any(|s| s.particles > 0)),
+        "at least the leaders' samples carry particle counts"
+    );
+
+    // Timeline-only analyze invocation: drift table, quiet on a short
+    // stationary run.
+    let out = cli()
+        .args(["analyze", &format!("--timeline={tl_path}")])
+        .output()
+        .expect("launch");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}");
+    assert!(stdout.contains("timeline drift"), "{stdout}");
+    assert!(stdout.contains("no drift flagged"), "{stdout}");
+
+    // Combined trace + timeline analyze: both sections in one report.
+    let out = cli()
+        .args(["analyze", &trace, &format!("--timeline={tl_path}")])
+        .output()
+        .expect("launch");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}");
+    assert!(stdout.contains("stragglers"), "{stdout}");
+    assert!(stdout.contains("timeline drift"), "{stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn gravity_under_a_cutoff_method_records_a_tunable_drift_report() {
+    // The EXPERIMENTS collapse recipe needs gravity under a spatial
+    // decomposition (law=gravity + ca-cutoff-1d) and the analyze drift
+    // knobs; guard both ends of that pipeline.
+    let dir = std::env::temp_dir().join("ca_nbody_cli_gravity_cutoff_test");
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let tl_path = dir.join("timeline.json").display().to_string();
+    let out = cli()
+        .args([
+            "run",
+            "method=ca-cutoff-1d",
+            "law=gravity",
+            "n=128",
+            "p=4",
+            "c=2",
+            "steps=3",
+            &format!("--record-timeline={tl_path}"),
+        ])
+        .output()
+        .expect("launch");
+    assert!(
+        out.status.success(),
+        "{}\n{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let out = cli()
+        .args([
+            "analyze",
+            &format!("--timeline={tl_path}"),
+            "--drift-window=32",
+            "--drift-nsigma=3",
+        ])
+        .output()
+        .expect("launch");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}");
+    assert!(stdout.contains("window 32, 3.0 sigma"), "{stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn unrecoverable_fault_dumps_parseable_postmortem_bundle() {
+    let dir = std::env::temp_dir().join("ca_nbody_cli_postmortem_test");
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let tl_path = dir.join("postmortem.json").display().to_string();
+    // c=1 leaves no surviving replica: the kill must end Unrecoverable and
+    // the flight recorder must dump a postmortem bundle on the way out.
+    let out = cli()
+        .args([
+            "run", "n=64", "p=4", "c=1", "steps=1",
+            "--faults=kill:2@1", "fault-timeout-ms=300",
+            &format!("--record-timeline={tl_path}"),
+        ])
+        .output()
+        .expect("launch");
+    assert!(!out.status.success(), "the failed run must keep its nonzero exit");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("postmortem bundle written to"), "{stderr}");
+
+    let text = std::fs::read_to_string(&tl_path).expect("postmortem not written");
+    let tl = nbody_comm::RunTimeline::parse(&text).expect("invalid postmortem bundle");
+    assert!(tl.is_postmortem(), "bundle must carry the failure reason");
+    assert!(
+        tl.failure.as_deref().unwrap_or("").contains("unrecoverable"),
+        "{:?}",
+        tl.failure
+    );
+    // The flight ring recorded the death spiral: fault injection, recovery
+    // attempts, and the terminal verdict.
+    let kinds: Vec<&str> = tl
+        .ranks
+        .iter()
+        .flat_map(|r| r.events.iter().map(|e| e.kind.label()))
+        .collect();
+    assert!(kinds.contains(&"fault_injected"), "{kinds:?}");
+    assert!(kinds.contains(&"unrecoverable"), "{kinds:?}");
+
+    // The postmortem subcommand renders the bundle as text.
+    let out = cli()
+        .args(["postmortem", &tl_path])
+        .output()
+        .expect("launch");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}");
+    assert!(stdout.contains("FAILED"), "{stdout}");
+    assert!(stdout.contains("unrecoverable"), "{stdout}");
+    assert!(stdout.contains("rank"), "{stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn chaos_postmortem_flag_dumps_bundle_for_the_unrecoverable_kill() {
+    let dir = std::env::temp_dir().join("ca_nbody_cli_chaos_postmortem_test");
+    std::fs::remove_dir_all(&dir).ok();
+    let pm_dir = dir.join("postmortems").display().to_string();
+    let out = cli()
+        .args([
+            "chaos", "n=64", "p=4", "c=2", "steps=1",
+            "fault-timeout-ms=250",
+            &format!("--postmortem={pm_dir}"),
+        ])
+        .output()
+        .expect("launch");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "{stdout}\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let last = stdout.lines().last().unwrap();
+    let doc = nbody_trace::Json::parse(last).unwrap();
+    let bundles = doc.get("postmortem_bundles").unwrap().as_array().unwrap();
+    // The sweep itself recovers everywhere; only the deliberate c=1 kill
+    // ends Unrecoverable and leaves a bundle.
+    assert_eq!(bundles.len(), 1, "{last}");
+    assert_eq!(bundles[0].as_str(), Some("c1_kill_unrecoverable"));
+    let bundle_path = format!("{pm_dir}/c1_kill_unrecoverable.json");
+    let text = std::fs::read_to_string(&bundle_path).expect("bundle not written");
+    let tl = nbody_comm::RunTimeline::parse(&text).expect("invalid bundle");
+    assert!(tl.is_postmortem());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn malformed_recv_timeout_env_is_a_startup_error() {
+    let out = cli()
+        .args(["run", "n=32", "p=2", "c=1", "steps=1"])
+        .env("NBODY_RECV_TIMEOUT_SECS", "banana")
+        .output()
+        .expect("launch");
+    assert_eq!(out.status.code(), Some(2), "startup validation exits 2");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("NBODY_RECV_TIMEOUT_SECS"), "{stderr}");
+    assert!(stderr.contains("banana"), "{stderr}");
+    assert!(!stderr.contains("panicked"), "{stderr}");
+
+    // A valid override still runs normally.
+    let out = cli()
+        .args(["run", "n=32", "p=2", "c=1", "steps=1"])
+        .env("NBODY_RECV_TIMEOUT_SECS", "90")
+        .output()
+        .expect("launch");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+}
+
+#[test]
 fn serve_metrics_endpoint_scrapes_compute_gauges_over_http() {
     use std::io::{BufRead, BufReader, Read, Write};
 
+    let dir = std::env::temp_dir().join("ca_nbody_cli_serve_test");
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let tl_path = dir.join("timeline.json").display().to_string();
     let mut child = cli()
         .args([
             "run",
@@ -1029,6 +1251,7 @@ fn serve_metrics_endpoint_scrapes_compute_gauges_over_http() {
             "steps=2",
             "--serve-metrics=127.0.0.1:0",
             "serve-metrics-hold-ms=30000",
+            &format!("--record-timeline={tl_path}"),
         ])
         .stdout(std::process::Stdio::piped())
         .spawn()
@@ -1054,15 +1277,22 @@ fn serve_metrics_endpoint_scrapes_compute_gauges_over_http() {
         }
     };
 
-    let mut conn = std::net::TcpStream::connect(&addr).expect("connect to /metrics");
-    conn.write_all(b"GET /metrics HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n")
-        .unwrap();
-    let mut response = String::new();
-    conn.read_to_string(&mut response).unwrap();
+    let scrape = |path: &str| -> String {
+        let mut conn = std::net::TcpStream::connect(&addr).expect("connect to endpoint");
+        conn.write_all(format!("GET {path} HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n").as_bytes())
+            .unwrap();
+        let mut response = String::new();
+        conn.read_to_string(&mut response).unwrap();
+        response
+    };
+    let metrics_response = scrape("/metrics");
+    let timeseries_response = scrape("/timeseries");
+    let dashboard_response = scrape("/dashboard");
     child.kill().ok();
     child.wait().ok();
+    std::fs::remove_dir_all(&dir).ok();
 
-    let (head, body) = response.split_once("\r\n\r\n").expect("no header split");
+    let (head, body) = metrics_response.split_once("\r\n\r\n").expect("no header split");
     assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
     assert!(head.contains("text/plain; version=0.0.4"), "{head}");
     // The scraped exposition parses back and carries the live compute
@@ -1072,4 +1302,19 @@ fn serve_metrics_endpoint_scrapes_compute_gauges_over_http() {
     assert!(snap.sum_counter("compute_flops", None) > 0, "{body}");
     assert!(snap.sum_counter("compute_interactions", None) > 0);
     assert!(snap.sum_counter("comm_send_messages", Some(nbody_trace::Phase::Shift)) > 0);
+
+    // The published timeline serves as JSON at /timeseries ...
+    let (head, body) = timeseries_response.split_once("\r\n\r\n").expect("no header split");
+    assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+    assert!(head.contains("application/json"), "{head}");
+    let tl = nbody_comm::RunTimeline::parse(body).expect("invalid /timeseries body");
+    assert_eq!(tl.ranks.len(), 4, "{body}");
+    assert!(tl.ranks.iter().all(|r| r.samples.len() == 2));
+
+    // ... and as the self-contained HTML dashboard at /dashboard.
+    let (head, body) = dashboard_response.split_once("\r\n\r\n").expect("no header split");
+    assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+    assert!(head.contains("text/html"), "{head}");
+    assert!(body.starts_with("<!doctype html>"), "{body}");
+    assert!(body.contains("<svg"), "dashboard carries sparklines");
 }
