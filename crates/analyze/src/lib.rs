@@ -23,6 +23,9 @@
 //! * [`report`] — human tables, CSV, and JSON renderings of an
 //!   [`Analysis`], plus the drift-window table `ca-nbody analyze
 //!   --timeline=…` prints from a recorded `nbody-timeline` bundle.
+//! * [`wire`] — the message-level lens: per-channel send→recv latency
+//!   tables from a `nbody-wireprobe` log (`analyze --wire`) and the
+//!   schedule-conformance table (`ca-nbody conformance`).
 //!
 //! Everything consumes the serialized artifacts a traced run already
 //! writes (`--trace=… --metrics=…`); nothing here needs the live
@@ -36,6 +39,7 @@ pub mod history;
 pub mod imbalance;
 pub mod report;
 pub mod stragglers;
+pub mod wire;
 
 pub use critical::{critical_path, StepCritical};
 pub use heatmap::{grid_heatmap, GridHeatmap};
@@ -47,6 +51,7 @@ pub use report::{
     render_csv, render_drift, render_heatmap, render_json, render_regression, render_table,
 };
 pub use stragglers::{rank_stragglers, Straggler};
+pub use wire::{render_conformance, render_wire};
 
 use nbody_metrics::MetricsSnapshot;
 use nbody_trace::ExecutionTrace;

@@ -40,6 +40,7 @@ use crate::thread_comm::{run_ranks_owned, ThreadComm};
 use nbody_metrics::{Counter, MetricsRecorder, MetricsSnapshot};
 use nbody_timeline::{EventKind, RunTimeline, TimelineRecorder};
 use nbody_trace::{ExecutionTrace, Tracer};
+use nbody_wireprobe::{FaultNote, ProbeKind, ProbeRecorder, WireLog};
 use std::time::Instant;
 
 /// What a scheduled fault does to the traffic it strikes.
@@ -63,6 +64,16 @@ impl FaultKind {
             FaultKind::Delay => "delay",
             FaultKind::Duplicate => "dup",
             FaultKind::Kill => "kill",
+        }
+    }
+
+    /// The wire-probe event kind this fault is recorded as.
+    pub fn probe_kind(self) -> ProbeKind {
+        match self {
+            FaultKind::Drop => ProbeKind::FaultDrop,
+            FaultKind::Delay => ProbeKind::FaultDelay,
+            FaultKind::Duplicate => ProbeKind::FaultDup,
+            FaultKind::Kill => ProbeKind::FaultKill,
         }
     }
 }
@@ -165,6 +176,21 @@ impl FaultPlan {
         Ok(FaultPlan { events })
     }
 
+    /// The plan's events as conformance-checker fault notes, so a
+    /// [`check_conformance`](nbody_wireprobe::check_conformance) pass can
+    /// attribute discrepancies to scheduled injections even when the
+    /// corresponding probe events were evicted from a saturated ring.
+    pub fn probe_notes(&self) -> Vec<FaultNote> {
+        self.events
+            .iter()
+            .map(|e| FaultNote {
+                kind: e.kind.probe_kind(),
+                rank: e.rank as u32,
+                step: Some(e.step as u64),
+            })
+            .collect()
+    }
+
     /// Render the plan back into the [`parse`](FaultPlan::parse) grammar.
     pub fn spec(&self) -> String {
         self.events
@@ -227,6 +253,7 @@ struct ChaosState {
     injected_dup: Counter,
     injected_kill: Counter,
     timeline: TimelineRecorder,
+    wire: ProbeRecorder,
 }
 
 impl ChaosState {
@@ -279,6 +306,17 @@ impl ChaosState {
                     Some(step as u64),
                     FaultKind::Kill.label(),
                 );
+                // A kill suppresses unknown future traffic; record it with
+                // the rank as its own peer and no payload.
+                self.wire.fault(
+                    ProbeKind::FaultKill,
+                    self.world_rank as u32,
+                    0,
+                    self.phase.get(),
+                    0,
+                    0,
+                    step as u64,
+                );
                 return true;
             }
         }
@@ -320,6 +358,7 @@ impl<C: Communicator> ChaosComm<C> {
             injected_dup: rec.counter("fault_injected_duplicate", None),
             injected_kill: rec.counter("fault_injected_kill", None),
             timeline: inner.timeline(),
+            wire: inner.wire(),
         };
         ChaosComm {
             inner,
@@ -368,18 +407,39 @@ impl<C: Communicator> Communicator for ChaosComm<C> {
         self.inner.timeline()
     }
 
+    fn wire(&self) -> ProbeRecorder {
+        self.state.wire.clone()
+    }
+
     fn send<T: CommData>(&self, dst: usize, tag: u64, data: &[T]) {
+        // Injections land in the probe stream as first-class events so a
+        // conformance pass can attribute the resulting traffic anomalies
+        // to the fault plan instead of flagging them as protocol bugs.
+        let probe_fault = |kind: FaultKind| {
+            self.state.wire.fault(
+                kind.probe_kind(),
+                dst as u32,
+                tag,
+                self.state.phase.get(),
+                data.len() as u64,
+                std::mem::size_of_val(data) as u64,
+                self.state.step.get() as u64,
+            );
+        };
         if self.state.dead.get() {
             // A crashed rank's messages never reach the wire.
+            probe_fault(FaultKind::Kill);
             return;
         }
         match self.state.take_p2p_event() {
-            Some(e) if e.kind == FaultKind::Drop => {}
+            Some(e) if e.kind == FaultKind::Drop => probe_fault(FaultKind::Drop),
             Some(e) if e.kind == FaultKind::Delay => {
+                probe_fault(FaultKind::Delay);
                 std::thread::sleep(Duration::from_millis(e.delay_ms));
                 self.inner.send(dst, tag, data);
             }
             Some(e) if e.kind == FaultKind::Duplicate => {
+                probe_fault(FaultKind::Duplicate);
                 self.inner.send(dst, tag, data);
                 self.inner.send(dst, tag, data);
             }
@@ -453,12 +513,12 @@ where
     R: Send,
     F: Fn(&mut ChaosComm<ThreadComm>) -> R + Sync,
 {
-    run_ranks_owned(p, None, true, true, |comm| {
+    run_ranks_owned(p, None, true, true, false, |comm| {
         let mut chaos = ChaosComm::new(comm, plan);
         f(&mut chaos)
     })
     .into_iter()
-    .map(|(r, _, _, _)| r)
+    .map(|(r, _, _, _, _)| r)
     .collect()
 }
 
@@ -473,8 +533,39 @@ where
     R: Send,
     F: Fn(&mut ChaosComm<ThreadComm>) -> R + Sync,
 {
+    let (results, trace, metrics, timeline, _) = run_ranks_chaos_impl(p, plan, false, f);
+    (results, trace, metrics, timeline)
+}
+
+/// [`run_ranks_chaos_traced`] with wire probes on as well: every rank's
+/// probe ring records protocol sends/recvs *and* the chaos wrapper's
+/// injected faults as first-class events, so the merged [`WireLog`] carries
+/// everything a conformance pass needs to attribute discrepancies to the
+/// [`FaultPlan`].
+pub fn run_ranks_chaos_probed<R, F>(
+    p: usize,
+    plan: &FaultPlan,
+    f: F,
+) -> (Vec<R>, ExecutionTrace, MetricsSnapshot, RunTimeline, WireLog)
+where
+    R: Send,
+    F: Fn(&mut ChaosComm<ThreadComm>) -> R + Sync,
+{
+    run_ranks_chaos_impl(p, plan, true, f)
+}
+
+fn run_ranks_chaos_impl<R, F>(
+    p: usize,
+    plan: &FaultPlan,
+    probe: bool,
+    f: F,
+) -> (Vec<R>, ExecutionTrace, MetricsSnapshot, RunTimeline, WireLog)
+where
+    R: Send,
+    F: Fn(&mut ChaosComm<ThreadComm>) -> R + Sync,
+{
     let epoch = Instant::now();
-    let out = run_ranks_owned(p, Some(epoch), true, true, |comm| {
+    let out = run_ranks_owned(p, Some(epoch), true, true, probe, |comm| {
         let mut chaos = ChaosComm::new(comm, plan);
         f(&mut chaos)
     });
@@ -482,17 +573,20 @@ where
     let mut buffers = Vec::with_capacity(p);
     let mut shards = Vec::with_capacity(p);
     let mut timelines = Vec::with_capacity(p);
-    for (r, spans, metrics, timeline) in out {
+    let mut wires = Vec::with_capacity(p);
+    for (r, spans, metrics, timeline, wire) in out {
         results.push(r);
         buffers.push(spans);
         shards.push(metrics);
         timelines.extend(timeline);
+        wires.extend(wire);
     }
     (
         results,
         ExecutionTrace::from_rank_buffers(buffers),
         MetricsSnapshot::from_shards(shards),
         RunTimeline::from_ranks(timelines),
+        WireLog::from_ranks(wires),
     )
 }
 
@@ -692,6 +786,87 @@ mod tests {
         let drop_ev = fault_events.iter().find(|e| e.detail == "drop").unwrap();
         assert_eq!(drop_ev.step, Some(1));
         assert!(fault_events.iter().any(|e| e.detail == "kill"));
+    }
+
+    #[test]
+    fn injected_faults_are_first_class_probe_events() {
+        use nbody_wireprobe::{FaultNote, ProbeKind};
+        let plan = FaultPlan::parse("drop:0@1,dup:1@1").unwrap();
+        let (_, _, _, _, wire) = run_ranks_chaos_probed(2, &plan, |comm| {
+            comm.set_phase(Phase::Shift);
+            comm.fault_step(1).unwrap();
+            if comm.rank() == 0 {
+                comm.send(1, 30, &[0u64]); // dropped by the plan
+                let _ = comm.recv::<u64>(1, 30); // first duplicate copy
+            } else {
+                comm.send(0, 30, &[1u64]); // duplicated by the plan
+                let missing = comm.try_recv_timeout::<u64>(0, 30, Duration::from_millis(50));
+                assert!(matches!(missing, Err(CommError::Timeout { .. })));
+            }
+            comm.barrier();
+        });
+        let r0: Vec<_> = wire.ranks[0].events.iter().collect();
+        let r1: Vec<_> = wire.ranks[1].events.iter().collect();
+        // Rank 0's send was dropped: a FaultDrop event carrying the doomed
+        // message's coordinates replaces the Send event...
+        let drop = r0.iter().find(|e| e.kind == ProbeKind::FaultDrop).unwrap();
+        assert_eq!(drop.tag, 30);
+        assert_eq!(drop.count, 1);
+        assert_eq!(drop.step, Some(1));
+        assert!(
+            !r0.iter().any(|e| e.kind == ProbeKind::Send && e.tag == 30),
+            "the dropped message never reached the wire: {r0:?}"
+        );
+        // ...while rank 1's duplicate is announced and then sent twice.
+        let dup = r1.iter().find(|e| e.kind == ProbeKind::FaultDup).unwrap();
+        assert_eq!(dup.step, Some(1));
+        assert_eq!(
+            r1.iter()
+                .filter(|e| e.kind == ProbeKind::Send && e.tag == 30)
+                .count(),
+            2
+        );
+        // The log alone reconstructs the fault plan for attribution.
+        let notes = FaultNote::from_log(&wire);
+        assert_eq!(notes.len(), 2);
+        assert!(notes.contains(&FaultNote {
+            kind: ProbeKind::FaultDrop,
+            rank: 0,
+            step: Some(1)
+        }));
+        // And the plan itself maps to the same note vocabulary.
+        let planned = plan.probe_notes();
+        assert!(planned.contains(&FaultNote {
+            kind: ProbeKind::FaultDup,
+            rank: 1,
+            step: Some(1)
+        }));
+    }
+
+    #[test]
+    fn dead_rank_suppressed_sends_are_probed_as_kills() {
+        use nbody_wireprobe::ProbeKind;
+        let plan = FaultPlan::kill(0, 1);
+        let (_, _, _, _, wire) = run_ranks_chaos_probed(2, &plan, |comm| {
+            comm.set_phase(Phase::Shift);
+            let dead = comm.fault_step(1).is_err();
+            if comm.rank() == 0 {
+                assert!(dead);
+                comm.send(1, 5, &[1u8, 2, 3]); // goes nowhere
+            }
+        });
+        let kills: Vec<_> = wire.ranks[0]
+            .events
+            .iter()
+            .filter(|e| e.kind == ProbeKind::FaultKill)
+            .collect();
+        // One event for the kill itself, one per suppressed send.
+        assert_eq!(kills.len(), 2, "{kills:?}");
+        assert!(kills.iter().any(|e| e.tag == 5 && e.count == 3));
+        assert!(
+            !wire.ranks[0].events.iter().any(|e| e.kind == ProbeKind::Send),
+            "a dead rank's traffic never hits the wire"
+        );
     }
 
     #[test]

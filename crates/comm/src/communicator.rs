@@ -17,6 +17,7 @@ use crate::stats::{CommStats, Phase};
 use nbody_metrics::MetricsRecorder;
 use nbody_timeline::TimelineRecorder;
 use nbody_trace::Tracer;
+use nbody_wireprobe::ProbeRecorder;
 
 /// Marker for data that can travel between ranks. Blanket-implemented for
 /// every cloneable `Send` type; messages are moved between threads without
@@ -73,6 +74,14 @@ pub trait Communicator: Sized {
     /// by default so plain transports stay telemetry-free.
     fn timeline(&self) -> TimelineRecorder {
         TimelineRecorder::disabled()
+    }
+
+    /// This rank's wire probe: a bounded ring of per-message transport
+    /// events (send/recv/fault) for latency attribution and schedule
+    /// conformance checking. Follows the rank across `split`s; disabled by
+    /// default so backends without probing support conform for free.
+    fn wire(&self) -> ProbeRecorder {
+        ProbeRecorder::disabled()
     }
 
     /// Buffered send of `data` to local rank `dst`.

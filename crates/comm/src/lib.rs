@@ -24,15 +24,24 @@ pub mod stats;
 pub mod thread_comm;
 
 pub use chaos::{
-    run_ranks_chaos, run_ranks_chaos_traced, ChaosComm, FaultEvent, FaultKind, FaultPlan,
+    run_ranks_chaos, run_ranks_chaos_probed, run_ranks_chaos_traced, ChaosComm, FaultEvent,
+    FaultKind, FaultPlan,
 };
 pub use communicator::{sum_combine, CommData, Communicator};
 pub use error::CommError;
 pub use stats::{CommStats, Phase, PhaseCounters, ALL_PHASES, PHASE_COUNT};
 pub use self_comm::SelfComm;
-pub use thread_comm::{run_ranks, run_ranks_silent, run_ranks_traced, validate_env, ThreadComm};
+pub use thread_comm::{
+    run_ranks, run_ranks_probed, run_ranks_probed_traced, run_ranks_silent, run_ranks_traced,
+    validate_env, ThreadComm,
+};
 pub use nbody_metrics::{MetricsRecorder, MetricsSnapshot, RankMetrics};
 pub use nbody_timeline::{
     EventKind, FlightEvent, RankTimeline, RunTimeline, StepSample, TimelineRecorder,
 };
 pub use nbody_trace::{ExecutionTrace, Tracer};
+pub use nbody_wireprobe::{
+    causal_log, check_conformance, match_events, ChannelStats, ConformanceReport, ExpectedMsg,
+    ExpectedSchedule, FaultNote, LatencySummary, MsgEvent, ProbeKind, ProbeRecorder, RankWireLog,
+    Violation, ViolationKind, WireLog, WireReport, ALL_PROBE_KINDS, WIRE_SCHEMA,
+};

@@ -15,6 +15,7 @@ use crate::comm_metrics::CommMetrics;
 use crate::communicator::{CommData, Communicator};
 use crate::stats::{CommStats, Phase};
 use nbody_metrics::MetricsRecorder;
+use nbody_wireprobe::ProbeRecorder;
 
 /// Queued loopback messages: `(tag, type-erased payload)`.
 type Mailbox = VecDeque<(u64, Box<dyn std::any::Any>)>;
@@ -24,6 +25,7 @@ pub struct SelfComm {
     stats: Rc<RefCell<CommStats>>,
     recorder: MetricsRecorder,
     metrics: Rc<CommMetrics>,
+    wire: ProbeRecorder,
     /// Loopback mailbox: sends to rank 0 are queued here for recv.
     mailbox: Rc<RefCell<Mailbox>>,
 }
@@ -42,11 +44,19 @@ impl SelfComm {
 
     /// Create a single-rank communicator recording into `recorder`.
     pub fn metered(recorder: MetricsRecorder) -> Self {
+        SelfComm::probed(recorder, ProbeRecorder::disabled())
+    }
+
+    /// Create a single-rank communicator recording metrics into `recorder`
+    /// and per-message wire probes into `wire`. Loopback sends/recvs get
+    /// the same probe stream a threaded rank would emit.
+    pub fn probed(recorder: MetricsRecorder, wire: ProbeRecorder) -> Self {
         let metrics = Rc::new(CommMetrics::new(&recorder));
         SelfComm {
             stats: Rc::new(RefCell::new(CommStats::new())),
             recorder,
             metrics,
+            wire,
             mailbox: Rc::new(RefCell::new(VecDeque::new())),
         }
     }
@@ -73,6 +83,10 @@ impl Communicator for SelfComm {
         self.recorder.clone()
     }
 
+    fn wire(&self) -> ProbeRecorder {
+        self.wire.clone()
+    }
+
     fn send<T: CommData>(&self, dst: usize, tag: u64, data: &[T]) {
         assert_eq!(dst, 0, "single-rank send must loop back");
         let bytes = std::mem::size_of_val(data);
@@ -82,6 +96,8 @@ impl Communicator for SelfComm {
             stats.current_phase()
         };
         self.metrics.on_send(phase, data.len(), bytes, true);
+        self.wire
+            .send(0, 0, tag, phase, data.len() as u64, bytes as u64);
         self.mailbox
             .borrow_mut()
             .push_back((tag, Box::new(data.to_vec())));
@@ -95,9 +111,19 @@ impl Communicator for SelfComm {
             .pop_front()
             .expect("recv on an empty loopback mailbox (would deadlock)");
         assert_eq!(got_tag, tag, "loopback tag mismatch");
-        *payload
+        let data = *payload
             .downcast::<Vec<T>>()
-            .expect("loopback payload type mismatch")
+            .expect("loopback payload type mismatch");
+        let phase = self.stats.borrow().current_phase();
+        self.wire.recv(
+            0,
+            0,
+            tag,
+            phase,
+            data.len() as u64,
+            (data.len() * std::mem::size_of::<T>()) as u64,
+        );
+        data
     }
 
     fn bcast<T: CommData>(&self, root: usize, _buf: &mut Vec<T>) {
@@ -121,6 +147,7 @@ impl Communicator for SelfComm {
             stats: Rc::clone(&self.stats),
             recorder: self.recorder.clone(),
             metrics: Rc::clone(&self.metrics),
+            wire: self.wire.clone(),
             mailbox: Rc::new(RefCell::new(VecDeque::new())),
         }
     }

@@ -38,6 +38,7 @@ use crate::stats::{CommStats, Phase};
 use nbody_metrics::{MetricsRecorder, MetricsSnapshot, RankMetrics};
 use nbody_timeline::{RankTimeline, RunTimeline, TimelineRecorder};
 use nbody_trace::{ExecutionTrace, Span, Tracer};
+use nbody_wireprobe::{ProbeRecorder, RankWireLog, WireLog};
 
 /// Parse an `NBODY_RECV_TIMEOUT_SECS` value: a positive integer number of
 /// seconds, or `None` when the variable is unset (→ the 60 s default).
@@ -198,6 +199,7 @@ pub struct ThreadComm {
     tracer: Tracer,
     recorder: MetricsRecorder,
     timeline: TimelineRecorder,
+    wire: ProbeRecorder,
     metrics: Rc<CommMetrics>,
     comm_id: u64,
     /// Global ranks of the members, indexed by local rank.
@@ -240,6 +242,19 @@ impl ThreadComm {
             stats.current_phase()
         };
         self.metrics.on_send(phase, data.len(), bytes, count_stats);
+        // Probe only protocol point-to-point traffic: collectives manage
+        // their own internal messages and are accounted at the collective
+        // level, mirroring the schedule's per-message predictions.
+        if count_stats {
+            self.wire.send(
+                self.global_of(dst_local) as u32,
+                self.comm_id,
+                tag,
+                phase,
+                data.len() as u64,
+                bytes as u64,
+            );
+        }
         let env = Envelope {
             comm: self.comm_id,
             src_global: self.my_global(),
@@ -307,6 +322,14 @@ impl ThreadComm {
             let bytes = data.len() * std::mem::size_of::<T>();
             let phase = self.stats.borrow().current_phase();
             self.metrics.on_recv(phase, data.len(), bytes);
+            self.wire.recv(
+                src_global as u32,
+                self.comm_id,
+                tag,
+                phase,
+                data.len() as u64,
+                bytes as u64,
+            );
         }
         Ok(data)
     }
@@ -366,6 +389,10 @@ impl Communicator for ThreadComm {
 
     fn timeline(&self) -> TimelineRecorder {
         self.timeline.clone()
+    }
+
+    fn wire(&self) -> ProbeRecorder {
+        self.wire.clone()
     }
 
     fn send<T: CommData>(&self, dst: usize, tag: u64, data: &[T]) {
@@ -524,6 +551,7 @@ impl Communicator for ThreadComm {
             tracer: self.tracer.clone(),
             recorder: self.recorder.clone(),
             timeline: self.timeline.clone(),
+            wire: self.wire.clone(),
             metrics: Rc::clone(&self.metrics),
             comm_id,
             members: Rc::new(members),
@@ -546,25 +574,45 @@ where
     R: Send,
     F: Fn(&mut ThreadComm) -> R + Sync,
 {
-    run_ranks_impl(p, None, false, true, f)
+    run_ranks_impl(p, None, false, true, false, f)
         .into_iter()
-        .map(|(r, _, _, _)| r)
+        .map(|(r, _, _, _, _)| r)
         .collect()
 }
 
 /// [`run_ranks`] with the always-on flight recorder disabled. The only
-/// intended user is the `timeline_overhead` bench, which needs a
-/// recording-free baseline to price the recorder against; everything else
-/// should keep the crash forensics on.
+/// intended users are the `timeline_overhead` and `wireprobe_overhead`
+/// benches, which need a recording-free baseline to price the recorders
+/// against; everything else should keep the crash forensics on.
 pub fn run_ranks_silent<R, F>(p: usize, f: F) -> Vec<R>
 where
     R: Send,
     F: Fn(&mut ThreadComm) -> R + Sync,
 {
-    run_ranks_impl(p, None, false, false, f)
+    run_ranks_impl(p, None, false, false, false, f)
         .into_iter()
-        .map(|(r, _, _, _)| r)
+        .map(|(r, _, _, _, _)| r)
         .collect()
+}
+
+/// [`run_ranks`] with wire probes on: every rank's communicator carries an
+/// enabled [`ProbeRecorder`] stamping each point-to-point send/recv against
+/// a shared epoch, and the drained per-rank rings are merged into a
+/// [`WireLog`] at join. Probes are off in every other entry point — the
+/// per-message ring is strictly opt-in.
+pub fn run_ranks_probed<R, F>(p: usize, f: F) -> (Vec<R>, WireLog)
+where
+    R: Send,
+    F: Fn(&mut ThreadComm) -> R + Sync,
+{
+    let out = run_ranks_impl(p, None, false, true, true, f);
+    let mut results = Vec::with_capacity(p);
+    let mut wires = Vec::with_capacity(p);
+    for (r, _, _, _, wire) in out {
+        results.push(r);
+        wires.extend(wire);
+    }
+    (results, WireLog::from_ranks(wires))
 }
 
 /// [`run_ranks`] with per-rank wall-clock span recording and live metrics:
@@ -581,40 +629,79 @@ where
     R: Send,
     F: Fn(&mut ThreadComm) -> R + Sync,
 {
+    let (results, trace, metrics, timeline, _) = run_ranks_traced_impl(p, false, f);
+    (results, trace, metrics, timeline)
+}
+
+/// [`run_ranks_traced`] with wire probes on as well, returning the merged
+/// [`WireLog`] alongside the usual artifacts.
+pub fn run_ranks_probed_traced<R, F>(
+    p: usize,
+    f: F,
+) -> (Vec<R>, ExecutionTrace, MetricsSnapshot, RunTimeline, WireLog)
+where
+    R: Send,
+    F: Fn(&mut ThreadComm) -> R + Sync,
+{
+    run_ranks_traced_impl(p, true, f)
+}
+
+fn run_ranks_traced_impl<R, F>(
+    p: usize,
+    probe: bool,
+    f: F,
+) -> (Vec<R>, ExecutionTrace, MetricsSnapshot, RunTimeline, WireLog)
+where
+    R: Send,
+    F: Fn(&mut ThreadComm) -> R + Sync,
+{
     let epoch = Instant::now();
-    let out = run_ranks_impl(p, Some(epoch), false, true, f);
+    let out = run_ranks_impl(p, Some(epoch), false, true, probe, f);
     let mut results = Vec::with_capacity(p);
     let mut buffers = Vec::with_capacity(p);
     let mut shards = Vec::with_capacity(p);
     let mut timelines = Vec::with_capacity(p);
-    for (r, spans, metrics, timeline) in out {
+    let mut wires = Vec::with_capacity(p);
+    for (r, spans, metrics, timeline, wire) in out {
         results.push(r);
         buffers.push(spans);
         shards.push(metrics);
         timelines.extend(timeline);
+        wires.extend(wire);
     }
     (
         results,
         ExecutionTrace::from_rank_buffers(buffers),
         MetricsSnapshot::from_shards(shards),
         RunTimeline::from_ranks(timelines),
+        WireLog::from_ranks(wires),
     )
 }
 
 /// Per-rank artifacts a joined rank thread hands back: the closure's
-/// result plus the rank's trace spans, metrics shard, and timeline.
-pub(crate) type RankOutput<R> = (R, Vec<Span>, Option<RankMetrics>, Option<RankTimeline>);
+/// result plus the rank's trace spans, metrics shard, timeline, and wire
+/// probe log.
+pub(crate) type RankOutput<R> = (
+    R,
+    Vec<Span>,
+    Option<RankMetrics>,
+    Option<RankTimeline>,
+    Option<RankWireLog>,
+);
 
 /// Shared body of every entry point: spawn `p` rank threads, hand each its
 /// world [`ThreadComm`] (owned, so wrappers like `ChaosComm` can absorb
 /// it), and join. `relaxed` selects the fabric's tag-matching mode;
 /// `flight` controls the always-on flight recorder (off only for overhead
-/// benchmarking baselines).
+/// benchmarking baselines); `probe` turns on the per-message wire probe
+/// ring (timestamped against its own shared epoch so cross-rank send→recv
+/// latencies are comparable even in untraced runs).
 pub(crate) fn run_ranks_owned<R, F>(
     p: usize,
     epoch: Option<Instant>,
     relaxed: bool,
     flight: bool,
+    probe: bool,
     f: F,
 ) -> Vec<RankOutput<R>>
 where
@@ -638,6 +725,9 @@ where
         next_comm: AtomicU64::new(1),
         relaxed,
     });
+    // One epoch shared by every rank's probe ring: send and recv stamps
+    // from different threads must be subtractable.
+    let probe_epoch = probe.then(Instant::now);
 
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(p);
@@ -664,6 +754,10 @@ where
                     } else {
                         TimelineRecorder::disabled()
                     };
+                    let wire = match probe_epoch {
+                        Some(pe) => ProbeRecorder::for_rank(rank as u32, pe),
+                        None => ProbeRecorder::disabled(),
+                    };
                     let comm = ThreadComm {
                         fabric,
                         endpoint: Rc::new(RefCell::new(endpoint)),
@@ -671,6 +765,7 @@ where
                         tracer: tracer.clone(),
                         recorder: recorder.clone(),
                         timeline: timeline.clone(),
+                        wire: wire.clone(),
                         metrics: Rc::new(CommMetrics::new(&recorder)),
                         comm_id: 0,
                         members: Rc::new((0..p).collect()),
@@ -684,6 +779,7 @@ where
                         tracer.finish(),
                         recorder.finish(),
                         timeline.finish(),
+                        wire.finish(),
                     )
                 })
                 .expect("failed to spawn rank thread");
@@ -706,13 +802,14 @@ fn run_ranks_impl<R, F>(
     epoch: Option<Instant>,
     relaxed: bool,
     flight: bool,
+    probe: bool,
     f: F,
 ) -> Vec<RankOutput<R>>
 where
     R: Send,
     F: Fn(&mut ThreadComm) -> R + Sync,
 {
-    run_ranks_owned(p, epoch, relaxed, flight, |mut comm| f(&mut comm))
+    run_ranks_owned(p, epoch, relaxed, flight, probe, |mut comm| f(&mut comm))
 }
 
 #[cfg(test)]
@@ -1020,6 +1117,117 @@ mod tests {
             (comm.timeline().is_enabled(), comm.timeline().wants_samples())
         });
         assert_eq!(modes, vec![(true, false), (true, false)]);
+    }
+
+    #[test]
+    fn sendrecv_default_shifts_a_ring() {
+        // Direct coverage of the `Communicator::sendrecv` default: a full
+        // ring rotation where every rank simultaneously sends right and
+        // receives from the left must not deadlock and must deliver the
+        // left neighbour's payload, element-exact.
+        let p = 5;
+        let out = run_ranks(p, |comm| {
+            let right = (comm.rank() + 1) % p;
+            let left = (comm.rank() + p - 1) % p;
+            let payload: Vec<u64> = (0..=comm.rank() as u64).collect();
+            comm.sendrecv(right, left, 42, &payload)
+        });
+        for (rank, got) in out.iter().enumerate() {
+            let left = (rank + p - 1) % p;
+            let want: Vec<u64> = (0..=left as u64).collect();
+            assert_eq!(got, &want, "rank {rank} must hold rank {left}'s data");
+        }
+    }
+
+    #[test]
+    fn sendrecv_default_handles_self_exchange_and_distinct_peers() {
+        let out = run_ranks(3, |comm| {
+            // Exchange with oneself: the send must be buffered so the
+            // following recv can complete (dst == src == rank).
+            let me = comm.rank();
+            let echoed = comm.sendrecv(me, me, 7, &[me as u32]);
+            // Then an asymmetric pattern: everyone forwards to rank 0.
+            if me == 0 {
+                let mut sum = echoed[0];
+                for src in 1..comm.size() {
+                    sum += comm.recv::<u32>(src, 8)[0];
+                }
+                sum
+            } else {
+                comm.send(0, 8, &[me as u32 * 10]);
+                echoed[0]
+            }
+        });
+        assert_eq!(out, vec![30, 1, 2]);
+    }
+
+    #[test]
+    fn probed_run_collects_wire_events() {
+        use nbody_trace::Phase;
+        use nbody_wireprobe::{match_events, ProbeKind};
+        let (enabled, wire) = run_ranks_probed(2, |comm| {
+            comm.set_phase(Phase::Shift);
+            if comm.rank() == 0 {
+                comm.send(1, 5, &[1u64, 2, 3]);
+            } else {
+                let _ = comm.recv::<u64>(0, 5);
+            }
+            comm.wire().is_enabled()
+        });
+        assert_eq!(enabled, vec![true, true]);
+        assert_eq!(wire.ranks.len(), 2);
+        let send = &wire.ranks[0].events[0];
+        assert_eq!(send.kind, ProbeKind::Send);
+        assert_eq!((send.src, send.dst), (0, 1));
+        assert_eq!(send.tag, 5);
+        assert_eq!(send.phase, Phase::Shift);
+        assert_eq!(send.count, 3);
+        assert_eq!(send.bytes, 24);
+        let recv = &wire.ranks[1].events[0];
+        assert_eq!(recv.kind, ProbeKind::Recv);
+        assert_eq!((recv.src, recv.dst), (0, 1));
+        // The shared epoch makes cross-rank stamps subtractable.
+        assert!(recv.t_secs >= send.t_secs);
+        let report = match_events(&wire);
+        assert_eq!(report.matched, 1);
+        assert_eq!(report.channels.len(), 1);
+        assert_eq!(report.channels[0].latency.count, 1);
+        // Probes are strictly opt-in: every other entry point runs dark.
+        let dark = run_ranks(2, |comm| comm.wire().is_enabled());
+        assert_eq!(dark, vec![false, false]);
+    }
+
+    #[test]
+    fn wire_probes_follow_splits_and_skip_collectives() {
+        use nbody_trace::Phase;
+        use nbody_wireprobe::ProbeKind;
+        let (_, wire) = run_ranks_probed(4, |comm| {
+            comm.set_phase(Phase::Skew);
+            // Point-to-point on a derived communicator: probed, with
+            // global ranks and the split's comm id.
+            let sub = comm.split(comm.rank() % 2, comm.rank());
+            if sub.rank() == 0 {
+                sub.send(1, 9, &[1u8, 2]);
+            } else {
+                let _ = sub.recv::<u8>(0, 9);
+            }
+            // Collectives manage their own internal traffic: not probed.
+            comm.set_phase(Phase::Reduce);
+            let mut buf = vec![comm.rank() as u64];
+            comm.allreduce(&mut buf, sum_combine);
+        });
+        let events: Vec<_> = wire.ranks.iter().flat_map(|r| &r.events).collect();
+        assert!(
+            events.iter().all(|e| e.phase == Phase::Skew),
+            "only the explicit p2p traffic is probed: {events:?}"
+        );
+        assert_eq!(events.len(), 4, "2 sends + 2 recvs across both splits");
+        let send01 = events
+            .iter()
+            .find(|e| e.kind == ProbeKind::Send && e.src == 0)
+            .unwrap();
+        assert_eq!(send01.dst, 2, "global ranks: color-0 split is {{0, 2}}");
+        assert_ne!(send01.comm, 0, "split traffic carries the derived comm id");
     }
 
     #[test]

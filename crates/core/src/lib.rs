@@ -33,6 +33,7 @@ pub mod sim;
 pub mod spatial;
 pub mod window;
 pub mod window_periodic;
+pub mod wire;
 
 pub use cutoff::{ca_cutoff_forces, CutoffError};
 pub use allpairs::ca_all_pairs_forces;
@@ -43,8 +44,10 @@ pub use recovery::{
 pub use probe::StepProbe;
 pub use sim::{
     run_distributed, run_distributed_chaos, run_distributed_chaos_recorded,
-    run_distributed_recorded, run_distributed_sampled, run_distributed_traced, run_serial,
-    ChaosRunResult, Method, RunResult, SimConfig,
+    run_distributed_chaos_wired, run_distributed_recorded, run_distributed_sampled,
+    run_distributed_traced, run_distributed_wired, run_serial, ChaosRunResult, Method, RunResult,
+    SimConfig,
 };
 pub use window::{Window, Window1d, Window2d, Window3d};
 pub use window_periodic::{Window1dPeriodic, Window2dPeriodic};
+pub use wire::{expected_schedule, WireScheduleSpec};

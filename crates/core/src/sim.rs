@@ -8,8 +8,9 @@
 //! validated against it step-for-step.
 
 use nbody_comm::{
-    run_ranks, run_ranks_chaos_traced, run_ranks_traced, CommStats, Communicator, ExecutionTrace,
-    FaultPlan, MetricsSnapshot, Phase, RunTimeline,
+    run_ranks, run_ranks_chaos_probed, run_ranks_chaos_traced, run_ranks_probed_traced,
+    run_ranks_traced, CommStats, Communicator, ExecutionTrace, FaultPlan, MetricsSnapshot, Phase,
+    RunTimeline, WireLog,
 };
 use nbody_physics::particle::reset_forces;
 use nbody_physics::{Boundary, Domain, ForceLaw, Integrator, Particle};
@@ -201,6 +202,33 @@ where
     (gather_results(out, initial.len()), trace, metrics, timeline)
 }
 
+/// [`run_distributed_recorded`] with wire probes on as well: every rank
+/// records each point-to-point protocol message (send/recv, rank pair,
+/// tag, phase, payload size, timestamp against the shared epoch) into a
+/// bounded ring, returned merged as a [`WireLog`] for latency attribution
+/// and schedule conformance checking.
+pub fn run_distributed_wired<F, I>(
+    cfg: &SimConfig<F, I>,
+    method: Method,
+    p: usize,
+    initial: &[Particle],
+) -> (RunResult, ExecutionTrace, MetricsSnapshot, RunTimeline, WireLog)
+where
+    F: ForceLaw + Sync,
+    I: Integrator + Sync,
+{
+    validate_run(cfg, method);
+    let (out, trace, metrics, timeline, wire) =
+        run_ranks_probed_traced(p, |world| run_rank(cfg, method, world, initial));
+    (
+        gather_results(out, initial.len()),
+        trace,
+        metrics,
+        timeline,
+        wire,
+    )
+}
+
 /// Result of a distributed run under fault injection.
 #[derive(Debug, Clone)]
 pub struct ChaosRunResult {
@@ -291,6 +319,56 @@ where
         })
     };
     (assemble(), timeline)
+}
+
+/// [`run_distributed_chaos_recorded`] with wire probes on: the returned
+/// [`WireLog`] carries every protocol message *and* every injected fault
+/// as first-class events, so a conformance check can attribute each
+/// discrepancy between observed and scheduled traffic to the fault plan.
+/// Like the timeline, the log is produced even when the run fails.
+pub fn run_distributed_chaos_wired<F, I>(
+    cfg: &SimConfig<F, I>,
+    method: Method,
+    p: usize,
+    plan: &FaultPlan,
+    fc: &FaultConfig,
+    initial: &[Particle],
+) -> (Result<ChaosRunResult, FaultError>, RunTimeline, WireLog)
+where
+    F: ForceLaw + Sync,
+    I: Integrator + Sync,
+{
+    validate_run(cfg, method);
+    let (out, trace, metrics, timeline, wire) =
+        run_ranks_chaos_probed(p, plan, |world| run_rank_ft(cfg, method, world, initial, fc));
+    let assemble = || {
+        let mut particles = Vec::with_capacity(initial.len());
+        let mut stats = Vec::with_capacity(p);
+        let mut max_attempts = 1;
+        let mut recovered = false;
+        for r in out {
+            let (mut ps, st, rep) = r?;
+            particles.append(&mut ps);
+            stats.push(st);
+            max_attempts = max_attempts.max(rep.attempts);
+            recovered |= rep.recovered;
+        }
+        particles.sort_by_key(|q| q.id);
+        assert_eq!(
+            particles.len(),
+            initial.len(),
+            "particles lost or duplicated in chaos run"
+        );
+        Ok(ChaosRunResult {
+            particles,
+            stats,
+            metrics,
+            trace,
+            max_attempts,
+            recovered,
+        })
+    };
+    (assemble(), timeline, wire)
 }
 
 /// Per-rank body of a chaos run: the CA drivers with fault-tolerant force

@@ -32,8 +32,9 @@ pub mod registry;
 pub mod snapshot;
 
 pub use audit::{
-    audit, audit_csv, audit_json, audit_table, ceilings_from_json, AuditAlgorithm, AuditConfig,
-    AuditInput, AuditReport, FactorCeilings, PhaseFlow,
+    audit, audit_csv, audit_json, audit_table, ceilings_from_json, wire_phase_counts,
+    wire_phase_table, AuditAlgorithm, AuditConfig, AuditInput, AuditReport, FactorCeilings,
+    PhaseFlow, WirePhaseRow,
 };
 pub use registry::{
     Counter, Gauge, Histogram, HistogramHandle, MetricsRecorder, RankMetrics, Sample,

@@ -9,13 +9,23 @@
 //! carries a failure.
 
 use nbody_timeline::{DriftConfig, DriftWindow, MetricSeries, RunTimeline};
+use nbody_wireprobe::WireReport;
 
 /// Sparkline viewport in CSS pixels.
 const SPARK_W: f64 = 560.0;
 const SPARK_H: f64 = 64.0;
 
+/// Most channels shown in the latency panel (slowest first).
+const WIRE_PANEL_ROWS: usize = 24;
+
 /// Render `tl` as a self-contained HTML dashboard page.
 pub fn render_dashboard(tl: &RunTimeline) -> String {
+    render_dashboard_with_wire(tl, None)
+}
+
+/// [`render_dashboard`] with an optional channel-latency panel from a
+/// probed run's matched wire report.
+pub fn render_dashboard_with_wire(tl: &RunTimeline, wire: Option<&WireReport>) -> String {
     let mut out = String::with_capacity(8 * 1024);
     out.push_str(
         "<!doctype html>\n<html><head><meta charset=\"utf-8\">\
@@ -65,9 +75,68 @@ pub fn render_dashboard(tl: &RunTimeline) -> String {
         out.push_str("</table>\n");
     }
 
+    if let Some(report) = wire {
+        render_wire_panel(&mut out, report);
+    }
+
     render_recent_events(&mut out, tl);
     out.push_str("</body></html>\n");
     out
+}
+
+/// The channel-latency panel: per-channel send→recv latency percentiles
+/// from the wire probes, slowest mean first.
+fn render_wire_panel(out: &mut String, report: &WireReport) {
+    out.push_str("<h2>channel latency (wire probes)</h2>\n");
+    out.push_str(&format!(
+        "<p class=\"meta\">{} sends &middot; {} matched pairs &middot; \
+         {} channels &middot; {} fault events</p>\n",
+        report.total_sends,
+        report.matched,
+        report.channels.len(),
+        report.fault_events,
+    ));
+    if report.saturated() {
+        out.push_str(&format!(
+            "<div class=\"failure\"><b>probe rings overflowed</b>: {} events \
+             evicted; latencies are lower bounds</div>\n",
+            report.dropped_probe_events
+        ));
+    }
+    if report.channels.is_empty() {
+        out.push_str("<p class=\"meta\">no probed traffic</p>\n");
+        return;
+    }
+    let mut chans: Vec<_> = report.channels.iter().collect();
+    chans.sort_by(|a, b| b.latency.mean_s.total_cmp(&a.latency.mean_s));
+    out.push_str(
+        "<table><tr><th>channel</th><th>phase</th><th>sends</th>\
+         <th>mean &micro;s</th><th>p50 &micro;s</th><th>p90 &micro;s</th>\
+         <th>max &micro;s</th><th>depth</th><th>unmatched</th></tr>\n",
+    );
+    for ch in chans.iter().take(WIRE_PANEL_ROWS) {
+        out.push_str(&format!(
+            "<tr><td>{} &rarr; {}</td><td>{}</td><td>{}</td><td>{:.1}</td>\
+             <td>{:.1}</td><td>{:.1}</td><td>{:.1}</td><td>{}</td><td>{}</td></tr>\n",
+            ch.src,
+            ch.dst,
+            ch.phase.label(),
+            ch.sends,
+            ch.latency.mean_s * 1e6,
+            ch.latency.p50_s * 1e6,
+            ch.latency.p90_s * 1e6,
+            ch.latency.max_s * 1e6,
+            ch.max_in_flight,
+            ch.unmatched_sends + ch.unmatched_recvs,
+        ));
+    }
+    out.push_str("</table>\n");
+    if report.channels.len() > WIRE_PANEL_ROWS {
+        out.push_str(&format!(
+            "<p class=\"meta\">{} more channel(s) not shown</p>\n",
+            report.channels.len() - WIRE_PANEL_ROWS
+        ));
+    }
 }
 
 /// Mean of one sample field across ranks, per step.
@@ -260,6 +329,44 @@ mod tests {
         assert!(html.contains("rank 1: &lt;dead&gt;"), "failure reason is escaped");
         assert!(html.contains("unrecoverable"));
         assert!(html.contains("c&lt;2"));
+    }
+
+    #[test]
+    fn wire_panel_lists_channels_slowest_first() {
+        use nbody_wireprobe::{match_events, MsgEvent, ProbeKind, RankWireLog, WireLog};
+        let ev = |kind, src: u32, dst: u32, tag: u64, t: f64| MsgEvent {
+            kind,
+            src,
+            dst,
+            comm: 0,
+            tag,
+            phase: nbody_trace::Phase::Shift,
+            count: 4,
+            bytes: 224,
+            t_secs: t,
+            step: None,
+        };
+        let log = WireLog::from_ranks(vec![RankWireLog {
+            rank: 0,
+            events: vec![
+                ev(ProbeKind::Send, 0, 1, 1, 0.000),
+                ev(ProbeKind::Recv, 0, 1, 1, 0.005),
+                ev(ProbeKind::Send, 1, 0, 2, 0.000),
+                ev(ProbeKind::Recv, 1, 0, 2, 0.001),
+            ],
+            dropped_events: 0,
+        }]);
+        let report = match_events(&log);
+        let html = render_dashboard_with_wire(&timeline(), Some(&report));
+        assert!(html.contains("channel latency (wire probes)"), "{html}");
+        assert!(html.contains("0 &rarr; 1"));
+        assert!(html.contains("5000.0"), "5ms latency in us");
+        // Slowest channel (0->1, 5 ms) sorts before the 1 ms one.
+        let slow = html.find("0 &rarr; 1").unwrap();
+        let fast = html.find("1 &rarr; 0").unwrap();
+        assert!(slow < fast, "slowest first");
+        // Without a report, no panel.
+        assert!(!render_dashboard(&timeline()).contains("channel latency"));
     }
 
     #[test]

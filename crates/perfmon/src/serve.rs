@@ -9,7 +9,10 @@
 //! * `/timeseries` — the latest published [`RunTimeline`] as JSON (the
 //!   `nbody-timeline/v1` schema — per-rank step samples + flight events).
 //! * `/dashboard` — a self-contained HTML page with SVG sparklines and
-//!   drift windows over the same timeline ([`render_dashboard`]).
+//!   drift windows over the same timeline ([`render_dashboard`]); when a
+//!   wire log has been published, it grows a channel-latency panel.
+//! * `/wire` — the latest published wire-probe log as JSON (the
+//!   `nbody-wireprobe/v1` schema — per-rank message events).
 //! * `/healthz` — liveness probe.
 //!
 //! Non-`GET`/`HEAD` methods get `405 Method Not Allowed` with an `Allow`
@@ -27,8 +30,9 @@ use std::time::Duration;
 
 use nbody_metrics::MetricsSnapshot;
 use nbody_timeline::RunTimeline;
+use nbody_wireprobe::{match_events, WireLog, WireReport};
 
-use crate::dashboard::render_dashboard;
+use crate::dashboard::render_dashboard_with_wire;
 
 /// How long the accept loop sleeps between polls when idle.
 const POLL: Duration = Duration::from_millis(10);
@@ -38,10 +42,17 @@ const POLL: Duration = Duration::from_millis(10);
 const IO_TIMEOUT: Duration = Duration::from_secs(2);
 
 /// The bodies the server can answer with, refreshed by `publish*` calls.
+///
+/// The last-published timeline and wire report are kept alongside the
+/// rendered strings so either `publish_timeline` or `publish_wire` can
+/// re-render the dashboard with both halves present.
 struct Bodies {
     metrics: String,
     timeseries: String,
     dashboard: String,
+    wire: String,
+    timeline: RunTimeline,
+    wire_report: Option<WireReport>,
 }
 
 /// The running observability server. Dropping it stops the serving thread.
@@ -63,7 +74,10 @@ impl MetricsServer {
         let bodies = Arc::new(Mutex::new(Bodies {
             metrics: MetricsSnapshot::empty().to_prometheus(),
             timeseries: empty_tl.to_json().to_string(),
-            dashboard: render_dashboard(&empty_tl),
+            dashboard: render_dashboard_with_wire(&empty_tl, None),
+            wire: WireLog::default().to_json(),
+            timeline: empty_tl,
+            wire_report: None,
         }));
         let stop = Arc::new(AtomicBool::new(false));
         let handle = {
@@ -107,13 +121,27 @@ impl MetricsServer {
     }
 
     /// Replace the served `/timeseries` JSON and `/dashboard` page with
-    /// renderings of `timeline`.
+    /// renderings of `timeline`. Any previously published wire report
+    /// stays on the dashboard.
     pub fn publish_timeline(&self, timeline: &RunTimeline) {
         let json = timeline.to_json().to_string();
-        let html = render_dashboard(timeline);
         if let Ok(mut b) = self.bodies.lock() {
             b.timeseries = json;
-            b.dashboard = html;
+            b.dashboard = render_dashboard_with_wire(timeline, b.wire_report.as_ref());
+            b.timeline = timeline.clone();
+        }
+    }
+
+    /// Replace the served `/wire` JSON with `log` and re-render the
+    /// `/dashboard` page so it grows the channel-latency panel derived
+    /// from the matched send/recv pairs.
+    pub fn publish_wire(&self, log: &WireLog) {
+        let report = match_events(log);
+        let json = log.to_json();
+        if let Ok(mut b) = self.bodies.lock() {
+            b.wire = json;
+            b.dashboard = render_dashboard_with_wire(&b.timeline, Some(&report));
+            b.wire_report = Some(report);
         }
     }
 
@@ -186,6 +214,7 @@ fn handle_connection(mut stream: TcpStream, bodies: &Arc<Mutex<Bodies>>) -> std:
                 b.metrics.clone(),
             ),
             "/timeseries" => ("200 OK", "application/json", b.timeseries.clone()),
+            "/wire" => ("200 OK", "application/json", b.wire.clone()),
             "/dashboard" => (
                 "200 OK",
                 "text/html; charset=utf-8",
@@ -368,6 +397,52 @@ mod tests {
         assert_eq!(parsed.ranks.len(), 1);
         assert_eq!(parsed.ranks[0].samples.len(), 4);
         assert_eq!(parsed.ranks[0].samples[2].send_bytes, 256);
+    }
+
+    #[test]
+    fn wire_endpoint_round_trips_the_log_and_feeds_the_dashboard() {
+        use nbody_wireprobe::{MsgEvent, ProbeKind, RankWireLog};
+        let ev = |kind, t: f64| MsgEvent {
+            kind,
+            src: 0,
+            dst: 1,
+            comm: 0,
+            tag: 0x3000,
+            phase: Phase::Shift,
+            count: 4,
+            bytes: 224,
+            t_secs: t,
+            step: None,
+        };
+        let log = WireLog::from_ranks(vec![RankWireLog {
+            rank: 0,
+            events: vec![ev(ProbeKind::Send, 0.000), ev(ProbeKind::Recv, 0.002)],
+            dropped_events: 0,
+        }]);
+
+        let server = MetricsServer::start("127.0.0.1:0").unwrap();
+        server.publish_timeline(&sample_timeline());
+        server.publish_wire(&log);
+
+        // /wire serves the log JSON losslessly.
+        let (head, body) = scrape(
+            server.local_addr(),
+            "GET /wire HTTP/1.1\r\nConnection: close\r\n\r\n",
+        );
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert!(head.contains("Content-Type: application/json"));
+        let parsed = WireLog::parse(&body).expect("served wire JSON parses back");
+        assert_eq!(parsed, log);
+
+        // The dashboard gained the channel-latency panel, and a later
+        // timeline publish keeps it.
+        let dash = "GET /dashboard HTTP/1.1\r\nConnection: close\r\n\r\n";
+        let (_, body) = scrape(server.local_addr(), dash);
+        assert!(body.contains("channel latency (wire probes)"), "{body}");
+        server.publish_timeline(&sample_timeline());
+        let (_, body) = scrape(server.local_addr(), dash);
+        assert!(body.contains("channel latency (wire probes)"), "{body}");
+        server.shutdown();
     }
 
     #[test]

@@ -4,12 +4,12 @@
 //! ca-nbody run      [n=1024] [p=8] [c=2] [steps=20] [dt=0.005] [method=ca]
 //!                   [law=repulsive|gravity|lj] [cutoff=0.25] [boundary=reflective]
 //!                   [--trace=out.json] [--metrics=out.json|out.prom] [--profile]
-//!                   [--record-timeline=out.json]
+//!                   [--record-timeline=out.json] [--wire-probe=out.json]
 //!                   [--serve-metrics=ADDR] [serve-metrics-hold-ms=2000]
 //!                   [--faults=SPEC] [fault-timeout-ms=1000] [max-retries=3]
 //! ca-nbody verify   [same options]            distributed-vs-serial check
 //! ca-nbody report   <trace-file>              per-phase/per-step breakdown tables
-//! ca-nbody audit    [n=4096] [p=16] [steps=1] [c=N] [cutoff=0]
+//! ca-nbody audit    [n=4096] [p=16] [steps=1] [c=N] [cutoff=0] [--wire]
 //!                   [--baseline=F] [--out=F.csv|F.json]
 //!                   [--calibration=F] [--roofline-baseline=F] [--roofline-out=F.csv|F.json]
 //! ca-nbody calibrate [--out=bench_results/machine_calibration.json] [seed=42] [--full]
@@ -19,8 +19,11 @@
 //! ca-nbody scale    [machine=hopper] [n=32768] [--metrics=F]
 //!                   strong-scaling table (simulated)
 //! ca-nbody autotune [machine=hopper] [p=1536] [n=12288] [cutoff=0]
-//! ca-nbody analyze  [trace-file] [--metrics=F] [--timeline=F] [--drift-window=16]
-//!                   [--drift-nsigma=6] [c=1] [--csv=F] [--json=F]
+//! ca-nbody analyze  [trace-file] [--metrics=F] [--timeline=F] [--wire=F]
+//!                   [--drift-window=16] [--drift-nsigma=6] [c=1] [--csv=F] [--json=F]
+//! ca-nbody conformance <wire-log.json> [n=1024] [p=8] [c=2] [steps=20]
+//!                   [method=ca] [law=repulsive] [cutoff=0.25]
+//!                   [boundary=reflective] [--faults=SPEC]
 //! ca-nbody postmortem <bundle.json>           render a flight-recorder dump
 //! ca-nbody regress  <trace-file> [--metrics=F] [n=0] [c=1] [kernel=allpairs]
 //!                   [tolerance=1.5] [--history=bench_results/history] [--record]
@@ -68,6 +71,23 @@
 //! When `--serve-metrics` is active the timeline is also published at
 //! `/timeseries` (JSON) and `/dashboard` (self-contained HTML).
 //!
+//! `--wire-probe=<path>` turns on message-level wire probes: every rank
+//! records each point-to-point protocol message (send/recv, rank pair,
+//! tag, phase, payload size, timestamp against a shared epoch) into a
+//! bounded ring, merged after the run into one `nbody-wireprobe/v1` JSON
+//! log. `analyze --wire=<log>` renders the per-channel latency table
+//! (send→recv histograms, queue depths, drop accounting) derived from the
+//! matched probe pairs. `conformance <log>` replays the CA schedule for
+//! the given run parameters, diffs the predicted message multiset against
+//! the observed traffic, and classifies every discrepancy (missing,
+//! unexpected, wrong-size, out-of-order) — consulting `--faults` so
+//! injected drops/dups/kills are attributed to the fault plan instead of
+//! flagged as violations; it exits non-zero on a FAIL verdict (an
+//! unexplained discrepancy with intact probe rings). `audit --wire` adds
+//! a per-phase observed-vs-predicted message-count section from the same
+//! machinery. When `--serve-metrics` is active the wire log is published
+//! at `/wire` and the dashboard grows a channel-latency panel.
+//!
 //! `--faults` injects a deterministic fault schedule (spec grammar
 //! `kind:rank@step` with kinds `kill | drop | dup | delay`, comma-
 //! separated) and switches `run`/`verify` to the fault-tolerant CA
@@ -97,18 +117,23 @@ use ca_nbody::cutoff::validate_cutoff;
 use ca_nbody::schedule::{count_ops, AllPairsParams};
 use ca_nbody::recovery::{FaultConfig, FaultError};
 use ca_nbody::{
-    run_distributed, run_distributed_chaos_recorded, run_distributed_recorded,
-    run_distributed_traced, run_serial, Method, ProcGrid, RunResult, SimConfig, Window, Window1d,
+    expected_schedule, run_distributed, run_distributed_chaos_recorded,
+    run_distributed_chaos_wired, run_distributed_recorded, run_distributed_traced,
+    run_distributed_wired, run_serial, Method, ProcGrid, RunResult, SimConfig, Window, Window1d,
+    WireScheduleSpec,
 };
 use nbody_analyze::{
-    analyze, check_regression, parse_history, render_csv, render_drift, render_json,
-    render_regression, render_table, RunSummary, Verdict,
+    analyze, check_regression, parse_history, render_conformance, render_csv, render_drift,
+    render_json, render_regression, render_table, render_wire, RunSummary, Verdict,
 };
-use nbody_comm::{validate_env, FaultKind, FaultPlan, RunTimeline};
+use nbody_comm::{
+    check_conformance, match_events, validate_env, FaultKind, FaultNote, FaultPlan, RunTimeline,
+    WireLog,
+};
 use nbody_timeline::DriftConfig;
 use nbody_metrics::{
-    audit, audit_csv, audit_json, audit_table, ceilings_from_json, AuditAlgorithm, AuditConfig,
-    AuditInput, FactorCeilings, MetricsSnapshot,
+    audit, audit_csv, audit_json, audit_table, ceilings_from_json, wire_phase_counts,
+    wire_phase_table, AuditAlgorithm, AuditConfig, AuditInput, FactorCeilings, MetricsSnapshot,
 };
 use nbody_netsim::{hopper, intrepid, simulate, Machine};
 use nbody_perfmon::{
@@ -170,6 +195,7 @@ fn main() -> ExitCode {
         "scale" => scale_cmd(&opts),
         "autotune" => autotune_cmd(&opts),
         "analyze" => analyze_cmd(&opts, &positional),
+        "conformance" => conformance_cmd(&opts, &positional),
         "postmortem" => postmortem_cmd(&positional),
         "regress" => regress_cmd(&opts, &positional),
         _ => {
@@ -182,9 +208,10 @@ fn main() -> ExitCode {
 fn usage() {
     eprintln!(
         "usage: ca-nbody <run|verify|report|audit|calibrate|chaos|scale|autotune|analyze|\
-         postmortem|regress> \
+         conformance|postmortem|regress> \
          [key=value ...] \
-         [--trace=F] [--metrics=F] [--record-timeline=F] [--profile] [--faults=SPEC]\n\
+         [--trace=F] [--metrics=F] [--record-timeline=F] [--wire-probe=F] [--profile] \
+         [--faults=SPEC]\n\
          see `src/main.rs` header or README.md for the option list"
     );
 }
@@ -341,13 +368,15 @@ fn run_cmd(opts: &HashMap<String, String>, verify: bool) -> ExitCode {
     let trace_path = opts.get("trace").cloned();
     let metrics_path = opts.get("metrics").cloned();
     let timeline_path = opts.get("record-timeline").cloned();
+    let wire_path = opts.get("wire-probe").cloned();
     let profile = opts.get("profile").is_some_and(|v| v != "false");
     let serve_addr = opts.get("serve-metrics").cloned();
     let tracing = trace_path.is_some()
         || profile
         || metrics_path.is_some()
         || serve_addr.is_some()
-        || timeline_path.is_some();
+        || timeline_path.is_some()
+        || wire_path.is_some();
 
     // The endpoint comes up before the run (serving an empty snapshot) so
     // scrapers can connect while the simulation is in flight; the final
@@ -379,7 +408,7 @@ fn run_cmd(opts: &HashMap<String, String>, verify: bool) -> ExitCode {
 
     println!("{method:?} on {p} ranks: n={n}, steps={steps}, dt={dt}, law={law_name}");
     let start = std::time::Instant::now();
-    let (result, trace, metrics, chaos_info, timeline) = if let Some(plan) = &faults {
+    let (result, trace, metrics, chaos_info, timeline, wire) = if let Some(plan) = &faults {
         if !matches!(
             method,
             Method::CaAllPairs { .. } | Method::Ca1dCutoff { .. } | Method::Ca2dCutoff { .. }
@@ -391,7 +420,17 @@ fn run_cmd(opts: &HashMap<String, String>, verify: bool) -> ExitCode {
             recv_timeout: std::time::Duration::from_millis(get(opts, "fault-timeout-ms", 1000)),
             max_retries: get(opts, "max-retries", 3),
         };
-        let (res, timeline) = run_distributed_chaos_recorded(&cfg, method, p, plan, &fc, &initial);
+        // Wire probes are opt-in: the probed chaos runner records every
+        // protocol message *and* injected fault as first-class events.
+        let (res, timeline, wire) = if wire_path.is_some() {
+            let (res, timeline, wire) =
+                run_distributed_chaos_wired(&cfg, method, p, plan, &fc, &initial);
+            (res, timeline, Some(wire))
+        } else {
+            let (res, timeline) =
+                run_distributed_chaos_recorded(&cfg, method, p, plan, &fc, &initial);
+            (res, timeline, None)
+        };
         match res {
             Ok(res) => {
                 println!(
@@ -409,6 +448,7 @@ fn run_cmd(opts: &HashMap<String, String>, verify: bool) -> ExitCode {
                     res.metrics,
                     Some((res.max_attempts, res.recovered)),
                     Some(timeline),
+                    wire,
                 )
             }
             Err(e) => {
@@ -426,18 +466,31 @@ fn run_cmd(opts: &HashMap<String, String>, verify: bool) -> ExitCode {
                         Err(we) => eprintln!("cannot write postmortem to {path}: {we}"),
                     }
                 }
+                // The wire log survives the failure too: what actually
+                // crossed the wire is exactly what a postmortem needs.
+                if let (Some(path), Some(w)) = (&wire_path, &wire) {
+                    match std::fs::write(path, w.to_json()) {
+                        Ok(()) => eprintln!("wire-probe log written to {path}"),
+                        Err(we) => eprintln!("cannot write wire log to {path}: {we}"),
+                    }
+                }
                 return ExitCode::FAILURE;
             }
         }
+    } else if wire_path.is_some() {
+        let (result, trace, metrics, timeline, wire) =
+            run_distributed_wired(&cfg, method, p, &initial);
+        (result, Some(trace), metrics, None, Some(timeline), Some(wire))
     } else if tracing {
         let (result, trace, metrics, timeline) =
             run_distributed_recorded(&cfg, method, p, &initial);
-        (result, Some(trace), metrics, None, Some(timeline))
+        (result, Some(trace), metrics, None, Some(timeline), None)
     } else {
         (
             run_distributed(&cfg, method, p, &initial),
             None,
             MetricsSnapshot::empty(),
+            None,
             None,
             None,
         )
@@ -486,6 +539,17 @@ fn run_cmd(opts: &HashMap<String, String>, verify: bool) -> ExitCode {
             tl.ranks.iter().map(|r| r.samples.len()).sum::<usize>()
         );
     }
+    if let (Some(path), Some(w)) = (&wire_path, &wire) {
+        if let Err(e) = std::fs::write(path, w.to_json()) {
+            eprintln!("cannot write wire log to {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "  wire probes written to {path} ({} events, {} evicted)",
+            w.total_events(),
+            w.total_dropped()
+        );
+    }
     if profile {
         if let Some(trace) = &trace {
             print_breakdown(trace);
@@ -499,6 +563,10 @@ fn run_cmd(opts: &HashMap<String, String>, verify: bool) -> ExitCode {
                 "  dashboard live at http://{}/dashboard",
                 server.local_addr()
             );
+        }
+        if let Some(w) = &wire {
+            server.publish_wire(w);
+            println!("  wire log live at http://{}/wire", server.local_addr());
         }
         println!(
             "  metrics published at http://{}/metrics ({} ranks)",
@@ -594,6 +662,17 @@ fn run_cmd(opts: &HashMap<String, String>, verify: bool) -> ExitCode {
         summary.push((
             "total_send_messages".to_string(),
             Json::Num(total_sends as f64),
+        ));
+    }
+    if let (Some(path), Some(w)) = (&wire_path, &wire) {
+        summary.push(("wire_probe_path".to_string(), Json::Str(path.clone())));
+        summary.push((
+            "wire_events".to_string(),
+            Json::Num(w.total_events() as f64),
+        ));
+        summary.push((
+            "wire_dropped_events".to_string(),
+            Json::Num(w.total_dropped() as f64),
         ));
     }
     if let Some(err) = max_err {
@@ -810,8 +889,12 @@ fn audit_cmd(opts: &HashMap<String, String>) -> ExitCode {
         ceilings.latency, ceilings.bandwidth
     );
 
+    let wire_on = opts.get("wire").is_some_and(|v| v != "false");
     let mut reports = Vec::new();
     let mut rooflines: Vec<RooflineReport> = Vec::new();
+    let mut wire_sections: Vec<(usize, String)> = Vec::new();
+    let mut wire_predicted = 0u64;
+    let mut wire_observed = 0u64;
     let calibration = match load_calibration(opts) {
         Ok(c) => c,
         Err(e) => {
@@ -841,7 +924,37 @@ fn audit_cmd(opts: &HashMap<String, String>) -> ExitCode {
             steps,
         };
         let initial = init::uniform(n, &cfg.domain, seed);
-        let (_, _, metrics) = run_distributed_traced(&cfg, method, p, &initial);
+        // With --wire the same audited run also records message-level
+        // probes, so the table can compare observed traffic against the
+        // schedule's per-phase predictions.
+        let metrics = if wire_on {
+            let (_, _, metrics, _, log) = run_distributed_wired(&cfg, method, p, &initial);
+            let spec = WireScheduleSpec {
+                method,
+                n,
+                p,
+                steps,
+                domain,
+                boundary: Boundary::Reflective,
+                cutoff: (cutoff_frac > 0.0).then_some(cutoff_frac),
+            };
+            match expected_schedule(&spec) {
+                Ok(expected) => {
+                    let rows = wire_phase_counts(&expected, &log);
+                    wire_predicted += rows.iter().map(|r| r.predicted).sum::<u64>();
+                    wire_observed += rows.iter().map(|r| r.observed).sum::<u64>();
+                    wire_sections.push((c, wire_phase_table(&rows)));
+                }
+                Err(e) => {
+                    eprintln!("audit: cannot derive wire schedule for c={c}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            metrics
+        } else {
+            let (_, _, metrics) = run_distributed_traced(&cfg, method, p, &initial);
+            metrics
+        };
         // The same instrumented run feeds both sides of the audit: its
         // comm counters go to the optimality check, its compute counters
         // to the roofline.
@@ -862,6 +975,10 @@ fn audit_cmd(opts: &HashMap<String, String>) -> ExitCode {
         reports.push(audit(&acfg, &input));
     }
     print!("{}", audit_table(&reports));
+    for (c, table) in &wire_sections {
+        println!("c={c}:");
+        print!("{table}");
+    }
 
     if let Some(path) = opts.get("out") {
         let body = if path.ends_with(".csv") {
@@ -935,7 +1052,7 @@ fn audit_cmd(opts: &HashMap<String, String>) -> ExitCode {
             ])
         })
         .collect();
-    let summary = Json::Obj(vec![
+    let mut summary = vec![
         ("cmd".to_string(), Json::Str("audit".into())),
         ("algorithm".to_string(), Json::Str(algo_name.into())),
         ("n".to_string(), Json::Num(n as f64)),
@@ -948,7 +1065,18 @@ fn audit_cmd(opts: &HashMap<String, String>) -> ExitCode {
             "pass".to_string(),
             Json::Bool(reports.iter().all(|r| r.pass) && roofline_pass),
         ),
-    ]);
+    ];
+    if wire_on {
+        summary.push((
+            "wire_predicted_msgs".to_string(),
+            Json::Num(wire_predicted as f64),
+        ));
+        summary.push((
+            "wire_observed_msgs".to_string(),
+            Json::Num(wire_observed as f64),
+        ));
+    }
+    let summary = Json::Obj(summary);
     println!("{summary}");
     if !reports.iter().all(|r| r.pass) {
         eprintln!("AUDIT FAILED: a constant factor exceeded its ceiling");
@@ -1598,6 +1726,11 @@ fn load_timeline(path: &str) -> Result<RunTimeline, String> {
     RunTimeline::parse(&text).map_err(|e| format!("cannot parse {path}: {e}"))
 }
 
+fn load_wire(path: &str) -> Result<WireLog, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    WireLog::parse(&text).map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
 /// The revision recorded into history entries: `NBODY_GIT_REV` when set
 /// (CI passes it explicitly), else `git rev-parse`, else `unknown`.
 fn git_rev() -> String {
@@ -1637,6 +1770,16 @@ fn analyze_cmd(opts: &HashMap<String, String>, positional: &[String]) -> ExitCod
         },
         None => None,
     };
+    let wire = match opts.get("wire") {
+        Some(wp) => match load_wire(wp) {
+            Ok(log) => Some(log),
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
     // The defaults (16-sample window, 6 sigma) are alarm-tuned: they fire
     // on step functions and stay quiet otherwise. Exploratory analysis of
     // slow ramps (e.g. a gravitational collapse) wants a wider window and
@@ -1647,15 +1790,23 @@ fn analyze_cmd(opts: &HashMap<String, String>, positional: &[String]) -> ExitCod
         ..DriftConfig::default()
     };
     let Some(path) = positional.first() else {
-        // Timeline-only invocation: a recorded bundle is diagnosable on
-        // its own (the drift detector needs no trace).
-        if let Some(tl) = &timeline {
-            print!("{}", render_drift(tl, &drift_cfg));
+        // Timeline- or wire-only invocation: a recorded bundle or probe
+        // log is diagnosable on its own (neither needs a trace).
+        if timeline.is_some() || wire.is_some() {
+            if let Some(tl) = &timeline {
+                print!("{}", render_drift(tl, &drift_cfg));
+            }
+            if let Some(log) = &wire {
+                if timeline.is_some() {
+                    println!();
+                }
+                print!("{}", render_wire(&match_events(log)));
+            }
             return ExitCode::SUCCESS;
         }
         eprintln!(
             "usage: ca-nbody analyze <trace.json|trace.jsonl> [--metrics=F] [--timeline=F] \
-             [--drift-window=16] [--drift-nsigma=6] [c=1] [--csv=F] [--json=F]"
+             [--wire=F] [--drift-window=16] [--drift-nsigma=6] [c=1] [--csv=F] [--json=F]"
         );
         return ExitCode::FAILURE;
     };
@@ -1683,6 +1834,10 @@ fn analyze_cmd(opts: &HashMap<String, String>, positional: &[String]) -> ExitCod
         println!();
         print!("{}", render_drift(tl, &drift_cfg));
     }
+    if let Some(log) = &wire {
+        println!();
+        print!("{}", render_wire(&match_events(log)));
+    }
     if let Some(out) = opts.get("csv") {
         if let Err(e) = std::fs::write(out, render_csv(&a)) {
             eprintln!("cannot write {out}: {e}");
@@ -1696,6 +1851,130 @@ fn analyze_cmd(opts: &HashMap<String, String>, positional: &[String]) -> ExitCod
             return ExitCode::FAILURE;
         }
         println!("analysis JSON written to {out}");
+    }
+    ExitCode::SUCCESS
+}
+
+/// `conformance`: diff a recorded wire-probe log against the message
+/// multiset the CA schedule predicts for the run's parameters, attributing
+/// discrepancies to the fault plan (if any) and exiting non-zero on a FAIL
+/// verdict — an unexplained discrepancy with intact probe rings.
+fn conformance_cmd(opts: &HashMap<String, String>, positional: &[String]) -> ExitCode {
+    let Some(path) = positional.first() else {
+        eprintln!(
+            "usage: ca-nbody conformance <wire-log.json> [n=1024] [p=8] [c=2] [steps=20] \
+             [method=ca] [law=repulsive] [cutoff=0.25] [boundary=reflective] [--faults=SPEC]"
+        );
+        return ExitCode::FAILURE;
+    };
+    let log = match load_wire(path) {
+        Ok(log) => log,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // The same parameter grammar and defaults as `run`, so the flags that
+    // produced the log reproduce its schedule.
+    let n: usize = get(opts, "n", 1024);
+    let p: usize = get(opts, "p", 8);
+    let c: usize = get(opts, "c", 2);
+    let steps: usize = get(opts, "steps", 20);
+    let law_name = opts.get("law").map(String::as_str).unwrap_or("repulsive");
+    let default_cutoff = if law_name == "lj" { 2.5 } else { 0.25 };
+    let cutoff: f64 = get(opts, "cutoff", default_cutoff);
+    let method = match opts.get("method").map(String::as_str).unwrap_or("ca") {
+        "ca" => Method::CaAllPairs { c },
+        "ca-cutoff-1d" => Method::Ca1dCutoff { c },
+        "ca-cutoff-2d" => Method::Ca2dCutoff { c },
+        other => {
+            eprintln!(
+                "conformance: method '{other}' has no communication-schedule twin \
+                 (supported: ca, ca-cutoff-1d, ca-cutoff-2d)"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let boundary = match opts.get("boundary").map(String::as_str) {
+        Some("periodic") => Boundary::Periodic,
+        Some("open") => Boundary::Open,
+        _ => Boundary::Reflective,
+    };
+    let domain = if law_name == "lj" {
+        Domain::square((n as f64).sqrt() * 1.2)
+    } else {
+        Domain::unit()
+    };
+    let spec = WireScheduleSpec {
+        method,
+        n,
+        p,
+        steps,
+        domain,
+        boundary,
+        cutoff: method.needs_cutoff().then_some(cutoff),
+    };
+    let expected = match expected_schedule(&spec) {
+        Ok(exp) => exp,
+        Err(e) => {
+            eprintln!("conformance: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Faults to attribute discrepancies to: the events the chaos backend
+    // recorded into the log itself, plus the plan the caller passed (kept
+    // separate in case the log predates fault probes or rings overflowed).
+    let mut faults = FaultNote::from_log(&log);
+    if let Some(spec_str) = opts.get("faults") {
+        match FaultPlan::parse(spec_str) {
+            Ok(plan) => {
+                for note in plan.probe_notes() {
+                    if !faults.contains(&note) {
+                        faults.push(note);
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("invalid --faults spec: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let report = check_conformance(&expected, &log, &faults);
+    print!("{}", render_conformance(&report));
+
+    let summary = Json::Obj(vec![
+        ("cmd".to_string(), Json::Str("conformance".into())),
+        ("wire_log".to_string(), Json::Str(path.clone())),
+        ("detail".to_string(), Json::Str(report.detail.clone())),
+        (
+            "expected_msgs".to_string(),
+            Json::Num(report.expected_msgs as f64),
+        ),
+        (
+            "observed_msgs".to_string(),
+            Json::Num(report.observed_msgs as f64),
+        ),
+        ("channels".to_string(), Json::Num(report.channels as f64)),
+        (
+            "violations".to_string(),
+            Json::Num(report.violations.len() as f64),
+        ),
+        ("explained".to_string(), Json::Num(report.explained() as f64)),
+        (
+            "unexplained".to_string(),
+            Json::Num(report.unexplained() as f64),
+        ),
+        ("saturated".to_string(), Json::Bool(report.saturated)),
+        ("verdict".to_string(), Json::Str(report.verdict().into())),
+    ]);
+    println!("{summary}");
+    if report.verdict() == "FAIL" {
+        eprintln!("CONFORMANCE FAILED: observed traffic deviates from the CA schedule");
+        return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
 }

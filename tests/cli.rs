@@ -1318,3 +1318,235 @@ fn serve_metrics_endpoint_scrapes_compute_gauges_over_http() {
     assert!(body.starts_with("<!doctype html>"), "{body}");
     assert!(body.contains("<svg"), "dashboard carries sparklines");
 }
+
+#[test]
+fn wire_probe_flag_writes_parseable_log_and_conformance_passes() {
+    let dir = std::env::temp_dir().join("ca_nbody_cli_wire_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let wire = dir.join("wire.json").display().to_string();
+    let out = cli()
+        .args([
+            "run",
+            "n=48",
+            "p=8",
+            "c=2",
+            "steps=3",
+            &format!("--wire-probe={wire}"),
+        ])
+        .output()
+        .expect("launch");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "{stdout}\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout.contains("wire probes written to"), "{stdout}");
+
+    // The log parses back and the summary line reports its size.
+    let log = nbody_comm::WireLog::parse(&std::fs::read_to_string(&wire).unwrap()).unwrap();
+    assert_eq!(log.ranks.len(), 8);
+    assert!(log.total_events() > 0);
+    let last = stdout.lines().last().unwrap();
+    let doc = nbody_trace::Json::parse(last).unwrap();
+    assert_eq!(
+        doc.get("wire_events").unwrap().as_f64(),
+        Some(log.total_events() as f64)
+    );
+    assert_eq!(doc.get("wire_dropped_events").unwrap().as_f64(), Some(0.0));
+
+    // A clean run conforms to the CA schedule: zero violations, and the
+    // latency table renders populated channels via `analyze --wire`.
+    let out = cli()
+        .args(["conformance", &wire, "n=48", "p=8", "c=2", "steps=3"])
+        .output()
+        .expect("launch");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}");
+    assert!(stdout.contains("no violations"), "{stdout}");
+    assert!(stdout.contains("verdict: PASS"), "{stdout}");
+    let doc = nbody_trace::Json::parse(stdout.lines().last().unwrap()).unwrap();
+    assert_eq!(doc.get("verdict").unwrap().as_str(), Some("PASS"));
+    assert_eq!(doc.get("unexplained").unwrap().as_f64(), Some(0.0));
+    assert!(doc.get("expected_msgs").unwrap().as_f64().unwrap() > 0.0);
+
+    let out = cli()
+        .args(["analyze", &format!("--wire={wire}")])
+        .output()
+        .expect("launch");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}");
+    assert!(stdout.contains("wire probes:"), "{stdout}");
+    assert!(stdout.contains("matched pairs"), "{stdout}");
+    assert!(stdout.contains("mean us"), "latency columns present: {stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn conformance_attributes_chaos_drops_and_fails_on_wrong_schedule() {
+    let dir = std::env::temp_dir().join("ca_nbody_cli_wire_chaos_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let wire = dir.join("wire_chaos.json").display().to_string();
+    let out = cli()
+        .args([
+            "run",
+            "n=48",
+            "p=8",
+            "c=2",
+            "steps=2",
+            "--faults=drop:3@1",
+            "fault-timeout-ms=250",
+            &format!("--wire-probe={wire}"),
+        ])
+        .output()
+        .expect("launch");
+    assert!(
+        out.status.success(),
+        "{}\n{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Every discrepancy the injected drop causes is attributed to the
+    // fault plan: zero unexplained, PASS verdict, exit 0.
+    let out = cli()
+        .args([
+            "conformance",
+            &wire,
+            "n=48",
+            "p=8",
+            "c=2",
+            "steps=2",
+            "--faults=drop:3@1",
+        ])
+        .output()
+        .expect("launch");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}");
+    assert!(stdout.contains("verdict: PASS"), "{stdout}");
+    let doc = nbody_trace::Json::parse(stdout.lines().last().unwrap()).unwrap();
+    assert_eq!(doc.get("unexplained").unwrap().as_f64(), Some(0.0));
+    assert!(
+        doc.get("violations").unwrap().as_f64().unwrap() > 0.0,
+        "the drop must actually perturb the schedule: {stdout}"
+    );
+    assert!(stdout.contains("fault_drop:rank3@step1"), "{stdout}");
+
+    // The same log against the wrong schedule is a genuine FAIL with a
+    // non-zero exit (the CI gate contract).
+    let out = cli()
+        .args(["conformance", &wire, "n=48", "p=8", "c=2", "steps=7"])
+        .output()
+        .expect("launch");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(!out.status.success(), "{stdout}");
+    assert!(stdout.contains("verdict: FAIL"), "{stdout}");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("CONFORMANCE FAILED"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn conformance_rejects_bad_inputs_with_one_line_errors() {
+    // Missing positional.
+    let out = cli().arg("conformance").output().expect("launch");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+
+    // Unreadable log.
+    let out = cli()
+        .args(["conformance", "/nonexistent/wire.json"])
+        .output()
+        .expect("launch");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+
+    // A method with no schedule twin.
+    let dir = std::env::temp_dir().join("ca_nbody_cli_wire_badmethod_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let wire = dir.join("wire.json").display().to_string();
+    let out = cli()
+        .args(["run", "n=32", "p=4", "c=1", "steps=1", &format!("--wire-probe={wire}")])
+        .output()
+        .expect("launch");
+    assert!(out.status.success());
+    let out = cli()
+        .args(["conformance", &wire, "method=ring"])
+        .output()
+        .expect("launch");
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("no communication-schedule twin"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn audit_wire_flag_reports_observed_vs_predicted_counts() {
+    let out = cli()
+        .args(["audit", "n=256", "p=8", "steps=1", "c=2", "--wire"])
+        .output()
+        .expect("launch");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "{stdout}\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout.contains("wire messages (observed vs predicted"), "{stdout}");
+    assert!(stdout.contains("skew"), "{stdout}");
+    assert!(stdout.contains("shift"), "{stdout}");
+    let doc = nbody_trace::Json::parse(stdout.lines().last().unwrap()).unwrap();
+    let predicted = doc.get("wire_predicted_msgs").unwrap().as_f64().unwrap();
+    let observed = doc.get("wire_observed_msgs").unwrap().as_f64().unwrap();
+    assert!(predicted > 0.0);
+    assert_eq!(predicted, observed, "audited run must match its schedule");
+}
+
+#[test]
+fn cutoff_wire_probe_conforms_in_count_only_mode() {
+    let dir = std::env::temp_dir().join("ca_nbody_cli_wire_cutoff_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let wire = dir.join("wire.json").display().to_string();
+    let out = cli()
+        .args([
+            "run",
+            "method=ca-cutoff-1d",
+            "n=40",
+            "p=8",
+            "c=2",
+            "steps=2",
+            "cutoff=0.25",
+            &format!("--wire-probe={wire}"),
+        ])
+        .output()
+        .expect("launch");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let out = cli()
+        .args([
+            "conformance",
+            &wire,
+            "method=ca-cutoff-1d",
+            "n=40",
+            "p=8",
+            "c=2",
+            "steps=2",
+            "cutoff=0.25",
+        ])
+        .output()
+        .expect("launch");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}");
+    assert!(stdout.contains("verdict: PASS"), "{stdout}");
+    assert!(stdout.contains("ca-1d-cutoff"), "{stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}
