@@ -14,7 +14,7 @@
 //!   (the per-message cost of deadline arithmetic on the hot path).
 
 use ca_nbody::dist::id_block_subset;
-use ca_nbody::recovery::{ca_all_pairs_forces_ft, FaultConfig};
+use ca_nbody::recovery::{ca_all_pairs_forces_ft, RetryPolicy};
 use ca_nbody::{ca_all_pairs_forces, GridComms, ProcGrid};
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use nbody_comm::{run_ranks, run_ranks_chaos, Communicator, FaultPlan};
@@ -72,7 +72,7 @@ fn bench_eval_chaos_empty(c: &mut Criterion) {
                     &law(),
                     &domain,
                     Boundary::Reflective,
-                    &FaultConfig::default(),
+                    &RetryPolicy::default(),
                     0,
                 )
                 .expect("no faults scheduled");

@@ -60,14 +60,82 @@ fn parse_recv_timeout(raw: Option<&str>) -> Result<u64, String> {
     }
 }
 
+/// Parse a positive-integer environment override (`NBODY_CHECKPOINT_EVERY`,
+/// `NBODY_RETRY_TIMEOUT_MS`, `NBODY_RETRY_BUDGET_MS`): unset is fine, zero
+/// or malformed is an error — a typo'd cadence silently becoming the
+/// default is the misconfiguration fail-fast validation exists to catch.
+fn parse_positive_int(name: &str, raw: Option<&str>) -> Result<Option<u64>, String> {
+    match raw {
+        None => Ok(None),
+        Some(s) => match s.trim().parse::<u64>() {
+            Ok(0) => Err(format!("{name} must be a positive integer, got '{s}'")),
+            Ok(v) => Ok(Some(v)),
+            Err(e) => Err(format!("{name} must be a positive integer, got '{s}': {e}")),
+        },
+    }
+}
+
+/// Parse a non-negative count override (`NBODY_RETRY_MAX`; 0 legitimately
+/// disables retries).
+fn parse_count(name: &str, raw: Option<&str>) -> Result<Option<u64>, String> {
+    match raw {
+        None => Ok(None),
+        Some(s) => s.trim().parse::<u64>().map(Some).map_err(|e| {
+            format!("{name} must be a non-negative integer, got '{s}': {e}")
+        }),
+    }
+}
+
+/// Parse a float override constrained to `[lo, hi)` — `NBODY_RETRY_BACKOFF`
+/// needs `>= 1.0`, `NBODY_RETRY_JITTER` needs `[0, 1)`.
+fn parse_float_in(name: &str, raw: Option<&str>, lo: f64, hi: f64) -> Result<Option<f64>, String> {
+    match raw {
+        None => Ok(None),
+        Some(s) => match s.trim().parse::<f64>() {
+            Ok(v) if v.is_finite() && v >= lo && v < hi => Ok(Some(v)),
+            Ok(v) => Err(format!("{name} must be in [{lo}, {hi}), got {v}")),
+            Err(e) => Err(format!("{name} must be a number in [{lo}, {hi}), got '{s}': {e}")),
+        },
+    }
+}
+
 /// Validate process-level runtime configuration read from the
 /// environment. Called implicitly at the start of every distributed
 /// execution; front-ends can call it explicitly to turn a malformed
-/// `NBODY_RECV_TIMEOUT_SECS` into a clean startup error instead of a
-/// panic inside the rank spawner.
+/// `NBODY_RECV_TIMEOUT_SECS`, `NBODY_CHECKPOINT_EVERY`, or retry-policy
+/// override (`NBODY_RETRY_TIMEOUT_MS`, `NBODY_RETRY_MAX`,
+/// `NBODY_RETRY_BACKOFF`, `NBODY_RETRY_JITTER`, `NBODY_RETRY_BUDGET_MS`)
+/// into a clean startup error instead of a panic inside the rank spawner
+/// or a silently ignored knob.
 pub fn validate_env() -> Result<(), String> {
-    let raw = std::env::var("NBODY_RECV_TIMEOUT_SECS").ok();
-    parse_recv_timeout(raw.as_deref()).map(|_| ())
+    let var = |name: &str| std::env::var(name).ok();
+    parse_recv_timeout(var("NBODY_RECV_TIMEOUT_SECS").as_deref())?;
+    parse_positive_int(
+        "NBODY_CHECKPOINT_EVERY",
+        var("NBODY_CHECKPOINT_EVERY").as_deref(),
+    )?;
+    parse_positive_int(
+        "NBODY_RETRY_TIMEOUT_MS",
+        var("NBODY_RETRY_TIMEOUT_MS").as_deref(),
+    )?;
+    parse_positive_int(
+        "NBODY_RETRY_BUDGET_MS",
+        var("NBODY_RETRY_BUDGET_MS").as_deref(),
+    )?;
+    parse_count("NBODY_RETRY_MAX", var("NBODY_RETRY_MAX").as_deref())?;
+    parse_float_in(
+        "NBODY_RETRY_BACKOFF",
+        var("NBODY_RETRY_BACKOFF").as_deref(),
+        1.0,
+        f64::INFINITY,
+    )?;
+    parse_float_in(
+        "NBODY_RETRY_JITTER",
+        var("NBODY_RETRY_JITTER").as_deref(),
+        0.0,
+        1.0,
+    )?;
+    Ok(())
 }
 
 /// How long a blocking receive may wait before the runtime declares a
@@ -1243,6 +1311,39 @@ mod tests {
         let msg = parse_recv_timeout(Some("banana")).unwrap_err();
         assert!(
             msg.contains("NBODY_RECV_TIMEOUT_SECS") && msg.contains("banana"),
+            "diagnostic names the variable and the bad value: {msg}"
+        );
+    }
+
+    #[test]
+    fn durability_env_overrides_parse_strictly() {
+        // Cadence and millisecond overrides: positive integers only.
+        assert_eq!(parse_positive_int("NBODY_CHECKPOINT_EVERY", None), Ok(None));
+        assert_eq!(
+            parse_positive_int("NBODY_CHECKPOINT_EVERY", Some(" 4 ")),
+            Ok(Some(4))
+        );
+        assert!(parse_positive_int("NBODY_CHECKPOINT_EVERY", Some("0")).is_err());
+        assert!(parse_positive_int("NBODY_RETRY_TIMEOUT_MS", Some("fast")).is_err());
+        assert!(parse_positive_int("NBODY_RETRY_BUDGET_MS", Some("-1")).is_err());
+        // Retry count: zero is a legitimate "no retries".
+        assert_eq!(parse_count("NBODY_RETRY_MAX", Some("0")), Ok(Some(0)));
+        assert!(parse_count("NBODY_RETRY_MAX", Some("-1")).is_err());
+        // Backoff ≥ 1, jitter in [0, 1).
+        assert_eq!(
+            parse_float_in("NBODY_RETRY_BACKOFF", Some("1.5"), 1.0, f64::INFINITY),
+            Ok(Some(1.5))
+        );
+        assert!(parse_float_in("NBODY_RETRY_BACKOFF", Some("0.5"), 1.0, f64::INFINITY).is_err());
+        assert!(parse_float_in("NBODY_RETRY_BACKOFF", Some("inf"), 1.0, f64::INFINITY).is_err());
+        assert_eq!(
+            parse_float_in("NBODY_RETRY_JITTER", Some("0"), 0.0, 1.0),
+            Ok(Some(0.0))
+        );
+        assert!(parse_float_in("NBODY_RETRY_JITTER", Some("1.0"), 0.0, 1.0).is_err());
+        let msg = parse_positive_int("NBODY_CHECKPOINT_EVERY", Some("banana")).unwrap_err();
+        assert!(
+            msg.contains("NBODY_CHECKPOINT_EVERY") && msg.contains("banana"),
             "diagnostic names the variable and the bad value: {msg}"
         );
     }

@@ -27,11 +27,21 @@
 //!    the checkpoint with a team broadcast (valid whenever `c ≥ 2`); on a
 //!    transient fault the checkpoint is already local. Every rank restores
 //!    its checkpoint and re-enters the attempt under a fresh tag namespace,
-//!    bounded by [`FaultConfig::max_retries`].
+//!    bounded by [`RetryPolicy::max_retries`] and
+//!    [`RetryPolicy::budget`]. Each retry's receive deadline comes from the
+//!    policy: transient faults back off exponentially (with deterministic
+//!    seeded jitter, identical on every rank), while crash (`PeerDead`)
+//!    retries use a fixed per-class deadline — a crash is detected
+//!    immediately, so there is nothing to back off from.
 //!
-//! With `c = 1` there is no surviving replica: a kill is a documented
-//! [`FaultError::Unrecoverable`] returned by *every* rank within a bounded
-//! number of timeouts — a clean, agreed shutdown rather than a deadlock.
+//! When a column loses every replica (including the whole of a `c = 1`
+//! "column" of one rank), the loop cannot re-seed the lost block — but it
+//! can still end the evaluation in an *agreed* degraded state: survivors
+//! re-seed partially-dead columns, restore their checkpoints, and every
+//! rank returns [`FaultError::ColumnsLost`] naming the same dead teams.
+//! The simulation layer uses that verdict to shrink the world onto the
+//! survivors and continue (see `sim.rs`); only when *every* team is lost
+//! does the evaluation degrade to [`FaultError::Unrecoverable`].
 //!
 //! Because a retry restores the exact post-broadcast state and the
 //! accumulation order is unchanged, recovered evaluations are
@@ -40,7 +50,7 @@
 //! separately by `audit`) and counted in the `fault_*` /
 //! `recovery_bytes_total` metrics.
 
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use nbody_comm::{CommError, Communicator, EventKind, Phase};
 use nbody_metrics::Counter;
@@ -66,34 +76,119 @@ const STATUS_OK: u8 = 0;
 const STATUS_TRANSIENT: u8 = 1;
 const STATUS_DEAD: u8 = 2;
 
-/// Tuning knobs of the recovery protocol.
-#[derive(Debug, Clone, Copy)]
-pub struct FaultConfig {
-    /// Deadline for each pipeline receive; a peer silent for this long is
-    /// presumed failed. Bounds detection latency: a fault cascades through
-    /// at most `O(steps)` timeouts before the agreement round sees it.
-    pub recv_timeout: Duration,
-    /// Retries after the initial attempt before giving up with
-    /// [`FaultError::RetriesExhausted`].
-    pub max_retries: usize,
+/// The fault class a retry is responding to; each class gets its own
+/// deadline schedule in the [`RetryPolicy`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultClass {
+    /// A lost/late message (`Timeout` and friends): the peer may just be
+    /// slow, so deadlines back off exponentially to ride out congestion.
+    Transient,
+    /// A peer observed dead (`PeerDead`): detection is immediate and a
+    /// replacement re-enters promptly, so the deadline stays fixed.
+    PeerDead,
 }
 
-impl Default for FaultConfig {
-    fn default() -> Self {
-        FaultConfig {
-            recv_timeout: Duration::from_secs(1),
-            max_retries: 3,
+impl FaultClass {
+    /// Stable label used in flight-recorder events.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultClass::Transient => "transient",
+            FaultClass::PeerDead => "peer-dead",
         }
     }
 }
 
-impl FaultConfig {
-    /// A config with the given receive deadline in milliseconds.
+// splitmix64: the deterministic jitter source. Keyed only on
+// (seed, epoch, attempt) — never the rank — so every rank derives the
+// same deadline and the protocol stays symmetric.
+fn unit_jitter(seed: u64, epoch: u64, attempt: u64) -> f64 {
+    let mut z = seed
+        .wrapping_add(epoch.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(attempt.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// The retry policy of the recovery protocol: per-fault-class deadlines,
+/// exponential backoff with deterministic seeded jitter, and hard caps on
+/// both retry count and total wall-clock budget.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Deadline for each pipeline receive on the first attempt and the
+    /// base of the transient-class backoff schedule.
+    pub base_timeout: Duration,
+    /// Fixed deadline used for retries after a crash
+    /// ([`FaultClass::PeerDead`]) was the agreed failure.
+    pub peer_dead_timeout: Duration,
+    /// Multiplier applied to the transient-class deadline per retry
+    /// (`1.0` disables backoff).
+    pub backoff: f64,
+    /// Jitter amplitude as a fraction of the deadline (`0.0` disables it);
+    /// the drawn jitter is deterministic given [`RetryPolicy::seed`].
+    pub jitter: f64,
+    /// Retries after the initial attempt before giving up with
+    /// [`FaultError::RetriesExhausted`].
+    pub max_retries: usize,
+    /// Total wall-clock budget for one evaluation including its retries;
+    /// exceeding it fails the evaluation like retry exhaustion does.
+    pub budget: Duration,
+    /// Seed of the deterministic jitter stream.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            base_timeout: Duration::from_secs(1),
+            peer_dead_timeout: Duration::from_secs(1),
+            backoff: 2.0,
+            jitter: 0.1,
+            max_retries: 3,
+            budget: Duration::from_secs(60),
+            seed: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy with both per-class deadlines set to `ms` milliseconds.
     pub fn with_timeout_ms(ms: u64) -> Self {
-        FaultConfig {
-            recv_timeout: Duration::from_millis(ms),
+        RetryPolicy {
+            base_timeout: Duration::from_millis(ms),
+            peer_dead_timeout: Duration::from_millis(ms),
             ..Default::default()
         }
+    }
+
+    /// A fully deterministic fixed-deadline policy (no backoff, no
+    /// jitter): what the old `--fault-timeout-ms`/`--max-retries` pair
+    /// expressed, kept for tests that assert exact attempt counts.
+    pub fn fixed(ms: u64, max_retries: usize) -> Self {
+        RetryPolicy {
+            base_timeout: Duration::from_millis(ms),
+            peer_dead_timeout: Duration::from_millis(ms),
+            backoff: 1.0,
+            jitter: 0.0,
+            max_retries,
+            budget: Duration::from_secs(3600),
+            seed: 0,
+        }
+    }
+
+    /// The receive deadline for `attempt` (1-based) given the fault class
+    /// the previous attempt failed with. Deterministic across ranks.
+    pub fn deadline(&self, class: FaultClass, attempt: usize, epoch: u64) -> Duration {
+        let base = match class {
+            FaultClass::Transient => {
+                let exp = attempt.saturating_sub(1).min(16) as i32;
+                self.base_timeout.as_secs_f64() * self.backoff.max(1.0).powi(exp)
+            }
+            FaultClass::PeerDead => self.peer_dead_timeout.as_secs_f64(),
+        };
+        let jitter = base * self.jitter.clamp(0.0, 1.0) * unit_jitter(self.seed, epoch, attempt as u64);
+        Duration::from_secs_f64((base + jitter).min(3600.0))
     }
 }
 
@@ -102,15 +197,27 @@ impl FaultConfig {
 /// caller can shut the execution down cleanly.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum FaultError {
-    /// A rank died and no replica of its inputs survives (`c = 1`, or an
-    /// entire team column was lost). The evaluation cannot be completed.
+    /// Every team column lost every replica — no particle data survives
+    /// anywhere and the evaluation cannot be completed at all.
     Unrecoverable {
         /// World rank reporting the failure.
         rank: usize,
         /// Replication factor in effect.
         c: usize,
     },
-    /// Faults kept recurring past [`FaultConfig::max_retries`].
+    /// One or more (but not all) team columns lost every replica. The
+    /// lost blocks are gone, but the survivors agreed on exactly which
+    /// teams died and hold their own checkpoints — the simulation layer
+    /// can shrink the world onto the survivors and continue degraded.
+    ColumnsLost {
+        /// The teams whose every replica died, in ascending order
+        /// (identical on every rank — the verdict is agreed).
+        dead_teams: Vec<usize>,
+        /// Replication factor in effect.
+        c: usize,
+    },
+    /// Faults kept recurring past [`RetryPolicy::max_retries`] or the
+    /// total [`RetryPolicy::budget`] ran out.
     RetriesExhausted {
         /// Attempts performed (initial + retries).
         attempts: usize,
@@ -122,8 +229,12 @@ impl std::fmt::Display for FaultError {
         match self {
             FaultError::Unrecoverable { rank, c } => write!(
                 f,
-                "rank {rank}: lost inputs are unrecoverable at replication c={c} \
-                 (recovery needs a surviving replica, c >= 2)"
+                "rank {rank}: unrecoverable: every team column lost all {c} replicas; \
+                 nothing survives to recover from"
+            ),
+            FaultError::ColumnsLost { dead_teams, c } => write!(
+                f,
+                "teams {dead_teams:?} lost all {c} replicas; survivors agreed to continue degraded"
             ),
             FaultError::RetriesExhausted { attempts } => {
                 write!(f, "faults persisted through {attempts} attempts; giving up")
@@ -134,13 +245,21 @@ impl std::fmt::Display for FaultError {
 
 impl std::error::Error for FaultError {}
 
-/// What it took to complete a fault-tolerant evaluation.
+/// What it took to complete a fault-tolerant evaluation (and, aggregated
+/// at the simulation layer, a whole run).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct RecoveryReport {
     /// Attempts performed (1 = clean, fault-free run).
     pub attempts: usize,
     /// Whether any fault was detected (and survived).
     pub recovered: bool,
+    /// Times the world shrank onto survivors (simulation-layer degraded
+    /// mode; always 0 at the single-evaluation level).
+    pub shrinks: usize,
+    /// Particles dropped with dead columns across all shrinks.
+    pub lost_particles: usize,
+    /// World size after the last shrink (0 = the world never shrank).
+    pub survivor_ranks: usize,
 }
 
 /// Per-rank fault/recovery counters, registered against the live metrics
@@ -183,15 +302,18 @@ fn agree<C: Communicator>(gc: &GridComms<C>, local: u8) -> u8 {
 /// The retry/agreement/resync loop shared by both fault-tolerant drivers.
 ///
 /// `st` must hold the post-broadcast input block; `attempt` runs one
-/// fallible pipeline pass over `st` under the given tag offset. On success
-/// `st` holds the accumulated partial forces and the caller performs the
-/// final reduction.
+/// fallible pipeline pass over `st` under the given tag offset, with the
+/// given per-receive deadline. On success `st` holds the accumulated
+/// partial forces and the caller performs the final reduction. On
+/// [`FaultError::ColumnsLost`], `st` holds the restored *pre-force*
+/// checkpoint on every surviving-column rank (empty on dead-column ranks)
+/// so the caller can redistribute and shrink.
 fn recovery_loop<C: Communicator>(
     gc: &GridComms<C>,
     st: &mut Vec<Particle>,
-    fc: &FaultConfig,
+    policy: &RetryPolicy,
     epoch: u64,
-    mut attempt: impl FnMut(&mut Vec<Particle>, u64) -> Result<(), CommError>,
+    mut attempt: impl FnMut(&mut Vec<Particle>, u64, Duration) -> Result<(), CommError>,
 ) -> Result<RecoveryReport, FaultError> {
     let c = gc.grid.c();
     let world_rank = gc.grid.rank_at(gc.team(), gc.row_index());
@@ -209,14 +331,16 @@ fn recovery_loop<C: Communicator>(
         Some(epoch),
         &format!("{} particles", input.len()),
     );
+    let started = Instant::now();
     let mut attempts = 0usize;
     let mut had_fault = false;
+    let mut deadline = policy.deadline(FaultClass::Transient, 1, epoch);
     loop {
         attempts += 1;
         st.clone_from(&input);
         let tag_base =
             epoch * EPOCH_TAG_STRIDE + (attempts as u64 - 1) * ATTEMPT_TAG_STRIDE;
-        let outcome = attempt(st, tag_base);
+        let outcome = attempt(st, tag_base, deadline);
         let local = match outcome {
             Ok(()) => STATUS_OK,
             Err(CommError::PeerDead { .. }) => STATUS_DEAD,
@@ -229,8 +353,9 @@ fn recovery_loop<C: Communicator>(
                 EventKind::RecoveryAttempt,
                 Some(epoch),
                 &format!(
-                    "attempt {attempts} failed locally: {}",
-                    if self_dead { "rank dead" } else { "transient" }
+                    "attempt {attempts} failed locally: {} (deadline {}ms)",
+                    if self_dead { "rank dead" } else { "transient" },
+                    deadline.as_millis(),
                 ),
             );
         }
@@ -249,19 +374,61 @@ fn recovery_loop<C: Communicator>(
             return Ok(RecoveryReport {
                 attempts,
                 recovered: had_fault,
+                ..RecoveryReport::default()
             });
         }
         had_fault = true;
-        if status == STATUS_DEAD && c < 2 {
-            let err = FaultError::Unrecoverable {
-                rank: world_rank,
-                c,
-            };
-            tl.event(EventKind::Unrecoverable, Some(epoch), &err.to_string());
-            tl.mark_failure(&err.to_string());
-            return Err(err);
+        if status == STATUS_DEAD {
+            // Which rows of this column survive? The flags are identical
+            // on every member of the column.
+            let flags = gc.col.allgather(&[u8::from(self_dead)]);
+            let src_row = flags.iter().position(|f| f[0] == 0);
+            let column_lost = src_row.is_none();
+            // Share per-column verdicts across the row: every row spans
+            // all teams, so each rank learns the full dead-team set and
+            // the verdict is globally agreed.
+            let lost_map = gc.row.allgather(&[u8::from(column_lost)]);
+            let dead_teams: Vec<usize> = lost_map
+                .iter()
+                .enumerate()
+                .filter(|(_, f)| f[0] != 0)
+                .map(|(t, _)| t)
+                .collect();
+            if dead_teams.len() == gc.grid.teams() {
+                // Every column lost every replica: nothing survives.
+                let err = FaultError::Unrecoverable { rank: world_rank, c };
+                tl.event(EventKind::Unrecoverable, Some(epoch), &err.to_string());
+                tl.mark_failure(&err.to_string());
+                return Err(err);
+            }
+            if !dead_teams.is_empty() {
+                // Degraded mode: the lost columns cannot be re-seeded, but
+                // the survivors can agree to continue without them. Revive
+                // killed ranks (the replacement process), re-seed
+                // partially-dead surviving columns, and hand the caller
+                // the pre-force checkpoint to shrink from.
+                gc.col.fault_revive();
+                if let Some(src_row) = src_row {
+                    gc.col.bcast(src_row, &mut input);
+                    tl.event(
+                        EventKind::Resync,
+                        Some(epoch),
+                        &format!("checkpoint re-seeded from row {src_row} before shrink"),
+                    );
+                    if self_dead {
+                        counters
+                            .resync_bytes
+                            .add((input.len() * std::mem::size_of::<Particle>()) as u64);
+                    }
+                }
+                *st = input;
+                let err = FaultError::ColumnsLost { dead_teams, c };
+                tl.event(EventKind::RecoveryAttempt, Some(epoch), &err.to_string());
+                return Err(err);
+            }
+            // All columns kept at least one replica: plain resync below.
         }
-        if attempts > fc.max_retries {
+        if attempts > policy.max_retries || started.elapsed() > policy.budget {
             let err = FaultError::RetriesExhausted { attempts };
             tl.event(EventKind::RetryExhausted, Some(epoch), &err.to_string());
             tl.mark_failure(&err.to_string());
@@ -272,21 +439,13 @@ fn recovery_loop<C: Communicator>(
         if status == STATUS_DEAD {
             // Re-seed dead ranks from the lowest surviving row of their
             // column. The flags are identical on all members of a column,
-            // so every member picks the same broadcast root.
+            // so every member picks the same broadcast root (recomputed
+            // here: the allgather above consumed per-attempt state).
             let flags = gc.col.allgather(&[u8::from(self_dead)]);
-            let src_row = flags.iter().position(|f| f[0] == 0);
-            let column_lost = u8::from(src_row.is_none());
-            if agree(gc, column_lost) != 0 {
-                // Some column lost every replica — globally unrecoverable.
-                let err = FaultError::Unrecoverable {
-                    rank: world_rank,
-                    c,
-                };
-                tl.event(EventKind::Unrecoverable, Some(epoch), &err.to_string());
-                tl.mark_failure(&err.to_string());
-                return Err(err);
-            }
-            let src_row = src_row.expect("agreed recoverable, so a survivor exists");
+            let src_row = flags
+                .iter()
+                .position(|f| f[0] == 0)
+                .expect("agreed recoverable, so a survivor exists");
             gc.col.bcast(src_row, &mut input);
             tl.event(
                 EventKind::Resync,
@@ -300,6 +459,25 @@ fn recovery_loop<C: Communicator>(
             }
         }
         counters.retries.inc();
+        // The next attempt's deadline comes from the agreed fault class:
+        // crashes re-enter promptly under a fixed deadline, transients
+        // back off (with deterministic jitter shared by every rank).
+        let class = if status == STATUS_DEAD {
+            FaultClass::PeerDead
+        } else {
+            FaultClass::Transient
+        };
+        deadline = policy.deadline(class, attempts + 1, epoch);
+        tl.event(
+            EventKind::RecoveryAttempt,
+            Some(epoch),
+            &format!(
+                "retry {} class={} deadline={}ms",
+                attempts + 1,
+                class.label(),
+                deadline.as_millis()
+            ),
+        );
     }
 }
 
@@ -317,7 +495,7 @@ pub fn ca_all_pairs_forces_ft<C: Communicator, F: ForceLaw>(
     law: &F,
     domain: &Domain,
     boundary: Boundary,
-    fc: &FaultConfig,
+    policy: &RetryPolicy,
     epoch: u64,
 ) -> Result<RecoveryReport, FaultError> {
     let teams = gc.grid.teams();
@@ -338,7 +516,7 @@ pub fn ca_all_pairs_forces_ft<C: Communicator, F: ForceLaw>(
     // FLOP/byte accounting for the roofline audit; aborted attempts still
     // count — the work was really done.
     let meter = ComputeMeter::new(&gc.col.metrics(), law.flops_per_interaction());
-    let report = recovery_loop(gc, st, fc, epoch, |st, tag_base| {
+    let report = recovery_loop(gc, st, policy, epoch, |st, tag_base, deadline| {
         let mut exch = st.clone();
         gc.col.set_phase(Phase::Skew);
         tr.set_step(Some(0));
@@ -349,7 +527,7 @@ pub fn ca_all_pairs_forces_ft<C: Communicator, F: ForceLaw>(
             gc.row.send(dst, TAG_SKEW + tag_base, &exch);
             exch = gc
                 .row
-                .try_recv_timeout(src, TAG_SKEW + tag_base, fc.recv_timeout)?;
+                .try_recv_timeout(src, TAG_SKEW + tag_base, deadline)?;
         }
         for s in 1..=steps {
             gc.col.set_phase(Phase::Shift);
@@ -359,7 +537,7 @@ pub fn ca_all_pairs_forces_ft<C: Communicator, F: ForceLaw>(
             let src = (team + teams - c) % teams;
             let tag = TAG_SHIFT + tag_base + s as u64;
             gc.row.send(dst, tag, &exch);
-            exch = gc.row.try_recv_timeout(src, tag, fc.recv_timeout)?;
+            exch = gc.row.try_recv_timeout(src, tag, deadline)?;
 
             gc.col.set_phase(Phase::Other);
             meter.time(st.len(), exch.len(), || {
@@ -391,7 +569,7 @@ pub fn ca_cutoff_forces_ft<C: Communicator, W: Window, F: ForceLaw>(
     law: &F,
     domain: &Domain,
     boundary: Boundary,
-    fc: &FaultConfig,
+    policy: &RetryPolicy,
     epoch: u64,
 ) -> Result<RecoveryReport, FaultError> {
     assert_eq!(
@@ -417,7 +595,7 @@ pub fn ca_cutoff_forces_ft<C: Communicator, W: Window, F: ForceLaw>(
     let tr = gc.col.tracer();
     // FLOP/byte accounting for the roofline audit.
     let meter = ComputeMeter::new(&gc.col.metrics(), law.flops_per_interaction());
-    let report = recovery_loop(gc, st, fc, epoch, |st, tag_base| {
+    let report = recovery_loop(gc, st, policy, epoch, |st, tag_base, deadline| {
         // The home copy is rebuilt from the checkpointed state each
         // attempt, so home-route re-injection stays consistent on retries.
         let home: Vec<Particle> = st.clone();
@@ -434,7 +612,7 @@ pub fn ca_cutoff_forces_ft<C: Communicator, W: Window, F: ForceLaw>(
             }
             cur_block = window.apply_back(t, k);
             exch = match cur_block {
-                Some(b) => gc.row.try_recv_timeout(b, tag, fc.recv_timeout)?,
+                Some(b) => gc.row.try_recv_timeout(b, tag, deadline)?,
                 None => Vec::new(),
             };
         }
@@ -463,7 +641,7 @@ pub fn ca_cutoff_forces_ft<C: Communicator, W: Window, F: ForceLaw>(
             exch = match cur_block {
                 Some(b) => {
                     let src = window.apply(b, j_prev).unwrap_or(b);
-                    gc.row.try_recv_timeout(src, tag, fc.recv_timeout)?
+                    gc.row.try_recv_timeout(src, tag, deadline)?
                 }
                 None => Vec::new(),
             };
@@ -518,11 +696,18 @@ mod tests {
                 &law(),
                 &domain,
                 Boundary::Reflective,
-                &FaultConfig::default(),
+                &RetryPolicy::default(),
                 0,
             )
             .expect("fault-free run cannot fail");
-            assert_eq!(rep, RecoveryReport { attempts: 1, recovered: false });
+            assert_eq!(
+                rep,
+                RecoveryReport {
+                    attempts: 1,
+                    recovered: false,
+                    ..RecoveryReport::default()
+                }
+            );
             if gc.is_leader() {
                 st
             } else {
@@ -595,7 +780,7 @@ mod tests {
                 &law(),
                 &domain,
                 Boundary::Reflective,
-                &FaultConfig::with_timeout_ms(500),
+                &RetryPolicy::with_timeout_ms(500),
                 0,
             )
             .expect("c=2 must recover from a single kill");
@@ -612,8 +797,12 @@ mod tests {
         assert_eq!(got, want, "recovered forces must be bit-identical");
     }
 
+    /// A `c = 1` kill loses the column's only replica. The evaluation can
+    /// no longer be completed as-configured, but every rank now returns
+    /// the *agreed degraded verdict* — the same dead-team set everywhere —
+    /// instead of giving up as unrecoverable.
     #[test]
-    fn kill_without_replication_is_agreed_unrecoverable() {
+    fn kill_without_replication_is_agreed_columns_lost() {
         let domain = Domain::unit();
         let grid = ProcGrid::new_all_pairs(4, 1).unwrap();
         let plan = FaultPlan::kill(2, 1);
@@ -627,15 +816,90 @@ mod tests {
                 &law(),
                 &domain,
                 Boundary::Reflective,
-                &FaultConfig::with_timeout_ms(300),
+                &RetryPolicy::with_timeout_ms(300),
                 0,
             )
         });
-        for (rank, err) in errs.into_iter().enumerate() {
+        for err in errs {
             assert_eq!(
                 err,
-                Err(FaultError::Unrecoverable { rank, c: 1 }),
-                "every rank must agree on Unrecoverable"
+                Err(FaultError::ColumnsLost {
+                    dead_teams: vec![2],
+                    c: 1
+                }),
+                "every rank must agree on the dead-team set"
+            );
+        }
+    }
+
+    /// Deadlines derived from the policy are deterministic and follow the
+    /// per-class schedule: transients back off, crashes stay fixed.
+    #[test]
+    fn retry_policy_deadlines_are_deterministic_and_classed() {
+        let policy = RetryPolicy {
+            base_timeout: Duration::from_millis(100),
+            peer_dead_timeout: Duration::from_millis(250),
+            backoff: 2.0,
+            jitter: 0.1,
+            max_retries: 5,
+            budget: Duration::from_secs(60),
+            seed: 7,
+        };
+        let d1 = policy.deadline(FaultClass::Transient, 1, 3);
+        let d2 = policy.deadline(FaultClass::Transient, 2, 3);
+        let d3 = policy.deadline(FaultClass::Transient, 3, 3);
+        // Deterministic: the same inputs give the same deadline.
+        assert_eq!(d1, policy.deadline(FaultClass::Transient, 1, 3));
+        // Backoff dominates the 10% jitter band.
+        assert!(d2 >= d1 && d3 > d2, "{d1:?} {d2:?} {d3:?}");
+        assert!(d3 >= Duration::from_millis(400) && d3 < Duration::from_millis(440));
+        // The crash class ignores the attempt number.
+        let p1 = policy.deadline(FaultClass::PeerDead, 1, 3);
+        let p4 = policy.deadline(FaultClass::PeerDead, 4, 3);
+        assert!(p1 >= Duration::from_millis(250) && p1 <= Duration::from_millis(275));
+        assert!(p4 >= Duration::from_millis(250) && p4 <= Duration::from_millis(275));
+        // Jitter varies with the epoch but never the rank (no rank input).
+        let other_epoch = policy.deadline(FaultClass::Transient, 2, 4);
+        assert_ne!(d2, other_epoch);
+    }
+
+    /// An exhausted retry budget fails the evaluation like max_retries
+    /// does, even when more retries would nominally be allowed.
+    #[test]
+    fn exhausted_budget_stops_retrying() {
+        let domain = Domain::unit();
+        let grid = ProcGrid::new_all_pairs(4, 2).unwrap();
+        // Kill rank 1 on every attempt: revive + re-kill is impossible
+        // with a one-shot plan, so instead exhaust the budget via a
+        // zero-length budget and a transient-free crash retry loop.
+        let plan = FaultPlan::kill(1, 1);
+        let policy = RetryPolicy {
+            budget: Duration::ZERO,
+            ..RetryPolicy::with_timeout_ms(300)
+        };
+        let errs = run_ranks_chaos(4, &plan, move |world| {
+            let gc = GridComms::new(world, grid);
+            let all = init::uniform(16, &domain, 5);
+            let mut st = if gc.is_leader() {
+                id_block_subset(&all, grid.teams(), gc.team())
+            } else {
+                Vec::new()
+            };
+            ca_all_pairs_forces_ft(
+                &gc,
+                &mut st,
+                &law(),
+                &domain,
+                Boundary::Reflective,
+                &policy,
+                0,
+            )
+        });
+        for err in errs {
+            assert_eq!(
+                err,
+                Err(FaultError::RetriesExhausted { attempts: 1 }),
+                "a spent budget must stop the retry loop on every rank"
             );
         }
     }

@@ -9,9 +9,10 @@
 
 use nbody_comm::{
     run_ranks, run_ranks_chaos_probed, run_ranks_chaos_traced, run_ranks_probed_traced,
-    run_ranks_traced, CommStats, Communicator, ExecutionTrace, FaultPlan, MetricsSnapshot, Phase,
-    RunTimeline, WireLog,
+    run_ranks_traced, CommStats, Communicator, EventKind, ExecutionTrace, FaultPlan,
+    MetricsSnapshot, Phase, RunTimeline, WireLog,
 };
+use nbody_durable::{write_atomic, CheckpointBundle, ColumnBlock};
 use nbody_physics::particle::reset_forces;
 use nbody_physics::{Boundary, Domain, ForceLaw, Integrator, Particle};
 
@@ -27,7 +28,7 @@ use crate::midpoint::midpoint_forces;
 use crate::probe::StepProbe;
 use crate::reassign::reassign_particles;
 use crate::recovery::{
-    ca_all_pairs_forces_ft, ca_cutoff_forces_ft, FaultConfig, FaultError, RecoveryReport,
+    ca_all_pairs_forces_ft, ca_cutoff_forces_ft, FaultError, RecoveryReport, RetryPolicy,
 };
 use crate::spatial::spatial_halo_forces;
 use crate::window::{Window1d, Window2d};
@@ -247,6 +248,39 @@ pub struct ChaosRunResult {
     pub max_attempts: usize,
     /// Whether any evaluation recovered from a detected fault.
     pub recovered: bool,
+    /// Times the world shrank onto the survivors (degraded mode; 0 on a
+    /// run that never lost a whole team column).
+    pub shrinks: usize,
+    /// Particles dropped with dead columns across all shrinks.
+    pub lost_particles: usize,
+    /// Ranks still computing when the run finished (`p` if never shrunk).
+    pub final_ranks: usize,
+}
+
+/// Durable checkpointing configuration for fault-tolerant runs.
+///
+/// Leaders' blocks are gathered to rank 0 on the cadence and persisted as
+/// one atomic `nbody-checkpoint/v1` bundle (see the `nbody-durable`
+/// crate), so a killed process can restart from the last completed bundle
+/// with `run --resume`.
+#[derive(Debug, Clone)]
+pub struct CheckpointConfig {
+    /// Directory receiving `ckpt-<step>.json` bundles.
+    pub dir: std::path::PathBuf,
+    /// Cadence in completed global steps (must be ≥ 1).
+    pub every: usize,
+    /// Global steps already completed before this run (the resume offset);
+    /// bundles are stamped with `base_step + local step + 1`.
+    pub base_step: u64,
+    /// Run-config fingerprint stamped into every bundle and checked on
+    /// resume ([`nbody_durable::RunFingerprint::digest`]).
+    pub fingerprint: String,
+    /// Initial-condition seed recorded in the bundle.
+    pub seed: u64,
+    /// Kill the process (exit 137, the SIGKILL code) right after the
+    /// bundle for this global step hits the disk — the crash hook behind
+    /// `run --crash-at-step`, exercising the resume path end to end.
+    pub crash_at: Option<u64>,
 }
 
 /// Run a distributed simulation under a fault-injection [`FaultPlan`],
@@ -254,21 +288,24 @@ pub struct ChaosRunResult {
 /// [`Method::CaAllPairs`], [`Method::Ca1dCutoff`], [`Method::Ca2dCutoff`]).
 ///
 /// Completes with forces bit-identical to the fault-free run whenever
-/// recovery is possible; returns the agreed [`FaultError`] otherwise
-/// (every rank reaches the same verdict, so the shutdown is clean).
+/// replica recovery is possible. When whole team columns die (all `c`
+/// replicas), the survivors agree to drop the lost blocks and continue on
+/// a shrunken world ([`ChaosRunResult::shrinks`]); only a terminal
+/// [`FaultError`] — retries exhausted, or nothing surviving anywhere —
+/// fails the run, and every rank returns the same agreed verdict.
 pub fn run_distributed_chaos<F, I>(
     cfg: &SimConfig<F, I>,
     method: Method,
     p: usize,
     plan: &FaultPlan,
-    fc: &FaultConfig,
+    policy: &RetryPolicy,
     initial: &[Particle],
 ) -> Result<ChaosRunResult, FaultError>
 where
     F: ForceLaw + Sync,
     I: Integrator + Sync,
 {
-    run_distributed_chaos_recorded(cfg, method, p, plan, fc, initial).0
+    run_distributed_chaos_recorded(cfg, method, p, plan, policy, initial).0
 }
 
 /// [`run_distributed_chaos`] returning the per-step [`RunTimeline`] as
@@ -281,7 +318,28 @@ pub fn run_distributed_chaos_recorded<F, I>(
     method: Method,
     p: usize,
     plan: &FaultPlan,
-    fc: &FaultConfig,
+    policy: &RetryPolicy,
+    initial: &[Particle],
+) -> (Result<ChaosRunResult, FaultError>, RunTimeline)
+where
+    F: ForceLaw + Sync,
+    I: Integrator + Sync,
+{
+    run_distributed_durable(cfg, method, p, plan, policy, None, initial)
+}
+
+/// [`run_distributed_chaos_recorded`] with a durable checkpoint sink: on
+/// the configured cadence the leaders' blocks are gathered and persisted
+/// as an atomic versioned bundle, so the run can be killed at any point
+/// and resumed from the last completed checkpoint (`run --resume`). With
+/// `ckpt = None` this *is* `run_distributed_chaos_recorded`.
+pub fn run_distributed_durable<F, I>(
+    cfg: &SimConfig<F, I>,
+    method: Method,
+    p: usize,
+    plan: &FaultPlan,
+    policy: &RetryPolicy,
+    ckpt: Option<&CheckpointConfig>,
     initial: &[Particle],
 ) -> (Result<ChaosRunResult, FaultError>, RunTimeline)
 where
@@ -289,36 +347,10 @@ where
     I: Integrator + Sync,
 {
     validate_run(cfg, method);
-    let (out, trace, metrics, timeline) =
-        run_ranks_chaos_traced(p, plan, |world| run_rank_ft(cfg, method, world, initial, fc));
-    let assemble = || {
-        let mut particles = Vec::with_capacity(initial.len());
-        let mut stats = Vec::with_capacity(p);
-        let mut max_attempts = 1;
-        let mut recovered = false;
-        for r in out {
-            let (mut ps, st, rep) = r?;
-            particles.append(&mut ps);
-            stats.push(st);
-            max_attempts = max_attempts.max(rep.attempts);
-            recovered |= rep.recovered;
-        }
-        particles.sort_by_key(|q| q.id);
-        assert_eq!(
-            particles.len(),
-            initial.len(),
-            "particles lost or duplicated in chaos run"
-        );
-        Ok(ChaosRunResult {
-            particles,
-            stats,
-            metrics,
-            trace,
-            max_attempts,
-            recovered,
-        })
-    };
-    (assemble(), timeline)
+    let (out, trace, metrics, timeline) = run_ranks_chaos_traced(p, plan, |world| {
+        run_rank_ft(cfg, method, world, initial, policy, ckpt)
+    });
+    (assemble_chaos(out, initial.len(), metrics, trace), timeline)
 }
 
 /// [`run_distributed_chaos_recorded`] with wire probes on: the returned
@@ -331,7 +363,7 @@ pub fn run_distributed_chaos_wired<F, I>(
     method: Method,
     p: usize,
     plan: &FaultPlan,
-    fc: &FaultConfig,
+    policy: &RetryPolicy,
     initial: &[Particle],
 ) -> (Result<ChaosRunResult, FaultError>, RunTimeline, WireLog)
 where
@@ -339,46 +371,217 @@ where
     I: Integrator + Sync,
 {
     validate_run(cfg, method);
-    let (out, trace, metrics, timeline, wire) =
-        run_ranks_chaos_probed(p, plan, |world| run_rank_ft(cfg, method, world, initial, fc));
-    let assemble = || {
-        let mut particles = Vec::with_capacity(initial.len());
-        let mut stats = Vec::with_capacity(p);
-        let mut max_attempts = 1;
-        let mut recovered = false;
-        for r in out {
-            let (mut ps, st, rep) = r?;
-            particles.append(&mut ps);
-            stats.push(st);
-            max_attempts = max_attempts.max(rep.attempts);
-            recovered |= rep.recovered;
+    let (out, trace, metrics, timeline, wire) = run_ranks_chaos_probed(p, plan, |world| {
+        run_rank_ft(cfg, method, world, initial, policy, None)
+    });
+    (
+        assemble_chaos(out, initial.len(), metrics, trace),
+        timeline,
+        wire,
+    )
+}
+
+/// Merge the per-rank outcomes of a fault-tolerant run into one
+/// [`ChaosRunResult`], accounting for blocks dropped by agreed shrinks:
+/// the gathered survivors plus the lost particles must tile the initial
+/// set exactly (sorted, unique ids), anything else is a protocol bug.
+type RankOutcome = Result<(Vec<Particle>, CommStats, RecoveryReport), FaultError>;
+
+fn assemble_chaos(
+    out: Vec<RankOutcome>,
+    n: usize,
+    metrics: MetricsSnapshot,
+    trace: ExecutionTrace,
+) -> Result<ChaosRunResult, FaultError> {
+    let p = out.len();
+    let mut particles = Vec::with_capacity(n);
+    let mut stats = Vec::with_capacity(p);
+    let mut max_attempts = 1;
+    let mut recovered = false;
+    let mut shrinks = 0;
+    let mut lost_particles = 0;
+    let mut final_ranks = p;
+    for r in out {
+        let (mut ps, st, rep) = r?;
+        particles.append(&mut ps);
+        stats.push(st);
+        max_attempts = max_attempts.max(rep.attempts);
+        recovered |= rep.recovered;
+        // Survivors carry the cumulative loss; ranks that left early hold
+        // a prefix of it, so the max is the total.
+        shrinks = shrinks.max(rep.shrinks);
+        lost_particles = lost_particles.max(rep.lost_particles);
+        if rep.survivor_ranks > 0 {
+            final_ranks = final_ranks.min(rep.survivor_ranks);
         }
-        particles.sort_by_key(|q| q.id);
-        assert_eq!(
-            particles.len(),
-            initial.len(),
-            "particles lost or duplicated in chaos run"
+    }
+    particles.sort_by_key(|q| q.id);
+    assert_eq!(
+        particles.len() + lost_particles,
+        n,
+        "particles lost or duplicated in chaos run beyond the agreed shrinks"
+    );
+    assert!(
+        particles.windows(2).all(|w| w[0].id < w[1].id),
+        "duplicate particle ids in chaos run"
+    );
+    Ok(ChaosRunResult {
+        particles,
+        stats,
+        metrics,
+        trace,
+        max_attempts,
+        recovered,
+        shrinks,
+        lost_particles,
+        final_ranks,
+    })
+}
+
+/// Execute an agreed shrink: split the survivors off into a new world,
+/// re-assemble the surviving particle set from the restored pre-force
+/// checkpoints, and account for the drop. Collective over `cur` — every
+/// rank calls it with the same agreed `dead_teams`. Returns `None` on
+/// ranks whose team died (they leave the computation), and the survivor
+/// world together with the globally shared surviving state elsewhere.
+#[allow(clippy::too_many_arguments)]
+fn shrink_world<C: Communicator>(
+    cur: &C,
+    grid: &ProcGrid,
+    dead_teams: &[usize],
+    was_leader: bool,
+    st: &[Particle],
+    live_n: &mut usize,
+    agg: &mut RecoveryReport,
+    step: usize,
+) -> Option<(C, Vec<Particle>)> {
+    let my_team = grid.team_of(cur.rank());
+    let survivor = !dead_teams.contains(&my_team);
+    let tl = cur.timeline();
+    cur.set_phase(Phase::Recovery);
+    // The split is collective and includes the ranks about to leave;
+    // keying on the old rank keeps the survivors' relative order.
+    let next = cur.split(usize::from(survivor), cur.rank());
+    agg.shrinks += 1;
+    if !survivor {
+        tl.event(
+            EventKind::WorldShrunk,
+            Some(step as u64),
+            &format!("team {my_team} lost every replica; rank leaves the world"),
         );
-        Ok(ChaosRunResult {
-            particles,
-            stats,
-            metrics,
-            trace,
-            max_attempts,
-            recovered,
-        })
+        return None;
+    }
+    // The recovery loop left the restored pre-force checkpoint on every
+    // surviving-column rank, so the old leaders' copies are exactly one
+    // copy of each live block.
+    let contrib = if was_leader { st.to_vec() } else { Vec::new() };
+    let mut full: Vec<Particle> = match next.gather(0, &contrib) {
+        Some(parts) => {
+            let mut all: Vec<Particle> = parts.into_iter().flatten().collect();
+            all.sort_by_key(|q| q.id);
+            all
+        }
+        None => Vec::new(),
     };
-    (assemble(), timeline, wire)
+    next.bcast(0, &mut full);
+    let lost = *live_n - full.len();
+    *live_n = full.len();
+    agg.lost_particles += lost;
+    agg.survivor_ranks = next.size();
+    let rec = cur.metrics();
+    rec.counter("world_shrunk_total", None).inc();
+    rec.counter("shrink_lost_particles_total", None)
+        .add(lost as u64);
+    tl.event(
+        EventKind::WorldShrunk,
+        Some(step as u64),
+        &format!(
+            "teams {dead_teams:?} lost ({lost} particles dropped); {} survivors continue",
+            next.size()
+        ),
+    );
+    Some((next, full))
+}
+
+/// Persist the leaders' blocks as one durable bundle: gathered to the
+/// current world's rank 0, written atomically (temp file + rename), and
+/// recorded in the flight ring and the `checkpoint_*` counters.
+/// Collective over `cur`. When the crash hook matches, rank 0 exits the
+/// process with the SIGKILL code right after the bundle is durable.
+fn persist_checkpoint<C: Communicator>(
+    cur: &C,
+    grid: &ProcGrid,
+    is_leader: bool,
+    st: &[Particle],
+    ck: &CheckpointConfig,
+    global_step: u64,
+) {
+    cur.set_phase(Phase::Recovery);
+    let contrib = if is_leader { st.to_vec() } else { Vec::new() };
+    let gathered = cur.gather(0, &contrib);
+    if cur.rank() != 0 {
+        return;
+    }
+    let blocks: Vec<ColumnBlock> = gathered
+        .expect("rank 0 is the gather root")
+        .into_iter()
+        .enumerate()
+        .filter(|(r, _)| grid.row_of(*r) == 0)
+        .map(|(r, particles)| ColumnBlock {
+            team: grid.team_of(r),
+            particles,
+        })
+        .collect();
+    let bundle = CheckpointBundle {
+        fingerprint: ck.fingerprint.clone(),
+        step: global_step,
+        seed: ck.seed,
+        blocks,
+    };
+    let tl = cur.timeline();
+    match write_atomic(&ck.dir, &bundle) {
+        Ok((path, bytes)) => {
+            tl.event(
+                EventKind::CheckpointPersisted,
+                Some(global_step),
+                &format!("{} ({bytes} bytes)", path.display()),
+            );
+            let rec = cur.metrics();
+            rec.counter("checkpoint_persisted_total", None).inc();
+            rec.counter("checkpoint_bytes_total", None).add(bytes);
+        }
+        Err(e) => {
+            // A failed write never takes the run down: the previous
+            // bundle is still intact (atomic rename), so durability
+            // degrades by one cadence interval and the run continues.
+            tl.event(
+                EventKind::CheckpointPersisted,
+                Some(global_step),
+                &format!("write failed: {e}"),
+            );
+            rec_failed_checkpoint(cur);
+        }
+    }
+    if ck.crash_at == Some(global_step) {
+        std::process::exit(137);
+    }
+}
+
+fn rec_failed_checkpoint<C: Communicator>(cur: &C) {
+    cur.metrics().counter("checkpoint_failed_total", None).inc();
 }
 
 /// Per-rank body of a chaos run: the CA drivers with fault-tolerant force
-/// evaluations, `epoch` = timestep index for tag namespacing.
+/// evaluations (`epoch` = timestep index for tag namespacing), degraded
+/// shrinking when whole columns die, and the optional durable checkpoint
+/// sink on its cadence.
 fn run_rank_ft<F, I, C>(
     cfg: &SimConfig<F, I>,
     method: Method,
     world: &mut C,
     initial: &[Particle],
-    fc: &FaultConfig,
+    policy: &RetryPolicy,
+    ckpt: Option<&CheckpointConfig>,
 ) -> Result<(Vec<Particle>, CommStats, RecoveryReport), FaultError>
 where
     F: ForceLaw,
@@ -391,12 +594,28 @@ where
     let mut probe = StepProbe::new(world);
     let mut agg = RecoveryReport {
         attempts: 1,
-        recovered: false,
+        ..RecoveryReport::default()
     };
+    if let Some(ck) = ckpt {
+        assert!(ck.every >= 1, "checkpoint cadence must be >= 1");
+        if ck.base_step > 0 {
+            world.timeline().event(
+                EventKind::Resume,
+                Some(ck.base_step),
+                &format!("resumed from checkpoint at global step {}", ck.base_step),
+            );
+        }
+    }
+    // Particles still alive across shrinks (the loss accounting base).
+    let mut live_n = initial.len();
+    // After a shrink the run continues on an owned survivor world; the
+    // borrowed launch world stays behind only for rank-local telemetry
+    // (stats and recorders are shared across splits).
+    let mut shrunk: Option<C> = None;
     match method {
         Method::CaAllPairs { c } => {
-            let grid = ProcGrid::new_all_pairs(p, c).expect("invalid all-pairs grid");
-            let gc = GridComms::new(world, grid);
+            let mut grid = ProcGrid::new_all_pairs(p, c).expect("invalid all-pairs grid");
+            let mut gc = GridComms::new(world, grid);
             let mut st = if gc.is_leader() {
                 id_block_subset(initial, grid.teams(), gc.team())
             } else {
@@ -409,17 +628,53 @@ where
                     cfg.integrator.pre_force(&mut st, cfg.dt);
                     reset_forces(&mut st);
                 }
-                let rep = {
-                    let _g = tr.driver_span("force", step);
-                    ca_all_pairs_forces_ft(
-                        &gc,
-                        &mut st,
-                        &cfg.law,
-                        domain,
-                        cfg.boundary,
-                        fc,
-                        step as u64,
-                    )?
+                // A ColumnsLost verdict shrinks the world onto the
+                // survivors and re-runs this step's evaluation there.
+                let rep = loop {
+                    let r = {
+                        let _g = tr.driver_span("force", step);
+                        ca_all_pairs_forces_ft(
+                            &gc,
+                            &mut st,
+                            &cfg.law,
+                            domain,
+                            cfg.boundary,
+                            policy,
+                            step as u64,
+                        )
+                    };
+                    match r {
+                        Ok(rep) => break rep,
+                        Err(FaultError::ColumnsLost { dead_teams, .. }) => {
+                            let was_leader = gc.is_leader();
+                            let cur: &C = shrunk.as_ref().unwrap_or(world);
+                            match shrink_world(
+                                cur, &grid, &dead_teams, was_leader, &st, &mut live_n, &mut agg,
+                                step,
+                            ) {
+                                None => return Ok((Vec::new(), world.stats(), agg)),
+                                Some((next, full)) => {
+                                    let p_new = next.size();
+                                    // The largest replication the survivor
+                                    // count still supports (c' = 1 always
+                                    // qualifies: every rank its own team).
+                                    let c_new = (1..=grid.c())
+                                        .rev()
+                                        .find(|&cc| ProcGrid::new_all_pairs(p_new, cc).is_ok())
+                                        .expect("c = 1 is always a valid all-pairs grid");
+                                    grid = ProcGrid::new_all_pairs(p_new, c_new).unwrap();
+                                    gc = GridComms::new(&next, grid);
+                                    shrunk = Some(next);
+                                    st = if gc.is_leader() {
+                                        id_block_subset(&full, grid.teams(), gc.team())
+                                    } else {
+                                        Vec::new()
+                                    };
+                                }
+                            }
+                        }
+                        Err(e) => return Err(e),
+                    }
                 };
                 agg.attempts = agg.attempts.max(rep.attempts);
                 agg.recovered |= rep.recovered;
@@ -430,6 +685,13 @@ where
                 } else {
                     st.clear();
                 }
+                if let Some(ck) = ckpt {
+                    let done = ck.base_step + step as u64 + 1;
+                    if done.is_multiple_of(ck.every as u64) || ck.crash_at == Some(done) {
+                        let cur: &C = shrunk.as_ref().unwrap_or(world);
+                        persist_checkpoint(cur, &grid, gc.is_leader(), &st, ck, done);
+                    }
+                }
                 probe.sample(world, step, st.len());
             }
             let owned = if gc.is_leader() { st } else { Vec::new() };
@@ -437,11 +699,11 @@ where
         }
         Method::Ca1dCutoff { c } | Method::Ca2dCutoff { c } => {
             let two_d = matches!(method, Method::Ca2dCutoff { .. });
-            let grid = ProcGrid::new(p, c).expect("invalid cutoff grid");
-            let gc = GridComms::new(world, grid);
-            let teams = grid.teams();
+            let mut grid = ProcGrid::new(p, c).expect("invalid cutoff grid");
+            let mut gc = GridComms::new(world, grid);
+            let mut teams = grid.teams();
             let r_c = cfg.law.cutoff().unwrap();
-            let (tx, ty) = if two_d {
+            let (mut tx, mut ty) = if two_d {
                 team_grid_dims(teams)
             } else {
                 (teams, 1)
@@ -456,6 +718,34 @@ where
                 Vec::new()
             };
             let periodic = cfg.boundary == Boundary::Periodic;
+            // Whether a shrunken grid with replication `cc` on `p_new`
+            // ranks still satisfies the cutoff constraint (c ≤ window).
+            let valid_c = |p_new: usize, cc: usize| -> bool {
+                if !p_new.is_multiple_of(cc) || ProcGrid::new(p_new, cc).is_err() {
+                    return false;
+                }
+                let tn = p_new / cc;
+                let (txn, tyn) = if two_d { team_grid_dims(tn) } else { (tn, 1) };
+                match (two_d, periodic) {
+                    (true, false) => {
+                        validate_cutoff(&Window2d::from_cutoff(domain, txn, tyn, r_c), tn, cc)
+                            .is_ok()
+                    }
+                    (true, true) => validate_cutoff(
+                        &Window2dPeriodic::from_cutoff(domain, txn, tyn, r_c),
+                        tn,
+                        cc,
+                    )
+                    .is_ok(),
+                    (false, false) => {
+                        validate_cutoff(&Window1d::from_cutoff(domain, tn, r_c), tn, cc).is_ok()
+                    }
+                    (false, true) => {
+                        validate_cutoff(&Window1dPeriodic::from_cutoff(domain, tn, r_c), tn, cc)
+                            .is_ok()
+                    }
+                }
+            };
             for step in 0..cfg.steps {
                 let _step_g = tr.driver_span("step", step);
                 if gc.is_leader() {
@@ -463,37 +753,86 @@ where
                     cfg.integrator.pre_force(&mut st, cfg.dt);
                     reset_forces(&mut st);
                 }
-                let rep = {
-                    let _g = tr.driver_span("force", step);
-                    match (two_d, periodic) {
-                        (true, false) => {
-                            let window = Window2d::from_cutoff(domain, tx, ty, r_c);
-                            ca_cutoff_forces_ft(
-                                &gc, &window, &mut st, &cfg.law, domain, cfg.boundary, fc,
-                                step as u64,
-                            )?
+                let rep = loop {
+                    let r = {
+                        let _g = tr.driver_span("force", step);
+                        match (two_d, periodic) {
+                            (true, false) => {
+                                let window = Window2d::from_cutoff(domain, tx, ty, r_c);
+                                ca_cutoff_forces_ft(
+                                    &gc, &window, &mut st, &cfg.law, domain, cfg.boundary, policy,
+                                    step as u64,
+                                )
+                            }
+                            (true, true) => {
+                                let window = Window2dPeriodic::from_cutoff(domain, tx, ty, r_c);
+                                ca_cutoff_forces_ft(
+                                    &gc, &window, &mut st, &cfg.law, domain, cfg.boundary, policy,
+                                    step as u64,
+                                )
+                            }
+                            (false, false) => {
+                                let window = Window1d::from_cutoff(domain, teams, r_c);
+                                ca_cutoff_forces_ft(
+                                    &gc, &window, &mut st, &cfg.law, domain, cfg.boundary, policy,
+                                    step as u64,
+                                )
+                            }
+                            (false, true) => {
+                                let window = Window1dPeriodic::from_cutoff(domain, teams, r_c);
+                                ca_cutoff_forces_ft(
+                                    &gc, &window, &mut st, &cfg.law, domain, cfg.boundary, policy,
+                                    step as u64,
+                                )
+                            }
                         }
-                        (true, true) => {
-                            let window = Window2dPeriodic::from_cutoff(domain, tx, ty, r_c);
-                            ca_cutoff_forces_ft(
-                                &gc, &window, &mut st, &cfg.law, domain, cfg.boundary, fc,
-                                step as u64,
-                            )?
+                    };
+                    match r {
+                        Ok(rep) => break rep,
+                        Err(FaultError::ColumnsLost { dead_teams, .. }) => {
+                            let was_leader = gc.is_leader();
+                            let cur: &C = shrunk.as_ref().unwrap_or(world);
+                            match shrink_world(
+                                cur, &grid, &dead_teams, was_leader, &st, &mut live_n, &mut agg,
+                                step,
+                            ) {
+                                None => return Ok((Vec::new(), world.stats(), agg)),
+                                Some((next, full)) => {
+                                    let p_new = next.size();
+                                    let Some(c_new) =
+                                        (1..=grid.c()).rev().find(|&cc| valid_c(p_new, cc))
+                                    else {
+                                        // No shrunken grid satisfies the
+                                        // cutoff constraint: agreed, since
+                                        // every survivor evaluates the same
+                                        // deterministic predicate.
+                                        return Err(FaultError::Unrecoverable {
+                                            rank: world.rank(),
+                                            c: grid.c(),
+                                        });
+                                    };
+                                    grid = ProcGrid::new(p_new, c_new).unwrap();
+                                    gc = GridComms::new(&next, grid);
+                                    shrunk = Some(next);
+                                    teams = grid.teams();
+                                    (tx, ty) = if two_d {
+                                        team_grid_dims(teams)
+                                    } else {
+                                        (teams, 1)
+                                    };
+                                    st = if gc.is_leader() {
+                                        if two_d {
+                                            spatial_subset_2d(&full, domain, tx, ty, gc.team())
+                                        } else {
+                                            spatial_subset_1d(&full, domain, teams, gc.team())
+                                        }
+                                    } else {
+                                        Vec::new()
+                                    };
+                                }
+                            }
                         }
-                        (false, false) => {
-                            let window = Window1d::from_cutoff(domain, teams, r_c);
-                            ca_cutoff_forces_ft(
-                                &gc, &window, &mut st, &cfg.law, domain, cfg.boundary, fc,
-                                step as u64,
-                            )?
-                        }
-                        (false, true) => {
-                            let window = Window1dPeriodic::from_cutoff(domain, teams, r_c);
-                            ca_cutoff_forces_ft(
-                                &gc, &window, &mut st, &cfg.law, domain, cfg.boundary, fc,
-                                step as u64,
-                            )?
-                        }
+                        Err(e) => return Err(e),
                     }
                 };
                 agg.attempts = agg.attempts.max(rep.attempts);
@@ -516,6 +855,13 @@ where
                     }
                 } else {
                     st.clear();
+                }
+                if let Some(ck) = ckpt {
+                    let done = ck.base_step + step as u64 + 1;
+                    if done.is_multiple_of(ck.every as u64) || ck.crash_at == Some(done) {
+                        let cur: &C = shrunk.as_ref().unwrap_or(world);
+                        persist_checkpoint(cur, &grid, gc.is_leader(), &st, ck, done);
+                    }
                 }
                 probe.sample(world, step, st.len());
             }
@@ -1101,6 +1447,55 @@ mod tests {
         for want in [Phase::Shift, Phase::Reduce, Phase::Broadcast, Phase::Reassign] {
             assert!(present.contains(&want), "missing {want:?} in {present:?}");
         }
+    }
+
+    #[test]
+    fn checkpointed_run_resumes_bit_identically() {
+        let cfg = all_pairs_cfg(6);
+        let initial = init::uniform(16, &cfg.domain, 9);
+        let dir = std::env::temp_dir().join(format!("nbody-ckpt-sim-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let ck = CheckpointConfig {
+            dir: dir.clone(),
+            every: 2,
+            base_step: 0,
+            fingerprint: "test-fp".into(),
+            seed: 9,
+            crash_at: None,
+        };
+        let (res, _) = run_distributed_durable(
+            &cfg,
+            Method::CaAllPairs { c: 2 },
+            4,
+            &FaultPlan::empty(),
+            &RetryPolicy::default(),
+            Some(&ck),
+            &initial,
+        );
+        let full = res.expect("fault-free durable run");
+        // Persisting must not perturb the physics.
+        let plain = run_distributed(&cfg, Method::CaAllPairs { c: 2 }, 4, &initial);
+        assert_eq!(full.particles, plain.particles);
+        assert_eq!(
+            full.metrics.sum_counter("checkpoint_persisted_total", None),
+            3,
+            "cadence 2 over 6 steps lands bundles at steps 2, 4, 6"
+        );
+        let latest = nbody_durable::load_latest(&dir).unwrap();
+        assert_eq!(latest.step, 6);
+        // Resume from the mid-run bundle: restoring its bit-exact state
+        // and running the remaining steps reproduces the full trajectory.
+        let bundle =
+            nbody_durable::load_path(&nbody_durable::checkpoint_path(&dir, 4)).unwrap();
+        bundle.validate_fingerprint("test-fp").unwrap();
+        let restored = bundle.all_particles();
+        let tail = all_pairs_cfg(2);
+        let resumed = run_distributed(&tail, Method::CaAllPairs { c: 2 }, 4, &restored).particles;
+        assert_eq!(
+            resumed, full.particles,
+            "resume from step 4 must land bit-identical to the uninterrupted run"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -1,12 +1,14 @@
 //! Fault-injection integration tests: the recovery protocol must keep
 //! distributed trajectories bit-identical to fault-free runs whenever
-//! recovery is possible, and fail cleanly (agreed, bounded, no deadlock)
-//! when it is not.
+//! replica recovery is possible, degrade to an agreed shrink when whole
+//! columns die, and fail cleanly (agreed, bounded, no deadlock) only when
+//! nothing survives.
 
 use std::time::{Duration, Instant};
 
-use ca_nbody::recovery::{FaultConfig, FaultError};
-use ca_nbody::sim::{run_distributed, run_distributed_chaos, Method, SimConfig};
+use ca_nbody::dist::spatial_subset_1d;
+use ca_nbody::recovery::{FaultError, RetryPolicy};
+use ca_nbody::sim::{run_distributed, run_distributed_chaos, run_serial, Method, SimConfig};
 use nbody_comm::{FaultKind, FaultPlan};
 use nbody_physics::{
     init, Boundary, Cutoff, Domain, RepulsiveInverseSquare, SemiImplicitEuler,
@@ -61,7 +63,7 @@ proptest! {
                 seed, 8, 2, 3, &[FaultKind::Delay, FaultKind::Duplicate],
             );
             let got = run_distributed_chaos(
-                &cfg, method, 8, &plan, &FaultConfig::with_timeout_ms(2000), &initial,
+                &cfg, method, 8, &plan, &RetryPolicy::with_timeout_ms(2000), &initial,
             ).expect("benign faults cannot fail a run");
             prop_assert_eq!(&got.particles, &want, "c={} plan={}", c, plan.spec());
             prop_assert!(!got.recovered, "delays/dups must not trigger recovery");
@@ -86,7 +88,7 @@ fn drops_recover_bit_identically_at_every_c() {
             method,
             8,
             &plan,
-            &FaultConfig::with_timeout_ms(400),
+            &RetryPolicy::with_timeout_ms(400),
             &initial,
         )
         .expect("drops are always recoverable");
@@ -114,7 +116,7 @@ fn kill_at_each_step_recovers_bit_identically_with_replication() {
                 method,
                 8,
                 &plan,
-                &FaultConfig::with_timeout_ms(500),
+                &RetryPolicy::with_timeout_ms(500),
                 &initial,
             )
             .unwrap_or_else(|e| panic!("kill:{rank}@{step} must recover at c=2: {e}"));
@@ -149,7 +151,7 @@ fn cutoff_kill_recovers_bit_identically() {
                 method,
                 8,
                 &plan,
-                &FaultConfig::with_timeout_ms(500),
+                &RetryPolicy::with_timeout_ms(500),
                 &initial,
             )
             .unwrap_or_else(|e| panic!("{method:?} kill:{rank}@{step}: {e}"));
@@ -159,32 +161,118 @@ fn cutoff_kill_recovers_bit_identically() {
     }
 }
 
-/// Without replication there is no surviving copy of the dead rank's
-/// inputs: the run must end with the documented `Unrecoverable` error —
-/// agreed by every rank, within a bounded number of timeouts, no deadlock.
+/// Losing a `c = 1` column no longer fails the run: the survivors agree
+/// on the dead team, shrink the world onto themselves, and finish the
+/// trajectory — bit-identical to a plain distributed run on the surviving
+/// subset (the block drops before the failed step's forces ever act).
 #[test]
-fn kill_without_replication_fails_cleanly_within_timeout_bound() {
-    let cfg = all_pairs_cfg(2);
-    let initial = init::uniform(16, &cfg.domain, 5);
-    let fc = FaultConfig::with_timeout_ms(300);
+fn c1_kill_shrinks_onto_survivors_and_completes() {
+    let cfg = all_pairs_cfg(3);
+    let initial = init::uniform(24, &cfg.domain, 5);
+    let policy = RetryPolicy::with_timeout_ms(300);
     let start = Instant::now();
-    let err = run_distributed_chaos(
+    let got = run_distributed_chaos(
         &cfg,
         Method::CaAllPairs { c: 1 },
         4,
         &FaultPlan::kill(2, 1),
-        &fc,
+        &policy,
         &initial,
     )
-    .expect_err("c=1 cannot recover a kill");
-    assert!(matches!(err, FaultError::Unrecoverable { c: 1, .. }), "{err}");
-    // Detection cascades through at most O(pipeline steps) timeouts; far
-    // below the blocking-collective deadline (60 s) a deadlock would hit.
+    .expect("a c=1 kill degrades to a shrink, not a failure");
+    // Degradation cascades through a bounded number of timeouts; far
+    // below the blocking-collective deadline a deadlock would hit.
     assert!(
         start.elapsed() < Duration::from_secs(20),
-        "clean shutdown took {:?}",
+        "shrink took {:?}",
         start.elapsed()
     );
+    assert_eq!(got.shrinks, 1);
+    assert_eq!(got.final_ranks, 3);
+    assert_eq!(got.lost_particles, 6, "team 2 of 4 owned ids 12..18");
+    assert!(got.metrics.sum_counter("world_shrunk_total", None) >= 1);
+    // Recomposed reference: drop team 2's id-block from the initial set
+    // and run the whole trajectory plain on the 3 survivors.
+    let survivors: Vec<_> = initial
+        .iter()
+        .filter(|q| !(12u64..18).contains(&q.id))
+        .cloned()
+        .collect();
+    let want = run_distributed(&cfg, Method::CaAllPairs { c: 1 }, 3, &survivors).particles;
+    assert_eq!(
+        got.particles, want,
+        "shrunken trajectory must be bit-identical to the recomposed run"
+    );
+}
+
+/// Both replicas of one column dying together exhausts replica recovery
+/// for that team even at `c = 2`; the run shrinks instead of failing,
+/// re-gridding at the largest replication the 6 survivors support
+/// (`c' = 1`, since 3 teams is not divisible by 2).
+#[test]
+fn double_kill_same_column_shrinks_at_c2() {
+    let cfg = all_pairs_cfg(2);
+    let initial = init::uniform(24, &cfg.domain, 17);
+    // p=8, c=2: team 1 spans ranks 1 (row 0) and 5 (row 1).
+    let plan = FaultPlan::parse("kill:1@1,kill:5@1").unwrap();
+    let policy = RetryPolicy::with_timeout_ms(500);
+    let got = run_distributed_chaos(&cfg, Method::CaAllPairs { c: 2 }, 8, &plan, &policy, &initial)
+        .expect("losing one of four columns must shrink, not fail");
+    assert_eq!(got.shrinks, 1);
+    assert_eq!(got.final_ranks, 6);
+    assert_eq!(got.lost_particles, 6, "team 1 of 4 owned ids 6..12");
+    let survivors: Vec<_> = initial
+        .iter()
+        .filter(|q| !(6u64..12).contains(&q.id))
+        .cloned()
+        .collect();
+    let want = run_distributed(&cfg, Method::CaAllPairs { c: 1 }, 6, &survivors).particles;
+    assert_eq!(got.particles, want, "post-shrink world runs at c' = 1 on 6 ranks");
+}
+
+/// The cutoff driver shrinks too: survivors re-derive the spatial
+/// decomposition and its interaction window for the smaller team count
+/// and keep tracking the serial reference on the surviving subset.
+#[test]
+fn cutoff_c1_kill_shrinks_and_tracks_serial_reference() {
+    let cfg = cutoff_cfg(3);
+    let initial = init::uniform(40, &cfg.domain, 7);
+    let policy = RetryPolicy::with_timeout_ms(400);
+    let got = run_distributed_chaos(
+        &cfg,
+        Method::Ca1dCutoff { c: 1 },
+        4,
+        &FaultPlan::kill(1, 1),
+        &policy,
+        &initial,
+    )
+    .expect("a cutoff c=1 kill degrades to a shrink");
+    assert_eq!(got.shrinks, 1);
+    assert_eq!(got.final_ranks, 3);
+    // The dead team's slab (step-0 decomposition over 4 teams) is lost
+    // before any motion; the remainder follows the serial reference.
+    let dead: Vec<u64> = spatial_subset_1d(&initial, &cfg.domain, 4, 1)
+        .iter()
+        .map(|q| q.id)
+        .collect();
+    assert_eq!(got.lost_particles, dead.len());
+    let survivors: Vec<_> = initial
+        .iter()
+        .filter(|q| !dead.contains(&q.id))
+        .cloned()
+        .collect();
+    let want = run_serial(&cfg, &survivors);
+    assert_eq!(got.particles.len(), want.len());
+    for (g, w) in got.particles.iter().zip(&want) {
+        assert_eq!(g.id, w.id);
+        let dp = (g.pos - w.pos).norm();
+        let dv = (g.vel - w.vel).norm();
+        assert!(
+            dp <= 1e-9 && dv <= 1e-9,
+            "id={} dp={dp} dv={dv} after cutoff shrink",
+            g.id
+        );
+    }
 }
 
 /// Faults recurring past the retry budget surface as `RetriesExhausted`
@@ -197,11 +285,34 @@ fn persistent_faults_exhaust_retries() {
     // retry re-arms the next event (events are one-shot, but distinct
     // events fire on distinct attempts at the same step).
     let plan = FaultPlan::parse("drop:1@1,drop:1@1,drop:1@1").unwrap();
-    let fc = FaultConfig {
-        recv_timeout: Duration::from_millis(300),
-        max_retries: 2,
-    };
-    let err = run_distributed_chaos(&cfg, Method::CaAllPairs { c: 2 }, 8, &plan, &fc, &initial)
+    let policy = RetryPolicy::fixed(300, 2);
+    let err = run_distributed_chaos(&cfg, Method::CaAllPairs { c: 2 }, 8, &plan, &policy, &initial)
         .expect_err("three faults must exhaust a 2-retry budget");
     assert_eq!(err, FaultError::RetriesExhausted { attempts: 3 });
+}
+
+/// Transient-class deadlines back off across those retries: the second
+/// retry waits longer than the first (visible as elapsed wall time with a
+/// deliberately spread policy).
+#[test]
+fn backoff_spreads_successive_retry_deadlines() {
+    let cfg = all_pairs_cfg(1);
+    let initial = init::uniform(16, &cfg.domain, 9);
+    let plan = FaultPlan::parse("drop:1@1,drop:1@1").unwrap();
+    // Two drops => attempts at deadlines ~200ms and ~400ms before the
+    // third attempt succeeds; a fixed policy would spend ~400ms total,
+    // the backoff one ~600ms.
+    let policy = RetryPolicy {
+        max_retries: 3,
+        ..RetryPolicy::with_timeout_ms(200)
+    };
+    let start = Instant::now();
+    let got = run_distributed_chaos(&cfg, Method::CaAllPairs { c: 2 }, 8, &plan, &policy, &initial)
+        .expect("two drops recover within three retries");
+    assert_eq!(got.max_attempts, 3);
+    assert!(
+        start.elapsed() >= Duration::from_millis(550),
+        "backoff must lengthen the second retry (elapsed {:?})",
+        start.elapsed()
+    );
 }

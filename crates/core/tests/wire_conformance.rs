@@ -3,7 +3,7 @@
 //! latencies on every active channel, and a chaos run's discrepancies must
 //! all be attributed to the fault plan.
 
-use ca_nbody::recovery::FaultConfig;
+use ca_nbody::recovery::RetryPolicy;
 use ca_nbody::sim::{
     run_distributed, run_distributed_chaos_wired, run_distributed_wired, Method, SimConfig,
 };
@@ -145,7 +145,7 @@ fn chaos_drops_are_fully_attributed_to_the_fault_plan() {
         method,
         p,
         &plan,
-        &FaultConfig::with_timeout_ms(2000),
+        &RetryPolicy::with_timeout_ms(2000),
         &initial,
     );
     let chaos = result.expect("drops are recoverable");

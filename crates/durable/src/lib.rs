@@ -1,0 +1,26 @@
+//! Durable checkpoint bundles for restartable N-body runs.
+//!
+//! PR 4's recovery layer keeps its checkpoints in memory: enough to retry a
+//! force evaluation, useless against a process crash. This crate is the
+//! third availability tier — a versioned, checksummed on-disk bundle
+//! (`nbody-checkpoint/v1`) holding the full simulation state at a timestep
+//! boundary, written atomically (temp file + rename) so a crash mid-write
+//! can never leave a torn bundle in place of a good one.
+//!
+//! The format deliberately trades compactness for auditability: it is the
+//! workspace's dependency-free JSON, with every `f64` carried as the hex
+//! digits of its IEEE-754 bit pattern. Decimal formatting cannot round-trip
+//! every double; bit-pattern hex can, so a restored run continues
+//! *bit-identically* — the same property the in-memory recovery layer
+//! guarantees, extended across a process boundary.
+//!
+//! A bundle is only as trustworthy as its match to the run that wrote it,
+//! so each carries a [`RunFingerprint`] digest of the full run
+//! configuration; [`CheckpointBundle::validate_fingerprint`] refuses to
+//! restore state into a differently-configured run.
+
+mod bundle;
+mod store;
+
+pub use bundle::{CheckpointBundle, CheckpointError, ColumnBlock, RunFingerprint, SCHEMA};
+pub use store::{checkpoint_path, load_latest, load_path, write_atomic};

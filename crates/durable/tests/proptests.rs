@@ -1,0 +1,75 @@
+//! Property tests: a persisted bundle restores *bit-identical* state.
+//!
+//! Particles are built from arbitrary `u64` bit patterns (NaNs, infinities,
+//! subnormals, negative zero included), so equality is asserted on the bit
+//! patterns themselves — the strongest round-trip claim the format makes.
+
+use nbody_durable::{CheckpointBundle, ColumnBlock};
+use nbody_physics::{Particle, Vec2};
+use proptest::prelude::*;
+
+fn particle_from_bits(id: u64, bits: [u64; 7]) -> Particle {
+    Particle {
+        pos: Vec2::new(f64::from_bits(bits[0]), f64::from_bits(bits[1])),
+        vel: Vec2::new(f64::from_bits(bits[2]), f64::from_bits(bits[3])),
+        force: Vec2::new(f64::from_bits(bits[4]), f64::from_bits(bits[5])),
+        mass: f64::from_bits(bits[6]),
+        id,
+    }
+}
+
+fn particle_bits(p: &Particle) -> [u64; 8] {
+    [
+        p.pos.x.to_bits(),
+        p.pos.y.to_bits(),
+        p.vel.x.to_bits(),
+        p.vel.y.to_bits(),
+        p.force.x.to_bits(),
+        p.force.y.to_bits(),
+        p.mass.to_bits(),
+        p.id,
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn bundle_round_trip_restores_bit_identical_state(
+        seed in any::<u64>(),
+        step in any::<u64>(),
+        raw in proptest::collection::vec(any::<u64>(), 7..70),
+    ) {
+        // Group the raw bit patterns into particles, 7 doubles apiece.
+        let particles: Vec<Particle> = raw
+            .chunks_exact(7)
+            .enumerate()
+            .map(|(i, w)| particle_from_bits(i as u64, w.try_into().unwrap()))
+            .collect();
+        let blocks: Vec<ColumnBlock> = particles
+            .chunks(3)
+            .enumerate()
+            .map(|(team, chunk)| ColumnBlock { team, particles: chunk.to_vec() })
+            .collect();
+        let bundle = CheckpointBundle {
+            fingerprint: format!("{seed:016x}"),
+            step,
+            seed,
+            blocks,
+        };
+
+        let restored = CheckpointBundle::from_json_str(&bundle.to_json_string()).unwrap();
+
+        prop_assert_eq!(restored.step, bundle.step);
+        prop_assert_eq!(restored.seed, bundle.seed);
+        prop_assert_eq!(&restored.fingerprint, &bundle.fingerprint);
+        prop_assert_eq!(restored.blocks.len(), bundle.blocks.len());
+        for (rb, wb) in restored.blocks.iter().zip(&bundle.blocks) {
+            prop_assert_eq!(rb.team, wb.team);
+            prop_assert_eq!(rb.particles.len(), wb.particles.len());
+            for (rp, wp) in rb.particles.iter().zip(&wb.particles) {
+                prop_assert_eq!(particle_bits(rp), particle_bits(wp));
+            }
+        }
+    }
+}

@@ -30,10 +30,16 @@ pub enum EventKind {
     RetryExhausted,
     /// The run degraded to an unrecoverable failure.
     Unrecoverable,
+    /// A durable checkpoint bundle was written to disk.
+    CheckpointPersisted,
+    /// The run was restored from a durable checkpoint bundle.
+    Resume,
+    /// Survivors agreed to shrink the world after a column lost every replica.
+    WorldShrunk,
 }
 
 /// Labels for every event kind, in declaration order.
-pub(crate) const ALL_EVENT_KINDS: [EventKind; 7] = [
+pub(crate) const ALL_EVENT_KINDS: [EventKind; 10] = [
     EventKind::Step,
     EventKind::Checkpoint,
     EventKind::FaultInjected,
@@ -41,6 +47,9 @@ pub(crate) const ALL_EVENT_KINDS: [EventKind; 7] = [
     EventKind::Resync,
     EventKind::RetryExhausted,
     EventKind::Unrecoverable,
+    EventKind::CheckpointPersisted,
+    EventKind::Resume,
+    EventKind::WorldShrunk,
 ];
 
 impl EventKind {
@@ -54,6 +63,9 @@ impl EventKind {
             EventKind::Resync => "resync",
             EventKind::RetryExhausted => "retry_exhausted",
             EventKind::Unrecoverable => "unrecoverable",
+            EventKind::CheckpointPersisted => "checkpoint_persisted",
+            EventKind::Resume => "resume",
+            EventKind::WorldShrunk => "world_shrunk",
         }
     }
 

@@ -7,6 +7,10 @@
 //!                   [--record-timeline=out.json] [--wire-probe=out.json]
 //!                   [--serve-metrics=ADDR] [serve-metrics-hold-ms=2000]
 //!                   [--faults=SPEC] [fault-timeout-ms=1000] [max-retries=3]
+//!                   [retry-backoff=2.0] [retry-jitter=0.1] [retry-budget-ms=60000]
+//!                   [peer-dead-timeout-ms=MS] [retry-seed=S]
+//!                   [--checkpoint-dir=D] [checkpoint-every=1] [--resume=D]
+//!                   [--crash-at-step=S]
 //! ca-nbody verify   [same options]            distributed-vs-serial check
 //! ca-nbody report   <trace-file>              per-phase/per-step breakdown tables
 //! ca-nbody audit    [n=4096] [p=16] [steps=1] [c=N] [cutoff=0] [--wire]
@@ -14,8 +18,11 @@
 //!                   [--calibration=F] [--roofline-baseline=F] [--roofline-out=F.csv|F.json]
 //! ca-nbody calibrate [--out=bench_results/machine_calibration.json] [seed=42] [--full]
 //! ca-nbody chaos    [n=192] [p=8] [c=2] [steps=1] [method=ca] [seed=42]
-//!                   [fault-timeout-ms=250] [--baseline=F] [--metrics=F]
-//!                   [--postmortem=DIR]
+//!                   [fault-timeout-ms=250] [--kills=N] [--baseline=F]
+//!                   [--metrics=F] [--postmortem=DIR]
+//! ca-nbody soak     [n=96] [p=6] [c=2] [steps=2] [method=ca] [seed=42]
+//!                   [seconds=30] [events=3] [fault-timeout-ms=250]
+//!                   [--postmortem=DIR]   time-boxed randomized chaos
 //! ca-nbody scale    [machine=hopper] [n=32768] [--metrics=F]
 //!                   strong-scaling table (simulated)
 //! ca-nbody autotune [machine=hopper] [p=1536] [n=12288] [cutoff=0]
@@ -91,9 +98,36 @@
 //! `--faults` injects a deterministic fault schedule (spec grammar
 //! `kind:rank@step` with kinds `kill | drop | dup | delay`, comma-
 //! separated) and switches `run`/`verify` to the fault-tolerant CA
-//! drivers. `chaos` sweeps kill schedules over every rank and pipeline
+//! drivers. Retries follow an adaptive [`RetryPolicy`]: exponential
+//! backoff (`retry-backoff`) with deterministic seeded jitter
+//! (`retry-jitter`, `retry-seed`), a separate post-crash deadline
+//! (`peer-dead-timeout-ms`), and a total per-evaluation wall-clock
+//! budget (`retry-budget-ms`). When every replica of a column dies the
+//! run *shrinks*: survivors agree on the dead teams, re-decompose onto
+//! the remaining ranks, and finish in degraded mode (the summary
+//! reports `shrinks`, `lost_particles`, `final_ranks`).
+//!
+//! `--checkpoint-dir` makes the run persist a durable
+//! `nbody-checkpoint/v1` bundle (atomic temp-file + rename) every
+//! `checkpoint-every` completed steps; `--resume=<dir>` restores the
+//! newest bundle — rejecting it unless its run-config fingerprint
+//! matches the flags — and continues mid-run. `--crash-at-step=<s>`
+//! kills the process (exit 137) right after that step's bundle hits the
+//! disk, exercising the resume path end to end. The cadence default can
+//! also come from `NBODY_CHECKPOINT_EVERY`; retry-policy defaults from
+//! `NBODY_RETRY_TIMEOUT_MS`, `NBODY_RETRY_MAX`, `NBODY_RETRY_BACKOFF`,
+//! `NBODY_RETRY_JITTER`, `NBODY_RETRY_BUDGET_MS` (all validated at
+//! startup; malformed values exit 2).
+//!
+//! `chaos` sweeps kill schedules over every rank and pipeline
 //! step, asserting recovered forces stay bit-identical to the fault-free
-//! run and gating recovery overhead against `--baseline` ceilings.
+//! run and gating recovery overhead against `--baseline` ceilings; with
+//! `--kills=N` it adds multi-fault schedules, and it always exercises
+//! the two degraded tiers (a double kill inside one column at `c >= 2`
+//! and a `c = 1` kill), asserting both shrink onto the survivors and
+//! match a recomposed reference run. `soak` runs randomized seeded
+//! fault plans until a wall-clock budget expires — the CI chaos-soak
+//! entry point.
 //!
 //! `analyze` diagnoses a recorded trace: the per-timestep cross-rank
 //! critical path (which rank gated the step, how its time split into
@@ -115,13 +149,14 @@ use std::process::ExitCode;
 use ca_nbody::autotune::{autotune_all_pairs, autotune_cutoff_1d};
 use ca_nbody::cutoff::validate_cutoff;
 use ca_nbody::schedule::{count_ops, AllPairsParams};
-use ca_nbody::recovery::{FaultConfig, FaultError};
+use ca_nbody::recovery::RetryPolicy;
 use ca_nbody::{
     expected_schedule, run_distributed, run_distributed_chaos_recorded,
-    run_distributed_chaos_wired, run_distributed_recorded, run_distributed_traced,
-    run_distributed_wired, run_serial, Method, ProcGrid, RunResult, SimConfig, Window, Window1d,
-    WireScheduleSpec,
+    run_distributed_chaos_wired, run_distributed_durable, run_distributed_recorded,
+    run_distributed_traced, run_distributed_wired, run_serial, CheckpointConfig, Method, ProcGrid,
+    RunResult, SimConfig, Window, Window1d, WireScheduleSpec,
 };
+use nbody_durable::{load_latest, RunFingerprint};
 use nbody_analyze::{
     analyze, check_regression, parse_history, render_conformance, render_csv, render_drift,
     render_json, render_regression, render_table, render_wire, RunSummary, Verdict,
@@ -192,6 +227,7 @@ fn main() -> ExitCode {
         "audit" => audit_cmd(&opts),
         "calibrate" => calibrate_cmd(&opts),
         "chaos" => chaos_cmd(&opts),
+        "soak" => soak_cmd(&opts),
         "scale" => scale_cmd(&opts),
         "autotune" => autotune_cmd(&opts),
         "analyze" => analyze_cmd(&opts, &positional),
@@ -207,11 +243,11 @@ fn main() -> ExitCode {
 
 fn usage() {
     eprintln!(
-        "usage: ca-nbody <run|verify|report|audit|calibrate|chaos|scale|autotune|analyze|\
+        "usage: ca-nbody <run|verify|report|audit|calibrate|chaos|soak|scale|autotune|analyze|\
          conformance|postmortem|regress> \
          [key=value ...] \
          [--trace=F] [--metrics=F] [--record-timeline=F] [--wire-probe=F] [--profile] \
-         [--faults=SPEC]\n\
+         [--faults=SPEC] [--checkpoint-dir=D] [--resume=D]\n\
          see `src/main.rs` header or README.md for the option list"
     );
 }
@@ -290,10 +326,11 @@ fn run_cmd(opts: &HashMap<String, String>, verify: bool) -> ExitCode {
     let cutoff: f64 = get(opts, "cutoff", default_cutoff);
     let method_name = opts.get("method").map(String::as_str).unwrap_or("ca");
     let law_name = opts.get("law").map(String::as_str).unwrap_or("repulsive");
-    let boundary = match opts.get("boundary").map(String::as_str) {
-        Some("periodic") => Boundary::Periodic,
-        Some("open") => Boundary::Open,
-        _ => Boundary::Reflective,
+    let seed: u64 = get(opts, "seed", 42);
+    let (boundary, boundary_name) = match opts.get("boundary").map(String::as_str) {
+        Some("periodic") => (Boundary::Periodic, "periodic"),
+        Some("open") => (Boundary::Open, "open"),
+        _ => (Boundary::Reflective, "reflective"),
     };
 
     let method = match method_name {
@@ -350,7 +387,7 @@ fn run_cmd(opts: &HashMap<String, String>, verify: bool) -> ExitCode {
     } else {
         Domain::unit()
     };
-    let cfg = SimConfig {
+    let mut cfg = SimConfig {
         law,
         integrator: SemiImplicitEuler,
         domain,
@@ -361,7 +398,7 @@ fn run_cmd(opts: &HashMap<String, String>, verify: bool) -> ExitCode {
     let mut initial = if law_name == "lj" {
         init::lattice(n, &cfg.domain)
     } else {
-        init::uniform(n, &cfg.domain, get(opts, "seed", 42))
+        init::uniform(n, &cfg.domain, seed)
     };
     init::thermalize(&mut initial, get(opts, "temperature", 1e-4), 7);
 
@@ -406,9 +443,151 @@ fn run_cmd(opts: &HashMap<String, String>, verify: bool) -> ExitCode {
         None => None,
     };
 
+    // The adaptive retry policy: CLI flags beat env overrides beat
+    // defaults (env values were validated by `validate_env` at startup).
+    let env_u64 = |name: &str| {
+        std::env::var(name)
+            .ok()
+            .and_then(|v| v.trim().parse::<u64>().ok())
+    };
+    let env_f64 = |name: &str| {
+        std::env::var(name)
+            .ok()
+            .and_then(|v| v.trim().parse::<f64>().ok())
+    };
+    let timeout_ms: u64 = get(
+        opts,
+        "fault-timeout-ms",
+        env_u64("NBODY_RETRY_TIMEOUT_MS").unwrap_or(1000),
+    );
+    let policy = RetryPolicy {
+        base_timeout: std::time::Duration::from_millis(timeout_ms),
+        peer_dead_timeout: std::time::Duration::from_millis(get(
+            opts,
+            "peer-dead-timeout-ms",
+            timeout_ms,
+        )),
+        backoff: get(
+            opts,
+            "retry-backoff",
+            env_f64("NBODY_RETRY_BACKOFF").unwrap_or(2.0),
+        ),
+        jitter: get(
+            opts,
+            "retry-jitter",
+            env_f64("NBODY_RETRY_JITTER").unwrap_or(0.1),
+        ),
+        max_retries: get(
+            opts,
+            "max-retries",
+            env_u64("NBODY_RETRY_MAX").unwrap_or(3) as usize,
+        ),
+        budget: std::time::Duration::from_millis(get(
+            opts,
+            "retry-budget-ms",
+            env_u64("NBODY_RETRY_BUDGET_MS").unwrap_or(60_000),
+        )),
+        seed: get(opts, "retry-seed", seed),
+    };
+
+    // Durable checkpointing: --checkpoint-dir turns on the cadence sink,
+    // --resume restores the newest bundle from a directory (and keeps
+    // checkpointing into it unless --checkpoint-dir redirects).
+    let resume_dir = opts.get("resume").cloned();
+    let ckpt_dir = opts.get("checkpoint-dir").cloned().or_else(|| resume_dir.clone());
+    let mut base_step: u64 = 0;
+    let mut resumed_from: Option<u64> = None;
+    let ckpt: Option<CheckpointConfig> = if let Some(dir) = &ckpt_dir {
+        if !matches!(
+            method,
+            Method::CaAllPairs { .. } | Method::Ca1dCutoff { .. } | Method::Ca2dCutoff { .. }
+        ) {
+            eprintln!(
+                "--checkpoint-dir/--resume require a CA method (ca, ca-cutoff-1d, ca-cutoff-2d)"
+            );
+            return ExitCode::FAILURE;
+        }
+        let every: usize = get(
+            opts,
+            "checkpoint-every",
+            env_u64("NBODY_CHECKPOINT_EVERY").unwrap_or(1) as usize,
+        );
+        if every == 0 {
+            eprintln!("checkpoint-every must be a positive step count");
+            return ExitCode::FAILURE;
+        }
+        let crash_at: Option<u64> = match opts.get("crash-at-step") {
+            Some(v) => match v.trim().parse() {
+                Ok(s) => Some(s),
+                Err(_) => {
+                    eprintln!("--crash-at-step must be an integer step, got '{v}'");
+                    return ExitCode::FAILURE;
+                }
+            },
+            None => None,
+        };
+        // The fingerprint is derived from the *total* run configuration,
+        // so a resumed continuation stamps (and checks) the same digest
+        // the original run did.
+        let fingerprint = RunFingerprint {
+            n,
+            p,
+            c: method.replication(),
+            method: method_name.to_string(),
+            law: law_name.to_string(),
+            boundary: boundary_name.to_string(),
+            dt,
+            steps,
+            seed,
+            cutoff: if method.needs_cutoff() { cutoff } else { 0.0 },
+            domain: [cfg.domain.min.x, cfg.domain.min.y, cfg.domain.max.x, cfg.domain.max.y],
+        }
+        .digest();
+        if let Some(dir) = &resume_dir {
+            let bundle = match load_latest(std::path::Path::new(dir)) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("cannot resume from {dir}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if let Err(e) = bundle.validate_fingerprint(&fingerprint) {
+                eprintln!("resume rejected: {e}");
+                return ExitCode::FAILURE;
+            }
+            if bundle.step as usize > steps {
+                eprintln!(
+                    "resume rejected: checkpoint is at step {} but the run has only {steps}",
+                    bundle.step
+                );
+                return ExitCode::FAILURE;
+            }
+            base_step = bundle.step;
+            resumed_from = Some(bundle.step);
+            initial = bundle.all_particles();
+            cfg.steps = steps - base_step as usize;
+            println!(
+                "  resumed from {dir} at step {base_step} ({} particles, {} steps left)",
+                initial.len(),
+                cfg.steps
+            );
+        }
+        Some(CheckpointConfig {
+            dir: std::path::PathBuf::from(dir),
+            every,
+            base_step,
+            fingerprint,
+            seed,
+            crash_at,
+        })
+    } else {
+        None
+    };
+
     println!("{method:?} on {p} ranks: n={n}, steps={steps}, dt={dt}, law={law_name}");
     let start = std::time::Instant::now();
-    let (result, trace, metrics, chaos_info, timeline, wire) = if let Some(plan) = &faults {
+    let (result, trace, metrics, chaos_info, timeline, wire) = if faults.is_some() || ckpt.is_some()
+    {
         if !matches!(
             method,
             Method::CaAllPairs { .. } | Method::Ca1dCutoff { .. } | Method::Ca2dCutoff { .. }
@@ -416,29 +595,39 @@ fn run_cmd(opts: &HashMap<String, String>, verify: bool) -> ExitCode {
             eprintln!("--faults requires a CA method (ca, ca-cutoff-1d, ca-cutoff-2d)");
             return ExitCode::FAILURE;
         }
-        let fc = FaultConfig {
-            recv_timeout: std::time::Duration::from_millis(get(opts, "fault-timeout-ms", 1000)),
-            max_retries: get(opts, "max-retries", 3),
-        };
+        let plan = faults.clone().unwrap_or_else(FaultPlan::empty);
         // Wire probes are opt-in: the probed chaos runner records every
         // protocol message *and* injected fault as first-class events.
-        let (res, timeline, wire) = if wire_path.is_some() {
+        // (The probed runner has no checkpoint sink, so checkpointing
+        // takes precedence when both are requested.)
+        let (res, timeline, wire) = if wire_path.is_some() && ckpt.is_none() {
             let (res, timeline, wire) =
-                run_distributed_chaos_wired(&cfg, method, p, plan, &fc, &initial);
+                run_distributed_chaos_wired(&cfg, method, p, &plan, &policy, &initial);
             (res, timeline, Some(wire))
         } else {
+            if wire_path.is_some() {
+                eprintln!("note: --wire-probe is ignored on checkpointed runs");
+            }
             let (res, timeline) =
-                run_distributed_chaos_recorded(&cfg, method, p, plan, &fc, &initial);
+                run_distributed_durable(&cfg, method, p, &plan, &policy, ckpt.as_ref(), &initial);
             (res, timeline, None)
         };
         match res {
             Ok(res) => {
-                println!(
-                    "  faults [{}]: max attempts {}, recovered: {}",
-                    plan.spec(),
-                    res.max_attempts,
-                    res.recovered
-                );
+                if let Some(plan) = &faults {
+                    println!(
+                        "  faults [{}]: max attempts {}, recovered: {}",
+                        plan.spec(),
+                        res.max_attempts,
+                        res.recovered
+                    );
+                }
+                if res.shrinks > 0 {
+                    println!(
+                        "  degraded: world shrank {}x onto {} ranks, {} particles lost",
+                        res.shrinks, res.final_ranks, res.lost_particles
+                    );
+                }
                 (
                     RunResult {
                         particles: res.particles,
@@ -446,7 +635,13 @@ fn run_cmd(opts: &HashMap<String, String>, verify: bool) -> ExitCode {
                     },
                     Some(res.trace),
                     res.metrics,
-                    Some((res.max_attempts, res.recovered)),
+                    Some((
+                        res.max_attempts,
+                        res.recovered,
+                        res.shrinks,
+                        res.lost_particles,
+                        res.final_ranks,
+                    )),
                     Some(timeline),
                     wire,
                 )
@@ -576,7 +771,13 @@ fn run_cmd(opts: &HashMap<String, String>, verify: bool) -> ExitCode {
     }
 
     let mut max_err = None;
-    if verify {
+    let degraded = chaos_info.is_some_and(|(_, _, shrinks, lost, _)| shrinks > 0 || lost > 0);
+    if verify && degraded {
+        // A shrunken run dropped the dead columns' particles mid-flight;
+        // the full-world serial trajectory is no longer the reference.
+        println!("  degraded run: serial verification skipped");
+    }
+    if verify && !degraded {
         let serial = run_serial(&cfg, &initial);
         let err = result
             .particles
@@ -689,21 +890,42 @@ fn run_cmd(opts: &HashMap<String, String>, verify: bool) -> ExitCode {
             Json::Num(metrics.sum_counter("compute_flops", None) as f64),
         ));
     }
-    if let (Some(plan), Some((attempts, recovered))) = (&faults, chaos_info) {
-        summary.push(("faults".to_string(), Json::Str(plan.spec())));
+    if let Some((attempts, recovered, shrinks, lost, final_ranks)) = chaos_info {
         summary.push(("max_attempts".to_string(), Json::Num(attempts as f64)));
         summary.push(("recovered".to_string(), Json::Bool(recovered)));
-        for key in [
-            "fault_injected_total",
-            "fault_detected_total",
-            "fault_retries_total",
-            "recovery_bytes_total",
-        ] {
+        summary.push(("shrinks".to_string(), Json::Num(shrinks as f64)));
+        summary.push(("lost_particles".to_string(), Json::Num(lost as f64)));
+        summary.push(("final_ranks".to_string(), Json::Num(final_ranks as f64)));
+        if let Some(plan) = &faults {
+            summary.push(("faults".to_string(), Json::Str(plan.spec())));
+            for key in [
+                "fault_injected_total",
+                "fault_detected_total",
+                "fault_retries_total",
+                "recovery_bytes_total",
+            ] {
+                summary.push((
+                    key.to_string(),
+                    Json::Num(metrics.sum_counter(key, None) as f64),
+                ));
+            }
+        }
+    }
+    if let Some(ck) = &ckpt {
+        summary.push((
+            "checkpoint_dir".to_string(),
+            Json::Str(ck.dir.display().to_string()),
+        ));
+        summary.push(("checkpoint_every".to_string(), Json::Num(ck.every as f64)));
+        for key in ["checkpoint_persisted_total", "checkpoint_bytes_total"] {
             summary.push((
                 key.to_string(),
                 Json::Num(metrics.sum_counter(key, None) as f64),
             ));
         }
+    }
+    if let Some(step) = resumed_from {
+        summary.push(("resumed_from_step".to_string(), Json::Num(step as f64)));
     }
     println!("{}", Json::Obj(summary));
     if let Some(server) = server {
@@ -1173,14 +1395,98 @@ fn calibrate_cmd(opts: &HashMap<String, String>) -> ExitCode {
 
 /// `chaos`: sweep deterministic fault schedules over a small execution.
 ///
-/// Three passes, all against the same fault-free baseline trajectory:
+/// Five passes, all against the same fault-free baseline trajectory:
 /// benign seeded schedules (delays + duplicates) that must not even
 /// trigger recovery; a kill of every rank at every pipeline step, which
-/// must recover **bit-identically** whenever `c >= 2`; and a `c = 1` kill
-/// that must fail with the documented `Unrecoverable` error instead of
-/// deadlocking. Recovery overhead (worst attempt count, resync bytes per
-/// kill relative to one replicated block) is gated against ceilings, by
-/// default or from `--baseline=<json>`.
+/// must recover **bit-identically** whenever `c >= 2`; a multi-fault
+/// pass (`--kills=N`) killing N ranks in distinct columns at once, which
+/// must also recover bit-identically; a double kill inside one column,
+/// which must *shrink* the world onto the survivors and match a
+/// recomposed reference run on the survivor set; and a `c = 1` kill,
+/// which must do the same instead of failing. Recovery overhead (worst
+/// attempt count, resync bytes per kill relative to one replicated
+/// block) is gated against ceilings, by default or from
+/// `--baseline=<json>`.
+/// Validate a degraded (shrunken) chaos run: the survivors must account
+/// for every particle, occupy the expected rank count, and reproduce —
+/// bit for bit — a clean recomposed run on the survivor set at the same
+/// shrunken grid the degraded run re-derived.
+#[allow(clippy::too_many_arguments)]
+fn check_shrunk(
+    label: &str,
+    res: &ca_nbody::ChaosRunResult,
+    cfg: &SimConfig<AnyLaw, SemiImplicitEuler>,
+    method: Method,
+    initial: &[Particle],
+    n: usize,
+    expect_ranks: usize,
+    r_c: f64,
+    failures: &mut Vec<String>,
+) {
+    if res.shrinks == 0 {
+        failures.push(format!("{label}: expected a world shrink, got none"));
+        return;
+    }
+    if res.final_ranks != expect_ranks {
+        failures.push(format!(
+            "{label}: expected {expect_ranks} surviving ranks, got {}",
+            res.final_ranks
+        ));
+    }
+    if res.particles.len() + res.lost_particles != n {
+        failures.push(format!(
+            "{label}: survivors ({}) + lost ({}) do not cover all {n} particles",
+            res.particles.len(),
+            res.lost_particles
+        ));
+        return;
+    }
+    if res.lost_particles == 0 {
+        failures.push(format!("{label}: a dead column should have lost its particles"));
+        return;
+    }
+    // `res.particles` is sorted by id, so the survivor subset of the
+    // initial condition falls out of a binary search.
+    let ids: Vec<u64> = res.particles.iter().map(|q| q.id).collect();
+    let survivors: Vec<Particle> = initial
+        .iter()
+        .filter(|q| ids.binary_search(&q.id).is_ok())
+        .cloned()
+        .collect();
+    let p2 = res.final_ranks;
+    // Mirror the driver's choice: the largest replication the survivor
+    // count still supports.
+    let reference = match method {
+        Method::CaAllPairs { c } => (1..=c)
+            .rev()
+            .find(|&cc| ProcGrid::new_all_pairs(p2, cc).is_ok())
+            .map(|c2| run_distributed(cfg, Method::CaAllPairs { c: c2 }, p2, &survivors).particles),
+        Method::Ca1dCutoff { c } => (1..=c)
+            .rev()
+            .find(|&cc| {
+                p2.is_multiple_of(cc)
+                    && ProcGrid::new(p2, cc).is_ok()
+                    && validate_cutoff(
+                        &Window1d::from_cutoff(&cfg.domain, p2 / cc, r_c),
+                        p2 / cc,
+                        cc,
+                    )
+                    .is_ok()
+            })
+            .map(|c2| run_distributed(cfg, Method::Ca1dCutoff { c: c2 }, p2, &survivors).particles),
+        _ => None,
+    };
+    match reference {
+        Some(reference) if res.particles == reference => {}
+        Some(_) => failures.push(format!(
+            "{label}: degraded trajectory diverged from the recomposed survivor reference"
+        )),
+        None => failures.push(format!(
+            "{label}: no valid shrunken grid exists for the reference run"
+        )),
+    }
+}
+
 fn chaos_cmd(opts: &HashMap<String, String>) -> ExitCode {
     let n: usize = get(opts, "n", 192);
     let p: usize = get(opts, "p", 8);
@@ -1280,10 +1586,9 @@ fn chaos_cmd(opts: &HashMap<String, String>) -> ExitCode {
         steps,
     };
     let initial = init::uniform(n, &cfg.domain, seed);
-    let fc = FaultConfig {
-        recv_timeout: std::time::Duration::from_millis(timeout_ms),
-        max_retries: 3,
-    };
+    // The sweep asserts exact attempt counts, so it pins the fully
+    // deterministic fixed-deadline policy (no backoff, no jitter).
+    let policy = RetryPolicy::fixed(timeout_ms, 3);
     println!(
         "chaos sweep: {method_name} n={n} p={p} c={c} steps={steps}, \
          kill schedule 0..={pipeline_steps} x {p} ranks, timeout {timeout_ms} ms"
@@ -1334,7 +1639,7 @@ fn chaos_cmd(opts: &HashMap<String, String>) -> ExitCode {
             &[FaultKind::Delay, FaultKind::Duplicate],
         );
         runs += 1;
-        let (res, tl) = run_distributed_chaos_recorded(&cfg, method, p, &plan, &fc, &initial);
+        let (res, tl) = run_distributed_chaos_recorded(&cfg, method, p, &plan, &policy, &initial);
         match res {
             Ok(res) => {
                 sweep_metrics.absorb(&res.metrics);
@@ -1366,7 +1671,7 @@ fn chaos_cmd(opts: &HashMap<String, String>) -> ExitCode {
         for rank in 0..p {
             let plan = FaultPlan::kill(rank, step);
             runs += 1;
-            let (res, tl) = run_distributed_chaos_recorded(&cfg, method, p, &plan, &fc, &initial);
+            let (res, tl) = run_distributed_chaos_recorded(&cfg, method, p, &plan, &policy, &initial);
             match res {
                 Ok(res) => {
                     sweep_metrics.absorb(&res.metrics);
@@ -1403,8 +1708,96 @@ fn chaos_cmd(opts: &HashMap<String, String>) -> ExitCode {
         failures.push("no scheduled kill ever fired".to_string());
     }
 
-    // Without replication the same kill must end in a clean, agreed
-    // failure — not a hang and not a bogus result.
+    // Multi-fault mode: N simultaneous kills spread across *distinct*
+    // columns, so every dead rank still has a live replica — recovery
+    // must stay bit-identical, with no shrink.
+    let kills: usize = get(opts, "kills", 1);
+    let teams = p / c;
+    if kills >= 2 {
+        let picked: Vec<usize> = (0..kills.min(teams)).map(|t| (t % c) * teams + t).collect();
+        let spec = picked
+            .iter()
+            .map(|r| format!("kill:{r}@0"))
+            .collect::<Vec<_>>()
+            .join(",");
+        let plan = FaultPlan::parse(&spec).expect("generated kill spec parses");
+        runs += 1;
+        let (res, tl) = run_distributed_chaos_recorded(&cfg, method, p, &plan, &policy, &initial);
+        match res {
+            Ok(res) => {
+                sweep_metrics.absorb(&res.metrics);
+                if res.particles != want {
+                    failures
+                        .push(format!("multi-kill [{spec}]: forces diverged from fault-free run"));
+                }
+                let fired = res.metrics.sum_counter("fault_injected_kill", None);
+                if fired > 0 && !res.recovered {
+                    failures.push(format!("multi-kill [{spec}]: fired but not recovered"));
+                }
+                if res.shrinks != 0 {
+                    failures.push(format!("multi-kill [{spec}]: unexpected world shrink"));
+                }
+                worst_attempts = worst_attempts.max(res.max_attempts);
+            }
+            Err(e) => {
+                failures.push(format!("multi-kill [{spec}]: {e}"));
+                dump_postmortem(
+                    &postmortem_dir,
+                    "multi_kill",
+                    &tl.with_failure(&e.to_string()),
+                    &mut postmortem_bundles,
+                );
+            }
+        }
+    }
+
+    let r_c: f64 = get(opts, "cutoff", 0.25);
+    let mut shrinks_observed = 0usize;
+
+    // The second availability tier: kill *every* replica of one column,
+    // so replica recovery is impossible and the world must shrink onto
+    // the survivors, then finish the run matching a recomposed clean run
+    // on the survivor set.
+    {
+        let victim = 1 % teams;
+        let spec = (0..c)
+            .map(|row| format!("kill:{}@0", row * teams + victim))
+            .collect::<Vec<_>>()
+            .join(",");
+        let plan = FaultPlan::parse(&spec).expect("generated kill spec parses");
+        runs += 1;
+        let (res, tl) = run_distributed_chaos_recorded(&cfg, method, p, &plan, &policy, &initial);
+        match res {
+            Ok(res) => {
+                sweep_metrics.absorb(&res.metrics);
+                shrinks_observed += res.shrinks;
+                check_shrunk(
+                    &format!("double-kill [{spec}]"),
+                    &res,
+                    &cfg,
+                    method,
+                    &initial,
+                    n,
+                    p - c,
+                    r_c,
+                    &mut failures,
+                );
+            }
+            Err(e) => {
+                failures.push(format!("double-kill [{spec}]: {e}"));
+                dump_postmortem(
+                    &postmortem_dir,
+                    "double_kill_same_column",
+                    &tl.with_failure(&e.to_string()),
+                    &mut postmortem_bundles,
+                );
+            }
+        }
+    }
+
+    // Without replication a single kill leaves no replica at all: the
+    // same degraded tier — survivors must agree, shrink to p-1 ranks,
+    // and complete instead of failing or deadlocking.
     let m1 = match method {
         Method::CaAllPairs { .. } => Method::CaAllPairs { c: 1 },
         Method::Ca1dCutoff { .. } => Method::Ca1dCutoff { c: 1 },
@@ -1412,20 +1805,60 @@ fn chaos_cmd(opts: &HashMap<String, String>) -> ExitCode {
     };
     runs += 1;
     let (res, tl) =
-        run_distributed_chaos_recorded(&cfg, m1, p, &FaultPlan::kill(p / 2, 1), &fc, &initial);
+        run_distributed_chaos_recorded(&cfg, m1, p, &FaultPlan::kill(p / 2, 0), &policy, &initial);
     match res {
-        Err(e @ FaultError::Unrecoverable { .. }) => {
-            // The expected terminal failure — exactly what the postmortem
-            // bundle is for.
+        Ok(res) => {
+            sweep_metrics.absorb(&res.metrics);
+            shrinks_observed += res.shrinks;
+            check_shrunk(
+                "c=1 kill",
+                &res,
+                &cfg,
+                m1,
+                &initial,
+                n,
+                p - 1,
+                r_c,
+                &mut failures,
+            );
+        }
+        Err(e) => {
+            failures.push(format!("c=1 kill failed instead of shrinking: {e}"));
             dump_postmortem(
                 &postmortem_dir,
-                "c1_kill_unrecoverable",
+                "c1_kill",
                 &tl.with_failure(&e.to_string()),
                 &mut postmortem_bundles,
             );
         }
-        Ok(_) => failures.push("c=1 kill unexpectedly produced a result".to_string()),
-        Err(e) => failures.push(format!("c=1 kill: wrong terminal error: {e}")),
+    }
+
+    // Total loss: every rank killed in the same step leaves nothing to
+    // shrink onto. This is the one fault the degraded tiers cannot absorb
+    // — it must fail cleanly (no deadlock, no bogus result) and leave a
+    // flight-recorder postmortem for the artifact upload.
+    {
+        let spec = (0..p)
+            .map(|r| format!("kill:{r}@0"))
+            .collect::<Vec<_>>()
+            .join(",");
+        let plan = FaultPlan::parse(&spec).expect("generated kill spec parses");
+        runs += 1;
+        let (res, tl) = run_distributed_chaos_recorded(&cfg, method, p, &plan, &policy, &initial);
+        match res {
+            Ok(_) => {
+                failures.push("total loss must be unrecoverable, but the run succeeded".into())
+            }
+            Err(e) => {
+                println!("  total-loss kill failed as required: {e}");
+                dump_postmortem(
+                    &postmortem_dir,
+                    "total_loss_unrecoverable",
+                    &tl.with_failure(&e.to_string()),
+                    &mut postmortem_bundles,
+                );
+            }
+        }
     }
 
     let elapsed = start.elapsed();
@@ -1476,6 +1909,8 @@ fn chaos_cmd(opts: &HashMap<String, String>) -> ExitCode {
         ("steps".to_string(), Json::Num(steps as f64)),
         ("runs".to_string(), Json::Num(runs as f64)),
         ("kills_fired".to_string(), Json::Num(kills_fired as f64)),
+        ("kills".to_string(), Json::Num(kills as f64)),
+        ("shrinks".to_string(), Json::Num(shrinks_observed as f64)),
         ("max_attempts".to_string(), Json::Num(worst_attempts as f64)),
         (
             "recovery_bytes_factor".to_string(),
@@ -1509,6 +1944,223 @@ fn chaos_cmd(opts: &HashMap<String, String>) -> ExitCode {
         ExitCode::SUCCESS
     } else {
         eprintln!("CHAOS FAILED: {} failure(s)", failures.len());
+        ExitCode::FAILURE
+    }
+}
+
+/// `soak`: time-boxed randomized chaos. Seeded fault plans (kills,
+/// drops, duplicates, delays) are generated from a deterministically
+/// advancing seed and run until the wall-clock budget (`seconds`)
+/// expires. Every run must terminate cleanly: bit-identical recovery
+/// when no column fully died, or a survivor-consistent shrink when one
+/// did (single-shrink runs are additionally checked against a
+/// recomposed clean run on the survivor set). Failing runs dump
+/// flight-recorder postmortems into `--postmortem=DIR` — the CI
+/// chaos-soak job uploads that directory on failure.
+fn soak_cmd(opts: &HashMap<String, String>) -> ExitCode {
+    let n: usize = get(opts, "n", 96);
+    let p: usize = get(opts, "p", 8);
+    let c: usize = get(opts, "c", 2);
+    let steps: usize = get(opts, "steps", 2);
+    let seed: u64 = get(opts, "seed", 42);
+    let seconds: f64 = get(opts, "seconds", 30.0);
+    let events: usize = get(opts, "events", 3);
+    let timeout_ms: u64 = get(opts, "fault-timeout-ms", 250);
+    let r_c: f64 = get(opts, "cutoff", 0.25);
+    let method_name = opts.get("method").map(String::as_str).unwrap_or("ca");
+
+    let domain = Domain::unit();
+    let base_law = RepulsiveInverseSquare {
+        strength: 1e-3,
+        softening: 1e-3,
+    };
+    let (method, law, pipeline_steps) = match method_name {
+        "ca" => {
+            let grid = match ProcGrid::new_all_pairs(p, c) {
+                Ok(g) => g,
+                Err(e) => {
+                    eprintln!("soak: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            (
+                Method::CaAllPairs { c },
+                AnyLaw::Repulsive(base_law),
+                grid.all_pairs_steps(),
+            )
+        }
+        "ca-cutoff-1d" => {
+            let grid = match ProcGrid::new(p, c) {
+                Ok(g) => g,
+                Err(e) => {
+                    eprintln!("soak: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let window = Window1d::from_cutoff(&domain, grid.teams(), r_c);
+            if let Err(e) = validate_cutoff(&window, grid.teams(), c) {
+                eprintln!("soak: {e}");
+                return ExitCode::FAILURE;
+            }
+            (
+                Method::Ca1dCutoff { c },
+                AnyLaw::RepulsiveCutoff(Cutoff::new(base_law, r_c)),
+                ca_nbody::cutoff::row_steps(window.len(), c, 0),
+            )
+        }
+        other => {
+            eprintln!("soak: unsupported method '{other}' (use ca or ca-cutoff-1d)");
+            return ExitCode::FAILURE;
+        }
+    };
+    let cfg = SimConfig {
+        law,
+        integrator: SemiImplicitEuler,
+        domain,
+        boundary: Boundary::Reflective,
+        dt: 0.005,
+        steps,
+    };
+    let initial = init::uniform(n, &cfg.domain, seed);
+    // Unlike the deterministic `chaos` sweep, the soak exercises the
+    // adaptive policy: exponential backoff with seeded jitter.
+    let policy = RetryPolicy {
+        base_timeout: std::time::Duration::from_millis(timeout_ms),
+        peer_dead_timeout: std::time::Duration::from_millis(timeout_ms),
+        backoff: 2.0,
+        jitter: 0.1,
+        max_retries: 3,
+        budget: std::time::Duration::from_secs(30),
+        seed,
+    };
+    let want = run_distributed(&cfg, method, p, &initial).particles;
+    let postmortem_dir = opts.get("postmortem").cloned();
+    println!(
+        "chaos soak: {method_name} n={n} p={p} c={c} steps={steps}, \
+         {seconds:.0}s budget, {events} events/plan, base seed {seed}"
+    );
+
+    let start = std::time::Instant::now();
+    let mut runs = 0usize;
+    let mut shrinks = 0usize;
+    let mut recoveries = 0usize;
+    let mut failures: Vec<String> = Vec::new();
+    let mut postmortem_bundles: Vec<String> = Vec::new();
+    loop {
+        let plan_seed = seed.wrapping_add(runs as u64);
+        let plan = FaultPlan::seeded(
+            plan_seed,
+            p,
+            pipeline_steps,
+            events,
+            &[
+                FaultKind::Kill,
+                FaultKind::Drop,
+                FaultKind::Duplicate,
+                FaultKind::Delay,
+            ],
+        );
+        runs += 1;
+        let (res, tl) = run_distributed_chaos_recorded(&cfg, method, p, &plan, &policy, &initial);
+        match res {
+            Ok(res) => {
+                if res.recovered {
+                    recoveries += 1;
+                }
+                shrinks += res.shrinks;
+                if res.shrinks == 0 {
+                    if res.particles != want {
+                        failures.push(format!(
+                            "seed {plan_seed} [{}]: diverged from fault-free run without a shrink",
+                            plan.spec()
+                        ));
+                    }
+                } else if res.shrinks == 1 {
+                    check_shrunk(
+                        &format!("seed {plan_seed} [{}]", plan.spec()),
+                        &res,
+                        &cfg,
+                        method,
+                        &initial,
+                        n,
+                        res.final_ranks,
+                        r_c,
+                        &mut failures,
+                    );
+                } else if res.particles.len() + res.lost_particles != n {
+                    failures.push(format!(
+                        "seed {plan_seed} [{}]: survivors + lost do not cover all particles",
+                        plan.spec()
+                    ));
+                }
+            }
+            Err(e) => {
+                failures.push(format!("seed {plan_seed} [{}]: {e}", plan.spec()));
+                if let Some(dir) = &postmortem_dir {
+                    let name = format!("soak_seed_{plan_seed}");
+                    let write = std::fs::create_dir_all(dir).and_then(|()| {
+                        let path = format!("{dir}/{name}.json");
+                        std::fs::write(&path, tl.with_failure(&e.to_string()).to_json())
+                            .map(|()| path)
+                    });
+                    match write {
+                        Ok(path) => {
+                            println!("  postmortem bundle written to {path}");
+                            postmortem_bundles.push(name);
+                        }
+                        Err(we) => eprintln!("  cannot write postmortem {name} to {dir}: {we}"),
+                    }
+                }
+            }
+        }
+        // Enough evidence to diagnose — don't burn the rest of the budget.
+        if failures.len() >= 5 || start.elapsed().as_secs_f64() >= seconds {
+            break;
+        }
+    }
+
+    let elapsed = start.elapsed();
+    let pass = failures.is_empty();
+    println!(
+        "  {runs} seeded runs in {elapsed:.2?}: {recoveries} recoveries, {shrinks} shrinks, \
+         {} failure(s)",
+        failures.len()
+    );
+    for f in &failures {
+        eprintln!("  SOAK FAILURE: {f}");
+    }
+    let mut summary = vec![
+        ("cmd".to_string(), Json::Str("soak".into())),
+        ("method".to_string(), Json::Str(method_name.into())),
+        ("n".to_string(), Json::Num(n as f64)),
+        ("p".to_string(), Json::Num(p as f64)),
+        ("c".to_string(), Json::Num(c as f64)),
+        ("steps".to_string(), Json::Num(steps as f64)),
+        ("seed".to_string(), Json::Num(seed as f64)),
+        ("runs".to_string(), Json::Num(runs as f64)),
+        ("recoveries".to_string(), Json::Num(recoveries as f64)),
+        ("shrinks".to_string(), Json::Num(shrinks as f64)),
+        ("elapsed_secs".to_string(), Json::Num(elapsed.as_secs_f64())),
+        ("failures".to_string(), Json::Num(failures.len() as f64)),
+        ("pass".to_string(), Json::Bool(pass)),
+    ];
+    if let Some(dir) = &postmortem_dir {
+        summary.push(("postmortem_dir".to_string(), Json::Str(dir.clone())));
+        summary.push((
+            "postmortem_bundles".to_string(),
+            Json::Arr(
+                postmortem_bundles
+                    .iter()
+                    .map(|b| Json::Str(b.clone()))
+                    .collect(),
+            ),
+        ));
+    }
+    println!("{}", Json::Obj(summary));
+    if pass {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("SOAK FAILED: {} failure(s)", failures.len());
         ExitCode::FAILURE
     }
 }

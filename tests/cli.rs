@@ -497,7 +497,27 @@ fn verify_with_injected_kill_recovers_and_passes() {
 }
 
 #[test]
-fn run_with_unrecoverable_fault_fails_cleanly() {
+fn run_with_total_loss_fails_cleanly() {
+    // Every rank killed in the same step: nothing survives to shrink
+    // onto, so this is the one fault class that must still fail.
+    let out = cli()
+        .args([
+            "run", "n=64", "p=4", "c=1", "steps=1",
+            "--faults=kill:0@1,kill:1@1,kill:2@1,kill:3@1",
+            "fault-timeout-ms=300",
+        ])
+        .output()
+        .expect("launch");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unrecoverable"), "{stderr}");
+}
+
+#[test]
+fn run_survives_unreplicated_kill_by_shrinking() {
+    // c=1 leaves no replica, but a single column loss now degrades to a
+    // smaller world instead of failing: the run completes on 3 ranks and
+    // reports what it shed.
     let out = cli()
         .args([
             "run", "n=64", "p=4", "c=1", "steps=1",
@@ -505,9 +525,19 @@ fn run_with_unrecoverable_fault_fails_cleanly() {
         ])
         .output()
         .expect("launch");
-    assert!(!out.status.success());
-    let stderr = String::from_utf8_lossy(&out.stderr);
-    assert!(stderr.contains("unrecoverable"), "{stderr}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "{stdout}\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let doc = nbody_trace::Json::parse(stdout.lines().last().unwrap()).unwrap();
+    assert_eq!(doc.get("shrinks").unwrap().as_f64(), Some(1.0), "{stdout}");
+    assert_eq!(doc.get("final_ranks").unwrap().as_f64(), Some(3.0), "{stdout}");
+    assert!(
+        doc.get("lost_particles").unwrap().as_f64().unwrap() > 0.0,
+        "{stdout}"
+    );
 }
 
 #[test]
@@ -1134,12 +1164,14 @@ fn unrecoverable_fault_dumps_parseable_postmortem_bundle() {
     std::fs::remove_dir_all(&dir).ok();
     std::fs::create_dir_all(&dir).unwrap();
     let tl_path = dir.join("postmortem.json").display().to_string();
-    // c=1 leaves no surviving replica: the kill must end Unrecoverable and
-    // the flight recorder must dump a postmortem bundle on the way out.
+    // Killing every rank leaves nothing to shrink onto: the run must end
+    // Unrecoverable and the flight recorder must dump a postmortem bundle
+    // on the way out.
     let out = cli()
         .args([
             "run", "n=64", "p=4", "c=1", "steps=1",
-            "--faults=kill:2@1", "fault-timeout-ms=300",
+            "--faults=kill:0@1,kill:1@1,kill:2@1,kill:3@1",
+            "fault-timeout-ms=300",
             &format!("--record-timeline={tl_path}"),
         ])
         .output()
@@ -1201,15 +1233,214 @@ fn chaos_postmortem_flag_dumps_bundle_for_the_unrecoverable_kill() {
     let last = stdout.lines().last().unwrap();
     let doc = nbody_trace::Json::parse(last).unwrap();
     let bundles = doc.get("postmortem_bundles").unwrap().as_array().unwrap();
-    // The sweep itself recovers everywhere; only the deliberate c=1 kill
-    // ends Unrecoverable and leaves a bundle.
+    // The sweep recovers or shrinks everywhere; only the deliberate
+    // total-loss kill ends Unrecoverable and leaves a bundle.
     assert_eq!(bundles.len(), 1, "{last}");
-    assert_eq!(bundles[0].as_str(), Some("c1_kill_unrecoverable"));
-    let bundle_path = format!("{pm_dir}/c1_kill_unrecoverable.json");
+    assert_eq!(bundles[0].as_str(), Some("total_loss_unrecoverable"));
+    let bundle_path = format!("{pm_dir}/total_loss_unrecoverable.json");
     let text = std::fs::read_to_string(&bundle_path).expect("bundle not written");
     let tl = nbody_comm::RunTimeline::parse(&text).expect("invalid bundle");
     assert!(tl.is_postmortem());
     std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn checkpointed_run_crashes_on_cue_and_resumes_bit_identically() {
+    let dir = std::env::temp_dir().join("ca_nbody_cli_ckpt_resume_test");
+    std::fs::remove_dir_all(&dir).ok();
+    let common = ["n=64", "p=4", "c=2", "steps=6"];
+
+    // The reference: the same run, uninterrupted, no checkpoint sink.
+    let out = cli().arg("run").args(common).output().expect("launch");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let doc = nbody_trace::Json::parse(stdout.lines().last().unwrap()).unwrap();
+    let want_energy = doc.get("kinetic_energy").unwrap().as_f64().unwrap();
+
+    // Crash on cue: rank 0 hard-exits (code 137) right after the step-4
+    // bundle is durably on disk. Steps 2 and 4 must both have been
+    // persisted by then; no later checkpoint may exist.
+    let out = cli()
+        .arg("run")
+        .args(common)
+        .args([
+            &format!("--checkpoint-dir={}", dir.display()),
+            "--checkpoint-every=2",
+            "--crash-at-step=4",
+        ])
+        .output()
+        .expect("launch");
+    assert_eq!(
+        out.status.code(),
+        Some(137),
+        "crash-at-step must exit 137: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    for step in [2, 4] {
+        let path = dir.join(format!("ckpt-{step:08}.json"));
+        assert!(path.is_file(), "missing durable bundle {}", path.display());
+    }
+    assert!(!dir.join("ckpt-00000006.json").exists());
+
+    // Resume from the newest bundle and finish the remaining steps: the
+    // final state must be bit-identical to the uninterrupted run.
+    let out = cli()
+        .arg("run")
+        .args(common)
+        .arg(format!("--resume={}", dir.display()))
+        .output()
+        .expect("launch");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "{stdout}\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let doc = nbody_trace::Json::parse(stdout.lines().last().unwrap()).unwrap();
+    assert_eq!(doc.get("resumed_from_step").unwrap().as_f64(), Some(4.0));
+    let got_energy = doc.get("kinetic_energy").unwrap().as_f64().unwrap();
+    assert_eq!(
+        got_energy, want_energy,
+        "resumed trajectory must match the uninterrupted run exactly"
+    );
+    // Resuming keeps checkpointing into the same directory: the final
+    // step lands a new bundle.
+    assert!(
+        dir.join("ckpt-00000006.json").is_file(),
+        "resumed run must keep persisting on the same cadence"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn resume_rejects_mismatched_fingerprint_and_empty_dir() {
+    let dir = std::env::temp_dir().join("ca_nbody_cli_ckpt_reject_test");
+    std::fs::remove_dir_all(&dir).ok();
+
+    // No checkpoint in the directory: a clear one-line error.
+    std::fs::create_dir_all(&dir).unwrap();
+    let out = cli()
+        .args(["run", "n=64", "p=4", "c=2", "steps=2"])
+        .arg(format!("--resume={}", dir.display()))
+        .output()
+        .expect("launch");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("cannot resume"), "{stderr}");
+    assert!(!stderr.contains("panicked"), "{stderr}");
+
+    // Seed a real checkpoint, then try to resume a different run shape:
+    // the fingerprint gate must refuse rather than silently continue.
+    let out = cli()
+        .args([
+            "run", "n=64", "p=4", "c=2", "steps=2",
+            &format!("--checkpoint-dir={}", dir.display()),
+        ])
+        .output()
+        .expect("launch");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let out = cli()
+        .args(["run", "n=128", "p=4", "c=2", "steps=2"])
+        .arg(format!("--resume={}", dir.display()))
+        .output()
+        .expect("launch");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("resume rejected"), "{stderr}");
+    assert!(!stderr.contains("panicked"), "{stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn chaos_multi_kill_and_soak_subcommands_pass() {
+    // Multi-fault chaos: three concurrent same-step kills across distinct
+    // columns recover without shrinking, and the forced whole-column kill
+    // exercises the shrink path (shrinks > 0 in the summary).
+    let out = cli()
+        .args([
+            "chaos", "n=64", "p=8", "c=2", "steps=1",
+            "--kills=3", "fault-timeout-ms=250",
+        ])
+        .output()
+        .expect("launch");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "{stdout}\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let doc = nbody_trace::Json::parse(stdout.lines().last().unwrap()).unwrap();
+    assert!(
+        matches!(doc.get("pass"), Some(nbody_trace::Json::Bool(true))),
+        "{stdout}"
+    );
+    assert_eq!(doc.get("kills").unwrap().as_f64(), Some(3.0));
+    assert!(doc.get("shrinks").unwrap().as_f64().unwrap() > 0.0, "{stdout}");
+
+    // A short randomized soak: seeded fault schedules, so any failure
+    // here is reproducible from the printed seed.
+    let out = cli()
+        .args([
+            "soak", "n=64", "p=8", "c=2", "steps=1",
+            "seconds=3", "events=2", "fault-timeout-ms=250",
+        ])
+        .output()
+        .expect("launch");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "{stdout}\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let doc = nbody_trace::Json::parse(stdout.lines().last().unwrap()).unwrap();
+    assert_eq!(doc.get("cmd").unwrap().as_str(), Some("soak"));
+    assert!(
+        matches!(doc.get("pass"), Some(nbody_trace::Json::Bool(true))),
+        "{stdout}"
+    );
+    assert!(doc.get("runs").unwrap().as_f64().unwrap() > 0.0, "{stdout}");
+    assert_eq!(doc.get("failures").unwrap().as_f64(), Some(0.0));
+}
+
+#[test]
+fn malformed_durability_env_overrides_are_startup_errors() {
+    for (var, bad) in [
+        ("NBODY_CHECKPOINT_EVERY", "0"),
+        ("NBODY_RETRY_TIMEOUT_MS", "soon"),
+        ("NBODY_RETRY_BACKOFF", "0.5"),
+        ("NBODY_RETRY_JITTER", "1.5"),
+    ] {
+        let out = cli()
+            .args(["run", "n=32", "p=2", "c=1", "steps=1"])
+            .env(var, bad)
+            .output()
+            .expect("launch");
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "{var}={bad} must fail startup validation"
+        );
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains(var), "{stderr}");
+        assert!(!stderr.contains("panicked"), "{stderr}");
+    }
+    // Valid overrides still run normally.
+    let out = cli()
+        .args(["run", "n=32", "p=2", "c=1", "steps=1"])
+        .env("NBODY_RETRY_TIMEOUT_MS", "2000")
+        .env("NBODY_RETRY_BACKOFF", "1.5")
+        .env("NBODY_RETRY_JITTER", "0.2")
+        .output()
+        .expect("launch");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
 }
 
 #[test]
