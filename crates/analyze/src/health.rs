@@ -1,0 +1,55 @@
+//! Health-lens rendering: the numerical-health section printed by
+//! `ca-nbody analyze --timeline` and the `ca-nbody health` renderer,
+//! derived entirely from a timeline bundle (energy/momentum series,
+//! sentinel and mismatch flight events, drift windows) via
+//! [`HealthSummary`].
+
+use nbody_simhealth::HealthSummary;
+use nbody_timeline::RunTimeline;
+
+/// The numerical-health section for a timeline bundle.
+pub fn render_health(timeline: &RunTimeline) -> String {
+    HealthSummary::from_timeline(timeline).render()
+}
+
+/// Same summary as compact JSON, for scripting against `ca-nbody health`.
+pub fn health_json(timeline: &RunTimeline) -> String {
+    HealthSummary::from_timeline(timeline).to_json()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nbody_timeline::{RankTimeline, RunTimeline, StepSample};
+
+    fn instrumented_timeline() -> RunTimeline {
+        let samples: Vec<StepSample> = (0..20)
+            .map(|step| StepSample {
+                step,
+                t_secs: step as f64 * 0.01,
+                dt_secs: 0.01,
+                particles: 32,
+                energy: -2.5,
+                momentum: 1e-14,
+                ..StepSample::default()
+            })
+            .collect();
+        RunTimeline::from_ranks(vec![RankTimeline {
+            rank: 0,
+            stride: 1,
+            samples,
+            events: Vec::new(),
+            dropped_events: 0,
+            failure: None,
+        }])
+    }
+
+    #[test]
+    fn render_health_forwards_the_summary() {
+        let text = render_health(&instrumented_timeline());
+        assert!(text.contains("HEALTHY"), "{text}");
+        assert!(text.contains("energy"), "{text}");
+        let json = health_json(&instrumented_timeline());
+        assert!(json.contains("\"clean\":true"), "{json}");
+    }
+}

@@ -34,6 +34,7 @@
 #![warn(missing_docs)]
 
 pub mod critical;
+pub mod health;
 pub mod heatmap;
 pub mod history;
 pub mod imbalance;
@@ -42,6 +43,7 @@ pub mod stragglers;
 pub mod wire;
 
 pub use critical::{critical_path, StepCritical};
+pub use health::{health_json, render_health};
 pub use heatmap::{grid_heatmap, GridHeatmap};
 pub use history::{
     check_regression, parse_history, RegressionReport, RunSummary, Verdict,

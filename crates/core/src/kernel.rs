@@ -45,6 +45,43 @@ pub fn accumulate_block<F: ForceLaw>(
         .saturating_sub(skipped)
 }
 
+/// [`accumulate_block`], additionally harvesting the summed pair potential
+/// of every evaluated interaction — the health monitors' potential-energy
+/// partial. Because the CA schedules evaluate every *ordered* pair exactly
+/// once globally, the world-reduced sum of these partials counts each
+/// unordered pair twice; the driver halves it.
+///
+/// Kept separate from [`accumulate_block`] so plain (health-off) runs pay
+/// nothing: the potential evaluation is not free for laws like
+/// Lennard-Jones, and a dead second accumulator still costs a register.
+pub fn accumulate_block_potential<F: ForceLaw>(
+    targets: &mut [Particle],
+    sources: &[Particle],
+    law: &F,
+    domain: &Domain,
+    boundary: Boundary,
+) -> (u64, f64) {
+    let mut skipped: u64 = 0;
+    let mut potential = 0.0f64;
+    for t in targets.iter_mut() {
+        let mut acc = t.force;
+        for s in sources {
+            if t.id == s.id {
+                skipped += 1;
+                continue;
+            }
+            let disp = boundary.displacement(domain, t.pos, s.pos);
+            acc += law.force(t, s, disp);
+            potential += law.potential(t, s, disp);
+        }
+        t.force = acc;
+    }
+    let evals = (targets.len() as u64)
+        .saturating_mul(sources.len() as u64)
+        .saturating_sub(skipped);
+    (evals, potential)
+}
+
 /// Number of force evaluations `accumulate_block` performs for the given
 /// block sizes (used by schedule generators to cost compute ops): all
 /// ordered cross pairs, minus the skipped self-pairs when the blocks are
@@ -208,6 +245,35 @@ mod tests {
         reference::accumulate_forces(&mut b, &Counting, &domain, Boundary::Open);
         assert_eq!(a, b);
         assert_eq!(evals, block_interactions(30, 30, true));
+    }
+
+    #[test]
+    fn potential_variant_matches_plain_kernel_and_pair_sum() {
+        use nbody_physics::Gravity;
+        let domain = Domain::unit();
+        let law = Gravity { g: 1e-3, softening: 0.05 };
+        let mut a = init::uniform(24, &domain, 5);
+        let mut b = a.clone();
+        let sources = a.clone();
+
+        let evals_plain = accumulate_block(&mut a, &sources, &law, &domain, Boundary::Open);
+        let (evals, pe) =
+            accumulate_block_potential(&mut b, &sources, &law, &domain, Boundary::Open);
+        assert_eq!(a, b, "forces must be bit-identical to the plain kernel");
+        assert_eq!(evals, evals_plain);
+
+        // Block-on-itself evaluates each unordered pair twice, so the
+        // harvested sum is exactly twice the once-per-pair diagnostic.
+        let reference = nbody_physics::diagnostics::total_potential_energy(
+            &sources,
+            &law,
+            &domain,
+            Boundary::Open,
+        );
+        assert!(
+            (pe - 2.0 * reference).abs() <= 1e-12 * reference.abs().max(1.0),
+            "harvested {pe} vs 2x reference {reference}"
+        );
     }
 
     #[test]

@@ -39,15 +39,17 @@ pub use cutoff::{ca_cutoff_forces, CutoffError};
 pub use allpairs::ca_all_pairs_forces;
 pub use grid::{GridComms, GridError, ProcGrid};
 pub use recovery::{
-    ca_all_pairs_forces_ft, ca_cutoff_forces_ft, FaultClass, FaultError, RecoveryReport,
+    ca_all_pairs_forces_ft, ca_all_pairs_forces_ft_health, ca_cutoff_forces_ft,
+    ca_cutoff_forces_ft_health, FaultClass, FaultError, HealthMonitor, RecoveryReport,
     RetryPolicy,
 };
 pub use probe::StepProbe;
 pub use sim::{
     run_distributed, run_distributed_chaos, run_distributed_chaos_recorded,
-    run_distributed_chaos_wired, run_distributed_durable, run_distributed_recorded,
-    run_distributed_sampled, run_distributed_traced, run_distributed_wired, run_serial,
-    ChaosRunResult, CheckpointConfig, Method, RunResult, SimConfig,
+    run_distributed_chaos_wired, run_distributed_durable, run_distributed_health,
+    run_distributed_recorded, run_distributed_sampled, run_distributed_traced,
+    run_distributed_wired, run_serial, ChaosRunResult, CheckpointConfig, Method, RunResult,
+    SimConfig,
 };
 pub use window::{Window, Window1d, Window2d, Window3d};
 pub use window_periodic::{Window1dPeriodic, Window2dPeriodic};

@@ -56,6 +56,21 @@ impl StepProbe {
     /// `particles` is the rank's resident particle count after the step
     /// (the imbalance input).
     pub fn sample<C: Communicator>(&mut self, world: &C, step: usize, particles: usize) {
+        self.sample_with(world, step, particles, 0.0, 0.0);
+    }
+
+    /// [`sample`](StepProbe::sample) with the health monitors' globally
+    /// reduced invariants attached: total energy and total-momentum norm
+    /// after the step. Pass `0.0` for both on uninstrumented steps — zero
+    /// is the series' "unmeasured" sentinel.
+    pub fn sample_with<C: Communicator>(
+        &mut self,
+        world: &C,
+        step: usize,
+        particles: usize,
+        energy: f64,
+        momentum: f64,
+    ) {
         self.tl.step_mark(step as u64);
         if !self.tl.wants_samples() {
             return;
@@ -77,6 +92,8 @@ impl StepProbe {
             flops: flops - self.prev_flops,
             compute_nanos: nanos - self.prev_nanos,
             particles: particles as u64,
+            energy,
+            momentum,
         });
         self.prev_send = send;
         self.prev_coll = coll;

@@ -50,16 +50,20 @@
 //! separately by `audit`) and counted in the `fault_*` /
 //! `recovery_bytes_total` metrics.
 
+use std::cell::Cell;
 use std::time::{Duration, Instant};
 
 use nbody_comm::{CommError, Communicator, EventKind, Phase};
 use nbody_metrics::Counter;
 use nbody_physics::{Boundary, Domain, ForceLaw, Particle};
+use nbody_simhealth::state_fingerprint;
 
 use crate::allpairs::{TAG_SHIFT, TAG_SKEW};
 use crate::cutoff::{row_steps, validate_cutoff, TAG_CSHIFT, TAG_CSKEW};
 use crate::grid::GridComms;
-use crate::kernel::{accumulate_block, combine_forces, ComputeMeter};
+use crate::kernel::{
+    accumulate_block, accumulate_block_potential, combine_forces, ComputeMeter,
+};
 use crate::window::Window;
 
 /// Tag distance between retry attempts of one evaluation. Attempt `a` of
@@ -72,9 +76,15 @@ pub const ATTEMPT_TAG_STRIDE: u64 = 1 << 16;
 /// from an aborted attempt in step `t` from matching step `t + 1`'s tags.
 pub const EPOCH_TAG_STRIDE: u64 = 1 << 20;
 
+// Attempt statuses, max-reduced for global agreement: the ordering is the
+// severity ordering, so the worst local outcome wins. A corrupt replica
+// outranks a transient (its checkpoint must be re-seeded, not merely
+// retried) but a dead rank outranks both (the dead-rank resync re-seeds
+// every replica in the column anyway).
 const STATUS_OK: u8 = 0;
 const STATUS_TRANSIENT: u8 = 1;
-const STATUS_DEAD: u8 = 2;
+const STATUS_CORRUPT: u8 = 2;
+const STATUS_DEAD: u8 = 3;
 
 /// The fault class a retry is responding to; each class gets its own
 /// deadline schedule in the [`RetryPolicy`].
@@ -86,6 +96,11 @@ pub enum FaultClass {
     /// A peer observed dead (`PeerDead`): detection is immediate and a
     /// replacement re-enters promptly, so the deadline stays fixed.
     PeerDead,
+    /// A replica fingerprint mismatch (`StateCorrupt`): the corrupt
+    /// checkpoint is re-seeded from a clean teammate and the retry
+    /// re-enters promptly — like a crash, there is nothing to back off
+    /// from, so the deadline stays fixed at the base.
+    Corrupt,
 }
 
 impl FaultClass {
@@ -94,6 +109,7 @@ impl FaultClass {
         match self {
             FaultClass::Transient => "transient",
             FaultClass::PeerDead => "peer-dead",
+            FaultClass::Corrupt => "corrupt",
         }
     }
 }
@@ -186,6 +202,7 @@ impl RetryPolicy {
                 self.base_timeout.as_secs_f64() * self.backoff.max(1.0).powi(exp)
             }
             FaultClass::PeerDead => self.peer_dead_timeout.as_secs_f64(),
+            FaultClass::Corrupt => self.base_timeout.as_secs_f64(),
         };
         let jitter = base * self.jitter.clamp(0.0, 1.0) * unit_jitter(self.seed, epoch, attempt as u64);
         Duration::from_secs_f64((base + jitter).min(3600.0))
@@ -222,6 +239,18 @@ pub enum FaultError {
         /// Attempts performed (initial + retries).
         attempts: usize,
     },
+    /// A numerical-health sentinel fired: a NaN/Inf reached simulation
+    /// state. Unlike the fault classes above this is not a machine fault
+    /// — retrying reproduces it — so the run aborts into a postmortem
+    /// with the blame attached.
+    NumericalFault {
+        /// World rank that caught the non-finite value.
+        rank: usize,
+        /// Timestep on which the sentinel fired.
+        step: u64,
+        /// The sentinel's blame string (phase, particle index, field).
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for FaultError {
@@ -238,6 +267,9 @@ impl std::fmt::Display for FaultError {
             ),
             FaultError::RetriesExhausted { attempts } => {
                 write!(f, "faults persisted through {attempts} attempts; giving up")
+            }
+            FaultError::NumericalFault { rank, step, detail } => {
+                write!(f, "numerical fault on rank {rank} at step {step}: {detail}")
             }
         }
     }
@@ -260,6 +292,9 @@ pub struct RecoveryReport {
     pub lost_particles: usize,
     /// World size after the last shrink (0 = the world never shrank).
     pub survivor_ranks: usize,
+    /// Replica fingerprint mismatches the health cross-check detected
+    /// (and repaired) during this evaluation.
+    pub fingerprint_mismatches: usize,
 }
 
 /// Per-rank fault/recovery counters, registered against the live metrics
@@ -299,6 +334,105 @@ fn agree<C: Communicator>(gc: &GridComms<C>, local: u8) -> u8 {
     buf[0]
 }
 
+/// Per-rank numerical-health state threaded through the fault-tolerant
+/// drivers: enables the replica fingerprint cross-check and carries the
+/// deterministic corruption injection used to test it.
+///
+/// One instance lives per rank for the whole run (the injection must fire
+/// exactly once, across steps *and* retry attempts), so it holds interior
+/// [`Cell`] state and is deliberately `!Sync` — construct it inside the
+/// per-rank closure.
+pub struct HealthMonitor {
+    /// Run the fingerprint cross-check at the start of every recovery
+    /// attempt (only meaningful when `c > 1`).
+    pub fingerprint: bool,
+    /// Silently flip one mantissa bit of the first checkpointed particle
+    /// on world rank `.0` at evaluation epoch `.1` — the seeded corruption
+    /// the cross-check must catch within one step.
+    pub corrupt: Option<(usize, u64)>,
+    corrupt_fired: Cell<bool>,
+}
+
+impl HealthMonitor {
+    /// A monitor with the cross-check toggled and an optional seeded
+    /// corruption target.
+    pub fn new(fingerprint: bool, corrupt: Option<(usize, u64)>) -> HealthMonitor {
+        HealthMonitor {
+            fingerprint,
+            corrupt,
+            corrupt_fired: Cell::new(false),
+        }
+    }
+
+    /// Fire the seeded corruption if this (rank, epoch) is the target and
+    /// it has not fired yet. Corrupts the *checkpoint*, not the working
+    /// copy: real silent corruption survives local retries, and so must
+    /// the injected kind — only the cross-check's re-seed can clear it.
+    fn maybe_corrupt(&self, world_rank: usize, epoch: u64, input: &mut [Particle]) {
+        let Some((rank, step)) = self.corrupt else {
+            return;
+        };
+        if rank != world_rank || step != epoch || self.corrupt_fired.get() {
+            return;
+        }
+        self.corrupt_fired.set(true);
+        if let Some(p) = input.first_mut() {
+            p.pos.x = f64::from_bits(p.pos.x.to_bits() ^ (1 << 40));
+        }
+    }
+
+    /// The cross-check: allgather every replica's state fingerprint down
+    /// the column and majority-vote (ties break to the lowest row, which
+    /// matches the broadcast root's copy). A rank in the minority returns
+    /// [`CommError::StateCorrupt`] so the recovery loop can treat the
+    /// divergence as its own fault class.
+    ///
+    /// Limitations, by construction: corruption on the broadcast root
+    /// *before* the team broadcast replicates to every row and is
+    /// invisible here (all copies agree), and at `c = 2` a corrupted row
+    /// 0 wins the tiebreak — the mismatch is still *detected* and
+    /// reported, but the repair converges on row 0's copy.
+    fn crosscheck<C: Communicator>(
+        &self,
+        gc: &GridComms<C>,
+        st: &[Particle],
+        world_rank: usize,
+        epoch: u64,
+    ) -> Result<(), CommError> {
+        if !self.fingerprint || gc.grid.c() < 2 {
+            return Ok(());
+        }
+        gc.col.set_phase(Phase::Recovery);
+        let fp = state_fingerprint(st);
+        let all = gc.col.allgather(&[fp]);
+        // Majority fingerprint; ties break to the lowest row.
+        let mut majority = fp;
+        let mut best = 0usize;
+        for row in &all {
+            let count = all.iter().filter(|other| other[0] == row[0]).count();
+            if count > best {
+                best = count;
+                majority = row[0];
+            }
+        }
+        if fp == majority {
+            return Ok(());
+        }
+        let err = CommError::StateCorrupt {
+            rank: world_rank,
+            expected: majority,
+            got: fp,
+        };
+        let tl = gc.col.timeline();
+        tl.event(EventKind::ReplicaMismatch, Some(epoch), &err.to_string());
+        gc.col
+            .metrics()
+            .counter("health_fingerprint_mismatch_total", None)
+            .inc();
+        Err(err)
+    }
+}
+
 /// The retry/agreement/resync loop shared by both fault-tolerant drivers.
 ///
 /// `st` must hold the post-broadcast input block; `attempt` runs one
@@ -313,6 +447,7 @@ fn recovery_loop<C: Communicator>(
     st: &mut Vec<Particle>,
     policy: &RetryPolicy,
     epoch: u64,
+    health: Option<&HealthMonitor>,
     mut attempt: impl FnMut(&mut Vec<Particle>, u64, Duration) -> Result<(), CommError>,
 ) -> Result<RecoveryReport, FaultError> {
     let c = gc.grid.c();
@@ -334,19 +469,31 @@ fn recovery_loop<C: Communicator>(
     let started = Instant::now();
     let mut attempts = 0usize;
     let mut had_fault = false;
+    let mut fp_mismatches = 0usize;
     let mut deadline = policy.deadline(FaultClass::Transient, 1, epoch);
     loop {
         attempts += 1;
+        if let Some(h) = health {
+            h.maybe_corrupt(world_rank, epoch, &mut input);
+        }
         st.clone_from(&input);
         let tag_base =
             epoch * EPOCH_TAG_STRIDE + (attempts as u64 - 1) * ATTEMPT_TAG_STRIDE;
-        let outcome = attempt(st, tag_base, deadline);
+        // The cross-check runs on the restored checkpoint before the
+        // pipeline touches the wire: a diverged replica is caught before
+        // it can contaminate an entire evaluation.
+        let outcome = match health.map_or(Ok(()), |h| h.crosscheck(gc, st, world_rank, epoch)) {
+            Ok(()) => attempt(st, tag_base, deadline),
+            Err(e) => Err(e),
+        };
         let local = match outcome {
             Ok(()) => STATUS_OK,
             Err(CommError::PeerDead { .. }) => STATUS_DEAD,
+            Err(CommError::StateCorrupt { .. }) => STATUS_CORRUPT,
             Err(_) => STATUS_TRANSIENT,
         };
         let self_dead = local == STATUS_DEAD;
+        let self_corrupt = local == STATUS_CORRUPT;
         if local != STATUS_OK {
             counters.detected.inc();
             tl.event(
@@ -354,7 +501,13 @@ fn recovery_loop<C: Communicator>(
                 Some(epoch),
                 &format!(
                     "attempt {attempts} failed locally: {} (deadline {}ms)",
-                    if self_dead { "rank dead" } else { "transient" },
+                    if self_dead {
+                        "rank dead"
+                    } else if self_corrupt {
+                        "replica corrupt"
+                    } else {
+                        "transient"
+                    },
                     deadline.as_millis(),
                 ),
             );
@@ -374,10 +527,14 @@ fn recovery_loop<C: Communicator>(
             return Ok(RecoveryReport {
                 attempts,
                 recovered: had_fault,
+                fingerprint_mismatches: fp_mismatches,
                 ..RecoveryReport::default()
             });
         }
         had_fault = true;
+        if status == STATUS_CORRUPT {
+            fp_mismatches += 1;
+        }
         if status == STATUS_DEAD {
             // Which rows of this column survive? The flags are identical
             // on every member of the column.
@@ -458,12 +615,38 @@ fn recovery_loop<C: Communicator>(
                     .add((input.len() * std::mem::size_of::<Particle>()) as u64);
             }
         }
+        if status == STATUS_CORRUPT {
+            // Repair the diverged replica: re-seed every checkpoint in the
+            // column from its lowest row in the cross-check majority. The
+            // corrupt flags are identical on all members of a column (the
+            // majority vote is deterministic), so every member picks the
+            // same broadcast root.
+            let flags = gc.col.allgather(&[u8::from(self_corrupt)]);
+            let src_row = flags
+                .iter()
+                .position(|f| f[0] == 0)
+                .expect("the cross-check minority never includes every row");
+            gc.col.bcast(src_row, &mut input);
+            tl.event(
+                EventKind::Resync,
+                Some(epoch),
+                &format!("checkpoint re-seeded from row {src_row} after fingerprint mismatch"),
+            );
+            if self_corrupt {
+                counters
+                    .resync_bytes
+                    .add((input.len() * std::mem::size_of::<Particle>()) as u64);
+            }
+        }
         counters.retries.inc();
         // The next attempt's deadline comes from the agreed fault class:
-        // crashes re-enter promptly under a fixed deadline, transients
-        // back off (with deterministic jitter shared by every rank).
+        // crashes and repaired corruptions re-enter promptly under fixed
+        // deadlines, transients back off (with deterministic jitter shared
+        // by every rank).
         let class = if status == STATUS_DEAD {
             FaultClass::PeerDead
+        } else if status == STATUS_CORRUPT {
+            FaultClass::Corrupt
         } else {
             FaultClass::Transient
         };
@@ -498,6 +681,28 @@ pub fn ca_all_pairs_forces_ft<C: Communicator, F: ForceLaw>(
     policy: &RetryPolicy,
     epoch: u64,
 ) -> Result<RecoveryReport, FaultError> {
+    ca_all_pairs_forces_ft_health(gc, st, law, domain, boundary, policy, epoch, None)
+        .map(|(report, _)| report)
+}
+
+/// [`ca_all_pairs_forces_ft`] with the numerical-health monitors threaded
+/// through: when `health` is set, the kernel harvests the summed pair
+/// potential (returned alongside the report — the rank's potential-energy
+/// partial, counting each unordered pair twice globally) and every
+/// recovery attempt starts with the replica fingerprint cross-check.
+/// With `health = None` this *is* the plain ft driver: same kernel, no
+/// harvesting, no cross-check traffic.
+#[allow(clippy::too_many_arguments)]
+pub fn ca_all_pairs_forces_ft_health<C: Communicator, F: ForceLaw>(
+    gc: &GridComms<C>,
+    st: &mut Vec<Particle>,
+    law: &F,
+    domain: &Domain,
+    boundary: Boundary,
+    policy: &RetryPolicy,
+    epoch: u64,
+    health: Option<&HealthMonitor>,
+) -> Result<(RecoveryReport, f64), FaultError> {
     let teams = gc.grid.teams();
     let c = gc.grid.c();
     let steps = gc.grid.all_pairs_steps();
@@ -516,7 +721,11 @@ pub fn ca_all_pairs_forces_ft<C: Communicator, F: ForceLaw>(
     // FLOP/byte accounting for the roofline audit; aborted attempts still
     // count — the work was really done.
     let meter = ComputeMeter::new(&gc.col.metrics(), law.flops_per_interaction());
-    let report = recovery_loop(gc, st, policy, epoch, |st, tag_base, deadline| {
+    let harvest = health.is_some();
+    let mut pe = 0.0f64;
+    let report = recovery_loop(gc, st, policy, epoch, health, |st, tag_base, deadline| {
+        // An aborted attempt's partial harvest must not double-count.
+        pe = 0.0;
         let mut exch = st.clone();
         gc.col.set_phase(Phase::Skew);
         tr.set_step(Some(0));
@@ -541,7 +750,14 @@ pub fn ca_all_pairs_forces_ft<C: Communicator, F: ForceLaw>(
 
             gc.col.set_phase(Phase::Other);
             meter.time(st.len(), exch.len(), || {
-                accumulate_block(st, &exch, law, domain, boundary)
+                if harvest {
+                    let (evals, dpe) =
+                        accumulate_block_potential(st, &exch, law, domain, boundary);
+                    pe += dpe;
+                    evals
+                } else {
+                    accumulate_block(st, &exch, law, domain, boundary)
+                }
             });
         }
         Ok(())
@@ -550,7 +766,7 @@ pub fn ca_all_pairs_forces_ft<C: Communicator, F: ForceLaw>(
 
     gc.col.set_phase(Phase::Reduce);
     gc.col.reduce(0, st, combine_forces);
-    Ok(report)
+    Ok((report, pe))
 }
 
 /// Fault-tolerant [`ca_cutoff_forces`](crate::cutoff::ca_cutoff_forces):
@@ -572,6 +788,26 @@ pub fn ca_cutoff_forces_ft<C: Communicator, W: Window, F: ForceLaw>(
     policy: &RetryPolicy,
     epoch: u64,
 ) -> Result<RecoveryReport, FaultError> {
+    ca_cutoff_forces_ft_health(gc, window, st, law, domain, boundary, policy, epoch, None)
+        .map(|(report, _)| report)
+}
+
+/// [`ca_cutoff_forces_ft`] with the numerical-health monitors threaded
+/// through; see [`ca_all_pairs_forces_ft_health`] for the contract. The
+/// harvested potential covers exactly the in-window pairs the cutoff
+/// schedule evaluates.
+#[allow(clippy::too_many_arguments)]
+pub fn ca_cutoff_forces_ft_health<C: Communicator, W: Window, F: ForceLaw>(
+    gc: &GridComms<C>,
+    window: &W,
+    st: &mut Vec<Particle>,
+    law: &F,
+    domain: &Domain,
+    boundary: Boundary,
+    policy: &RetryPolicy,
+    epoch: u64,
+    health: Option<&HealthMonitor>,
+) -> Result<(RecoveryReport, f64), FaultError> {
     assert_eq!(
         boundary == Boundary::Periodic,
         window.is_periodic(),
@@ -595,7 +831,11 @@ pub fn ca_cutoff_forces_ft<C: Communicator, W: Window, F: ForceLaw>(
     let tr = gc.col.tracer();
     // FLOP/byte accounting for the roofline audit.
     let meter = ComputeMeter::new(&gc.col.metrics(), law.flops_per_interaction());
-    let report = recovery_loop(gc, st, policy, epoch, |st, tag_base, deadline| {
+    let harvest = health.is_some();
+    let mut pe = 0.0f64;
+    let report = recovery_loop(gc, st, policy, epoch, health, |st, tag_base, deadline| {
+        // An aborted attempt's partial harvest must not double-count.
+        pe = 0.0;
         // The home copy is rebuilt from the checkpointed state each
         // attempt, so home-route re-injection stays consistent on retries.
         let home: Vec<Particle> = st.clone();
@@ -649,7 +889,14 @@ pub fn ca_cutoff_forces_ft<C: Communicator, W: Window, F: ForceLaw>(
             if k + s * c < w + c && cur_block.is_some() {
                 gc.col.set_phase(Phase::Other);
                 meter.time(st.len(), exch.len(), || {
-                    accumulate_block(st, &exch, law, domain, boundary)
+                    if harvest {
+                        let (evals, dpe) =
+                            accumulate_block_potential(st, &exch, law, domain, boundary);
+                        pe += dpe;
+                        evals
+                    } else {
+                        accumulate_block(st, &exch, law, domain, boundary)
+                    }
                 });
             }
         }
@@ -659,7 +906,7 @@ pub fn ca_cutoff_forces_ft<C: Communicator, W: Window, F: ForceLaw>(
 
     gc.col.set_phase(Phase::Reduce);
     gc.col.reduce(0, st, combine_forces);
-    Ok(report)
+    Ok((report, pe))
 }
 
 #[cfg(test)]

@@ -15,6 +15,7 @@ use nbody_comm::{
 use nbody_durable::{write_atomic, CheckpointBundle, ColumnBlock};
 use nbody_physics::particle::reset_forces;
 use nbody_physics::{Boundary, Domain, ForceLaw, Integrator, Particle};
+use nbody_simhealth::{scan_forces, scan_state, HealthConfig, HealthReport, Invariants};
 
 use crate::baselines::{
     force_decomposition_forces, naive_allgather_forces, particle_ring_forces,
@@ -28,7 +29,8 @@ use crate::midpoint::midpoint_forces;
 use crate::probe::StepProbe;
 use crate::reassign::reassign_particles;
 use crate::recovery::{
-    ca_all_pairs_forces_ft, ca_cutoff_forces_ft, FaultError, RecoveryReport, RetryPolicy,
+    ca_all_pairs_forces_ft_health, ca_cutoff_forces_ft_health, FaultError, HealthMonitor,
+    RecoveryReport, RetryPolicy,
 };
 use crate::spatial::spatial_halo_forces;
 use crate::window::{Window1d, Window2d};
@@ -346,9 +348,64 @@ where
     F: ForceLaw + Sync,
     I: Integrator + Sync,
 {
+    let (res, timeline) = run_chaos_inner(cfg, method, p, plan, policy, ckpt, None, initial);
+    (res.map(|(r, _)| r), timeline)
+}
+
+/// [`run_distributed_chaos_recorded`] with the numerical-health monitors
+/// on: every step the ranks' partial kinetic/momentum/potential sums are
+/// reduced once world-wide into the timeline's energy/momentum series,
+/// non-finite sentinels scan forces and integrated state (aborting into a
+/// postmortem with the blamed rank/particle/field on first trigger), and
+/// every recovery attempt cross-checks replica state fingerprints down
+/// each column (a diverged replica is re-seeded from its column majority
+/// and counted in [`HealthReport::fingerprint_mismatches`]).
+///
+/// CA methods only, like every chaos run. On success the returned
+/// [`HealthReport`] is the globally agreed verdict (identical on every
+/// rank up to floating-point reduction order).
+pub fn run_distributed_health<F, I>(
+    cfg: &SimConfig<F, I>,
+    method: Method,
+    p: usize,
+    plan: &FaultPlan,
+    policy: &RetryPolicy,
+    health: &HealthConfig,
+    initial: &[Particle],
+) -> (Result<(ChaosRunResult, HealthReport), FaultError>, RunTimeline)
+where
+    F: ForceLaw + Sync,
+    I: Integrator + Sync,
+{
+    let (res, timeline) =
+        run_chaos_inner(cfg, method, p, plan, policy, None, Some(health), initial);
+    (
+        res.map(|(r, h)| (r, h.expect("health runs always produce a report"))),
+        timeline,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_chaos_inner<F, I>(
+    cfg: &SimConfig<F, I>,
+    method: Method,
+    p: usize,
+    plan: &FaultPlan,
+    policy: &RetryPolicy,
+    ckpt: Option<&CheckpointConfig>,
+    health: Option<&HealthConfig>,
+    initial: &[Particle],
+) -> (
+    Result<(ChaosRunResult, Option<HealthReport>), FaultError>,
+    RunTimeline,
+)
+where
+    F: ForceLaw + Sync,
+    I: Integrator + Sync,
+{
     validate_run(cfg, method);
     let (out, trace, metrics, timeline) = run_ranks_chaos_traced(p, plan, |world| {
-        run_rank_ft(cfg, method, world, initial, policy, ckpt)
+        run_rank_ft(cfg, method, world, initial, policy, ckpt, health)
     });
     (assemble_chaos(out, initial.len(), metrics, trace), timeline)
 }
@@ -372,10 +429,10 @@ where
 {
     validate_run(cfg, method);
     let (out, trace, metrics, timeline, wire) = run_ranks_chaos_probed(p, plan, |world| {
-        run_rank_ft(cfg, method, world, initial, policy, None)
+        run_rank_ft(cfg, method, world, initial, policy, None, None)
     });
     (
-        assemble_chaos(out, initial.len(), metrics, trace),
+        assemble_chaos(out, initial.len(), metrics, trace).map(|(r, _)| r),
         timeline,
         wire,
     )
@@ -385,14 +442,15 @@ where
 /// [`ChaosRunResult`], accounting for blocks dropped by agreed shrinks:
 /// the gathered survivors plus the lost particles must tile the initial
 /// set exactly (sorted, unique ids), anything else is a protocol bug.
-type RankOutcome = Result<(Vec<Particle>, CommStats, RecoveryReport), FaultError>;
+type RankOutcome =
+    Result<(Vec<Particle>, CommStats, RecoveryReport, Option<HealthReport>), FaultError>;
 
 fn assemble_chaos(
     out: Vec<RankOutcome>,
     n: usize,
     metrics: MetricsSnapshot,
     trace: ExecutionTrace,
-) -> Result<ChaosRunResult, FaultError> {
+) -> Result<(ChaosRunResult, Option<HealthReport>), FaultError> {
     let p = out.len();
     let mut particles = Vec::with_capacity(n);
     let mut stats = Vec::with_capacity(p);
@@ -401,8 +459,9 @@ fn assemble_chaos(
     let mut shrinks = 0;
     let mut lost_particles = 0;
     let mut final_ranks = p;
+    let mut health: Option<HealthReport> = None;
     for r in out {
-        let (mut ps, st, rep) = r?;
+        let (mut ps, st, rep, hr) = r?;
         particles.append(&mut ps);
         stats.push(st);
         max_attempts = max_attempts.max(rep.attempts);
@@ -413,6 +472,27 @@ fn assemble_chaos(
         lost_particles = lost_particles.max(rep.lost_particles);
         if rep.survivor_ranks > 0 {
             final_ranks = final_ranks.min(rep.survivor_ranks);
+        }
+        if let Some(hr) = hr {
+            // The reduced invariants are agreed on every surviving rank; a
+            // rank that left the world early (shrink) holds a prefix. Keep
+            // the longest view and fold the counters with max so nobody's
+            // tally is truncated.
+            let merged = health.get_or_insert(hr);
+            if hr.steps_checked > merged.steps_checked {
+                let kept = *merged;
+                *merged = hr;
+                merged.sentinel_events = merged.sentinel_events.max(kept.sentinel_events);
+                merged.fingerprint_mismatches =
+                    merged.fingerprint_mismatches.max(kept.fingerprint_mismatches);
+            } else {
+                merged.sentinel_events = merged.sentinel_events.max(hr.sentinel_events);
+                merged.fingerprint_mismatches =
+                    merged.fingerprint_mismatches.max(hr.fingerprint_mismatches);
+                merged.max_rel_energy_drift =
+                    merged.max_rel_energy_drift.max(hr.max_rel_energy_drift);
+                merged.max_momentum_norm = merged.max_momentum_norm.max(hr.max_momentum_norm);
+            }
         }
     }
     particles.sort_by_key(|q| q.id);
@@ -425,17 +505,20 @@ fn assemble_chaos(
         particles.windows(2).all(|w| w[0].id < w[1].id),
         "duplicate particle ids in chaos run"
     );
-    Ok(ChaosRunResult {
-        particles,
-        stats,
-        metrics,
-        trace,
-        max_attempts,
-        recovered,
-        shrinks,
-        lost_particles,
-        final_ranks,
-    })
+    Ok((
+        ChaosRunResult {
+            particles,
+            stats,
+            metrics,
+            trace,
+            max_attempts,
+            recovered,
+            shrinks,
+            lost_particles,
+            final_ranks,
+        },
+        health,
+    ))
 }
 
 /// Execute an agreed shrink: split the survivors off into a new world,
@@ -571,6 +654,107 @@ fn rec_failed_checkpoint<C: Communicator>(cur: &C) {
     cur.metrics().counter("checkpoint_failed_total", None).inc();
 }
 
+/// Post-reduction sentinel pass: apply the seeded NaN injection (fire
+/// once, on the target rank/step) and scan the freshly reduced force
+/// accumulators on leaders. Returns the local blame `(rank, detail)`.
+fn health_scan_forces<C: Communicator>(
+    world: &C,
+    hcfg: &HealthConfig,
+    nan_fired: &mut bool,
+    is_leader: bool,
+    st: &mut [Particle],
+    step: usize,
+) -> Option<(usize, String)> {
+    let rank = world.rank();
+    if let Some((r, s)) = hcfg.injection.nan {
+        if r == rank && s == step as u64 && !*nan_fired {
+            *nan_fired = true;
+            if let Some(q) = st.first_mut() {
+                q.force.x = f64::NAN;
+            }
+        }
+    }
+    if !is_leader {
+        return None;
+    }
+    scan_forces(st).map(|b| (rank, b.detail(rank, step as u64, "force")))
+}
+
+/// Post-integration sentinel pass over positions/velocities/masses.
+fn health_scan_state<C: Communicator>(
+    world: &C,
+    is_leader: bool,
+    st: &[Particle],
+    step: usize,
+) -> Option<(usize, String)> {
+    if !is_leader {
+        return None;
+    }
+    let rank = world.rank();
+    scan_state(st).map(|b| (rank, b.detail(rank, step as u64, "integrate")))
+}
+
+/// The once-per-checked-step world reduction of the health monitors: one
+/// sum-allreduce carries every rank's invariant partials plus its sentinel
+/// flag, so the invariants and the abort decision cost a single
+/// collective. Folds the agreed result into the rank's report and returns
+/// `(total energy, momentum norm)`; an agreed sentinel aborts every rank
+/// with the same [`FaultError::NumericalFault`]. Collective over `cur`
+/// (the current, possibly shrunken, world). Attributed to
+/// [`Phase::Recovery`] — health traffic is outside the paper's cost model,
+/// like recovery traffic.
+fn health_reduce<C: Communicator>(
+    cur: &C,
+    blame: Option<(usize, String)>,
+    inv: Invariants,
+    pe_partial: f64,
+    step: usize,
+    report: &mut HealthReport,
+) -> Result<(f64, f64), FaultError> {
+    cur.set_phase(Phase::Recovery);
+    let mut buf = vec![
+        inv.kinetic,
+        inv.momentum_x,
+        inv.momentum_y,
+        pe_partial,
+        if blame.is_some() { 1.0 } else { 0.0 },
+        blame.as_ref().map_or(0.0, |(r, _)| (*r + 1) as f64),
+    ];
+    cur.allreduce(&mut buf, |a, b| *a += *b);
+    let nonfinite = buf[4] as u64;
+    if nonfinite > 0 {
+        report.sentinel_events += nonfinite;
+        let tl = cur.timeline();
+        let (rank, detail) = match blame {
+            Some((rank, detail)) => {
+                // The catching rank writes the blamed flight event and
+                // turns the timeline into a postmortem bundle.
+                tl.event(EventKind::NonFinite, Some(step as u64), &detail);
+                tl.mark_failure(&detail);
+                (rank, detail)
+            }
+            None => (
+                // Exact when one rank is blamed (the common case); with
+                // several simultaneous blames the sum is only a hint and
+                // the per-rank flight events carry the truth.
+                (buf[5] as usize).saturating_sub(1),
+                "non-finite state detected (see the blamed rank's flight events)".to_string(),
+            ),
+        };
+        return Err(FaultError::NumericalFault {
+            rank,
+            step: step as u64,
+            detail,
+        });
+    }
+    // The CA schedules evaluate every ordered pair exactly once globally,
+    // so the summed kernel harvest counts each unordered pair twice.
+    let energy = buf[0] + buf[3] / 2.0;
+    let momentum = (buf[1] * buf[1] + buf[2] * buf[2]).sqrt();
+    report.record(energy, momentum);
+    Ok((energy, momentum))
+}
+
 /// Per-rank body of a chaos run: the CA drivers with fault-tolerant force
 /// evaluations (`epoch` = timestep index for tag namespacing), degraded
 /// shrinking when whole columns die, and the optional durable checkpoint
@@ -582,7 +766,8 @@ fn run_rank_ft<F, I, C>(
     initial: &[Particle],
     policy: &RetryPolicy,
     ckpt: Option<&CheckpointConfig>,
-) -> Result<(Vec<Particle>, CommStats, RecoveryReport), FaultError>
+    health: Option<&HealthConfig>,
+) -> Result<(Vec<Particle>, CommStats, RecoveryReport, Option<HealthReport>), FaultError>
 where
     F: ForceLaw,
     I: Integrator,
@@ -596,6 +781,13 @@ where
         attempts: 1,
         ..RecoveryReport::default()
     };
+    // Per-rank numerical-health state. The monitor's injection identities
+    // key off the *launch* world rank, which every rank keeps across
+    // shrinks, so a seeded fault lands on the intended rank regardless of
+    // how the grid has contracted by then.
+    let hm = health.map(|h| HealthMonitor::new(h.fingerprint, h.injection.corrupt));
+    let mut nan_fired = false;
+    let mut hreport = HealthReport::default();
     if let Some(ck) = ckpt {
         assert!(ck.every >= 1, "checkpoint cadence must be >= 1");
         if ck.base_step > 0 {
@@ -630,10 +822,10 @@ where
                 }
                 // A ColumnsLost verdict shrinks the world onto the
                 // survivors and re-runs this step's evaluation there.
-                let rep = loop {
+                let (rep, pe_partial) = loop {
                     let r = {
                         let _g = tr.driver_span("force", step);
-                        ca_all_pairs_forces_ft(
+                        ca_all_pairs_forces_ft_health(
                             &gc,
                             &mut st,
                             &cfg.law,
@@ -641,6 +833,7 @@ where
                             cfg.boundary,
                             policy,
                             step as u64,
+                            hm.as_ref(),
                         )
                     };
                     match r {
@@ -652,7 +845,14 @@ where
                                 cur, &grid, &dead_teams, was_leader, &st, &mut live_n, &mut agg,
                                 step,
                             ) {
-                                None => return Ok((Vec::new(), world.stats(), agg)),
+                                None => {
+                                    return Ok((
+                                        Vec::new(),
+                                        world.stats(),
+                                        agg,
+                                        health.map(|_| hreport),
+                                    ))
+                                }
                                 Some((next, full)) => {
                                     let p_new = next.size();
                                     // The largest replication the survivor
@@ -678,12 +878,40 @@ where
                 };
                 agg.attempts = agg.attempts.max(rep.attempts);
                 agg.recovered |= rep.recovered;
+                hreport.fingerprint_mismatches += rep.fingerprint_mismatches as u64;
+                let checked = health.is_some_and(|h| h.checks_step(step as u64));
+                let mut blame = None;
+                if let Some(h) = health {
+                    if checked {
+                        blame = health_scan_forces(
+                            world,
+                            h,
+                            &mut nan_fired,
+                            gc.is_leader(),
+                            &mut st,
+                            step,
+                        );
+                    }
+                }
                 if gc.is_leader() {
                     let _g = tr.driver_span("integrate", step);
                     cfg.integrator
                         .post_force(&mut st, cfg.dt, domain, cfg.boundary);
                 } else {
                     st.clear();
+                }
+                let mut sampled = (0.0, 0.0);
+                if checked {
+                    if blame.is_none() {
+                        blame = health_scan_state(world, gc.is_leader(), &st, step);
+                    }
+                    let inv = if gc.is_leader() {
+                        Invariants::partial(&st)
+                    } else {
+                        Invariants::default()
+                    };
+                    let cur: &C = shrunk.as_ref().unwrap_or(world);
+                    sampled = health_reduce(cur, blame, inv, pe_partial, step, &mut hreport)?;
                 }
                 if let Some(ck) = ckpt {
                     let done = ck.base_step + step as u64 + 1;
@@ -692,10 +920,10 @@ where
                         persist_checkpoint(cur, &grid, gc.is_leader(), &st, ck, done);
                     }
                 }
-                probe.sample(world, step, st.len());
+                probe.sample_with(world, step, st.len(), sampled.0, sampled.1);
             }
             let owned = if gc.is_leader() { st } else { Vec::new() };
-            Ok((owned, world.stats(), agg))
+            Ok((owned, world.stats(), agg, health.map(|_| hreport)))
         }
         Method::Ca1dCutoff { c } | Method::Ca2dCutoff { c } => {
             let two_d = matches!(method, Method::Ca2dCutoff { .. });
@@ -753,36 +981,36 @@ where
                     cfg.integrator.pre_force(&mut st, cfg.dt);
                     reset_forces(&mut st);
                 }
-                let rep = loop {
+                let (rep, pe_partial) = loop {
                     let r = {
                         let _g = tr.driver_span("force", step);
                         match (two_d, periodic) {
                             (true, false) => {
                                 let window = Window2d::from_cutoff(domain, tx, ty, r_c);
-                                ca_cutoff_forces_ft(
+                                ca_cutoff_forces_ft_health(
                                     &gc, &window, &mut st, &cfg.law, domain, cfg.boundary, policy,
-                                    step as u64,
+                                    step as u64, hm.as_ref(),
                                 )
                             }
                             (true, true) => {
                                 let window = Window2dPeriodic::from_cutoff(domain, tx, ty, r_c);
-                                ca_cutoff_forces_ft(
+                                ca_cutoff_forces_ft_health(
                                     &gc, &window, &mut st, &cfg.law, domain, cfg.boundary, policy,
-                                    step as u64,
+                                    step as u64, hm.as_ref(),
                                 )
                             }
                             (false, false) => {
                                 let window = Window1d::from_cutoff(domain, teams, r_c);
-                                ca_cutoff_forces_ft(
+                                ca_cutoff_forces_ft_health(
                                     &gc, &window, &mut st, &cfg.law, domain, cfg.boundary, policy,
-                                    step as u64,
+                                    step as u64, hm.as_ref(),
                                 )
                             }
                             (false, true) => {
                                 let window = Window1dPeriodic::from_cutoff(domain, teams, r_c);
-                                ca_cutoff_forces_ft(
+                                ca_cutoff_forces_ft_health(
                                     &gc, &window, &mut st, &cfg.law, domain, cfg.boundary, policy,
-                                    step as u64,
+                                    step as u64, hm.as_ref(),
                                 )
                             }
                         }
@@ -796,7 +1024,14 @@ where
                                 cur, &grid, &dead_teams, was_leader, &st, &mut live_n, &mut agg,
                                 step,
                             ) {
-                                None => return Ok((Vec::new(), world.stats(), agg)),
+                                None => {
+                                    return Ok((
+                                        Vec::new(),
+                                        world.stats(),
+                                        agg,
+                                        health.map(|_| hreport),
+                                    ))
+                                }
                                 Some((next, full)) => {
                                     let p_new = next.size();
                                     let Some(c_new) =
@@ -837,6 +1072,21 @@ where
                 };
                 agg.attempts = agg.attempts.max(rep.attempts);
                 agg.recovered |= rep.recovered;
+                hreport.fingerprint_mismatches += rep.fingerprint_mismatches as u64;
+                let checked = health.is_some_and(|h| h.checks_step(step as u64));
+                let mut blame = None;
+                if let Some(h) = health {
+                    if checked {
+                        blame = health_scan_forces(
+                            world,
+                            h,
+                            &mut nan_fired,
+                            gc.is_leader(),
+                            &mut st,
+                            step,
+                        );
+                    }
+                }
                 if gc.is_leader() {
                     {
                         let _g = tr.driver_span("integrate", step);
@@ -856,6 +1106,19 @@ where
                 } else {
                     st.clear();
                 }
+                let mut sampled = (0.0, 0.0);
+                if checked {
+                    if blame.is_none() {
+                        blame = health_scan_state(world, gc.is_leader(), &st, step);
+                    }
+                    let inv = if gc.is_leader() {
+                        Invariants::partial(&st)
+                    } else {
+                        Invariants::default()
+                    };
+                    let cur: &C = shrunk.as_ref().unwrap_or(world);
+                    sampled = health_reduce(cur, blame, inv, pe_partial, step, &mut hreport)?;
+                }
                 if let Some(ck) = ckpt {
                     let done = ck.base_step + step as u64 + 1;
                     if done.is_multiple_of(ck.every as u64) || ck.crash_at == Some(done) {
@@ -863,11 +1126,11 @@ where
                         persist_checkpoint(cur, &grid, gc.is_leader(), &st, ck, done);
                     }
                 }
-                probe.sample(world, step, st.len());
+                probe.sample_with(world, step, st.len(), sampled.0, sampled.1);
             }
             world.set_phase(Phase::Other);
             let owned = if gc.is_leader() { st } else { Vec::new() };
-            Ok((owned, world.stats(), agg))
+            Ok((owned, world.stats(), agg, health.map(|_| hreport)))
         }
         _ => panic!(
             "{method:?} has no fault-tolerant driver; chaos runs support the CA methods \

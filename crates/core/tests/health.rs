@@ -1,0 +1,190 @@
+//! Numerical-health integration tests: clean CA runs must report clean
+//! invariants with energy/momentum series landing in the timeline, a
+//! seeded NaN must abort every rank with the injected (rank, step) blamed
+//! in the flight recorder, and a seeded replica corruption must be caught
+//! by the fingerprint cross-check and repaired from a clean row.
+
+use ca_nbody::recovery::{FaultError, RetryPolicy};
+use ca_nbody::sim::{run_distributed_health, Method, SimConfig};
+use nbody_comm::{EventKind, FaultPlan};
+use nbody_physics::{init, Boundary, Cutoff, Domain, Gravity, VelocityVerlet};
+use nbody_simhealth::HealthConfig;
+
+fn cfg(steps: usize) -> SimConfig<Gravity, VelocityVerlet> {
+    SimConfig {
+        law: Gravity {
+            g: 1e-3,
+            softening: 0.05,
+        },
+        integrator: VelocityVerlet,
+        domain: Domain::unit(),
+        boundary: Boundary::Open,
+        dt: 1e-3,
+        steps,
+    }
+}
+
+#[test]
+fn clean_all_pairs_run_reports_clean_invariants() {
+    let cfg = cfg(8);
+    let initial = init::uniform(48, &cfg.domain, 7);
+    let (res, timeline) = run_distributed_health(
+        &cfg,
+        Method::CaAllPairs { c: 2 },
+        8,
+        &FaultPlan::empty(),
+        &RetryPolicy::with_timeout_ms(200),
+        &HealthConfig::enabled(),
+        &initial,
+    );
+    let (run, report) = res.expect("clean run succeeds");
+    assert_eq!(run.particles.len(), 48);
+    assert!(report.is_clean(), "no sentinel events or mismatches: {report:?}");
+    assert_eq!(report.steps_checked, 8);
+    assert!(
+        report.max_rel_energy_drift < 1e-3,
+        "velocity-Verlet gravity drift stays tiny over 8 steps, got {}",
+        report.max_rel_energy_drift
+    );
+    assert!(
+        report.max_momentum_norm < 1e-12,
+        "open-boundary gravity conserves momentum to rounding, got {}",
+        report.max_momentum_norm
+    );
+    assert!(report.energy_first < 0.0, "bound system has negative energy");
+    // Every rank's timeline carries the reduced series (identical values).
+    let energies = timeline.energy_series();
+    assert_eq!(energies.steps.len(), 8, "one energy point per checked step");
+    assert_eq!(timeline.momentum_series().steps.len(), 8);
+}
+
+#[test]
+fn health_cadence_checks_every_kth_step() {
+    let cfg = cfg(9);
+    let initial = init::uniform(32, &cfg.domain, 3);
+    let health = HealthConfig {
+        every: 3,
+        ..HealthConfig::enabled()
+    };
+    let (res, timeline) = run_distributed_health(
+        &cfg,
+        Method::CaAllPairs { c: 1 },
+        4,
+        &FaultPlan::empty(),
+        &RetryPolicy::with_timeout_ms(200),
+        &health,
+        &initial,
+    );
+    let (_, report) = res.expect("clean run succeeds");
+    // Steps 3 and 6 (step 0 is checked too but energy series keys off
+    // non-zero energy, which step 0 also has).
+    assert_eq!(report.steps_checked, 3);
+    assert_eq!(timeline.energy_series().steps.len(), 3);
+}
+
+#[test]
+fn injected_nan_is_blamed_at_the_seeded_rank_and_step() {
+    let cfg = cfg(6);
+    let initial = init::uniform(48, &cfg.domain, 7);
+    let mut health = HealthConfig::enabled();
+    health.injection.nan = Some((0, 3));
+    let (res, timeline) = run_distributed_health(
+        &cfg,
+        Method::CaAllPairs { c: 2 },
+        8,
+        &FaultPlan::empty(),
+        &RetryPolicy::with_timeout_ms(200),
+        &health,
+        &initial,
+    );
+    let err = res.expect_err("seeded NaN must abort the run");
+    match &err {
+        FaultError::NumericalFault { rank, step, detail } => {
+            assert_eq!(*rank, 0);
+            assert_eq!(*step, 3);
+            assert!(detail.contains("non-finite"), "detail: {detail}");
+        }
+        other => panic!("expected NumericalFault, got {other:?}"),
+    }
+    // The blamed rank's flight recorder holds the sentinel event and the
+    // postmortem failure marker; no other rank claims the blame.
+    let rt = &timeline.ranks[0];
+    let ev = rt
+        .events
+        .iter()
+        .find(|e| e.kind == EventKind::NonFinite)
+        .expect("blamed rank records a non-finite flight event");
+    assert_eq!(ev.step, Some(3));
+    assert!(ev.detail.contains("force"), "blames the force phase: {}", ev.detail);
+    assert!(rt.failure.is_some(), "postmortem marker set");
+    for rt in &timeline.ranks[1..] {
+        assert!(rt.events.iter().all(|e| e.kind != EventKind::NonFinite));
+    }
+}
+
+#[test]
+fn corrupted_replica_is_caught_and_repaired_by_the_cross_check() {
+    let cfg = cfg(6);
+    let initial = init::uniform(48, &cfg.domain, 7);
+    let mut health = HealthConfig::enabled();
+    // p=8, c=2: rank 4 is (team 0, row 1), a replica of leader rank 0.
+    health.injection.corrupt = Some((4, 2));
+    let (res, timeline) = run_distributed_health(
+        &cfg,
+        Method::CaAllPairs { c: 2 },
+        8,
+        &FaultPlan::empty(),
+        &RetryPolicy::with_timeout_ms(200),
+        &health,
+        &initial,
+    );
+    let (run, report) = res.expect("cross-check repairs the corrupt replica");
+    assert!(run.recovered, "repair counts as a recovery");
+    assert!(
+        report.fingerprint_mismatches >= 1,
+        "the mismatch is counted: {report:?}"
+    );
+    assert_eq!(report.sentinel_events, 0);
+    // The corrupted rank's flight recorder names the disagreement.
+    let rt = &timeline.ranks[4];
+    assert!(
+        rt.events.iter().any(|e| e.kind == EventKind::ReplicaMismatch),
+        "rank 4 records the fingerprint mismatch"
+    );
+    // The run still finishes with clean physics afterwards.
+    assert!(report.max_momentum_norm < 1e-12);
+    assert_eq!(run.particles.len(), 48);
+}
+
+#[test]
+fn cutoff_driver_reports_health_too() {
+    let law = Cutoff::new(
+        Gravity {
+            g: 1e-4,
+            softening: 0.05,
+        },
+        0.3,
+    );
+    let cfg = SimConfig {
+        law,
+        integrator: VelocityVerlet,
+        domain: Domain::unit(),
+        boundary: Boundary::Periodic,
+        dt: 1e-3,
+        steps: 4,
+    };
+    let initial = init::uniform(40, &cfg.domain, 9);
+    let (res, timeline) = run_distributed_health(
+        &cfg,
+        Method::Ca1dCutoff { c: 2 },
+        8,
+        &FaultPlan::empty(),
+        &RetryPolicy::with_timeout_ms(200),
+        &HealthConfig::enabled(),
+        &initial,
+    );
+    let (_, report) = res.expect("clean cutoff run succeeds");
+    assert!(report.is_clean(), "{report:?}");
+    assert_eq!(report.steps_checked, 4);
+    assert_eq!(timeline.energy_series().steps.len(), 4);
+}

@@ -88,10 +88,12 @@ impl fmt::Display for CheckpointError {
 
 impl std::error::Error for CheckpointError {}
 
-// FNV-1a over the canonical payload text. Same rationale as the netsim
-// `FastHasher`: keys are under our control and the goal is corruption
-// detection, not adversarial collision resistance.
-fn fnv1a(bytes: &[u8]) -> u64 {
+/// FNV-1a over a byte string. Same rationale as the netsim `FastHasher`:
+/// keys are under our control and the goal is corruption detection, not
+/// adversarial collision resistance. Public so the numerical-health layer
+/// (`nbody-simhealth`) builds its replica state fingerprints from the same
+/// hash the checkpoint checksums use.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         h ^= u64::from(b);

@@ -22,5 +22,5 @@
 mod bundle;
 mod store;
 
-pub use bundle::{CheckpointBundle, CheckpointError, ColumnBlock, RunFingerprint, SCHEMA};
+pub use bundle::{fnv1a, CheckpointBundle, CheckpointError, ColumnBlock, RunFingerprint, SCHEMA};
 pub use store::{checkpoint_path, load_latest, load_path, write_atomic};

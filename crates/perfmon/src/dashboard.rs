@@ -8,6 +8,7 @@
 //! listed beneath, and a postmortem banner appears when the timeline
 //! carries a failure.
 
+use nbody_simhealth::HealthSummary;
 use nbody_timeline::{DriftConfig, DriftWindow, MetricSeries, RunTimeline};
 use nbody_wireprobe::WireReport;
 
@@ -75,6 +76,8 @@ pub fn render_dashboard_with_wire(tl: &RunTimeline, wire: Option<&WireReport>) -
         out.push_str("</table>\n");
     }
 
+    render_health_panel(&mut out, tl);
+
     if let Some(report) = wire {
         render_wire_panel(&mut out, report);
     }
@@ -82,6 +85,63 @@ pub fn render_dashboard_with_wire(tl: &RunTimeline, wire: Option<&WireReport>) -
     render_recent_events(&mut out, tl);
     out.push_str("</body></html>\n");
     out
+}
+
+/// The numerical-health panel: verdict, total-energy sparkline, and any
+/// sentinel / fingerprint-mismatch events from a health-instrumented run.
+fn render_health_panel(out: &mut String, tl: &RunTimeline) {
+    let h = HealthSummary::from_timeline(tl);
+    out.push_str("<h2>numerical health</h2>\n");
+    if h.measured_steps == 0 && h.non_finite.is_empty() && h.mismatches.is_empty() {
+        out.push_str(
+            "<p class=\"meta\">not instrumented &mdash; run with <code>--health</code> \
+             to record conservation monitors</p>\n",
+        );
+        return;
+    }
+    let (verdict, color) = if h.is_clean() {
+        ("HEALTHY", "#090")
+    } else {
+        ("UNHEALTHY", "#c00")
+    };
+    out.push_str(&format!(
+        "<p><b style=\"color:{color}\">{verdict}</b> &middot; {} checked steps &middot; \
+         max |&Delta;E/E&#8320;| {:.3e} &middot; max |p| {:.3e}</p>\n",
+        h.measured_steps, h.max_rel_energy_drift, h.max_momentum_norm,
+    ));
+    let energy = tl.energy_series();
+    if !energy.values.is_empty() {
+        out.push_str(&format!(
+            "<p class=\"meta\">total energy: first {:.6e} &middot; last {:.6e}</p>\n",
+            h.energy_first, h.energy_last
+        ));
+        out.push_str(&sparkline_svg(&energy.values));
+    }
+    if !h.energy_drift_windows.is_empty() {
+        out.push_str(&format!(
+            "<p class=\"meta\">energy drift flagged at step(s) {:?}</p>\n",
+            h.energy_drift_windows
+        ));
+    }
+    let blamed = [
+        ("non-finite", &h.non_finite),
+        ("replica mismatch", &h.mismatches),
+    ];
+    if blamed.iter().any(|(_, v)| !v.is_empty()) {
+        out.push_str(
+            "<table><tr><th>kind</th><th>rank</th><th>step</th><th>detail</th></tr>\n",
+        );
+        for (kind, events) in blamed {
+            for (rank, step, detail) in events {
+                out.push_str(&format!(
+                    "<tr><td>{kind}</td><td>{rank}</td><td>{}</td><td>{}</td></tr>\n",
+                    step.map_or(String::new(), |s| s.to_string()),
+                    escape_html(detail)
+                ));
+            }
+        }
+        out.push_str("</table>\n");
+    }
 }
 
 /// The channel-latency panel: per-channel send→recv latency percentiles
@@ -291,6 +351,7 @@ mod tests {
                         flops: 5_000,
                         compute_nanos: 7_000,
                         particles: 100 + rank as u64,
+                        ..StepSample::default()
                     })
                     .collect(),
                 events: vec![],
@@ -367,6 +428,34 @@ mod tests {
         assert!(slow < fast, "slowest first");
         // Without a report, no panel.
         assert!(!render_dashboard(&timeline()).contains("channel latency"));
+    }
+
+    #[test]
+    fn health_panel_shows_unmeasured_hint_then_verdict_and_blame() {
+        // The default test timeline carries no health instrumentation.
+        let html = render_dashboard(&timeline());
+        assert!(html.contains("numerical health"));
+        assert!(html.contains("--health"), "uninstrumented runs point at the flag");
+
+        // Instrumented: energy/momentum on every sample, plus one blamed
+        // sentinel event.
+        let mut tl = timeline();
+        for r in &mut tl.ranks {
+            for s in &mut r.samples {
+                s.energy = -1.25;
+                s.momentum = 1e-13;
+            }
+        }
+        tl.ranks[1].events.push(nbody_timeline::FlightEvent {
+            t_secs: 0.3,
+            kind: EventKind::NonFinite,
+            step: Some(7),
+            detail: "non-finite force.x at rank 1".to_string(),
+        });
+        let html = render_dashboard(&tl);
+        assert!(html.contains("UNHEALTHY"), "sentinel event flips the verdict");
+        assert!(html.contains("non-finite force.x at rank 1"));
+        assert!(html.contains("total energy"), "energy sparkline meta renders");
     }
 
     #[test]

@@ -13,7 +13,11 @@
 //!   wire log has been published, it grows a channel-latency panel.
 //! * `/wire` — the latest published wire-probe log as JSON (the
 //!   `nbody-wireprobe/v1` schema — per-rank message events).
-//! * `/healthz` — liveness probe.
+//! * `/health` — the numerical-health summary of the latest published
+//!   timeline as JSON ([`HealthSummary`]): energy drift, momentum norm,
+//!   sentinel and fingerprint-mismatch events with blame.
+//! * `/healthz` — liveness probe (the *server*'s health, not the
+//!   simulation's — that is `/health`).
 //!
 //! Non-`GET`/`HEAD` methods get `405 Method Not Allowed` with an `Allow`
 //! header; unknown paths get 404. Callers [`publish`](MetricsServer::publish)
@@ -29,6 +33,7 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use nbody_metrics::MetricsSnapshot;
+use nbody_simhealth::HealthSummary;
 use nbody_timeline::RunTimeline;
 use nbody_wireprobe::{match_events, WireLog, WireReport};
 
@@ -51,6 +56,7 @@ struct Bodies {
     timeseries: String,
     dashboard: String,
     wire: String,
+    health: String,
     timeline: RunTimeline,
     wire_report: Option<WireReport>,
 }
@@ -76,6 +82,7 @@ impl MetricsServer {
             timeseries: empty_tl.to_json().to_string(),
             dashboard: render_dashboard_with_wire(&empty_tl, None),
             wire: WireLog::default().to_json(),
+            health: HealthSummary::from_timeline(&empty_tl).to_json(),
             timeline: empty_tl,
             wire_report: None,
         }));
@@ -125,8 +132,10 @@ impl MetricsServer {
     /// stays on the dashboard.
     pub fn publish_timeline(&self, timeline: &RunTimeline) {
         let json = timeline.to_json().to_string();
+        let health = HealthSummary::from_timeline(timeline).to_json();
         if let Ok(mut b) = self.bodies.lock() {
             b.timeseries = json;
+            b.health = health;
             b.dashboard = render_dashboard_with_wire(timeline, b.wire_report.as_ref());
             b.timeline = timeline.clone();
         }
@@ -215,6 +224,7 @@ fn handle_connection(mut stream: TcpStream, bodies: &Arc<Mutex<Bodies>>) -> std:
             ),
             "/timeseries" => ("200 OK", "application/json", b.timeseries.clone()),
             "/wire" => ("200 OK", "application/json", b.wire.clone()),
+            "/health" => ("200 OK", "application/json", b.health.clone()),
             "/dashboard" => (
                 "200 OK",
                 "text/html; charset=utf-8",
@@ -275,6 +285,7 @@ mod tests {
                     flops: 1000,
                     compute_nanos: 900,
                     particles: 50,
+                    ..StepSample::default()
                 })
                 .collect(),
             events: Vec::new(),
@@ -442,6 +453,30 @@ mod tests {
         server.publish_timeline(&sample_timeline());
         let (_, body) = scrape(server.local_addr(), dash);
         assert!(body.contains("channel latency (wire probes)"), "{body}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn health_endpoint_serves_the_summary_of_the_latest_timeline() {
+        let server = MetricsServer::start("127.0.0.1:0").unwrap();
+        let req = "GET /health HTTP/1.1\r\nConnection: close\r\n\r\n";
+
+        // Before any publish: an unmeasured summary, still valid JSON.
+        let (head, body) = scrape(server.local_addr(), req);
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert!(head.contains("Content-Type: application/json"));
+        assert!(body.contains("\"measured_steps\":0"), "{body}");
+
+        // A health-instrumented timeline flips the summary to measured.
+        let mut tl = sample_timeline();
+        for s in &mut tl.ranks[0].samples {
+            s.energy = -0.5;
+            s.momentum = 2e-14;
+        }
+        server.publish_timeline(&tl);
+        let (_, body) = scrape(server.local_addr(), req);
+        assert!(body.contains("\"measured_steps\":4"), "{body}");
+        assert!(body.contains("\"clean\":true"), "{body}");
         server.shutdown();
     }
 

@@ -1,0 +1,95 @@
+//! Order-invariant replica state fingerprints.
+
+use nbody_durable::fnv1a;
+use nbody_physics::Particle;
+
+/// Fingerprint a rank's particle state for cross-replica comparison.
+///
+/// Each particle is hashed independently (FNV-1a over the little-endian
+/// bit patterns of `id`, position, velocity, and mass) and the per-particle
+/// hashes are combined with wrapping addition, so the fingerprint is
+/// **order-invariant**: replicas that hold the same particles in a
+/// different order — which the all-pairs schedule legitimately produces
+/// after shifts — still agree. Force accumulators are deliberately
+/// excluded: they are transient per-step scratch, not replicated state.
+///
+/// Single-bit sensitivity comes from FNV-1a itself: flipping one bit of
+/// one coordinate changes that particle's hash and therefore the sum.
+/// (A sum can be fooled by *coordinated* multi-particle corruption, but
+/// the threat model here is a single diverged replica, not an adversary.)
+pub fn state_fingerprint(particles: &[Particle]) -> u64 {
+    let mut acc = 0u64;
+    let mut bytes = [0u8; 48];
+    for p in particles {
+        bytes[0..8].copy_from_slice(&p.id.to_le_bytes());
+        bytes[8..16].copy_from_slice(&p.pos.x.to_bits().to_le_bytes());
+        bytes[16..24].copy_from_slice(&p.pos.y.to_bits().to_le_bytes());
+        bytes[24..32].copy_from_slice(&p.vel.x.to_bits().to_le_bytes());
+        bytes[32..40].copy_from_slice(&p.vel.y.to_bits().to_le_bytes());
+        bytes[40..48].copy_from_slice(&p.mass.to_bits().to_le_bytes());
+        acc = acc.wrapping_add(fnv1a(&bytes));
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nbody_physics::Vec2;
+
+    fn ensemble() -> Vec<Particle> {
+        (0..32)
+            .map(|i| {
+                let f = i as f64;
+                Particle::moving(
+                    i,
+                    Vec2::new(f * 0.37 - 3.0, (f * 1.91).sin()),
+                    Vec2::new((f * 0.11).cos() * 1e-2, f * -7.5e-3),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn permutation_invariant() {
+        let a = ensemble();
+        let mut b = a.clone();
+        b.reverse();
+        b.swap(3, 17);
+        assert_eq!(state_fingerprint(&a), state_fingerprint(&b));
+    }
+
+    #[test]
+    fn single_bit_flip_changes_fingerprint() {
+        let a = ensemble();
+        let base = state_fingerprint(&a);
+        let mut b = a.clone();
+        b[11].pos.x = f64::from_bits(b[11].pos.x.to_bits() ^ 1);
+        assert_ne!(state_fingerprint(&b), base, "lsb of pos.x");
+        let mut c = a.clone();
+        c[0].vel.y = f64::from_bits(c[0].vel.y.to_bits() ^ (1 << 52));
+        assert_ne!(state_fingerprint(&c), base, "mantissa-top of vel.y");
+        let mut d = a;
+        d[31].mass += 1e-12;
+        assert_ne!(state_fingerprint(&d), base, "mass perturbation");
+    }
+
+    #[test]
+    fn forces_do_not_participate() {
+        let a = ensemble();
+        let mut b = a.clone();
+        for p in &mut b {
+            p.force = Vec2::new(1.0e9, -2.5);
+        }
+        assert_eq!(
+            state_fingerprint(&a),
+            state_fingerprint(&b),
+            "force accumulators are transient scratch"
+        );
+    }
+
+    #[test]
+    fn empty_state_is_zero() {
+        assert_eq!(state_fingerprint(&[]), 0);
+    }
+}

@@ -1,0 +1,105 @@
+//! Per-rank partial conservation invariants.
+
+use nbody_physics::Particle;
+
+/// One rank's additive contribution to the run's conserved quantities.
+///
+/// Each field is a plain sum over particles (or interactions), so a
+/// single world-level sum-allreduce of the four components yields the
+/// global invariants. Kinetic energy and momentum come from the rank's
+/// own particle block; potential energy is harvested inside the force
+/// kernel, where the CA schedule evaluates every ordered pair exactly
+/// once globally (so the summed pair potentials count each *unordered*
+/// pair twice — the driver halves the reduced total).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Invariants {
+    /// Σ ½ m v² over the rank's particles.
+    pub kinetic: f64,
+    /// Σ m vₓ over the rank's particles.
+    pub momentum_x: f64,
+    /// Σ m v_y over the rank's particles.
+    pub momentum_y: f64,
+    /// Σ pair potentials harvested from the rank's kernel calls
+    /// (already halved by the driver when this struct holds the
+    /// globally reduced value).
+    pub potential: f64,
+}
+
+impl Invariants {
+    /// Kinetic and momentum partial sums for a particle block; the
+    /// potential term stays zero (it is harvested by the kernel, not
+    /// computable from one rank's block alone).
+    pub fn partial(particles: &[Particle]) -> Invariants {
+        let mut inv = Invariants::default();
+        for p in particles {
+            inv.kinetic += p.kinetic_energy();
+            let mom = p.momentum();
+            inv.momentum_x += mom.x;
+            inv.momentum_y += mom.y;
+        }
+        inv
+    }
+
+    /// Total energy: kinetic plus potential.
+    pub fn energy(&self) -> f64 {
+        self.kinetic + self.potential
+    }
+
+    /// Euclidean norm of the total momentum vector.
+    pub fn momentum_norm(&self) -> f64 {
+        (self.momentum_x * self.momentum_x + self.momentum_y * self.momentum_y).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nbody_physics::Vec2;
+
+    #[test]
+    fn partial_sums_match_hand_computation() {
+        let particles = vec![
+            Particle {
+                pos: Vec2::new(0.0, 0.0),
+                vel: Vec2::new(2.0, 0.0),
+                force: Vec2::zero(),
+                mass: 3.0,
+                id: 0,
+            },
+            Particle {
+                pos: Vec2::new(1.0, 1.0),
+                vel: Vec2::new(0.0, -1.0),
+                force: Vec2::zero(),
+                mass: 2.0,
+                id: 1,
+            },
+        ];
+        let inv = Invariants::partial(&particles);
+        assert_eq!(inv.kinetic, 0.5 * 3.0 * 4.0 + 0.5 * 2.0 * 1.0); // 7.0
+        assert_eq!(inv.momentum_x, 6.0);
+        assert_eq!(inv.momentum_y, -2.0);
+        assert_eq!(inv.potential, 0.0);
+        assert_eq!(inv.energy(), 7.0);
+        let expect = (36.0f64 + 4.0).sqrt();
+        assert!((inv.momentum_norm() - expect).abs() < 1e-15);
+    }
+
+    #[test]
+    fn partials_are_additive_across_blocks() {
+        let all: Vec<Particle> = (0..10)
+            .map(|i| {
+                Particle::moving(
+                    i,
+                    Vec2::new(i as f64, -(i as f64)),
+                    Vec2::new(0.3 * i as f64, 1.0 - 0.1 * i as f64),
+                )
+            })
+            .collect();
+        let whole = Invariants::partial(&all);
+        let left = Invariants::partial(&all[..4]);
+        let right = Invariants::partial(&all[4..]);
+        assert!((whole.kinetic - (left.kinetic + right.kinetic)).abs() < 1e-12);
+        assert!((whole.momentum_x - (left.momentum_x + right.momentum_x)).abs() < 1e-12);
+        assert!((whole.momentum_y - (left.momentum_y + right.momentum_y)).abs() < 1e-12);
+    }
+}

@@ -219,11 +219,52 @@ impl RunTimeline {
         })
     }
 
-    /// Run the drift detector over the derived imbalance and
-    /// comm-fraction series.
+    /// Per-step global total energy as recorded by the health monitors.
+    /// Every rank of a health run carries the same allreduced value, so
+    /// the mean is the value itself; steps where no rank measured
+    /// anything (energy exactly `0.0`, the "unmeasured" sentinel) are
+    /// omitted, which leaves the series empty on uninstrumented runs.
+    pub fn energy_series(&self) -> MetricSeries {
+        self.derived_series("energy", |per_rank| {
+            let measured: Vec<f64> = per_rank
+                .iter()
+                .map(|s| s.energy)
+                .filter(|e| *e != 0.0)
+                .collect();
+            if measured.is_empty() {
+                None
+            } else {
+                Some(measured.iter().sum::<f64>() / measured.len() as f64)
+            }
+        })
+    }
+
+    /// Per-step norm of the global total momentum (health runs only);
+    /// empty when no step carries a measured energy.
+    pub fn momentum_series(&self) -> MetricSeries {
+        let measured: std::collections::BTreeSet<u32> =
+            self.energy_series().steps.into_iter().collect();
+        self.derived_series("momentum", |per_rank| {
+            if per_rank.iter().any(|s| measured.contains(&s.step)) {
+                let sum: f64 = per_rank.iter().map(|s| s.momentum).sum();
+                Some(sum / per_rank.len() as f64)
+            } else {
+                None
+            }
+        })
+    }
+
+    /// Run the drift detector over the derived imbalance, comm-fraction,
+    /// and (when measured) energy series. Energy drift is the health
+    /// lens's alarm: a conservative integrator on a healthy run keeps the
+    /// series flat, so a sustained shift is numerical trouble, not load.
     pub fn drift(&self, cfg: &DriftConfig) -> Vec<DriftWindow> {
         let mut out = Vec::new();
-        for series in [self.imbalance_series(), self.comm_fraction_series()] {
+        for series in [
+            self.imbalance_series(),
+            self.comm_fraction_series(),
+            self.energy_series(),
+        ] {
             out.extend(detect_drift(
                 &series.metric,
                 &series.steps,
@@ -340,6 +381,38 @@ mod tests {
         let s = tl.comm_fraction_series();
         assert_eq!(s.steps, vec![0]);
         assert!((s.values[0] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_series_skips_unmeasured_runs_and_feeds_drift() {
+        // Uninstrumented run: all energies 0.0 -> empty series, and the
+        // drift pass over it flags nothing.
+        let plain = RunTimeline::from_ranks(vec![rank_tl(0, &[10, 10], 0.0)]);
+        assert!(plain.energy_series().values.is_empty());
+        assert!(plain.momentum_series().values.is_empty());
+
+        // Health run: every rank carries the same allreduced energy; a
+        // sustained jump past the baseline noise must be flagged.
+        let ranks = (0..2)
+            .map(|rank| {
+                let mut rt = rank_tl(rank, &[10; 60], 0.0);
+                for (i, s) in rt.samples.iter_mut().enumerate() {
+                    s.energy = if i < 40 { -1.0 } else { -9.0 };
+                    s.momentum = 1e-14;
+                }
+                rt
+            })
+            .collect();
+        let tl = RunTimeline::from_ranks(ranks);
+        let es = tl.energy_series();
+        assert_eq!(es.steps.len(), 60);
+        assert!((es.values[0] - -1.0).abs() < 1e-12, "mean of equal values");
+        assert_eq!(tl.momentum_series().values.len(), 60);
+        let windows = tl.drift(&DriftConfig::default());
+        assert!(
+            windows.iter().any(|w| w.metric == "energy" && w.start_step == 40),
+            "energy shift is flagged: {windows:?}"
+        );
     }
 
     #[test]

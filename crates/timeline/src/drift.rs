@@ -110,7 +110,11 @@ pub fn detect_drift(
 }
 
 fn median(xs: &mut [f64]) -> f64 {
-    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    // `total_cmp`, not `partial_cmp(..).unwrap()`: a NaN sample (e.g. a
+    // 0/0 derived metric from a rank that recorded nothing) must not
+    // panic the detector. NaNs sort to the ends under the IEEE total
+    // order, leaving the median of the finite bulk intact.
+    xs.sort_by(|a, b| a.total_cmp(b));
     let n = xs.len();
     if n % 2 == 1 {
         xs[n / 2]
@@ -173,6 +177,31 @@ mod tests {
         values[30] = 2.05; // 2.5% deviation, below the 5% floor * 6 sigma
         let windows = detect_drift("comm_fraction", &steps, &values, &DriftConfig::default());
         assert!(windows.is_empty());
+    }
+
+    #[test]
+    fn nan_samples_do_not_panic_and_real_shifts_still_flag() {
+        // Regression: `partial_cmp(..).unwrap()` in the rolling median
+        // panicked on NaN input. NaNs must be survivable — they appear
+        // when a derived metric divides by a zero denominator — and must
+        // not suppress detection of a genuine shift elsewhere.
+        let mut seed = 11;
+        let steps: Vec<u32> = (0..80).collect();
+        let mut values: Vec<f64> = steps
+            .iter()
+            .map(|&s| if s < 40 { 1.0 } else { 3.0 } * jitter(&mut seed))
+            .collect();
+        values[5] = f64::NAN;
+        values[20] = f64::NAN;
+        let windows = detect_drift("imbalance", &steps, &values, &DriftConfig::default());
+        assert!(
+            windows.iter().any(|w| w.start_step >= 40 && w.start_step <= 42),
+            "the step shift is still flagged despite NaN history: {windows:?}"
+        );
+
+        // All-NaN input: nothing sensible to flag, but no panic either.
+        let all_nan = vec![f64::NAN; 80];
+        let _ = detect_drift("imbalance", &steps, &all_nan, &DriftConfig::default());
     }
 
     #[test]

@@ -36,10 +36,15 @@ pub enum EventKind {
     Resume,
     /// Survivors agreed to shrink the world after a column lost every replica.
     WorldShrunk,
+    /// A health sentinel caught a NaN/Inf in simulation state; the detail
+    /// carries the blamed (phase, particle index, field).
+    NonFinite,
+    /// A replica's state fingerprint disagreed with its column majority.
+    ReplicaMismatch,
 }
 
 /// Labels for every event kind, in declaration order.
-pub(crate) const ALL_EVENT_KINDS: [EventKind; 10] = [
+pub(crate) const ALL_EVENT_KINDS: [EventKind; 12] = [
     EventKind::Step,
     EventKind::Checkpoint,
     EventKind::FaultInjected,
@@ -50,6 +55,8 @@ pub(crate) const ALL_EVENT_KINDS: [EventKind; 10] = [
     EventKind::CheckpointPersisted,
     EventKind::Resume,
     EventKind::WorldShrunk,
+    EventKind::NonFinite,
+    EventKind::ReplicaMismatch,
 ];
 
 impl EventKind {
@@ -66,6 +73,8 @@ impl EventKind {
             EventKind::CheckpointPersisted => "checkpoint_persisted",
             EventKind::Resume => "resume",
             EventKind::WorldShrunk => "world_shrunk",
+            EventKind::NonFinite => "non_finite",
+            EventKind::ReplicaMismatch => "replica_mismatch",
         }
     }
 

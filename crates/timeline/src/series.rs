@@ -27,6 +27,14 @@ pub struct StepSample {
     pub compute_nanos: u64,
     /// Particles held by the rank at the end of the step (imbalance input).
     pub particles: u64,
+    /// Global total energy (kinetic + potential) after the step, as
+    /// reduced by the health monitors. `0.0` when the run was not
+    /// health-instrumented (the monitors never record an exact zero for a
+    /// thermalized ensemble, so zero doubles as "unmeasured").
+    pub energy: f64,
+    /// Norm of the global total momentum after the step (health runs
+    /// only; `0.0` otherwise, see [`energy`](StepSample::energy)).
+    pub momentum: f64,
 }
 
 impl StepSample {
@@ -41,6 +49,8 @@ impl StepSample {
             ("flops".into(), Json::Num(self.flops as f64)),
             ("compute_nanos".into(), Json::Num(self.compute_nanos as f64)),
             ("particles".into(), Json::Num(self.particles as f64)),
+            ("energy".into(), Json::Num(self.energy)),
+            ("momentum".into(), Json::Num(self.momentum)),
         ])
     }
 
@@ -50,6 +60,9 @@ impl StepSample {
                 .and_then(Json::as_f64)
                 .ok_or_else(|| format!("sample missing numeric '{key}'"))
         };
+        // Health fields arrived after `nbody-timeline/v1` shipped: absent
+        // keys parse as 0.0 ("unmeasured") so older bundles stay readable.
+        let opt = |key: &str| v.get(key).and_then(Json::as_f64).unwrap_or(0.0);
         Ok(StepSample {
             step: num("step")? as u32,
             t_secs: num("t")?,
@@ -60,6 +73,8 @@ impl StepSample {
             flops: num("flops")? as u64,
             compute_nanos: num("compute_nanos")? as u64,
             particles: num("particles")? as u64,
+            energy: opt("energy"),
+            momentum: opt("momentum"),
         })
     }
 }
@@ -226,8 +241,34 @@ mod tests {
             flops: 1_000_000,
             compute_nanos: 250_000,
             particles: 128,
+            energy: -3.75e-2,
+            momentum: 1.5e-13,
         };
         let back = StepSample::from_json(&orig.to_json()).unwrap();
         assert_eq!(back, orig);
+    }
+
+    #[test]
+    fn v1_samples_without_health_fields_still_parse() {
+        // A pre-health bundle sample: no `energy`/`momentum` keys.
+        let orig = StepSample {
+            step: 3,
+            t_secs: 0.75,
+            dt_secs: 0.25,
+            send_bytes: 64,
+            ..StepSample::default()
+        };
+        let json = orig.to_json();
+        let stripped = match json {
+            Json::Obj(fields) => Json::Obj(
+                fields
+                    .into_iter()
+                    .filter(|(k, _)| k != "energy" && k != "momentum")
+                    .collect(),
+            ),
+            _ => unreachable!(),
+        };
+        let back = StepSample::from_json(&stripped).unwrap();
+        assert_eq!(back, orig, "absent health keys default to unmeasured");
     }
 }

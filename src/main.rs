@@ -152,15 +152,16 @@ use ca_nbody::schedule::{count_ops, AllPairsParams};
 use ca_nbody::recovery::RetryPolicy;
 use ca_nbody::{
     expected_schedule, run_distributed, run_distributed_chaos_recorded,
-    run_distributed_chaos_wired, run_distributed_durable, run_distributed_recorded,
-    run_distributed_traced, run_distributed_wired, run_serial, CheckpointConfig, Method, ProcGrid,
-    RunResult, SimConfig, Window, Window1d, WireScheduleSpec,
+    run_distributed_chaos_wired, run_distributed_durable, run_distributed_health,
+    run_distributed_recorded, run_distributed_traced, run_distributed_wired, run_serial,
+    CheckpointConfig, Method, ProcGrid, RunResult, SimConfig, Window, Window1d, WireScheduleSpec,
 };
 use nbody_durable::{load_latest, RunFingerprint};
 use nbody_analyze::{
     analyze, check_regression, parse_history, render_conformance, render_csv, render_drift,
-    render_json, render_regression, render_table, render_wire, RunSummary, Verdict,
+    render_health, render_json, render_regression, render_table, render_wire, RunSummary, Verdict,
 };
+use nbody_simhealth::{HealthBaseline, HealthConfig, HealthInjection, HealthReport, HealthSummary};
 use nbody_comm::{
     check_conformance, match_events, validate_env, FaultKind, FaultNote, FaultPlan, RunTimeline,
     WireLog,
@@ -231,6 +232,7 @@ fn main() -> ExitCode {
         "scale" => scale_cmd(&opts),
         "autotune" => autotune_cmd(&opts),
         "analyze" => analyze_cmd(&opts, &positional),
+        "health" => health_cmd(&positional),
         "conformance" => conformance_cmd(&opts, &positional),
         "postmortem" => postmortem_cmd(&positional),
         "regress" => regress_cmd(&opts, &positional),
@@ -244,10 +246,12 @@ fn main() -> ExitCode {
 fn usage() {
     eprintln!(
         "usage: ca-nbody <run|verify|report|audit|calibrate|chaos|soak|scale|autotune|analyze|\
-         conformance|postmortem|regress> \
+         health|conformance|postmortem|regress> \
          [key=value ...] \
          [--trace=F] [--metrics=F] [--record-timeline=F] [--wire-probe=F] [--profile] \
-         [--faults=SPEC] [--checkpoint-dir=D] [--resume=D]\n\
+         [--faults=SPEC] [--checkpoint-dir=D] [--resume=D] \
+         [--health] [--health-every=K] [--health-baseline=F] \
+         [--inject-nan=RANK@STEP] [--corrupt-replica=RANK@STEP]\n\
          see `src/main.rs` header or README.md for the option list"
     );
 }
@@ -443,6 +447,41 @@ fn run_cmd(opts: &HashMap<String, String>, verify: bool) -> ExitCode {
         None => None,
     };
 
+    // Numerical-health monitors: --health turns them on; the injection
+    // flags (seeded non-finite / replica corruption) imply them, since an
+    // injection without its monitor would be an unobserved fault.
+    let health_cfg: Option<HealthConfig> = {
+        let on = opts.get("health").is_some_and(|v| v != "false")
+            || opts.contains_key("health-every")
+            || opts.contains_key("inject-nan")
+            || opts.contains_key("corrupt-replica");
+        if on {
+            let mut h = HealthConfig::enabled();
+            h.every = get(opts, "health-every", 1u64).max(1);
+            if let Some(spec) = opts.get("inject-nan") {
+                match HealthInjection::parse_target(spec) {
+                    Ok(t) => h.injection.nan = Some(t),
+                    Err(e) => {
+                        eprintln!("invalid --inject-nan target: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            if let Some(spec) = opts.get("corrupt-replica") {
+                match HealthInjection::parse_target(spec) {
+                    Ok(t) => h.injection.corrupt = Some(t),
+                    Err(e) => {
+                        eprintln!("invalid --corrupt-replica target: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            Some(h)
+        } else {
+            None
+        }
+    };
+
     // The adaptive retry policy: CLI flags beat env overrides beat
     // defaults (env values were validated by `validate_env` at startup).
     let env_u64 = |name: &str| {
@@ -586,13 +625,19 @@ fn run_cmd(opts: &HashMap<String, String>, verify: bool) -> ExitCode {
 
     println!("{method:?} on {p} ranks: n={n}, steps={steps}, dt={dt}, law={law_name}");
     let start = std::time::Instant::now();
-    let (result, trace, metrics, chaos_info, timeline, wire) = if faults.is_some() || ckpt.is_some()
+    let mut health_report: Option<HealthReport> = None;
+    let (result, trace, metrics, chaos_info, timeline, wire) = if faults.is_some()
+        || ckpt.is_some()
+        || health_cfg.is_some()
     {
         if !matches!(
             method,
             Method::CaAllPairs { .. } | Method::Ca1dCutoff { .. } | Method::Ca2dCutoff { .. }
         ) {
-            eprintln!("--faults requires a CA method (ca, ca-cutoff-1d, ca-cutoff-2d)");
+            eprintln!(
+                "each of --faults/--checkpoint-dir/--health requires a CA method \
+                 (ca, ca-cutoff-1d, ca-cutoff-2d)"
+            );
             return ExitCode::FAILURE;
         }
         let plan = faults.clone().unwrap_or_else(FaultPlan::empty);
@@ -600,7 +645,28 @@ fn run_cmd(opts: &HashMap<String, String>, verify: bool) -> ExitCode {
         // protocol message *and* injected fault as first-class events.
         // (The probed runner has no checkpoint sink, so checkpointing
         // takes precedence when both are requested.)
-        let (res, timeline, wire) = if wire_path.is_some() && ckpt.is_none() {
+        let (res, timeline, wire) = if let Some(h) = &health_cfg {
+            // The health runner has no checkpoint sink: the durable lens
+            // and the health lens instrument the same recovery loop, so
+            // combining them is rejected rather than silently degraded.
+            if ckpt.is_some() {
+                eprintln!("--health cannot be combined with --checkpoint-dir/--resume");
+                return ExitCode::FAILURE;
+            }
+            if wire_path.is_some() {
+                eprintln!("note: --wire-probe is ignored on health runs");
+            }
+            let (res, timeline) =
+                run_distributed_health(&cfg, method, p, &plan, &policy, h, &initial);
+            (
+                res.map(|(r, hr)| {
+                    health_report = Some(hr);
+                    r
+                }),
+                timeline,
+                None,
+            )
+        } else if wire_path.is_some() && ckpt.is_none() {
             let (res, timeline, wire) =
                 run_distributed_chaos_wired(&cfg, method, p, &plan, &policy, &initial);
             (res, timeline, Some(wire))
@@ -628,6 +694,17 @@ fn run_cmd(opts: &HashMap<String, String>, verify: bool) -> ExitCode {
                         res.shrinks, res.final_ranks, res.lost_particles
                     );
                 }
+                if let Some(hr) = &health_report {
+                    println!(
+                        "  health: {} steps checked, max |ΔE/E₀| {:.3e}, max |p| {:.3e}, \
+                         {} sentinel event(s), {} fingerprint mismatch(es)",
+                        hr.steps_checked,
+                        hr.max_rel_energy_drift,
+                        hr.max_momentum_norm,
+                        hr.sentinel_events,
+                        hr.fingerprint_mismatches
+                    );
+                }
                 (
                     RunResult {
                         particles: res.particles,
@@ -647,7 +724,11 @@ fn run_cmd(opts: &HashMap<String, String>, verify: bool) -> ExitCode {
                 )
             }
             Err(e) => {
-                eprintln!("fault-injected run failed: {e}");
+                if health_cfg.is_some() && faults.is_none() {
+                    eprintln!("health-instrumented run failed: {e}");
+                } else {
+                    eprintln!("fault-injected run failed: {e}");
+                }
                 // The flight recorder was on the whole time: dump the
                 // postmortem bundle so the failure can be diagnosed.
                 if let Some(path) = &timeline_path {
@@ -911,6 +992,59 @@ fn run_cmd(opts: &HashMap<String, String>, verify: bool) -> ExitCode {
             }
         }
     }
+    let mut health_violations: Vec<String> = Vec::new();
+    if let Some(hr) = &health_report {
+        summary.push((
+            "health_steps_checked".to_string(),
+            Json::Num(hr.steps_checked as f64),
+        ));
+        summary.push((
+            "health_sentinel_events".to_string(),
+            Json::Num(hr.sentinel_events as f64),
+        ));
+        summary.push((
+            "health_fingerprint_mismatches".to_string(),
+            Json::Num(hr.fingerprint_mismatches as f64),
+        ));
+        summary.push(("energy0".to_string(), Json::Num(hr.energy_first)));
+        summary.push(("energy_final".to_string(), Json::Num(hr.energy_last)));
+        summary.push((
+            "energy_drift_rel".to_string(),
+            Json::Num(hr.max_rel_energy_drift),
+        ));
+        summary.push((
+            "momentum_norm_max".to_string(),
+            Json::Num(hr.max_momentum_norm),
+        ));
+        // The CI gate: drift and event counts against the versioned
+        // baseline. An explicitly named baseline must exist; the default
+        // one is optional (monitors still ran, the gate is just skipped).
+        let explicit = opts.get("health-baseline").cloned();
+        let base_path = explicit
+            .clone()
+            .unwrap_or_else(|| "bench_results/health_baseline.json".to_string());
+        match std::fs::read_to_string(&base_path) {
+            Ok(body) => match HealthBaseline::parse(&body) {
+                Ok(base) => {
+                    health_violations = base.gate(hr);
+                    summary.push((
+                        "health_gate".to_string(),
+                        Json::Str(if health_violations.is_empty() { "pass" } else { "fail" }.into()),
+                    ));
+                }
+                Err(e) => {
+                    eprintln!("invalid health baseline {base_path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            Err(e) => {
+                if explicit.is_some() {
+                    eprintln!("cannot read health baseline {base_path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
     if let Some(ck) = &ckpt {
         summary.push((
             "checkpoint_dir".to_string(),
@@ -934,6 +1068,12 @@ fn run_cmd(opts: &HashMap<String, String>, verify: bool) -> ExitCode {
         let hold_ms: u64 = get(opts, "serve-metrics-hold-ms", 2000);
         std::thread::sleep(std::time::Duration::from_millis(hold_ms));
         server.shutdown();
+    }
+    if !health_violations.is_empty() {
+        for v in &health_violations {
+            eprintln!("HEALTH GATE: {v}");
+        }
+        return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
 }
@@ -2447,6 +2587,8 @@ fn analyze_cmd(opts: &HashMap<String, String>, positional: &[String]) -> ExitCod
         if timeline.is_some() || wire.is_some() {
             if let Some(tl) = &timeline {
                 print!("{}", render_drift(tl, &drift_cfg));
+                println!();
+                print!("{}", render_health(tl));
             }
             if let Some(log) = &wire {
                 if timeline.is_some() {
@@ -2485,6 +2627,8 @@ fn analyze_cmd(opts: &HashMap<String, String>, positional: &[String]) -> ExitCod
     if let Some(tl) = &timeline {
         println!();
         print!("{}", render_drift(tl, &drift_cfg));
+        println!();
+        print!("{}", render_health(tl));
     }
     if let Some(log) = &wire {
         println!();
@@ -2505,6 +2649,32 @@ fn analyze_cmd(opts: &HashMap<String, String>, positional: &[String]) -> ExitCod
         println!("analysis JSON written to {out}");
     }
     ExitCode::SUCCESS
+}
+
+/// `health`: render the numerical-health section of a recorded timeline
+/// bundle (energy drift, momentum, sentinel and fingerprint-mismatch
+/// events with blame) and exit non-zero when the bundle is unhealthy —
+/// the scriptable end of the health lens.
+fn health_cmd(positional: &[String]) -> ExitCode {
+    let Some(path) = positional.first() else {
+        eprintln!("usage: ca-nbody health <timeline.json>");
+        return ExitCode::FAILURE;
+    };
+    let tl = match load_timeline(path) {
+        Ok(tl) => tl,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let s = HealthSummary::from_timeline(&tl);
+    print!("{}", s.render());
+    println!("{}", s.to_json());
+    if s.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }
 
 /// `conformance`: diff a recorded wire-probe log against the message

@@ -1781,3 +1781,122 @@ fn cutoff_wire_probe_conforms_in_count_only_mode() {
     assert!(stdout.contains("ca-1d-cutoff"), "{stdout}");
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn health_run_reports_gate_and_bundle_renders_verdict() {
+    let dir = std::env::temp_dir().join("ca_nbody_cli_health_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let tl = dir.join("tl.json").display().to_string();
+    let out = cli()
+        .args([
+            "run",
+            "n=96",
+            "p=8",
+            "c=2",
+            "steps=3",
+            "--health",
+            &format!("--record-timeline={tl}"),
+        ])
+        .output()
+        .expect("launch");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "{stdout}\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout.contains("\"health_sentinel_events\":0"), "{stdout}");
+    assert!(stdout.contains("\"health_gate\":\"pass\""), "{stdout}");
+
+    // The bundle renders a clean verdict and exits zero.
+    let out = cli().args(["health", &tl]).output().expect("launch");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}");
+    assert!(stdout.contains(": HEALTHY"), "{stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn injected_nan_aborts_with_blame_and_unhealthy_bundle() {
+    let dir = std::env::temp_dir().join("ca_nbody_cli_health_nan_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let tl = dir.join("pm.json").display().to_string();
+    let out = cli()
+        .args([
+            "run",
+            "n=96",
+            "p=8",
+            "c=2",
+            "steps=3",
+            "--inject-nan=0@1",
+            &format!("--record-timeline={tl}"),
+        ])
+        .output()
+        .expect("launch");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(!out.status.success(), "NaN run must fail");
+    assert!(
+        stderr.contains("non-finite force at rank 0 step 1"),
+        "{stderr}"
+    );
+    assert!(stderr.contains("postmortem bundle written"), "{stderr}");
+
+    // The postmortem carries the blame and renders UNHEALTHY, exit 1.
+    let out = cli().args(["health", &tl]).output().expect("launch");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(!out.status.success(), "{stdout}");
+    assert!(stdout.contains("UNHEALTHY"), "{stdout}");
+    assert!(stdout.contains("rank 0 step 1"), "{stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn corrupted_replica_detection_fails_the_default_health_gate() {
+    // p=8, c=2: rank 4 is team 0's replica. The cross-check repairs it,
+    // the run completes recovered, and the committed zero-mismatch
+    // baseline turns the detection into a non-zero exit.
+    let out = cli()
+        .args(["run", "n=96", "p=8", "c=2", "steps=3", "--corrupt-replica=4@1"])
+        .output()
+        .expect("launch");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(!out.status.success(), "gate must fail\n{stdout}");
+    assert!(
+        stdout.contains("\"health_fingerprint_mismatches\":1"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("\"recovered\":true"), "{stdout}");
+    assert!(stdout.contains("\"health_gate\":\"fail\""), "{stdout}");
+    assert!(stderr.contains("HEALTH GATE"), "{stderr}");
+}
+
+#[test]
+fn health_flags_reject_bad_specs_and_checkpoint_combination() {
+    let out = cli()
+        .args(["run", "n=32", "p=4", "c=2", "steps=2", "--inject-nan=zero@1"])
+        .output()
+        .expect("launch");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("bad rank"), "{stderr}");
+
+    let out = cli()
+        .args([
+            "run",
+            "n=32",
+            "p=4",
+            "c=2",
+            "steps=2",
+            "--health",
+            "--checkpoint-dir=/tmp/ca_nbody_cli_health_ckpt",
+        ])
+        .output()
+        .expect("launch");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("cannot be combined with --checkpoint-dir"),
+        "{stderr}"
+    );
+}
